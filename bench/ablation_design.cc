@@ -1,0 +1,76 @@
+// Design ablation (beyond the paper's figures, motivated by its Section VI-B
+// analysis): how much of AETS's win comes from each mechanism. Compares full
+// AETS against AETS without two-stage priority, without table-group parallel
+// commit (single commit thread), and without access-rate-aware allocation
+// (AETS-NOAC), on TPC-C — both batch replay throughput and live visibility
+// delay.
+
+#include <cstdio>
+
+#include "aets/bench/harness.h"
+#include "aets/workload/tpcc.h"
+
+namespace aets {
+namespace {
+
+void Run() {
+  int threads = BenchThreads(4);
+  TpccConfig config;
+  config.warehouses = 2;
+  config.items = 400;
+  config.customers_per_district = 40;
+  config.init_orders_per_district = 10;
+
+  TpccWorkload shape(config);
+  std::vector<double> rates(shape.catalog().num_tables(), 0.0);
+  rates[shape.district()] = rates[shape.stock()] = rates[shape.customer()] =
+      rates[shape.orders()] = 100;
+  rates[shape.orderline()] = 200;
+
+  std::printf("Design ablation on TPC-C (%d threads): what each AETS "
+              "mechanism contributes\n",
+              threads);
+
+  TpccWorkload workload(config);
+  RecordedLog log =
+      RecordWorkload(&workload, Scaled(4000, 300), /*epoch_size=*/256, 88);
+
+  auto make_workload = [config]() -> std::unique_ptr<Workload> {
+    return std::make_unique<TpccWorkload>(config);
+  };
+  LiveRunOptions live_options;
+  live_options.oltp_txns = Scaled(2500, 200);
+  live_options.olap_queries = Scaled(400, 60);
+  live_options.epoch_size = 256;
+  live_options.seed = 99;
+
+  TablePrinter table({"variant", "replay txn/s", "mean delay us", "p95 us"});
+  for (ReplayerKind kind :
+       {ReplayerKind::kAets, ReplayerKind::kAetsNoTwoStage,
+        ReplayerKind::kAetsSingleCommit, ReplayerKind::kAetsNoac,
+        ReplayerKind::kTplr}) {
+    ReplayerSpec spec;
+    spec.kind = kind;
+    spec.threads = threads;
+    spec.grouping = GroupingMode::kStatic;
+    spec.hot_groups = shape.DefaultHotGroups();
+    spec.rates = rates;
+
+    BatchReplayResult batch = ReplayRecorded(log, &workload.catalog(), spec);
+    AETS_CHECK(batch.state_matches_primary);
+    LiveRunResult live = RunLive(make_workload, spec, live_options);
+    AETS_CHECK(live.state_matches_primary);
+    table.AddRow({batch.name, TablePrinter::Fmt(batch.txns_per_sec, 0),
+                  TablePrinter::Fmt(live.mean_delay_us, 1),
+                  TablePrinter::Fmt(live.p95_delay_us, 1)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace aets
+
+int main() {
+  aets::Run();
+  return 0;
+}

@@ -1,0 +1,142 @@
+#ifndef AETS_BENCH_COMPARISON_COMMON_H_
+#define AETS_BENCH_COMPARISON_COMMON_H_
+
+// Shared driver for the Fig. 8 / Fig. 9 comparison benches: for one workload
+// it reports (a) normalized replay throughput, (b) normalized replay time,
+// and (c) visibility delay, for AETS vs TPLR vs ATR vs C5.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "aets/bench/harness.h"
+
+namespace aets {
+
+struct ComparisonSetup {
+  std::string title;
+  std::function<std::unique_ptr<Workload>()> make_workload;
+  GroupingMode grouping = GroupingMode::kPerTable;
+  std::vector<std::vector<TableId>> hot_groups;
+  std::vector<double> rates;
+  uint64_t batch_txns = 4000;
+  uint64_t live_txns = 2000;
+  uint64_t live_queries = 400;
+  size_t epoch_size = 256;
+};
+
+inline ReplayerSpec SpecFor(const ComparisonSetup& setup, ReplayerKind kind,
+                            int threads) {
+  ReplayerSpec spec;
+  spec.kind = kind;
+  spec.threads = threads;
+  spec.grouping = setup.grouping;
+  spec.hot_groups = setup.hot_groups;
+  spec.rates = setup.rates;
+  return spec;
+}
+
+inline void RunComparison(const ComparisonSetup& setup) {
+  int threads = BenchThreads(4);
+  uint64_t batch_txns = Scaled(setup.batch_txns, 300);
+  uint64_t live_txns = Scaled(setup.live_txns, 200);
+  uint64_t queries = Scaled(setup.live_queries, 50);
+
+  std::printf("%s — %d replay threads, epoch size %zu\n", setup.title.c_str(),
+              threads, setup.epoch_size);
+
+  // ---- (a)+(b): batch replay of a recorded log (paper RQ2 methodology).
+  std::unique_ptr<Workload> workload = setup.make_workload();
+  RecordedLog log = RecordWorkload(workload.get(), batch_txns,
+                                   setup.epoch_size, /*seed=*/21);
+  std::printf("\nrecorded: %llu mix txns, %zu epochs, primary %.0f txn/s\n",
+              static_cast<unsigned long long>(log.mix_txns), log.epochs.size(),
+              log.primary_txns_per_sec);
+
+  const ReplayerKind kinds[] = {ReplayerKind::kAets, ReplayerKind::kTplr,
+                                ReplayerKind::kAtr, ReplayerKind::kC5};
+  // Median of five repeats: the suite often runs on small shared machines.
+  std::vector<BatchReplayResult> batch;
+  for (ReplayerKind kind : kinds) {
+    std::vector<BatchReplayResult> reps;
+    for (int rep = 0; rep < 5; ++rep) {
+      reps.push_back(ReplayRecorded(log, &workload->catalog(),
+                                    SpecFor(setup, kind, threads)));
+    }
+    std::sort(reps.begin(), reps.end(),
+              [](const BatchReplayResult& a, const BatchReplayResult& b) {
+                return a.wall_us < b.wall_us;
+              });
+    batch.push_back(reps[reps.size() / 2]);
+  }
+
+  double aets_total_us = static_cast<double>(batch[0].wall_us);
+  std::printf("\n(a) normalized replay throughput (/primary), (b) normalized "
+              "replay time (/AETS total)\n");
+  TablePrinter ab({"replayer", "replay txn/s", "throughput/primary",
+                   "wall ms", "time/AETS", "state==primary"});
+  for (const auto& r : batch) {
+    ab.AddRow({r.name, TablePrinter::Fmt(r.txns_per_sec, 0),
+               TablePrinter::Fmt(r.txns_per_sec /
+                                     std::max(1.0, log.primary_txns_per_sec)),
+               TablePrinter::Fmt(static_cast<double>(r.wall_us) / 1000.0, 1),
+               TablePrinter::Fmt(static_cast<double>(r.wall_us) /
+                                 std::max(1.0, aets_total_us)),
+               r.state_matches_primary ? "yes" : "NO"});
+  }
+  ab.Print();
+
+  // AETS per-stage split: the hot stage finishing early is what hides the
+  // cold tables' replay time (Fig. 8(b)/9(b) "Hot" vs "Cold" bars).
+  const auto& aets = batch[0];
+  double s1 = static_cast<double>(aets.stage1_wall_us);
+  double s2 = static_cast<double>(aets.stage2_wall_us);
+  std::printf("AETS stage split: hot(stage1) %.1f ms (%.0f%%), cold(stage2) "
+              "%.1f ms (%.0f%%) of staged time\n",
+              s1 / 1000, 100 * s1 / std::max(1.0, s1 + s2), s2 / 1000,
+              100 * s2 / std::max(1.0, s1 + s2));
+
+  // ---- (c): visibility delay while catching up on a backlog — queries
+  // arrive with snapshots spread over the recorded commit range (Fig. 1's
+  // scenario: how quickly does the data a query needs become visible?).
+  std::printf("\n(c) visibility delay of real-time analytic queries "
+              "(catch-up, %llu queries)\n",
+              static_cast<unsigned long long>(queries));
+  std::unique_ptr<Workload> live_workload = setup.make_workload();
+  RecordedLog live_log = RecordWorkload(live_workload.get(), live_txns,
+                                        setup.epoch_size, /*seed=*/33);
+  TablePrinter vis({"replayer", "mean us", "p50 us", "p95 us", "p99 us",
+                    "vs AETS", "state==primary"});
+  std::vector<CatchUpResult> live;
+  CatchUpOptions options;
+  options.queries = queries;
+  options.seed = 33;
+  for (ReplayerKind kind : kinds) {
+    std::vector<CatchUpResult> reps;
+    for (int rep = 0; rep < 5; ++rep) {
+      options.seed = 33 + static_cast<uint64_t>(rep);
+      reps.push_back(RunCatchUp(live_log, live_workload.get(),
+                                SpecFor(setup, kind, threads), options));
+    }
+    std::sort(reps.begin(), reps.end(),
+              [](const CatchUpResult& a, const CatchUpResult& b) {
+                return a.mean_delay_us < b.mean_delay_us;
+              });
+    live.push_back(reps[reps.size() / 2]);
+  }
+  double aets_mean = std::max(1e-9, live[0].mean_delay_us);
+  for (const auto& r : live) {
+    vis.AddRow({r.name, TablePrinter::Fmt(r.mean_delay_us, 1),
+                TablePrinter::Fmt(r.p50_delay_us, 1),
+                TablePrinter::Fmt(r.p95_delay_us, 1),
+                TablePrinter::Fmt(r.p99_delay_us, 1),
+                TablePrinter::Fmt(r.mean_delay_us / aets_mean) + "x",
+                r.state_matches_primary ? "yes" : "NO"});
+  }
+  vis.Print();
+}
+
+}  // namespace aets
+
+#endif  // AETS_BENCH_COMPARISON_COMMON_H_

@@ -1,0 +1,151 @@
+// Reproduces paper Fig. 11: multi-core scalability of replay throughput on
+// TPC-C, normalized to single-thread ATR.
+//
+// Hardware substitution note: the paper measures a 64-core server; this
+// harness may run on a machine with very few cores (even one), where adding
+// worker threads cannot increase wall-clock throughput. The bench therefore
+// reports two tables:
+//   (1) measured throughput at each thread count on THIS machine — flat when
+//       the machine has fewer cores than threads, by construction;
+//   (2) a work-span (Amdahl) projection built from the MEASURED phase
+//       breakdown of each algorithm: serial share = dispatch + ordered
+//       commit busy time, parallel share = phase-1/worker replay busy time.
+// The projection reproduces the paper's low-thread shapes (AETS/TPLR near
+// linear; C5 penalized by its serial full-image dispatch). ATR's flattening
+// beyond 16 threads comes from operation-sequence-check synchronization that
+// only manifests under true hardware parallelism, so it is NOT captured
+// here; the paper's C5-overtakes-ATR crossover at 32+ threads is likewise
+// out of reach on a small host.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "aets/bench/harness.h"
+#include "aets/workload/tpcc.h"
+
+namespace aets {
+namespace {
+
+void Run() {
+  TpccConfig config;
+  config.warehouses = 2;
+  config.items = 400;
+  config.customers_per_district = 40;
+  config.init_orders_per_district = 10;
+
+  TpccWorkload shape(config);
+  std::vector<double> rates(shape.catalog().num_tables(), 0.0);
+  rates[shape.district()] = 100;
+  rates[shape.stock()] = 100;
+  rates[shape.customer()] = 100;
+  rates[shape.orders()] = 100;
+  rates[shape.orderline()] = 200;
+
+  TpccWorkload workload(config);
+  RecordedLog log =
+      RecordWorkload(&workload, Scaled(6000, 300), /*epoch_size=*/256, 55);
+  std::printf("Fig 11: TPC-C replay-throughput scalability "
+              "(normalized to 1-thread ATR; %llu txns, %zu epochs)\n",
+              static_cast<unsigned long long>(log.mix_txns), log.epochs.size());
+
+  auto spec_for = [&](ReplayerKind kind, int threads) {
+    ReplayerSpec spec;
+    spec.kind = kind;
+    spec.threads = threads;
+    spec.grouping = GroupingMode::kStatic;
+    spec.hot_groups = shape.DefaultHotGroups();
+    spec.rates = rates;
+    return spec;
+  };
+  auto median_run = [&](ReplayerKind kind, int threads) {
+    std::vector<BatchReplayResult> reps;
+    for (int rep = 0; rep < 3; ++rep) {
+      reps.push_back(
+          ReplayRecorded(log, &workload.catalog(), spec_for(kind, threads)));
+      AETS_CHECK(reps.back().state_matches_primary);
+    }
+    std::sort(reps.begin(), reps.end(),
+              [](const BatchReplayResult& a, const BatchReplayResult& b) {
+                return a.wall_us < b.wall_us;
+              });
+    return reps[1];
+  };
+
+  const ReplayerKind kinds[] = {ReplayerKind::kAets, ReplayerKind::kTplr,
+                                ReplayerKind::kAtr, ReplayerKind::kC5};
+
+  // Single-thread runs give the per-algorithm cost structure.
+  BatchReplayResult base[4];
+  for (int k = 0; k < 4; ++k) base[k] = median_run(kinds[k], 1);
+  double atr1 = base[2].txns_per_sec;
+  std::printf("1-thread ATR: %.0f txn/s\n", atr1);
+
+  std::printf("\n(1) measured on this machine (flat when cores < threads)\n");
+  const int thread_counts[] = {1, 2, 4, 8, 16};
+  TablePrinter measured({"threads", "AETS", "TPLR", "ATR", "C5"});
+  for (int threads : thread_counts) {
+    std::vector<std::string> row = {std::to_string(threads)};
+    for (ReplayerKind kind : kinds) {
+      BatchReplayResult r = median_run(kind, threads);
+      row.push_back(TablePrinter::Fmt(r.txns_per_sec / std::max(1.0, atr1)) +
+                    "x");
+    }
+    measured.AddRow(std::move(row));
+  }
+  measured.Print();
+
+  // Work-span projection. Structure per algorithm:
+  //  - AETS: serial dispatch; phase-1 replay parallel over W; ordered commit
+  //    parallel over the table groups (bounded by the committer pool of 4).
+  //  - TPLR: same but commit is a single ordered thread (serial).
+  //  - ATR: workers install directly (its commit thread only bumps the
+  //    watermark); the measured operation-sequence wait is serialization —
+  //    it is re-measured at each W, so its growth with workers drives the
+  //    flattening the paper reports.
+  //  - C5: the full-image dispatch is serial; apply is parallel.
+  std::printf("\n(2) work-span projection from measured phase breakdowns\n");
+  TablePrinter projected({"threads", "AETS", "TPLR", "ATR", "C5", "ATR sync%"});
+  for (int threads : thread_counts) {
+    std::vector<std::string> row = {std::to_string(threads)};
+    double atr_sync = 0;
+    for (int k = 0; k < 4; ++k) {
+      BatchReplayResult r = median_run(kinds[k], threads);
+      double d = r.dispatch_frac;
+      double c = r.commit_frac;
+      double par = r.replay_frac;
+      double span = 0;
+      switch (kinds[k]) {
+        case ReplayerKind::kAets:
+          span = d + par / threads + c / std::min(threads, 4);
+          break;
+        case ReplayerKind::kAtr: {
+          double sync = std::min(r.sync_frac, par);
+          atr_sync = sync;
+          span = d + c + sync + (par - sync) / threads;
+          break;
+        }
+        default:  // TPLR, C5: single ordered committer
+          span = d + par / threads + c;
+          break;
+      }
+      // Fractions sum to 1, so 1/span is the projected speedup over this
+      // algorithm's own single-thread run.
+      double projected_tps = base[k].txns_per_sec / std::max(span, 1e-6);
+      row.push_back(TablePrinter::Fmt(projected_tps / std::max(1.0, atr1)) +
+                    "x");
+    }
+    row.push_back(TablePrinter::Fmt(atr_sync * 100, 1) + "%");
+    projected.AddRow(std::move(row));
+  }
+  projected.Print();
+  std::printf("(AETS commit parallelizes across groups; ATR's measured "
+              "op-seq wait serializes; C5's full-image dispatch serializes)\n");
+}
+
+}  // namespace
+}  // namespace aets
+
+int main() {
+  aets::Run();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmarks for the replay-side hot paths: metadata dispatch, the
+// full-image dispatch C5 pays, epoch encode, and end-to-end single-epoch
+// replay through AETS.
+
+#include <benchmark/benchmark.h>
+
+#include "aets/log/codec.h"
+#include "aets/log/shipped_epoch.h"
+#include "aets/replay/aets_replayer.h"
+#include "aets/replication/channel.h"
+#include "aets/workload/tpcc.h"
+
+namespace aets {
+namespace {
+
+// One recorded TPC-C epoch payload, built once.
+struct EpochFixture {
+  EpochFixture() : tpcc(SmallConfig()) {
+    LogicalClock clock;
+    PrimaryDb db(&tpcc.catalog(), &clock);
+    Rng rng(1);
+    tpcc.Load(&db, &rng);
+    // Capture 256 mix transactions into one epoch via the commit sink.
+    Epoch epoch;
+    epoch.epoch_id = 0;
+    std::vector<TxnLog> txns;
+    db.SetCommitSink([&](TxnLog t) { txns.push_back(std::move(t)); });
+    OltpLikeRun(&db, &rng, 256);
+    epoch.txns = std::move(txns);
+    shipped = EncodeEpoch(epoch);
+  }
+
+  static TpccConfig SmallConfig() {
+    TpccConfig config;
+    config.warehouses = 1;
+    config.items = 100;
+    config.customers_per_district = 10;
+    config.init_orders_per_district = 2;
+    return config;
+  }
+
+  void OltpLikeRun(PrimaryDb* db, Rng* rng, int n) {
+    for (int i = 0; i < n; ++i) {
+      AETS_CHECK(tpcc.RunOltpTransaction(db, rng).ok());
+    }
+  }
+
+  TpccWorkload tpcc;
+  ShippedEpoch shipped;
+};
+
+EpochFixture& Fixture() {
+  static EpochFixture* fixture = new EpochFixture();
+  return *fixture;
+}
+
+void BM_DispatchMetadataPass(benchmark::State& state) {
+  const std::string& data = *Fixture().shipped.payload;
+  for (auto _ : state) {
+    size_t offset = 0;
+    size_t records = 0;
+    while (offset < data.size()) {
+      auto rec = LogCodec::DecodeMetadata(data, &offset);
+      benchmark::DoNotOptimize(rec);
+      ++records;
+    }
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(Fixture().shipped.num_records));
+}
+BENCHMARK(BM_DispatchMetadataPass);
+
+void BM_DispatchFullImagePass(benchmark::State& state) {
+  // What C5's dispatcher pays per epoch: full value + checksum decoding.
+  const std::string& data = *Fixture().shipped.payload;
+  for (auto _ : state) {
+    size_t offset = 0;
+    while (offset < data.size()) {
+      auto rec = LogCodec::Decode(data, &offset);
+      benchmark::DoNotOptimize(rec);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(Fixture().shipped.num_records));
+}
+BENCHMARK(BM_DispatchFullImagePass);
+
+void BM_EncodeEpoch(benchmark::State& state) {
+  auto epoch = DecodeEpoch(Fixture().shipped);
+  AETS_CHECK(epoch.ok());
+  for (auto _ : state) {
+    ShippedEpoch shipped = EncodeEpoch(*epoch);
+    benchmark::DoNotOptimize(shipped);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(Fixture().shipped.ByteSize()));
+}
+BENCHMARK(BM_EncodeEpoch);
+
+void BM_AetsSingleEpochReplay(benchmark::State& state) {
+  const TpccWorkload& tpcc = Fixture().tpcc;
+  for (auto _ : state) {
+    EpochChannel channel(4);
+    channel.Send(Fixture().shipped);
+    channel.Close();
+    AetsOptions options;
+    options.replay_threads = static_cast<int>(state.range(0));
+    options.grouping = GroupingMode::kStatic;
+    options.static_hot_groups = tpcc.DefaultHotGroups();
+    AetsReplayer replayer(&tpcc.catalog(), &channel, options);
+    AETS_CHECK(replayer.Start().ok());
+    replayer.Stop();
+    benchmark::DoNotOptimize(replayer.stats().records.load());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(Fixture().shipped.num_txns));
+}
+BENCHMARK(BM_AetsSingleEpochReplay)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace aets

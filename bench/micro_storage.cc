@@ -1,0 +1,96 @@
+// Micro-benchmarks for the storage substrate: B+Tree point ops and scans,
+// MVCC version-chain appends and snapshot reads.
+
+#include <benchmark/benchmark.h>
+
+#include "aets/common/rng.h"
+#include "aets/storage/btree.h"
+#include "aets/storage/memtable.h"
+
+namespace aets {
+namespace {
+
+void BM_BTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BPlusTree<int> tree;
+    Rng rng(1);
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      bool created;
+      tree.GetOrCreate(rng.UniformInt(0, 1 << 20), &created, i);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1024)->Arg(16384);
+
+void BM_BTreeFind(benchmark::State& state) {
+  BPlusTree<int> tree;
+  for (int i = 0; i < state.range(0); ++i) {
+    bool created;
+    tree.GetOrCreate(i, &created, i);
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(rng.UniformInt(0, state.range(0) - 1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeFind)->Arg(16384)->Arg(262144);
+
+void BM_BTreeScan(benchmark::State& state) {
+  BPlusTree<int> tree;
+  for (int i = 0; i < 65536; ++i) {
+    bool created;
+    tree.GetOrCreate(i, &created, i);
+  }
+  for (auto _ : state) {
+    int64_t sum = 0;
+    tree.Scan(0, state.range(0), [&](int64_t k, int*) {
+      sum += k;
+      return true;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeScan)->Arg(1024)->Arg(16384);
+
+void BM_VersionAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemNode node(1);
+    state.ResumeTiming();
+    for (int i = 1; i <= state.range(0); ++i) {
+      VersionCell cell;
+      cell.commit_ts = static_cast<Timestamp>(i);
+      cell.txn_id = static_cast<TxnId>(i);
+      cell.delta = {{0, Value(static_cast<int64_t>(i))}};
+      node.AppendVersion(std::move(cell));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VersionAppend)->Arg(64)->Arg(1024);
+
+void BM_SnapshotRead(benchmark::State& state) {
+  MemNode node(1);
+  for (int i = 1; i <= state.range(0); ++i) {
+    VersionCell cell;
+    cell.commit_ts = static_cast<Timestamp>(i);
+    cell.txn_id = static_cast<TxnId>(i);
+    cell.delta = {{static_cast<ColumnId>(i % 8), Value(static_cast<int64_t>(i))}};
+    node.AppendVersion(std::move(cell));
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    Timestamp ts = static_cast<Timestamp>(rng.UniformInt(1, state.range(0)));
+    benchmark::DoNotOptimize(node.ReadVisible(ts));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotRead)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace aets

@@ -1,0 +1,49 @@
+#ifndef AETS_BENCH_PREDICTOR_COMMON_H_
+#define AETS_BENCH_PREDICTOR_COMMON_H_
+
+// Shared evaluation for the predictor benches (Tables III/IV, Fig. 14):
+// fit once, walk the test region, score MAPE at several horizons.
+
+#include <vector>
+
+#include "aets/common/macros.h"
+#include "aets/predictor/predictor.h"
+
+namespace aets {
+
+/// MAPE of `predictor` at each of `horizons` steps ahead, fitting once on
+/// the first `train_slots` and walking forward with `stride`.
+inline std::vector<double> HorizonMapes(RatePredictor* predictor,
+                                        const RateMatrix& series,
+                                        int train_slots, int window,
+                                        const std::vector<int>& horizons,
+                                        int stride) {
+  int max_horizon = 0;
+  for (int h : horizons) max_horizon = std::max(max_horizon, h);
+  AETS_CHECK(train_slots + max_horizon <= static_cast<int>(series.size()));
+  predictor->Fit(RateMatrix(series.begin(), series.begin() + train_slots));
+
+  std::vector<std::vector<double>> actual(horizons.size());
+  std::vector<std::vector<double>> pred(horizons.size());
+  for (int t = train_slots; t + max_horizon <= static_cast<int>(series.size());
+       t += stride) {
+    RateMatrix recent(series.begin() + (t - window), series.begin() + t);
+    RateMatrix forecast = predictor->Predict(recent, max_horizon);
+    for (size_t i = 0; i < horizons.size(); ++i) {
+      int h = horizons[i];
+      const auto& a = series[static_cast<size_t>(t + h - 1)];
+      const auto& p = forecast[static_cast<size_t>(h - 1)];
+      actual[i].insert(actual[i].end(), a.begin(), a.end());
+      pred[i].insert(pred[i].end(), p.begin(), p.end());
+    }
+  }
+  std::vector<double> out;
+  for (size_t i = 0; i < horizons.size(); ++i) {
+    out.push_back(Mape(actual[i], pred[i]));
+  }
+  return out;
+}
+
+}  // namespace aets
+
+#endif  // AETS_BENCH_PREDICTOR_COMMON_H_

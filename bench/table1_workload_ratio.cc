@@ -1,0 +1,90 @@
+// Reproduces paper Table I: HTAP workload characterization — tables written
+// by OLTP (num(T)), tables accessed by OLAP (num(A)), their intersection,
+// and the fraction of log entries landing on the intersection ("ratio").
+// Paper reference values: TPC-C 90.98%, SEATS 38.08%, CH Q1..Q6 blocks,
+// BusTracker 37.12%.
+
+#include <cstdio>
+
+#include "aets/bench/harness.h"
+#include "aets/workload/bustracker.h"
+#include "aets/workload/chbenchmark.h"
+#include "aets/workload/seats.h"
+#include "aets/workload/tpcc.h"
+#include "aets/workload/workload_stats.h"
+
+namespace aets {
+namespace {
+
+TpccConfig BenchTpcc() {
+  TpccConfig config;
+  config.warehouses = 2;
+  config.items = 400;
+  config.customers_per_district = 40;
+  config.init_orders_per_district = 10;
+  return config;
+}
+
+void Run() {
+  uint64_t txns = Scaled(2000, 200);
+  std::printf("Table I: characterization of HTAP benchmarks (%llu mix txns)\n",
+              static_cast<unsigned long long>(txns));
+
+  TablePrinter table({"Benchmark", "num(T)", "num(A)", "num(A \xE2\x88\xA9 T)",
+                      "ratio", "paper"});
+
+  {
+    TpccWorkload tpcc(BenchTpcc());
+    WorkloadStats s = MeasureWorkloadStats(&tpcc, txns);
+    table.AddRow({"TPC-C", std::to_string(s.num_written_tables),
+                  std::to_string(s.num_accessed_tables),
+                  std::to_string(s.num_hot_tables),
+                  TablePrinter::Fmt(s.hot_log_ratio * 100) + "%", "90.98%"});
+  }
+  {
+    SeatsWorkload seats;
+    WorkloadStats s = MeasureWorkloadStats(&seats, txns * 2);
+    table.AddRow({"SEATS", std::to_string(s.num_written_tables),
+                  std::to_string(s.num_accessed_tables),
+                  std::to_string(s.num_hot_tables),
+                  TablePrinter::Fmt(s.hot_log_ratio * 100) + "%", "38.08%"});
+  }
+  {
+    ChBenchmarkWorkload ch(BenchTpcc());
+    const char* paper[] = {"60.83%", "18.79%", "74.93%",
+                           "66.91%", "90.79%", "60.83%"};
+    for (int q = 0; q < 6; ++q) {
+      const AnalyticQuery& query = ch.analytic_queries()[static_cast<size_t>(q)];
+      double ratio = HotRatioForTables(&ch, txns, query.tables);
+      std::vector<TableId> written = ch.WrittenTables();
+      std::sort(written.begin(), written.end());
+      size_t hot = 0;
+      for (TableId t : query.tables) {
+        hot += std::binary_search(written.begin(), written.end(), t) ? 1 : 0;
+      }
+      table.AddRow({"CH-benCHmark " + query.name, "8",
+                    std::to_string(query.tables.size()), std::to_string(hot),
+                    TablePrinter::Fmt(ratio * 100) + "%",
+                    paper[q]});
+    }
+  }
+  {
+    BusTrackerConfig config;
+    config.rows_per_table = 50;
+    BusTrackerWorkload bus(config);
+    WorkloadStats s = MeasureWorkloadStats(&bus, txns * 3);
+    table.AddRow({"BusTracker", std::to_string(s.num_written_tables),
+                  std::to_string(s.num_accessed_tables),
+                  std::to_string(s.num_hot_tables),
+                  TablePrinter::Fmt(s.hot_log_ratio * 100) + "%", "37.12%"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace aets
+
+int main() {
+  aets::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces paper Table IV: DTGM ablation — the full model vs the variant
+// without the GCN component. Paper: w/o gcn 16.96% vs DTGM 16.80% MAPE
+// (graph mixing over correlated tables helps, modestly).
+
+#include <cstdio>
+
+#include "aets/bench/harness.h"
+#include "aets/predictor/dtgm.h"
+#include "aets/workload/bustracker.h"
+#include "predictor_common.h"
+
+namespace aets {
+namespace {
+
+void Run() {
+  BusTrackerWorkload bus;
+  RateMatrix series = bus.GenerateRateSeries(600, /*noise_frac=*/0.15,
+                                             /*seed=*/20240601);
+  std::printf("Table IV: DTGM ablation (MAPE @ 15-minute horizon)\n");
+
+  TablePrinter table({"model", "MAPE", "paper"});
+  for (bool use_gcn : {false, true}) {
+    DtgmConfig config;
+    config.input_window = 24;
+    config.horizon = 15;
+    config.hidden = 24;
+    config.layers = 2;
+    config.use_gcn = use_gcn;
+    config.train_steps = static_cast<int>(Scaled(140, 30));
+    config.batch = 3;
+    DtgmPredictor dtgm(config);
+    std::vector<double> mapes =
+        HorizonMapes(&dtgm, series, /*train_slots=*/420, /*window=*/24, {15},
+                     /*stride=*/4);
+    table.AddRow({dtgm.name(), TablePrinter::Fmt(mapes[0] * 100) + "%",
+                  use_gcn ? "16.80%" : "16.96%"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace aets
+
+int main() {
+  aets::Run();
+  return 0;
+}

@@ -1,0 +1,22 @@
+#ifndef AETS_BASELINES_TPLR_REPLAYER_H_
+#define AETS_BASELINES_TPLR_REPLAYER_H_
+
+#include <memory>
+
+#include "aets/replay/aets_replayer.h"
+
+namespace aets {
+
+/// The TPLR baseline of the paper's evaluation: the two-phase parallel
+/// replay algorithm WITHOUT table grouping — hot and cold tables share one
+/// group, so there is a single commit thread and no two-stage priority.
+/// Exactly AETS configured with a single group.
+AetsOptions TplrBaselineOptions(int replay_threads);
+
+std::unique_ptr<AetsReplayer> MakeTplrReplayer(const Catalog* catalog,
+                                               EpochChannel* channel,
+                                               int replay_threads);
+
+}  // namespace aets
+
+#endif  // AETS_BASELINES_TPLR_REPLAYER_H_

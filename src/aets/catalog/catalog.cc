@@ -1,0 +1,51 @@
+#include "aets/catalog/catalog.h"
+
+namespace aets {
+
+Result<TableId> Catalog::RegisterTable(const std::string& name, Schema schema) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (by_name_.count(name) != 0) {
+    return Status::AlreadyExists("table already registered: " + name);
+  }
+  TableId id = static_cast<TableId>(tables_.size());
+  tables_.push_back(TableInfo{id, name, std::move(schema)});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+Result<TableId> Catalog::GetTableId(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("no such table: " + name);
+  return it->second;
+}
+
+Result<const TableInfo*> Catalog::GetTable(TableId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id >= tables_.size()) {
+    return Status::NotFound("no table with id " + std::to_string(id));
+  }
+  return &tables_[id];
+}
+
+Result<const TableInfo*> Catalog::GetTableByName(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("no such table: " + name);
+  return &tables_[it->second];
+}
+
+size_t Catalog::num_tables() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tables_.size();
+}
+
+std::vector<TableId> Catalog::TableIds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TableId> ids;
+  ids.reserve(tables_.size());
+  for (const auto& t : tables_) ids.push_back(t.id);
+  return ids;
+}
+
+}  // namespace aets

@@ -1,0 +1,51 @@
+#ifndef AETS_CATALOG_CATALOG_H_
+#define AETS_CATALOG_CATALOG_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aets/catalog/schema.h"
+#include "aets/common/result.h"
+#include "aets/common/status.h"
+
+namespace aets {
+
+/// Table metadata registered with the catalog.
+struct TableInfo {
+  TableId id;
+  std::string name;
+  Schema schema;
+};
+
+/// Maps table names to ids and schemas. Shared (read-mostly) between the
+/// primary engine, the log dispatcher, and the replayers; registration
+/// happens up front before any log flows.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a table and returns its id. Fails on duplicate names.
+  Result<TableId> RegisterTable(const std::string& name, Schema schema);
+
+  Result<TableId> GetTableId(const std::string& name) const;
+  Result<const TableInfo*> GetTable(TableId id) const;
+  Result<const TableInfo*> GetTableByName(const std::string& name) const;
+
+  size_t num_tables() const;
+
+  /// All registered table ids, in registration order (dense: 0..n-1).
+  std::vector<TableId> TableIds() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TableInfo> tables_;
+  std::unordered_map<std::string, TableId> by_name_;
+};
+
+}  // namespace aets
+
+#endif  // AETS_CATALOG_CATALOG_H_

@@ -1,0 +1,22 @@
+#include "aets/catalog/schema.h"
+
+namespace aets {
+
+Schema Schema::Of(std::initializer_list<std::pair<std::string, ColumnType>> cols) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(cols.size());
+  ColumnId id = 0;
+  for (const auto& [name, type] : cols) {
+    defs.push_back(ColumnDef{id++, name, type});
+  }
+  return Schema(std::move(defs));
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (const auto& col : columns_) {
+    if (col.name == name) return static_cast<int>(col.id);
+  }
+  return -1;
+}
+
+}  // namespace aets

@@ -1,0 +1,53 @@
+#ifndef AETS_CATALOG_SCHEMA_H_
+#define AETS_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aets {
+
+using TableId = uint32_t;
+using ColumnId = uint16_t;
+
+constexpr TableId kInvalidTableId = static_cast<TableId>(-1);
+
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+/// A column definition: stable id + name + type.
+struct ColumnDef {
+  ColumnId id;
+  std::string name;
+  ColumnType type;
+};
+
+/// Ordered list of columns forming a table schema. Column ids are the
+/// positional index (dense), matching the log format's column-id/value pairs.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+  /// Builds a schema from (name, type) pairs with ids assigned positionally.
+  static Schema Of(std::initializer_list<std::pair<std::string, ColumnType>> cols);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(ColumnId id) const { return columns_[id]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Returns the id of the named column or -1.
+  int FindColumn(const std::string& name) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace aets
+
+#endif  // AETS_CATALOG_SCHEMA_H_

@@ -1,0 +1,120 @@
+#include "aets/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace aets {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value <= 0) return 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  int log2 = 63 - std::countl_zero(v);
+  // 4 linear sub-buckets per power of two.
+  int sub = log2 >= 2 ? static_cast<int>((v >> (log2 - 2)) & 0x3) : 0;
+  int bucket = log2 * 4 + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketLower(int bucket) {
+  int log2 = bucket / 4;
+  int sub = bucket % 4;
+  if (log2 == 0) return 0;
+  int64_t base = int64_t{1} << log2;
+  if (log2 < 2) return base;
+  return base + (base >> 2) * sub;
+}
+
+void Histogram::Record(int64_t value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  // Consistent lock order by address avoids deadlock on cross merges.
+  const Histogram* first = this < &other ? this : &other;
+  const Histogram* second = this < &other ? &other : this;
+  std::lock_guard<std::mutex> lk1(first->mu_);
+  std::lock_guard<std::mutex> lk2(second->mu_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_;
+}
+
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int64_t Histogram::Min() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return min_;
+}
+
+int64_t Histogram::Max() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return max_;
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (count_ == 0) return 0.0;
+  double rank = p / 100.0 * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    int64_t in_bucket = buckets_[static_cast<size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      double frac = (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      int64_t lo = BucketLower(i);
+      int64_t hi = i + 1 < kNumBuckets ? BucketLower(i + 1) : max_;
+      hi = std::min(hi, max_);
+      lo = std::max(lo, min_);
+      if (hi < lo) hi = lo;
+      return static_cast<double>(lo) + frac * static_cast<double>(hi - lo);
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%lld",
+                static_cast<long long>(count()), Mean(), Percentile(50),
+                Percentile(95), Percentile(99), static_cast<long long>(Max()));
+  return buf;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+}  // namespace aets

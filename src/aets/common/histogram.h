@@ -1,0 +1,52 @@
+#ifndef AETS_COMMON_HISTOGRAM_H_
+#define AETS_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aets {
+
+/// Log-bucketed latency histogram (microsecond-scale values). Thread-safe;
+/// the OLAP driver records one visibility-delay sample per query.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+
+  /// Merges `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  int64_t count() const;
+  double Mean() const;
+  int64_t Min() const;
+  int64_t Max() const;
+
+  /// Approximate percentile (p in [0, 100]) by linear interpolation within
+  /// the containing bucket.
+  double Percentile(double p) const;
+
+  /// One-line summary, e.g. "n=100 mean=5.2us p50=4 p95=11 p99=20 max=33".
+  std::string Summary() const;
+
+  void Reset();
+
+ private:
+  static constexpr int kNumBuckets = 64 * 4;  // 4 sub-buckets per power of two
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketLower(int bucket);
+
+  mutable std::mutex mu_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace aets
+
+#endif  // AETS_COMMON_HISTOGRAM_H_

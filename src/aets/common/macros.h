@@ -1,0 +1,37 @@
+#ifndef AETS_COMMON_MACROS_H_
+#define AETS_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Invariant-checking macros. `AETS_CHECK` aborts on programmer errors; it is
+/// compiled into all build types because replay correctness bugs are silent
+/// data corruption otherwise.
+
+#define AETS_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "AETS_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define AETS_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "AETS_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Propagates a non-OK Status out of the current function.
+#define AETS_RETURN_NOT_OK(expr)                                             \
+  do {                                                                       \
+    ::aets::Status _st = (expr);                                             \
+    if (!_st.ok()) return _st;                                               \
+  } while (0)
+
+#endif  // AETS_COMMON_MACROS_H_

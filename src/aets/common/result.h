@@ -1,0 +1,62 @@
+#ifndef AETS_COMMON_RESULT_H_
+#define AETS_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "aets/common/macros.h"
+#include "aets/common/status.h"
+
+namespace aets {
+
+/// Value-or-error return type. A `Result<T>` holds either a `T` or a non-OK
+/// `Status`. Accessing the value of an errored Result aborts (programmer
+/// error), mirroring arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` and `return SomeStatus();` both work.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    AETS_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                   "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  T& value() & {
+    AETS_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    AETS_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    AETS_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a `Result` expression to `lhs`, or returns its error.
+#define AETS_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  auto&& _res_##__LINE__ = (rexpr);                       \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).value()
+
+}  // namespace aets
+
+#endif  // AETS_COMMON_RESULT_H_

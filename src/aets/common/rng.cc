@@ -1,0 +1,106 @@
+#include "aets/common/rng.h"
+
+#include <cmath>
+#include <string>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  c_load_ = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  AETS_CHECK(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  if (has_gauss_) {
+    has_gauss_ = false;
+    return mean + stddev * gauss_spare_;
+  }
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  while (u1 <= 1e-12) u1 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  gauss_spare_ = mag * std::sin(2.0 * M_PI * u2);
+  has_gauss_ = true;
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+int64_t Rng::NuRand(int64_t a, int64_t x, int64_t y) {
+  int64_t c = static_cast<int64_t>(c_load_ % static_cast<uint64_t>(a + 1));
+  return (((UniformInt(0, a) | UniformInt(x, y)) + c) % (y - x + 1)) + x;
+}
+
+std::string Rng::AlphaString(int min_len, int max_len) {
+  static constexpr char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  int len = static_cast<int>(UniformInt(min_len, max_len));
+  std::string out(static_cast<size_t>(len), '\0');
+  for (char& ch : out) ch = kChars[Next() % (sizeof(kChars) - 1)];
+  return out;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  AETS_CHECK(n > 0);
+  zetan_ = Zeta(n, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - Zeta(2, theta) / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) const {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rng_.UniformDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(static_cast<double>(n_) *
+                               std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+}  // namespace aets

@@ -1,0 +1,66 @@
+#ifndef AETS_COMMON_RNG_H_
+#define AETS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aets {
+
+/// Deterministic, fast PRNG (xoshiro256**). Benchmarks and tests seed it
+/// explicitly so every run is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Gaussian via Box-Muller.
+  double Gaussian(double mean, double stddev);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// TPC-C NURand(A, x, y) non-uniform random, with constant C fixed at seed
+  /// time (TPC-C clause 2.1.6).
+  int64_t NuRand(int64_t a, int64_t x, int64_t y);
+
+  /// Random alphanumeric string of length in [min_len, max_len].
+  std::string AlphaString(int min_len, int max_len);
+
+ private:
+  uint64_t s_[4];
+  uint64_t c_load_;  // NURand C constant.
+  bool has_gauss_ = false;
+  double gauss_spare_ = 0.0;
+};
+
+/// Zipfian generator over [0, n) with skew theta (Gray et al.). Used by the
+/// synthetic hot/cold workloads.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace aets
+
+#endif  // AETS_COMMON_RNG_H_

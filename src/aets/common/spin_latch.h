@@ -1,0 +1,53 @@
+#ifndef AETS_COMMON_SPIN_LATCH_H_
+#define AETS_COMMON_SPIN_LATCH_H_
+
+#include <atomic>
+#include <thread>
+
+namespace aets {
+
+/// Tiny test-and-test-and-set spinlock. Memtable nodes hold one of these;
+/// the paper's Algorithm 1 takes it only for the short append into a version
+/// list, so spinning beats a futex.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  void Lock() {
+    int spins = 0;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins > 1024) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool TryLock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void Unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for SpinLatch.
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
+  ~SpinGuard() { latch_.Unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLatch& latch_;
+};
+
+}  // namespace aets
+
+#endif  // AETS_COMMON_SPIN_LATCH_H_

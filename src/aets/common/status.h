@@ -1,0 +1,113 @@
+#ifndef AETS_COMMON_STATUS_H_
+#define AETS_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+/// \file
+/// RocksDB/Arrow-style `Status` used for recoverable errors throughout the
+/// library. Hot paths never throw; functions that can fail return `Status`
+/// (or `Result<T>`, see result.h).
+
+namespace aets {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kCorruption = 4,
+  kOutOfRange = 5,
+  kAborted = 6,
+  kTimedOut = 7,
+  kInternal = 8,
+  kNotSupported = 9,
+};
+
+/// Returns a human-readable name such as "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  /// Default constructor builds an OK status with no allocation.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+
+  /// The error message; empty for OK.
+  std::string_view message() const {
+    return state_ ? std::string_view(state_->message) : std::string_view();
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK so the success path costs nothing.
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace aets
+
+#endif  // AETS_COMMON_STATUS_H_

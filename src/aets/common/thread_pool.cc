@@ -1,0 +1,81 @@
+#include "aets/common/thread_pool.h"
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+ThreadPool::ThreadPool(int num_threads) {
+  AETS_CHECK(num_threads > 0);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    AETS_CHECK_MSG(!shutdown_, "Submit after shutdown");
+    tasks_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_.wait(lk, [&] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      task_ready_.wait(lk, [&] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int num_threads, int n, const std::function<void(int)>& fn) {
+  AETS_CHECK(num_threads > 0);
+  if (n <= 0) return;
+  if (num_threads == 1 || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::vector<std::thread> threads;
+  int workers = std::min(num_threads, n);
+  threads.reserve(static_cast<size_t>(workers));
+  for (int t = 0; t < workers; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace aets

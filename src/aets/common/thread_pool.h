@@ -1,0 +1,51 @@
+#ifndef AETS_COMMON_THREAD_POOL_H_
+#define AETS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aets {
+
+/// Fixed-size worker pool with a shared task queue and a barrier-style
+/// `WaitIdle()`. Replay stages submit a batch of tasks and wait for the stage
+/// to drain; predictors use it for data-parallel training loops.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs `fn(i)` for i in [0, n) across `num_threads` workers created on the
+/// spot, then joins. Convenience for one-shot parallel sections.
+void ParallelFor(int num_threads, int n, const std::function<void(int)>& fn);
+
+}  // namespace aets
+
+#endif  // AETS_COMMON_THREAD_POOL_H_

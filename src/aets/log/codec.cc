@@ -1,0 +1,230 @@
+#include "aets/log/codec.h"
+
+#include <array>
+#include <cstring>
+
+namespace aets {
+
+namespace {
+
+constexpr uint32_t kCrcPoly = 0x82F63B78u;  // CRC32C reflected polynomial
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kCrcPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  return kTable;
+}
+
+template <typename T>
+void PutFixed(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool GetFixed(const std::string& data, size_t* offset, T* out) {
+  if (*offset + sizeof(T) > data.size()) return false;
+  std::memcpy(out, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt64 = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+
+void EncodeValue(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    PutFixed<uint8_t>(out, kTagNull);
+  } else if (v.is_int64()) {
+    PutFixed<uint8_t>(out, kTagInt64);
+    PutFixed<int64_t>(out, v.as_int64());
+  } else if (v.is_double()) {
+    PutFixed<uint8_t>(out, kTagDouble);
+    PutFixed<double>(out, v.as_double());
+  } else {
+    PutFixed<uint8_t>(out, kTagString);
+    const std::string& s = v.as_string();
+    PutFixed<uint32_t>(out, static_cast<uint32_t>(s.size()));
+    out->append(s);
+  }
+}
+
+Result<Value> DecodeValue(const std::string& data, size_t* offset) {
+  uint8_t tag;
+  if (!GetFixed(data, offset, &tag)) {
+    return Status::Corruption("truncated value tag");
+  }
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagInt64: {
+      int64_t v;
+      if (!GetFixed(data, offset, &v)) return Status::Corruption("truncated i64");
+      return Value(v);
+    }
+    case kTagDouble: {
+      double v;
+      if (!GetFixed(data, offset, &v)) return Status::Corruption("truncated f64");
+      return Value(v);
+    }
+    case kTagString: {
+      uint32_t len;
+      if (!GetFixed(data, offset, &len)) return Status::Corruption("truncated len");
+      if (*offset + len > data.size()) return Status::Corruption("truncated str");
+      Value v(data.substr(*offset, len));
+      *offset += len;
+      return v;
+    }
+    default:
+      return Status::Corruption("bad value tag " + std::to_string(tag));
+  }
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const auto& table = CrcTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void LogCodec::Encode(const LogRecord& record, std::string* out) {
+  std::string payload;
+  payload.reserve(record.ByteSize());
+  PutFixed<uint8_t>(&payload, static_cast<uint8_t>(record.type));
+  PutFixed<uint64_t>(&payload, record.lsn);
+  PutFixed<uint64_t>(&payload, record.txn_id);
+  PutFixed<uint64_t>(&payload, record.timestamp);
+  if (record.is_dml()) {
+    PutFixed<uint32_t>(&payload, record.table_id);
+    PutFixed<int64_t>(&payload, record.row_key);
+    PutFixed<uint64_t>(&payload, record.prev_txn_id);
+    PutFixed<uint64_t>(&payload, record.row_seq);
+    PutFixed<uint16_t>(&payload, static_cast<uint16_t>(record.values.size()));
+    for (const auto& cv : record.values) {
+      PutFixed<uint16_t>(&payload, cv.column_id);
+      EncodeValue(cv.value, &payload);
+    }
+  }
+  PutFixed<uint32_t>(out, Crc32c(payload.data(), payload.size()));
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+namespace {
+
+/// Shared framing: validates length (and the checksum when `verify_crc`),
+/// returns payload bounds. The metadata-only dispatch path skips the
+/// checksum — it touches just the fixed prefix, and the phase-1 full decode
+/// verifies the same frame before any value is installed.
+Result<std::pair<size_t, size_t>> ReadFrame(const std::string& data,
+                                            size_t* offset, bool verify_crc) {
+  uint32_t crc, len;
+  if (!GetFixed(data, offset, &crc) || !GetFixed(data, offset, &len)) {
+    return Status::Corruption("truncated frame header");
+  }
+  if (*offset + len > data.size()) {
+    return Status::Corruption("frame extends past buffer");
+  }
+  if (verify_crc) {
+    uint32_t actual = Crc32c(data.data() + *offset, len);
+    if (actual != crc) {
+      return Status::Corruption("checksum mismatch");
+    }
+  }
+  size_t begin = *offset;
+  *offset += len;
+  return std::make_pair(begin, begin + len);
+}
+
+Result<LogRecord> DecodeBody(const std::string& data, size_t begin, size_t end,
+                             bool metadata_only) {
+  size_t pos = begin;
+  LogRecord rec;
+  uint8_t type;
+  if (!GetFixed(data, &pos, &type) || !GetFixed(data, &pos, &rec.lsn) ||
+      !GetFixed(data, &pos, &rec.txn_id) ||
+      !GetFixed(data, &pos, &rec.timestamp)) {
+    return Status::Corruption("truncated record header");
+  }
+  if (type > static_cast<uint8_t>(LogRecordType::kHeartbeat)) {
+    return Status::Corruption("bad record type");
+  }
+  rec.type = static_cast<LogRecordType>(type);
+  if (rec.is_dml()) {
+    uint16_t count;
+    if (!GetFixed(data, &pos, &rec.table_id) ||
+        !GetFixed(data, &pos, &rec.row_key) ||
+        !GetFixed(data, &pos, &rec.prev_txn_id) ||
+        !GetFixed(data, &pos, &rec.row_seq) ||
+        !GetFixed(data, &pos, &count)) {
+      return Status::Corruption("truncated dml header");
+    }
+    if (!metadata_only) {
+      rec.values.reserve(count);
+      for (uint16_t i = 0; i < count; ++i) {
+        uint16_t col;
+        if (!GetFixed(data, &pos, &col)) {
+          return Status::Corruption("truncated column id");
+        }
+        auto value = DecodeValue(data, &pos);
+        if (!value.ok()) return value.status();
+        rec.values.push_back(ColumnValue{col, std::move(value).value()});
+      }
+      if (pos != end) return Status::Corruption("trailing bytes in record");
+    }
+  }
+  return rec;
+}
+
+}  // namespace
+
+Result<LogRecord> LogCodec::Decode(const std::string& data, size_t* offset) {
+  auto frame = ReadFrame(data, offset, /*verify_crc=*/true);
+  if (!frame.ok()) return frame.status();
+  return DecodeBody(data, frame->first, frame->second, /*metadata_only=*/false);
+}
+
+Result<LogRecord> LogCodec::DecodeMetadata(const std::string& data,
+                                           size_t* offset) {
+  auto frame = ReadFrame(data, offset, /*verify_crc=*/false);
+  if (!frame.ok()) return frame.status();
+  return DecodeBody(data, frame->first, frame->second, /*metadata_only=*/true);
+}
+
+std::string LogCodec::EncodeAll(const std::vector<LogRecord>& records) {
+  std::string out;
+  for (const auto& r : records) Encode(r, &out);
+  return out;
+}
+
+Result<std::vector<LogRecord>> LogCodec::DecodeAll(const std::string& data) {
+  std::vector<LogRecord> records;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    auto rec = Decode(data, &offset);
+    if (!rec.ok()) return rec.status();
+    records.push_back(std::move(rec).value());
+  }
+  return records;
+}
+
+}  // namespace aets

@@ -1,0 +1,57 @@
+#ifndef AETS_LOG_CODEC_H_
+#define AETS_LOG_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aets/common/result.h"
+#include "aets/common/status.h"
+#include "aets/log/record.h"
+
+namespace aets {
+
+/// Binary wire format for value-log entries.
+///
+/// Layout (little-endian):
+///   u32 crc32c over everything after the crc field
+///   u32 payload length
+///   u8  type
+///   u64 lsn, u64 txn_id, u64 timestamp
+///   DML only: u32 table_id, i64 row_key, u64 prev_txn_id,
+///             u16 value count, then per value: u16 column_id, u8 tag,
+///             tag-dependent payload (i64 | f64 | u32 len + bytes | none)
+///
+/// The replication channel ships encoded epochs; replayers decode either the
+/// metadata prefix only (AETS, ATR) or the full image (C5) — the asymmetric
+/// parsing cost the paper's Section VI-B calls out.
+class LogCodec {
+ public:
+  /// Appends the encoded record to `out`.
+  static void Encode(const LogRecord& record, std::string* out);
+
+  /// Decodes one record starting at `data[*offset]`, advancing `*offset`.
+  /// Checksum mismatches and truncation return Corruption.
+  static Result<LogRecord> Decode(const std::string& data, size_t* offset);
+
+  /// Decodes only the fixed metadata prefix (type/lsn/txn/ts/table/rowkey),
+  /// skipping value parsing AND checksum verification — the cheap dispatch
+  /// path touches headers only; the phase-1 full decode of the same frame
+  /// verifies the checksum before anything is installed. Advances `*offset`
+  /// past the whole record.
+  static Result<LogRecord> DecodeMetadata(const std::string& data,
+                                          size_t* offset);
+
+  /// Encodes a whole sequence.
+  static std::string EncodeAll(const std::vector<LogRecord>& records);
+
+  /// Decodes a whole sequence.
+  static Result<std::vector<LogRecord>> DecodeAll(const std::string& data);
+};
+
+/// Software CRC32C (Castagnoli), byte-at-a-time table-driven.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace aets
+
+#endif  // AETS_LOG_CODEC_H_

@@ -1,0 +1,40 @@
+#include "aets/log/epoch.h"
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+EpochBuilder::EpochBuilder(size_t epoch_size) : epoch_size_(epoch_size) {
+  AETS_CHECK(epoch_size > 0);
+  current_.epoch_id = next_id_;
+}
+
+std::optional<Epoch> EpochBuilder::AddTxn(TxnLog txn) {
+  AETS_CHECK_MSG(txn.txn_id > last_txn_id_,
+                 "transactions must arrive in commit order");
+  last_txn_id_ = txn.txn_id;
+  current_.txns.push_back(std::move(txn));
+  if (current_.txns.size() < epoch_size_) return std::nullopt;
+  Epoch sealed = std::move(current_);
+  current_ = Epoch{};
+  current_.epoch_id = ++next_id_;
+  return sealed;
+}
+
+EpochId EpochBuilder::ConsumeEpochId() {
+  AETS_CHECK_MSG(current_.txns.empty(),
+                 "ConsumeEpochId with pending transactions");
+  EpochId id = next_id_;
+  current_.epoch_id = ++next_id_;
+  return id;
+}
+
+std::optional<Epoch> EpochBuilder::Flush() {
+  if (current_.txns.empty()) return std::nullopt;
+  Epoch sealed = std::move(current_);
+  current_ = Epoch{};
+  current_.epoch_id = ++next_id_;
+  return sealed;
+}
+
+}  // namespace aets

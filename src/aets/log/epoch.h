@@ -1,0 +1,85 @@
+#ifndef AETS_LOG_EPOCH_H_
+#define AETS_LOG_EPOCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "aets/log/record.h"
+
+namespace aets {
+
+/// All log records of one committed transaction, bounded by BEGIN/COMMIT
+/// (paper Section III-C: "log entries belonging to the same transaction are
+/// bounded by the terms BEGIN and COMMIT").
+struct TxnLog {
+  TxnId txn_id = kInvalidTxnId;
+  Timestamp commit_ts = kInvalidTimestamp;
+  std::vector<LogRecord> records;  // BEGIN, DML..., COMMIT
+
+  size_t ByteSize() const {
+    size_t size = 0;
+    for (const auto& r : records) size += r.ByteSize();
+    return size;
+  }
+};
+
+using EpochId = uint64_t;
+
+/// A fixed-size, non-overlapping batch of committed transactions, segmented
+/// on transaction boundaries (paper Section III-B). Epochs are replayed
+/// strictly in order.
+struct Epoch {
+  EpochId epoch_id = 0;
+  std::vector<TxnLog> txns;
+
+  TxnId first_txn() const { return txns.empty() ? kInvalidTxnId : txns.front().txn_id; }
+  TxnId last_txn() const { return txns.empty() ? kInvalidTxnId : txns.back().txn_id; }
+  Timestamp max_commit_ts() const {
+    return txns.empty() ? kInvalidTimestamp : txns.back().commit_ts;
+  }
+
+  size_t num_txns() const { return txns.size(); }
+  size_t num_records() const {
+    size_t n = 0;
+    for (const auto& t : txns) n += t.records.size();
+    return n;
+  }
+  size_t ByteSize() const {
+    size_t size = 0;
+    for (const auto& t : txns) size += t.ByteSize();
+    return size;
+  }
+};
+
+/// Groups committed transactions into epochs of `epoch_size` transactions.
+/// The builder preserves commit order: transactions must be added in their
+/// primary commit order, and epochs are emitted in that same order.
+class EpochBuilder {
+ public:
+  explicit EpochBuilder(size_t epoch_size);
+
+  /// Adds one committed transaction; returns a sealed epoch once
+  /// `epoch_size` transactions have accumulated.
+  std::optional<Epoch> AddTxn(TxnLog txn);
+
+  /// Seals and returns the partially filled epoch, if any.
+  std::optional<Epoch> Flush();
+
+  /// Reserves the next epoch id for an out-of-band epoch (heartbeats).
+  /// Only valid when no transactions are pending.
+  EpochId ConsumeEpochId();
+
+  size_t epoch_size() const { return epoch_size_; }
+  EpochId next_epoch_id() const { return next_id_; }
+
+ private:
+  size_t epoch_size_;
+  EpochId next_id_ = 0;
+  Epoch current_;
+  TxnId last_txn_id_ = 0;
+};
+
+}  // namespace aets
+
+#endif  // AETS_LOG_EPOCH_H_

@@ -1,0 +1,56 @@
+#include "aets/log/log_buffer.h"
+
+#include <algorithm>
+
+namespace aets {
+
+void LogBuffer::Append(const LogRecord& record) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (record.is_dml()) {
+    dml_by_table_[record.table_id]++;
+    ++total_dml_;
+  }
+  records_.push_back(record);
+}
+
+void LogBuffer::AppendAll(const std::vector<LogRecord>& records) {
+  for (const auto& r : records) Append(r);
+}
+
+size_t LogBuffer::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.size();
+}
+
+LogRecord LogBuffer::At(size_t index) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.at(index);
+}
+
+std::vector<LogRecord> LogBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_;
+}
+
+std::map<TableId, uint64_t> LogBuffer::DmlCountsByTable() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dml_by_table_;
+}
+
+uint64_t LogBuffer::TotalDmlCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_dml_;
+}
+
+double LogBuffer::HotRatio(const std::vector<TableId>& hot_tables) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (total_dml_ == 0) return 0.0;
+  uint64_t hot = 0;
+  for (TableId t : hot_tables) {
+    auto it = dml_by_table_.find(t);
+    if (it != dml_by_table_.end()) hot += it->second;
+  }
+  return static_cast<double>(hot) / static_cast<double>(total_dml_);
+}
+
+}  // namespace aets

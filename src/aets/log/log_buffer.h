@@ -1,0 +1,48 @@
+#ifndef AETS_LOG_LOG_BUFFER_H_
+#define AETS_LOG_LOG_BUFFER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "aets/catalog/schema.h"
+#include "aets/log/record.h"
+
+namespace aets {
+
+/// Append-only in-memory log retained by the primary. Besides feeding the
+/// shipper, it answers the workload-characterization questions of the
+/// paper's Table I (per-table log-entry counts and hot-table ratios).
+class LogBuffer {
+ public:
+  LogBuffer() = default;
+  LogBuffer(const LogBuffer&) = delete;
+  LogBuffer& operator=(const LogBuffer&) = delete;
+
+  void Append(const LogRecord& record);
+  void AppendAll(const std::vector<LogRecord>& records);
+
+  size_t size() const;
+  LogRecord At(size_t index) const;
+  std::vector<LogRecord> Snapshot() const;
+
+  /// DML entry count per table (Table I's per-table log statistics).
+  std::map<TableId, uint64_t> DmlCountsByTable() const;
+
+  /// Total DML entries.
+  uint64_t TotalDmlCount() const;
+
+  /// Fraction of DML entries touching any of `hot_tables` (Table I "ratio").
+  double HotRatio(const std::vector<TableId>& hot_tables) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+  std::map<TableId, uint64_t> dml_by_table_;
+  uint64_t total_dml_ = 0;
+};
+
+}  // namespace aets
+
+#endif  // AETS_LOG_LOG_BUFFER_H_

@@ -1,0 +1,84 @@
+#include "aets/log/record.h"
+
+namespace aets {
+
+std::string_view LogRecordTypeToString(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kBegin:
+      return "BEGIN";
+    case LogRecordType::kCommit:
+      return "COMMIT";
+    case LogRecordType::kInsert:
+      return "INSERT";
+    case LogRecordType::kUpdate:
+      return "UPDATE";
+    case LogRecordType::kDelete:
+      return "DELETE";
+    case LogRecordType::kHeartbeat:
+      return "HEARTBEAT";
+  }
+  return "UNKNOWN";
+}
+
+size_t LogRecord::ByteSize() const {
+  // header: type + lsn + txn + ts
+  size_t size = 1 + 8 + 8 + 8;
+  if (is_dml()) {
+    size += 4 + 8 + 8 + 8 + 2;  // table + row key + prev txn + seq + count
+    for (const auto& cv : values) size += 2 + cv.value.ByteSize();
+  }
+  return size;
+}
+
+LogRecord LogRecord::Begin(Lsn lsn, TxnId txn, Timestamp ts) {
+  LogRecord r;
+  r.type = LogRecordType::kBegin;
+  r.lsn = lsn;
+  r.txn_id = txn;
+  r.timestamp = ts;
+  return r;
+}
+
+LogRecord LogRecord::Commit(Lsn lsn, TxnId txn, Timestamp commit_ts) {
+  LogRecord r;
+  r.type = LogRecordType::kCommit;
+  r.lsn = lsn;
+  r.txn_id = txn;
+  r.timestamp = commit_ts;
+  return r;
+}
+
+LogRecord LogRecord::Heartbeat(Lsn lsn, TxnId txn, Timestamp ts) {
+  LogRecord r;
+  r.type = LogRecordType::kHeartbeat;
+  r.lsn = lsn;
+  r.txn_id = txn;
+  r.timestamp = ts;
+  return r;
+}
+
+LogRecord LogRecord::Dml(LogRecordType type, Lsn lsn, TxnId txn, Timestamp ts,
+                         TableId table, int64_t row_key,
+                         std::vector<ColumnValue> values, TxnId prev_txn,
+                         uint64_t row_seq) {
+  LogRecord r;
+  r.type = type;
+  r.lsn = lsn;
+  r.txn_id = txn;
+  r.timestamp = ts;
+  r.table_id = table;
+  r.row_key = row_key;
+  r.prev_txn_id = prev_txn;
+  r.row_seq = row_seq;
+  r.values = std::move(values);
+  return r;
+}
+
+bool LogRecord::operator==(const LogRecord& other) const {
+  return type == other.type && lsn == other.lsn && txn_id == other.txn_id &&
+         timestamp == other.timestamp && table_id == other.table_id &&
+         row_key == other.row_key && prev_txn_id == other.prev_txn_id &&
+         row_seq == other.row_seq && values == other.values;
+}
+
+}  // namespace aets

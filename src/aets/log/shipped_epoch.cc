@@ -1,0 +1,72 @@
+#include "aets/log/shipped_epoch.h"
+
+#include "aets/common/macros.h"
+#include "aets/log/codec.h"
+
+namespace aets {
+
+ShippedEpoch EncodeEpoch(const Epoch& epoch) {
+  ShippedEpoch out;
+  out.epoch_id = epoch.epoch_id;
+  out.num_txns = epoch.num_txns();
+  out.num_records = epoch.num_records();
+  out.first_txn = epoch.first_txn();
+  out.last_txn = epoch.last_txn();
+  out.max_commit_ts = epoch.max_commit_ts();
+  auto payload = std::make_shared<std::string>();
+  for (const auto& txn : epoch.txns) {
+    for (const auto& rec : txn.records) LogCodec::Encode(rec, payload.get());
+  }
+  out.payload = std::move(payload);
+  return out;
+}
+
+ShippedEpoch MakeHeartbeatEpoch(EpochId id, Timestamp ts) {
+  AETS_CHECK(ts != kInvalidTimestamp);
+  ShippedEpoch out;
+  out.epoch_id = id;
+  out.payload = std::make_shared<std::string>();
+  out.heartbeat_ts = ts;
+  out.max_commit_ts = ts;
+  return out;
+}
+
+Result<Epoch> DecodeEpoch(const ShippedEpoch& shipped) {
+  Epoch epoch;
+  epoch.epoch_id = shipped.epoch_id;
+  if (shipped.is_heartbeat()) return epoch;
+  AETS_CHECK(shipped.payload != nullptr);
+  const std::string& data = *shipped.payload;
+  size_t offset = 0;
+  TxnLog current;
+  bool in_txn = false;
+  while (offset < data.size()) {
+    auto rec = LogCodec::Decode(data, &offset);
+    if (!rec.ok()) return rec.status();
+    LogRecord record = std::move(rec).value();
+    switch (record.type) {
+      case LogRecordType::kBegin:
+        if (in_txn) return Status::Corruption("nested BEGIN");
+        current = TxnLog{};
+        current.txn_id = record.txn_id;
+        in_txn = true;
+        current.records.push_back(std::move(record));
+        break;
+      case LogRecordType::kCommit:
+        if (!in_txn) return Status::Corruption("COMMIT without BEGIN");
+        current.commit_ts = record.timestamp;
+        current.records.push_back(std::move(record));
+        epoch.txns.push_back(std::move(current));
+        in_txn = false;
+        break;
+      default:
+        if (!in_txn) return Status::Corruption("DML outside transaction");
+        current.records.push_back(std::move(record));
+        break;
+    }
+  }
+  if (in_txn) return Status::Corruption("unterminated transaction");
+  return epoch;
+}
+
+}  // namespace aets

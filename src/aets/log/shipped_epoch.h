@@ -1,0 +1,48 @@
+#ifndef AETS_LOG_SHIPPED_EPOCH_H_
+#define AETS_LOG_SHIPPED_EPOCH_H_
+
+#include <memory>
+#include <string>
+
+#include "aets/common/result.h"
+#include "aets/log/epoch.h"
+
+namespace aets {
+
+/// The wire form of an epoch: all log records of its transactions encoded
+/// back-to-back in commit order. Replayers differ in how much of it they
+/// decode where — AETS and ATR route on the cheap metadata prefix and let
+/// replay workers decode values in parallel, while C5's dispatcher must
+/// decode the full data image up front (the parsing-cost asymmetry of the
+/// paper's Section VI-B).
+struct ShippedEpoch {
+  EpochId epoch_id = 0;
+  /// Encoded records; shared so fragments can reference offsets into it
+  /// without copying.
+  std::shared_ptr<const std::string> payload;
+  size_t num_txns = 0;
+  size_t num_records = 0;
+  TxnId first_txn = kInvalidTxnId;
+  TxnId last_txn = kInvalidTxnId;
+  Timestamp max_commit_ts = kInvalidTimestamp;
+  /// Non-zero marks a heartbeat epoch: no transactions, just a liveness
+  /// timestamp that bumps global_cmt_ts on the backup (paper Section V-B).
+  Timestamp heartbeat_ts = kInvalidTimestamp;
+
+  bool is_heartbeat() const { return heartbeat_ts != kInvalidTimestamp; }
+  size_t ByteSize() const { return payload ? payload->size() : 0; }
+};
+
+/// Encodes a sealed epoch for shipping.
+ShippedEpoch EncodeEpoch(const Epoch& epoch);
+
+/// Builds a heartbeat epoch.
+ShippedEpoch MakeHeartbeatEpoch(EpochId id, Timestamp ts);
+
+/// Fully decodes a shipped epoch back into transaction logs (used by tests
+/// and the serial oracle).
+Result<Epoch> DecodeEpoch(const ShippedEpoch& shipped);
+
+}  // namespace aets
+
+#endif  // AETS_LOG_SHIPPED_EPOCH_H_

@@ -1,0 +1,141 @@
+#include "aets/predictor/classical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aets/common/macros.h"
+#include "aets/predictor/solver.h"
+
+namespace aets {
+
+void HaPredictor::Fit(const RateMatrix&) {}
+
+RateMatrix HaPredictor::Predict(const RateMatrix& recent, int horizon) {
+  AETS_CHECK(!recent.empty());
+  size_t n = recent.front().size();
+  size_t window = std::min(static_cast<size_t>(window_), recent.size());
+  std::vector<double> mean(n, 0.0);
+  for (size_t s = recent.size() - window; s < recent.size(); ++s) {
+    for (size_t t = 0; t < n; ++t) mean[t] += recent[s][t];
+  }
+  for (double& m : mean) m /= static_cast<double>(window);
+  return RateMatrix(static_cast<size_t>(horizon), mean);
+}
+
+std::vector<double> ArimaPredictor::Difference(const std::vector<double>& series,
+                                               int d) {
+  std::vector<double> out = series;
+  for (int k = 0; k < d; ++k) {
+    for (size_t i = out.size() - 1; i > 0; --i) out[i] -= out[i - 1];
+    out.erase(out.begin());
+  }
+  return out;
+}
+
+void ArimaPredictor::Fit(const RateMatrix& history) {
+  AETS_CHECK(!history.empty());
+  size_t num_tables = history.front().size();
+  models_.assign(num_tables, TableModel{});
+
+  for (size_t table = 0; table < num_tables; ++table) {
+    std::vector<double> series(history.size());
+    for (size_t s = 0; s < history.size(); ++s) series[s] = history[s][table];
+    std::vector<double> w = Difference(series, d_);
+    int n = static_cast<int>(w.size());
+    int long_p = std::min(n / 4, std::max(p_ + q_ + 4, 8));
+    if (n < long_p + p_ + q_ + 8) continue;  // not enough data; stays invalid
+
+    // Stage 1: long AR to estimate innovations.
+    {
+      int rows = n - long_p;
+      std::vector<double> x(static_cast<size_t>(rows * (long_p + 1)));
+      std::vector<double> y(static_cast<size_t>(rows));
+      for (int r = 0; r < rows; ++r) {
+        x[static_cast<size_t>(r * (long_p + 1))] = 1.0;
+        for (int l = 1; l <= long_p; ++l) {
+          x[static_cast<size_t>(r * (long_p + 1) + l)] =
+              w[static_cast<size_t>(r + long_p - l)];
+        }
+        y[static_cast<size_t>(r)] = w[static_cast<size_t>(r + long_p)];
+      }
+      std::vector<double> theta;
+      if (!OlsFit(x, y, rows, long_p + 1, &theta, 1e-6)) continue;
+      // Residuals -> innovation estimates aligned with w.
+      std::vector<double> eps(w.size(), 0.0);
+      for (int r = 0; r < rows; ++r) {
+        double pred = theta[0];
+        for (int l = 1; l <= long_p; ++l) {
+          pred += theta[static_cast<size_t>(l)] *
+                  w[static_cast<size_t>(r + long_p - l)];
+        }
+        eps[static_cast<size_t>(r + long_p)] =
+            w[static_cast<size_t>(r + long_p)] - pred;
+      }
+
+      // Stage 2: regress w_t on [1, w_{t-1..t-p}, eps_{t-1..t-q}].
+      int start = long_p + std::max(p_, q_);
+      int rows2 = n - start;
+      int cols2 = 1 + p_ + q_;
+      std::vector<double> x2(static_cast<size_t>(rows2 * cols2));
+      std::vector<double> y2(static_cast<size_t>(rows2));
+      for (int r = 0; r < rows2; ++r) {
+        int t = start + r;
+        double* row = x2.data() + static_cast<size_t>(r) * cols2;
+        row[0] = 1.0;
+        for (int l = 1; l <= p_; ++l) row[l] = w[static_cast<size_t>(t - l)];
+        for (int l = 1; l <= q_; ++l) {
+          row[p_ + l] = eps[static_cast<size_t>(t - l)];
+        }
+        y2[static_cast<size_t>(r)] = w[static_cast<size_t>(t)];
+      }
+      std::vector<double> coef;
+      if (!OlsFit(x2, y2, rows2, cols2, &coef, 1e-6)) continue;
+      TableModel& m = models_[table];
+      m.intercept = coef[0];
+      m.ar.assign(coef.begin() + 1, coef.begin() + 1 + p_);
+      m.ma.assign(coef.begin() + 1 + p_, coef.end());
+      m.valid = true;
+    }
+  }
+}
+
+RateMatrix ArimaPredictor::Predict(const RateMatrix& recent, int horizon) {
+  AETS_CHECK(!recent.empty());
+  size_t num_tables = recent.front().size();
+  RateMatrix out(static_cast<size_t>(horizon),
+                 std::vector<double>(num_tables, 0.0));
+  for (size_t table = 0; table < num_tables; ++table) {
+    std::vector<double> series(recent.size());
+    for (size_t s = 0; s < recent.size(); ++s) series[s] = recent[s][table];
+
+    const TableModel& m =
+        table < models_.size() ? models_[table] : TableModel{};
+    if (!m.valid || static_cast<int>(series.size()) < d_ + p_ + 1) {
+      // Fallback: repeat the last observation.
+      for (int h = 0; h < horizon; ++h) {
+        out[static_cast<size_t>(h)][table] = series.back();
+      }
+      continue;
+    }
+    std::vector<double> w = Difference(series, d_);
+    // Innovations beyond the sample are their expectation, zero; recent
+    // in-sample innovations are approximated as zero too (the long-AR
+    // residuals are unavailable at forecast time), so MA terms fade.
+    std::vector<double> extended = w;
+    double level = series.back();
+    for (int h = 0; h < horizon; ++h) {
+      double pred = m.intercept;
+      for (int l = 1; l <= p_; ++l) {
+        int idx = static_cast<int>(extended.size()) - l;
+        if (idx >= 0) pred += m.ar[static_cast<size_t>(l - 1)] *
+                              extended[static_cast<size_t>(idx)];
+      }
+      extended.push_back(pred);
+      level += pred;  // integrate (d = 1); for d > 1 this approximates
+      out[static_cast<size_t>(h)][table] = std::max(0.0, level);
+    }
+  }
+  return out;
+}
+
+}  // namespace aets

@@ -1,0 +1,56 @@
+#ifndef AETS_PREDICTOR_CLASSICAL_H_
+#define AETS_PREDICTOR_CLASSICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "aets/predictor/predictor.h"
+
+namespace aets {
+
+/// Historical average: forecasts every horizon step as the mean of the last
+/// `window` observed slots (paper Table III: HA uses the last 60 minutes,
+/// giving the same MAPE at every horizon).
+class HaPredictor : public RatePredictor {
+ public:
+  explicit HaPredictor(int window = 60) : window_(window) {}
+
+  std::string name() const override { return "HA"; }
+  void Fit(const RateMatrix& history) override;
+  RateMatrix Predict(const RateMatrix& recent, int horizon) override;
+
+ private:
+  int window_;
+};
+
+/// ARIMA(p, d, q) per table, estimated by the Hannan–Rissanen two-stage
+/// procedure: a long autoregression supplies innovation estimates, then the
+/// ARMA coefficients are fit jointly by least squares on the d-differenced
+/// series. Forecasts iterate the recursion and integrate back.
+class ArimaPredictor : public RatePredictor {
+ public:
+  ArimaPredictor(int p = 4, int d = 1, int q = 2) : p_(p), d_(d), q_(q) {}
+
+  std::string name() const override { return "ARIMA"; }
+  void Fit(const RateMatrix& history) override;
+  RateMatrix Predict(const RateMatrix& recent, int horizon) override;
+
+ private:
+  struct TableModel {
+    std::vector<double> ar;  // phi_1..phi_p
+    std::vector<double> ma;  // theta_1..theta_q
+    double intercept = 0;
+    bool valid = false;
+  };
+
+  /// Differences `series` d times.
+  static std::vector<double> Difference(const std::vector<double>& series,
+                                        int d);
+
+  int p_, d_, q_;
+  std::vector<TableModel> models_;
+};
+
+}  // namespace aets
+
+#endif  // AETS_PREDICTOR_CLASSICAL_H_

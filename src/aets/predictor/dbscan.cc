@@ -1,0 +1,74 @@
+#include "aets/predictor/dbscan.h"
+
+#include <cmath>
+#include <deque>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+namespace {
+
+double Dist2(const std::vector<double>& a, const std::vector<double>& b) {
+  double d2 = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+std::vector<int> Neighbors(const std::vector<std::vector<double>>& points,
+                           size_t p, double eps2) {
+  std::vector<int> out;
+  for (size_t q = 0; q < points.size(); ++q) {
+    if (Dist2(points[p], points[q]) <= eps2) out.push_back(static_cast<int>(q));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> Dbscan(const std::vector<std::vector<double>>& points,
+                        double eps, int min_pts) {
+  AETS_CHECK(eps >= 0 && min_pts >= 1);
+  const size_t n = points.size();
+  constexpr int kUnvisited = -2;
+  constexpr int kNoise = -1;
+  std::vector<int> labels(n, kUnvisited);
+  double eps2 = eps * eps;
+  int cluster = 0;
+  for (size_t p = 0; p < n; ++p) {
+    if (labels[p] != kUnvisited) continue;
+    auto neigh = Neighbors(points, p, eps2);
+    if (static_cast<int>(neigh.size()) < min_pts) {
+      labels[p] = kNoise;
+      continue;
+    }
+    int cid = cluster++;
+    labels[p] = cid;
+    std::deque<int> frontier(neigh.begin(), neigh.end());
+    while (!frontier.empty()) {
+      int q = frontier.front();
+      frontier.pop_front();
+      if (labels[q] == kNoise) labels[q] = cid;  // border point
+      if (labels[q] != kUnvisited) continue;
+      labels[q] = cid;
+      auto q_neigh = Neighbors(points, static_cast<size_t>(q), eps2);
+      if (static_cast<int>(q_neigh.size()) >= min_pts) {
+        frontier.insert(frontier.end(), q_neigh.begin(), q_neigh.end());
+      }
+    }
+  }
+  return labels;
+}
+
+std::vector<int> Dbscan1d(const std::vector<double>& values, double eps,
+                          int min_pts) {
+  std::vector<std::vector<double>> points;
+  points.reserve(values.size());
+  for (double v : values) points.push_back({v});
+  return Dbscan(points, eps, min_pts);
+}
+
+}  // namespace aets

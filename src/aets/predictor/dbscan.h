@@ -1,0 +1,24 @@
+#ifndef AETS_PREDICTOR_DBSCAN_H_
+#define AETS_PREDICTOR_DBSCAN_H_
+
+#include <vector>
+
+namespace aets {
+
+/// Density-based clustering (DBSCAN). AETS uses it to group tables with
+/// similar access rates into replay groups (paper Section IV-A); it operates
+/// on arbitrary-dimension points with Euclidean distance.
+///
+/// Returns one label per point: cluster ids 0..k-1, or -1 for noise points.
+/// With min_pts == 1, every point belongs to a cluster (no noise), which is
+/// the configuration table grouping uses.
+std::vector<int> Dbscan(const std::vector<std::vector<double>>& points,
+                        double eps, int min_pts);
+
+/// 1-D convenience overload.
+std::vector<int> Dbscan1d(const std::vector<double>& values, double eps,
+                          int min_pts);
+
+}  // namespace aets
+
+#endif  // AETS_PREDICTOR_DBSCAN_H_

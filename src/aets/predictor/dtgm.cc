@@ -1,0 +1,275 @@
+#include "aets/predictor/dtgm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+DtgmPredictor::DtgmPredictor(DtgmConfig config)
+    : config_(config), init_rng_(config.seed) {}
+
+void DtgmPredictor::BuildAdjacency(const RateMatrix& history) {
+  int n = num_tables_;
+  int slots = static_cast<int>(history.size());
+  // Pearson correlation between table series; |corr| >= 0.4 forms an edge.
+  std::vector<double> mean(static_cast<size_t>(n), 0.0);
+  for (const auto& row : history) {
+    for (int t = 0; t < n; ++t) mean[static_cast<size_t>(t)] += row[static_cast<size_t>(t)];
+  }
+  for (double& m : mean) m /= slots;
+  std::vector<double> var(static_cast<size_t>(n), 0.0);
+  for (const auto& row : history) {
+    for (int t = 0; t < n; ++t) {
+      double d = row[static_cast<size_t>(t)] - mean[static_cast<size_t>(t)];
+      var[static_cast<size_t>(t)] += d * d;
+    }
+  }
+  std::vector<double> adj(static_cast<size_t>(n * n), 0.0);
+  for (int a = 0; a < n; ++a) {
+    adj[static_cast<size_t>(a * n + a)] = 1.0;  // self loop
+    for (int b = a + 1; b < n; ++b) {
+      if (var[static_cast<size_t>(a)] < 1e-9 || var[static_cast<size_t>(b)] < 1e-9) continue;
+      double cov = 0;
+      for (const auto& row : history) {
+        cov += (row[static_cast<size_t>(a)] - mean[static_cast<size_t>(a)]) *
+               (row[static_cast<size_t>(b)] - mean[static_cast<size_t>(b)]);
+      }
+      double corr = cov / std::sqrt(var[static_cast<size_t>(a)] * var[static_cast<size_t>(b)]);
+      if (std::abs(corr) >= 0.4) {
+        adj[static_cast<size_t>(a * n + b)] = std::abs(corr);
+        adj[static_cast<size_t>(b * n + a)] = std::abs(corr);
+      }
+    }
+  }
+  // Row-normalize.
+  for (int a = 0; a < n; ++a) {
+    double sum = 0;
+    for (int b = 0; b < n; ++b) sum += adj[static_cast<size_t>(a * n + b)];
+    if (sum > 0) {
+      for (int b = 0; b < n; ++b) adj[static_cast<size_t>(a * n + b)] /= sum;
+    }
+  }
+  // Powers C^1..C^K.
+  adj_powers_.clear();
+  std::vector<double> power = adj;
+  for (int k = 0; k < config_.adj_powers; ++k) {
+    adj_powers_.push_back(Tensor::FromData({n, n}, power));
+    if (k + 1 < config_.adj_powers) {
+      std::vector<double> next(static_cast<size_t>(n * n), 0.0);
+      for (int a = 0; a < n; ++a) {
+        for (int c = 0; c < n; ++c) {
+          double v = power[static_cast<size_t>(a * n + c)];
+          if (v == 0) continue;
+          for (int b = 0; b < n; ++b) {
+            next[static_cast<size_t>(a * n + b)] += v * adj[static_cast<size_t>(c * n + b)];
+          }
+        }
+      }
+      power = std::move(next);
+    }
+  }
+}
+
+std::vector<Tensor> DtgmPredictor::Parameters() const {
+  std::vector<Tensor> params = {input_proj_, out_w1_, out_w2_};
+  for (const auto& layer : layers_) {
+    params.push_back(layer.conv_filter);
+    params.push_back(layer.conv_gate);
+    params.push_back(layer.skip_w);
+    for (const auto& w : layer.gcn_w) params.push_back(w);
+  }
+  return params;
+}
+
+Tensor DtgmPredictor::Forward(const Tensor& input, bool training,
+                              Rng* dropout_rng) {
+  int f = config_.hidden;
+  // Input projection 1 -> F features.
+  Tensor h = Tensor::Linear(input, input_proj_);
+  Tensor skip;
+  for (int l = 0; l < static_cast<int>(layers_.size()); ++l) {
+    const Layer& layer = layers_[static_cast<size_t>(l)];
+    int dilation = 1 << l;
+    // Gated TCN: tanh(theta1 * H) ⊙ sigmoid(theta2 * H).
+    Tensor filt =
+        Tensor::Tanh(Tensor::Conv1dTime(h, layer.conv_filter, dilation));
+    Tensor gate =
+        Tensor::Sigmoid(Tensor::Conv1dTime(h, layer.conv_gate, dilation));
+    Tensor zt = Tensor::Mul(filt, gate);
+    zt = Tensor::Dropout(zt, config_.dropout, dropout_rng, training);
+
+    // Skip connection from the temporal features.
+    Tensor s = Tensor::Linear(zt, layer.skip_w);
+    skip = skip.defined() ? Tensor::Add(skip, s) : s;
+
+    // GCN pooling: Z = sum_k C^k Zt W_k (k = 0 is the identity term,
+    // realized by gcn_w[0] as a plain linear map).
+    Tensor zg = Tensor::Linear(zt, layer.gcn_w[0]);
+    if (config_.use_gcn) {
+      for (int k = 0; k < config_.adj_powers; ++k) {
+        zg = Tensor::Add(
+            zg, Tensor::NodeMix(zt, adj_powers_[static_cast<size_t>(k)],
+                                layer.gcn_w[static_cast<size_t>(k + 1)]));
+      }
+    }
+    // Residual connection.
+    h = Tensor::Add(zg, h);
+  }
+  // Readout: last time step of the skip accumulator -> horizon outputs.
+  Tensor last = Tensor::SelectTime(Tensor::Relu(skip), skip.dim(0) - 1);
+  Tensor hidden = Tensor::Relu(Tensor::Linear(last, out_w1_));
+  (void)f;
+  return Tensor::Linear(hidden, out_w2_);  // [N, horizon]
+}
+
+void DtgmPredictor::RefreshNormalization(const RateMatrix& history) {
+  int slots = static_cast<int>(history.size());
+  mean_.assign(static_cast<size_t>(num_tables_), 0.0);
+  stdev_.assign(static_cast<size_t>(num_tables_), 1.0);
+  for (const auto& row : history) {
+    for (int t = 0; t < num_tables_; ++t) mean_[static_cast<size_t>(t)] += row[static_cast<size_t>(t)];
+  }
+  for (double& m : mean_) m /= slots;
+  for (const auto& row : history) {
+    for (int t = 0; t < num_tables_; ++t) {
+      double d = row[static_cast<size_t>(t)] - mean_[static_cast<size_t>(t)];
+      stdev_[static_cast<size_t>(t)] += d * d;
+    }
+  }
+  for (double& s : stdev_) s = std::max(1e-6, std::sqrt(s / slots));
+}
+
+void DtgmPredictor::Fit(const RateMatrix& history) {
+  AETS_CHECK(!history.empty());
+  num_tables_ = static_cast<int>(history.front().size());
+  int slots = static_cast<int>(history.size());
+  int window = config_.input_window;
+  AETS_CHECK_MSG(slots >= window + config_.horizon + 1,
+                 "history too short for the configured window/horizon");
+
+  BuildAdjacency(history);
+  RefreshNormalization(history);
+
+  // Parameters.
+  int f = config_.hidden;
+  input_proj_ = Tensor::Xavier({1, f}, &init_rng_);
+  layers_.clear();
+  for (int l = 0; l < config_.layers; ++l) {
+    Layer layer;
+    layer.conv_filter = Tensor::Xavier({config_.kernel, f, f}, &init_rng_);
+    layer.conv_gate = Tensor::Xavier({config_.kernel, f, f}, &init_rng_);
+    layer.skip_w = Tensor::Xavier({f, f}, &init_rng_);
+    for (int k = 0; k <= config_.adj_powers; ++k) {
+      layer.gcn_w.push_back(Tensor::Xavier({f, f}, &init_rng_));
+    }
+    layers_.push_back(std::move(layer));
+  }
+  out_w1_ = Tensor::Xavier({f, f}, &init_rng_);
+  out_w2_ = Tensor::Xavier({f, config_.horizon}, &init_rng_);
+
+  TrainSteps(history, config_.train_steps, config_.lr);
+  fitted_ = true;
+}
+
+void DtgmPredictor::FineTune(const RateMatrix& history, int steps) {
+  AETS_CHECK_MSG(fitted_, "FineTune requires a prior Fit");
+  AETS_CHECK(static_cast<int>(history.front().size()) == num_tables_);
+  AETS_CHECK(static_cast<int>(history.size()) >=
+             config_.input_window + config_.horizon + 1);
+  RefreshNormalization(history);
+  // A tenth of the base learning rate: nudge the weights toward the shifted
+  // distribution without forgetting the learned dynamics.
+  TrainSteps(history, steps, config_.lr * 0.1);
+}
+
+void DtgmPredictor::TrainSteps(const RateMatrix& history, int steps,
+                               double lr) {
+  int slots = static_cast<int>(history.size());
+  int window = config_.input_window;
+
+  AdamOptimizer::Options opt_options;
+  opt_options.lr = lr;
+  opt_options.weight_decay = config_.weight_decay;
+  opt_options.lr_decay = config_.lr_decay;
+  opt_options.lr_decay_every = config_.lr_decay_every;
+  AdamOptimizer optimizer(Parameters(), opt_options);
+
+  auto normalized = [&](int slot, int table) {
+    return (history[static_cast<size_t>(slot)][static_cast<size_t>(table)] -
+            mean_[static_cast<size_t>(table)]) /
+           stdev_[static_cast<size_t>(table)];
+  };
+
+  Rng sample_rng(config_.seed ^ 0xD76A);
+  Rng dropout_rng(config_.seed ^ 0x9F2B);
+  int max_start = slots - window - config_.horizon;
+  for (int step = 0; step < steps; ++step) {
+    Tensor total_loss;
+    for (int b = 0; b < config_.batch; ++b) {
+      int start = static_cast<int>(sample_rng.UniformInt(0, max_start));
+      // Input window [T, N, 1].
+      std::vector<double> in_data(
+          static_cast<size_t>(window * num_tables_));
+      for (int t = 0; t < window; ++t) {
+        for (int node = 0; node < num_tables_; ++node) {
+          in_data[static_cast<size_t>(t * num_tables_ + node)] =
+              normalized(start + t, node);
+        }
+      }
+      Tensor input = Tensor::FromData({window, num_tables_, 1},
+                                      std::move(in_data));
+      // Target [N, horizon].
+      std::vector<double> target_data(
+          static_cast<size_t>(num_tables_ * config_.horizon));
+      for (int node = 0; node < num_tables_; ++node) {
+        for (int h = 0; h < config_.horizon; ++h) {
+          target_data[static_cast<size_t>(node * config_.horizon + h)] =
+              normalized(start + window + h, node);
+        }
+      }
+      Tensor target = Tensor::FromData({num_tables_, config_.horizon},
+                                       std::move(target_data));
+      Tensor pred = Forward(input, /*training=*/true, &dropout_rng);
+      Tensor loss = Tensor::MaeLoss(pred, target);
+      total_loss = total_loss.defined() ? Tensor::Add(total_loss, loss) : loss;
+    }
+    total_loss = Tensor::Scale(total_loss, 1.0 / config_.batch);
+    total_loss.Backward();
+    optimizer.Step();
+    final_loss_ = total_loss.item();
+  }
+}
+
+RateMatrix DtgmPredictor::Predict(const RateMatrix& recent, int horizon) {
+  AETS_CHECK(fitted_);
+  AETS_CHECK(horizon <= config_.horizon);
+  AETS_CHECK(static_cast<int>(recent.size()) >= config_.input_window);
+  int window = config_.input_window;
+  size_t offset = recent.size() - static_cast<size_t>(window);
+  std::vector<double> in_data(static_cast<size_t>(window * num_tables_));
+  for (int t = 0; t < window; ++t) {
+    for (int node = 0; node < num_tables_; ++node) {
+      in_data[static_cast<size_t>(t * num_tables_ + node)] =
+          (recent[offset + static_cast<size_t>(t)][static_cast<size_t>(node)] -
+           mean_[static_cast<size_t>(node)]) /
+          stdev_[static_cast<size_t>(node)];
+    }
+  }
+  Tensor input = Tensor::FromData({window, num_tables_, 1}, std::move(in_data));
+  Rng dummy(0);
+  Tensor pred = Forward(input, /*training=*/false, &dummy);
+  RateMatrix out(static_cast<size_t>(horizon),
+                 std::vector<double>(static_cast<size_t>(num_tables_), 0.0));
+  for (int node = 0; node < num_tables_; ++node) {
+    for (int h = 0; h < horizon; ++h) {
+      double z = pred.data()[static_cast<size_t>(node * config_.horizon + h)];
+      out[static_cast<size_t>(h)][static_cast<size_t>(node)] = std::max(
+          0.0, z * stdev_[static_cast<size_t>(node)] + mean_[static_cast<size_t>(node)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace aets

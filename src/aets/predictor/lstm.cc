@@ -1,0 +1,151 @@
+#include "aets/predictor/lstm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+LstmPredictor::LstmPredictor(LstmConfig config)
+    : config_(config), init_rng_(config.seed) {}
+
+std::vector<Tensor> LstmPredictor::Parameters() const {
+  std::vector<Tensor> params;
+  for (int g = 0; g < 4; ++g) {
+    params.push_back(wx_[g]);
+    params.push_back(wh_[g]);
+    params.push_back(b_[g]);
+  }
+  params.push_back(out_w_);
+  return params;
+}
+
+Tensor LstmPredictor::Forward(const std::vector<Tensor>& steps) {
+  int h_dim = config_.hidden;
+  Tensor h = Tensor::Zeros({num_tables_, h_dim});
+  Tensor c = Tensor::Zeros({num_tables_, h_dim});
+  for (const Tensor& x : steps) {
+    auto gate = [&](int g) {
+      return Tensor::AddBias(
+          Tensor::Add(Tensor::MatMul(x, wx_[g]), Tensor::MatMul(h, wh_[g])),
+          b_[g]);
+    };
+    Tensor i = Tensor::Sigmoid(gate(0));
+    Tensor f = Tensor::Sigmoid(gate(1));
+    Tensor o = Tensor::Sigmoid(gate(2));
+    Tensor g = Tensor::Tanh(gate(3));
+    c = Tensor::Add(Tensor::Mul(f, c), Tensor::Mul(i, g));
+    h = Tensor::Mul(o, Tensor::Tanh(c));
+  }
+  return Tensor::MatMul(h, out_w_);  // [N, horizon]
+}
+
+void LstmPredictor::Fit(const RateMatrix& history) {
+  AETS_CHECK(!history.empty());
+  num_tables_ = static_cast<int>(history.front().size());
+  int slots = static_cast<int>(history.size());
+  int window = config_.input_window;
+  AETS_CHECK(slots >= window + config_.horizon + 1);
+
+  mean_.assign(static_cast<size_t>(num_tables_), 0.0);
+  stdev_.assign(static_cast<size_t>(num_tables_), 1.0);
+  for (const auto& row : history) {
+    for (int t = 0; t < num_tables_; ++t) mean_[static_cast<size_t>(t)] += row[static_cast<size_t>(t)];
+  }
+  for (double& m : mean_) m /= slots;
+  for (const auto& row : history) {
+    for (int t = 0; t < num_tables_; ++t) {
+      double d = row[static_cast<size_t>(t)] - mean_[static_cast<size_t>(t)];
+      stdev_[static_cast<size_t>(t)] += d * d;
+    }
+  }
+  for (double& s : stdev_) s = std::max(1e-6, std::sqrt(s / slots));
+
+  int h_dim = config_.hidden;
+  for (int g = 0; g < 4; ++g) {
+    wx_[g] = Tensor::Xavier({1, h_dim}, &init_rng_);
+    wh_[g] = Tensor::Xavier({h_dim, h_dim}, &init_rng_);
+    b_[g] = Tensor::Zeros({h_dim}, /*requires_grad=*/true);
+  }
+  // Forget-gate bias starts positive (standard practice).
+  std::fill(b_[1].data().begin(), b_[1].data().end(), 1.0);
+  out_w_ = Tensor::Xavier({h_dim, config_.horizon}, &init_rng_);
+
+  AdamOptimizer::Options opt;
+  opt.lr = config_.lr;
+  opt.weight_decay = config_.weight_decay;
+  AdamOptimizer optimizer(Parameters(), opt);
+
+  auto normalized = [&](int slot, int table) {
+    return (history[static_cast<size_t>(slot)][static_cast<size_t>(table)] -
+            mean_[static_cast<size_t>(table)]) /
+           stdev_[static_cast<size_t>(table)];
+  };
+
+  Rng sample_rng(config_.seed ^ 0x51AB);
+  int max_start = slots - window - config_.horizon;
+  for (int step = 0; step < config_.train_steps; ++step) {
+    Tensor total;
+    for (int b = 0; b < config_.batch; ++b) {
+      int start = static_cast<int>(sample_rng.UniformInt(0, max_start));
+      std::vector<Tensor> steps;
+      steps.reserve(static_cast<size_t>(window));
+      for (int t = 0; t < window; ++t) {
+        std::vector<double> x(static_cast<size_t>(num_tables_));
+        for (int node = 0; node < num_tables_; ++node) {
+          x[static_cast<size_t>(node)] = normalized(start + t, node);
+        }
+        steps.push_back(Tensor::FromData({num_tables_, 1}, std::move(x)));
+      }
+      std::vector<double> target(
+          static_cast<size_t>(num_tables_ * config_.horizon));
+      for (int node = 0; node < num_tables_; ++node) {
+        for (int h = 0; h < config_.horizon; ++h) {
+          target[static_cast<size_t>(node * config_.horizon + h)] =
+              normalized(start + window + h, node);
+        }
+      }
+      Tensor loss = Tensor::MaeLoss(
+          Forward(steps),
+          Tensor::FromData({num_tables_, config_.horizon}, std::move(target)));
+      total = total.defined() ? Tensor::Add(total, loss) : loss;
+    }
+    total = Tensor::Scale(total, 1.0 / config_.batch);
+    total.Backward();
+    optimizer.Step();
+  }
+  fitted_ = true;
+}
+
+RateMatrix LstmPredictor::Predict(const RateMatrix& recent, int horizon) {
+  AETS_CHECK(fitted_ && horizon <= config_.horizon);
+  AETS_CHECK(static_cast<int>(recent.size()) >= config_.input_window);
+  int window = config_.input_window;
+  size_t offset = recent.size() - static_cast<size_t>(window);
+  std::vector<Tensor> steps;
+  for (int t = 0; t < window; ++t) {
+    std::vector<double> x(static_cast<size_t>(num_tables_));
+    for (int node = 0; node < num_tables_; ++node) {
+      x[static_cast<size_t>(node)] =
+          (recent[offset + static_cast<size_t>(t)][static_cast<size_t>(node)] -
+           mean_[static_cast<size_t>(node)]) /
+          stdev_[static_cast<size_t>(node)];
+    }
+    steps.push_back(Tensor::FromData({num_tables_, 1}, std::move(x)));
+  }
+  Tensor pred = Forward(steps);
+  RateMatrix out(static_cast<size_t>(horizon),
+                 std::vector<double>(static_cast<size_t>(num_tables_), 0.0));
+  for (int node = 0; node < num_tables_; ++node) {
+    for (int h = 0; h < horizon; ++h) {
+      double z = pred.data()[static_cast<size_t>(node * config_.horizon + h)];
+      out[static_cast<size_t>(h)][static_cast<size_t>(node)] = std::max(
+          0.0,
+          z * stdev_[static_cast<size_t>(node)] + mean_[static_cast<size_t>(node)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace aets

@@ -1,0 +1,56 @@
+#ifndef AETS_PREDICTOR_LSTM_H_
+#define AETS_PREDICTOR_LSTM_H_
+
+#include <string>
+#include <vector>
+
+#include "aets/common/rng.h"
+#include "aets/predictor/predictor.h"
+#include "aets/predictor/tensor.h"
+
+namespace aets {
+
+struct LstmConfig {
+  int input_window = 16;
+  int horizon = 60;
+  int hidden = 32;
+  int train_steps = 60;
+  int batch = 4;
+  double lr = 1e-3;
+  double weight_decay = 1e-5;
+  uint64_t seed = 77;
+};
+
+/// Single-layer LSTM forecaster shared across tables: each table's
+/// normalized series forms one row of the step input ([N, 1]); the final
+/// hidden state maps linearly to the horizon. One of the three QB5000
+/// ensemble members.
+class LstmPredictor : public RatePredictor {
+ public:
+  explicit LstmPredictor(LstmConfig config = LstmConfig());
+
+  std::string name() const override { return "LSTM"; }
+  void Fit(const RateMatrix& history) override;
+  RateMatrix Predict(const RateMatrix& recent, int horizon) override;
+
+ private:
+  /// Runs the unrolled LSTM over a [T, N, 1]-shaped window (passed as
+  /// per-step [N, 1] tensors); returns the readout [N, horizon].
+  Tensor Forward(const std::vector<Tensor>& steps);
+
+  std::vector<Tensor> Parameters() const;
+
+  LstmConfig config_;
+  Rng init_rng_;
+  int num_tables_ = 0;
+  // Gate weights: x [N,1] and h [N,H] concatenations are kept separate:
+  // z_g = x W_xg + h W_hg + b_g for g in {i, f, o, c}.
+  Tensor wx_[4], wh_[4], b_[4];
+  Tensor out_w_;
+  std::vector<double> mean_, stdev_;
+  bool fitted_ = false;
+};
+
+}  // namespace aets
+
+#endif  // AETS_PREDICTOR_LSTM_H_

@@ -1,0 +1,45 @@
+#include "aets/predictor/predictor.h"
+
+#include <cmath>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+double Mape(const std::vector<double>& actual, const std::vector<double>& pred) {
+  AETS_CHECK(actual.size() == pred.size());
+  double sum = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (std::abs(actual[i]) < 1e-9) continue;  // undefined for zero actuals
+    sum += std::abs((actual[i] - pred[i]) / actual[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double EvaluateHorizonMape(RatePredictor* predictor, const RateMatrix& series,
+                           int train_slots, int window, int horizon,
+                           int stride) {
+  AETS_CHECK(train_slots + horizon <= static_cast<int>(series.size()));
+  AETS_CHECK(window <= train_slots && stride >= 1);
+  RateMatrix train(series.begin(), series.begin() + train_slots);
+  predictor->Fit(train);
+
+  std::vector<double> actual_all, pred_all;
+  // Test positions: forecast origin t in [train_slots, size - horizon].
+  for (int t = train_slots; t + horizon <= static_cast<int>(series.size());
+       t += stride) {
+    RateMatrix recent(series.begin() + (t - window), series.begin() + t);
+    RateMatrix forecast = predictor->Predict(recent, horizon);
+    AETS_CHECK(static_cast<int>(forecast.size()) == horizon);
+    const std::vector<double>& actual =
+        series[static_cast<size_t>(t + horizon - 1)];
+    const std::vector<double>& pred = forecast.back();
+    actual_all.insert(actual_all.end(), actual.begin(), actual.end());
+    pred_all.insert(pred_all.end(), pred.begin(), pred.end());
+  }
+  return Mape(actual_all, pred_all);
+}
+
+}  // namespace aets

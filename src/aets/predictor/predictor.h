@@ -1,0 +1,42 @@
+#ifndef AETS_PREDICTOR_PREDICTOR_H_
+#define AETS_PREDICTOR_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+namespace aets {
+
+/// Time-series matrix: series[slot][table] = access count in that slot.
+using RateMatrix = std::vector<std::vector<double>>;
+
+/// A table-access-rate forecaster (paper Section IV-A). Implementations:
+/// HA, ARIMA, QB5000 (LR+LSTM+KR ensemble), and DTGM.
+class RatePredictor {
+ public:
+  virtual ~RatePredictor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on the history matrix.
+  virtual void Fit(const RateMatrix& history) = 0;
+
+  /// Given the most recent window of observations, forecasts the next
+  /// `horizon` slots: result[h][table].
+  virtual RateMatrix Predict(const RateMatrix& recent, int horizon) = 0;
+};
+
+/// Mean absolute percentage error between matching entries; entries whose
+/// actual value is ~0 are skipped (the paper's MAPE definition divides by
+/// the actual rate).
+double Mape(const std::vector<double>& actual, const std::vector<double>& pred);
+
+/// Walk-forward evaluation: for each test position, feed the predictor the
+/// preceding `window` slots and score its forecast at exactly `horizon`
+/// steps ahead. Returns MAPE over all test positions and tables.
+double EvaluateHorizonMape(RatePredictor* predictor, const RateMatrix& series,
+                           int train_slots, int window, int horizon,
+                           int stride = 1);
+
+}  // namespace aets
+
+#endif  // AETS_PREDICTOR_PREDICTOR_H_

@@ -1,0 +1,172 @@
+#include "aets/predictor/qb5000.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aets/common/macros.h"
+#include "aets/common/rng.h"
+#include "aets/predictor/solver.h"
+
+namespace aets {
+
+Qb5000Predictor::Qb5000Predictor(Qb5000Config config) : config_(config) {
+  config_.lstm.horizon = config_.horizon;
+}
+
+std::vector<double> Qb5000Predictor::NormalizeLags(
+    const std::vector<double>& raw, double* scale) const {
+  double mean = 0;
+  for (double v : raw) mean += v;
+  mean /= static_cast<double>(raw.size());
+  *scale = std::max(1.0, mean);
+  std::vector<double> out(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) out[i] = raw[i] / *scale;
+  return out;
+}
+
+void Qb5000Predictor::Fit(const RateMatrix& history) {
+  AETS_CHECK(!history.empty());
+  int slots = static_cast<int>(history.size());
+  int num_tables = static_cast<int>(history.front().size());
+  int lag = config_.lag_window;
+  int horizon = config_.horizon;
+  AETS_CHECK(slots >= lag + horizon + 1);
+
+  // Pooled training windows across all tables, scale-normalized so tables
+  // with different magnitudes share one model (QB5000 normalizes per
+  // cluster; per-window mean scaling plays that role here).
+  int max_start = slots - lag - horizon;
+  std::vector<std::vector<double>> rows;   // [sample][lag+1] with intercept
+  std::vector<std::vector<double>> targets;  // [sample][horizon]
+  Rng rng(config_.seed);
+  for (int start = 0; start <= max_start; ++start) {
+    for (int t = 0; t < num_tables; ++t) {
+      // Skip constant-zero series (cold tables carry no signal).
+      std::vector<double> raw(static_cast<size_t>(lag));
+      double any = 0;
+      for (int l = 0; l < lag; ++l) {
+        raw[static_cast<size_t>(l)] =
+            history[static_cast<size_t>(start + l)][static_cast<size_t>(t)];
+        any += raw[static_cast<size_t>(l)];
+      }
+      if (any <= 0) continue;
+      double scale = 1;
+      std::vector<double> norm = NormalizeLags(raw, &scale);
+      std::vector<double> row(static_cast<size_t>(lag + 1), 1.0);
+      std::copy(norm.begin(), norm.end(), row.begin() + 1);
+      std::vector<double> fut(static_cast<size_t>(horizon));
+      for (int h = 0; h < horizon; ++h) {
+        fut[static_cast<size_t>(h)] =
+            history[static_cast<size_t>(start + lag + h)][static_cast<size_t>(t)] /
+            scale;
+      }
+      rows.push_back(std::move(row));
+      targets.push_back(std::move(fut));
+    }
+  }
+  AETS_CHECK(!rows.empty());
+
+  // LR: one OLS fit per horizon step over the pooled samples.
+  int cols = lag + 1;
+  std::vector<double> x_flat;
+  x_flat.reserve(rows.size() * static_cast<size_t>(cols));
+  for (const auto& r : rows) x_flat.insert(x_flat.end(), r.begin(), r.end());
+  lr_.theta.assign(static_cast<size_t>(horizon), {});
+  for (int h = 0; h < horizon; ++h) {
+    std::vector<double> y(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) y[i] = targets[i][static_cast<size_t>(h)];
+    AETS_CHECK(OlsFit(x_flat, y, static_cast<int>(rows.size()), cols,
+                      &lr_.theta[static_cast<size_t>(h)], 1e-4));
+  }
+
+  // KR: retain a bounded reservoir of samples.
+  kr_samples_.clear();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    KrSample s;
+    s.lags.assign(rows[i].begin() + 1, rows[i].end());
+    s.futures = targets[i];
+    if (static_cast<int>(kr_samples_.size()) < config_.kr_max_samples) {
+      kr_samples_.push_back(std::move(s));
+    } else {
+      size_t j = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(i)));
+      if (j < kr_samples_.size()) kr_samples_[j] = std::move(s);
+    }
+  }
+
+  // LSTM member.
+  config_.lstm.input_window = lag;
+  lstm_ = std::make_unique<LstmPredictor>(config_.lstm);
+  lstm_->Fit(history);
+
+  fitted_ = true;
+}
+
+RateMatrix Qb5000Predictor::Predict(const RateMatrix& recent, int horizon) {
+  AETS_CHECK(fitted_ && horizon <= config_.horizon);
+  int lag = config_.lag_window;
+  AETS_CHECK(static_cast<int>(recent.size()) >= lag);
+  int num_tables = static_cast<int>(recent.front().size());
+
+  RateMatrix lstm_pred = lstm_->Predict(recent, horizon);
+  RateMatrix out(static_cast<size_t>(horizon),
+                 std::vector<double>(static_cast<size_t>(num_tables), 0.0));
+
+  size_t offset = recent.size() - static_cast<size_t>(lag);
+  double bw2 = config_.kr_bandwidth * config_.kr_bandwidth;
+  for (int t = 0; t < num_tables; ++t) {
+    std::vector<double> raw(static_cast<size_t>(lag));
+    double any = 0;
+    for (int l = 0; l < lag; ++l) {
+      raw[static_cast<size_t>(l)] =
+          recent[offset + static_cast<size_t>(l)][static_cast<size_t>(t)];
+      any += raw[static_cast<size_t>(l)];
+    }
+    if (any <= 0) {
+      for (int h = 0; h < horizon; ++h) {
+        out[static_cast<size_t>(h)][static_cast<size_t>(t)] =
+            lstm_pred[static_cast<size_t>(h)][static_cast<size_t>(t)] / 3.0;
+      }
+      continue;
+    }
+    double scale = 1;
+    std::vector<double> norm = NormalizeLags(raw, &scale);
+
+    // LR member.
+    std::vector<double> lr_pred(static_cast<size_t>(horizon));
+    for (int h = 0; h < horizon; ++h) {
+      const auto& theta = lr_.theta[static_cast<size_t>(h)];
+      double acc = theta[0];
+      for (int l = 0; l < lag; ++l) {
+        acc += theta[static_cast<size_t>(l + 1)] * norm[static_cast<size_t>(l)];
+      }
+      lr_pred[static_cast<size_t>(h)] = std::max(0.0, acc * scale);
+    }
+
+    // KR member (Nadaraya-Watson with a Gaussian kernel).
+    std::vector<double> kr_pred(static_cast<size_t>(horizon), 0.0);
+    double weight_sum = 0;
+    for (const auto& sample : kr_samples_) {
+      double d2 = 0;
+      for (int l = 0; l < lag; ++l) {
+        double d = norm[static_cast<size_t>(l)] - sample.lags[static_cast<size_t>(l)];
+        d2 += d * d;
+      }
+      double w = std::exp(-d2 / (2 * bw2));
+      weight_sum += w;
+      for (int h = 0; h < horizon; ++h) {
+        kr_pred[static_cast<size_t>(h)] += w * sample.futures[static_cast<size_t>(h)];
+      }
+    }
+    for (int h = 0; h < horizon; ++h) {
+      double kr = weight_sum > 1e-12
+                      ? std::max(0.0, kr_pred[static_cast<size_t>(h)] / weight_sum * scale)
+                      : lr_pred[static_cast<size_t>(h)];
+      double lstm = lstm_pred[static_cast<size_t>(h)][static_cast<size_t>(t)];
+      out[static_cast<size_t>(h)][static_cast<size_t>(t)] =
+          (lr_pred[static_cast<size_t>(h)] + kr + lstm) / 3.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace aets

@@ -1,0 +1,57 @@
+#ifndef AETS_PREDICTOR_QB5000_H_
+#define AETS_PREDICTOR_QB5000_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aets/predictor/lstm.h"
+#include "aets/predictor/predictor.h"
+
+namespace aets {
+
+struct Qb5000Config {
+  int lag_window = 16;        // lags fed to LR and KR
+  int horizon = 60;
+  double kr_bandwidth = 2.0;  // kernel bandwidth in normalized units
+  int kr_max_samples = 800;   // training windows retained for KR
+  LstmConfig lstm;
+  uint64_t seed = 99;
+};
+
+/// QB5000 (Ma et al., SIGMOD'18) workload forecaster: the equally weighted
+/// ensemble of linear regression, an LSTM, and kernel (Nadaraya–Watson)
+/// regression over lag windows. Reimplemented here as the paper's Table III
+/// comparison point.
+class Qb5000Predictor : public RatePredictor {
+ public:
+  explicit Qb5000Predictor(Qb5000Config config = Qb5000Config());
+
+  std::string name() const override { return "QB5000"; }
+  void Fit(const RateMatrix& history) override;
+  RateMatrix Predict(const RateMatrix& recent, int horizon) override;
+
+ private:
+  /// Per-horizon-step linear model over the pooled (all tables) lag windows.
+  struct LinearModel {
+    std::vector<std::vector<double>> theta;  // [horizon][lag+1]
+  };
+  /// KR sample: a normalized lag window plus its future values.
+  struct KrSample {
+    std::vector<double> lags;                 // [lag]
+    std::vector<double> futures;              // [horizon]
+  };
+
+  std::vector<double> NormalizeLags(const std::vector<double>& raw,
+                                    double* scale) const;
+
+  Qb5000Config config_;
+  LinearModel lr_;
+  std::vector<KrSample> kr_samples_;
+  std::unique_ptr<LstmPredictor> lstm_;
+  bool fitted_ = false;
+};
+
+}  // namespace aets
+
+#endif  // AETS_PREDICTOR_QB5000_H_

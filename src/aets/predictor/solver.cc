@@ -1,0 +1,78 @@
+#include "aets/predictor/solver.h"
+
+#include <cmath>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+bool SolveLinearSystem(std::vector<double> a, std::vector<double> b, int n,
+                       std::vector<double>* x) {
+  AETS_CHECK(static_cast<int>(a.size()) == n * n &&
+             static_cast<int>(b.size()) == n);
+  for (int col = 0; col < n; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::abs(a[static_cast<size_t>(r * n + col)]) >
+          std::abs(a[static_cast<size_t>(pivot * n + col)])) {
+        pivot = r;
+      }
+    }
+    if (std::abs(a[static_cast<size_t>(pivot * n + col)]) < 1e-12) return false;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(a[static_cast<size_t>(col * n + c)],
+                  a[static_cast<size_t>(pivot * n + c)]);
+      }
+      std::swap(b[static_cast<size_t>(col)], b[static_cast<size_t>(pivot)]);
+    }
+    double diag = a[static_cast<size_t>(col * n + col)];
+    for (int r = col + 1; r < n; ++r) {
+      double factor = a[static_cast<size_t>(r * n + col)] / diag;
+      if (factor == 0) continue;
+      for (int c = col; c < n; ++c) {
+        a[static_cast<size_t>(r * n + c)] -=
+            factor * a[static_cast<size_t>(col * n + c)];
+      }
+      b[static_cast<size_t>(r)] -= factor * b[static_cast<size_t>(col)];
+    }
+  }
+  x->assign(static_cast<size_t>(n), 0.0);
+  for (int r = n - 1; r >= 0; --r) {
+    double sum = b[static_cast<size_t>(r)];
+    for (int c = r + 1; c < n; ++c) {
+      sum -= a[static_cast<size_t>(r * n + c)] * (*x)[static_cast<size_t>(c)];
+    }
+    (*x)[static_cast<size_t>(r)] = sum / a[static_cast<size_t>(r * n + r)];
+  }
+  return true;
+}
+
+bool OlsFit(const std::vector<double>& x, const std::vector<double>& y,
+            int rows, int cols, std::vector<double>* theta, double ridge) {
+  AETS_CHECK(static_cast<int>(x.size()) == rows * cols &&
+             static_cast<int>(y.size()) == rows);
+  // Normal equations: (X^T X + ridge I) theta = X^T y.
+  std::vector<double> xtx(static_cast<size_t>(cols * cols), 0.0);
+  std::vector<double> xty(static_cast<size_t>(cols), 0.0);
+  for (int r = 0; r < rows; ++r) {
+    const double* row = x.data() + static_cast<size_t>(r) * cols;
+    for (int i = 0; i < cols; ++i) {
+      xty[static_cast<size_t>(i)] += row[i] * y[static_cast<size_t>(r)];
+      for (int j = i; j < cols; ++j) {
+        xtx[static_cast<size_t>(i * cols + j)] += row[i] * row[j];
+      }
+    }
+  }
+  for (int i = 0; i < cols; ++i) {
+    for (int j = 0; j < i; ++j) {
+      xtx[static_cast<size_t>(i * cols + j)] =
+          xtx[static_cast<size_t>(j * cols + i)];
+    }
+    xtx[static_cast<size_t>(i * cols + i)] += ridge;
+  }
+  return SolveLinearSystem(std::move(xtx), std::move(xty), cols, theta);
+}
+
+}  // namespace aets

@@ -1,0 +1,22 @@
+#ifndef AETS_PREDICTOR_SOLVER_H_
+#define AETS_PREDICTOR_SOLVER_H_
+
+#include <vector>
+
+namespace aets {
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. `a` is
+/// row-major n x n. Returns false when the system is singular.
+bool SolveLinearSystem(std::vector<double> a, std::vector<double> b, int n,
+                       std::vector<double>* x);
+
+/// Ordinary least squares: finds theta minimizing ||X theta - y||^2 where X
+/// is rows x cols (row-major). Solves the normal equations with ridge
+/// damping `ridge` for numerical safety.
+bool OlsFit(const std::vector<double>& x, const std::vector<double>& y,
+            int rows, int cols, std::vector<double>* theta,
+            double ridge = 1e-8);
+
+}  // namespace aets
+
+#endif  // AETS_PREDICTOR_SOLVER_H_

@@ -1,0 +1,530 @@
+#include "aets/predictor/tensor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <unordered_set>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+namespace {
+
+int64_t NumElements(const std::vector<int>& shape) {
+  int64_t n = 1;
+  for (int d : shape) n *= d;
+  return n;
+}
+
+std::atomic<int64_t> g_live_nodes{0};
+
+}  // namespace
+
+Tensor::Impl::Impl() { g_live_nodes.fetch_add(1, std::memory_order_relaxed); }
+Tensor::Impl::~Impl() { g_live_nodes.fetch_sub(1, std::memory_order_relaxed); }
+
+int64_t Tensor::LiveNodeCount() {
+  return g_live_nodes.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<Tensor::Impl> Tensor::NewImpl(std::vector<int> shape,
+                                              bool requires_grad) {
+  auto impl = std::make_shared<Impl>();
+  impl->shape = std::move(shape);
+  int64_t n = NumElements(impl->shape);
+  AETS_CHECK(n >= 0);
+  impl->data.assign(static_cast<size_t>(n), 0.0);
+  impl->grad.assign(static_cast<size_t>(n), 0.0);
+  impl->requires_grad = requires_grad;
+  return impl;
+}
+
+Tensor Tensor::Zeros(std::vector<int> shape, bool requires_grad) {
+  return Tensor(NewImpl(std::move(shape), requires_grad));
+}
+
+Tensor Tensor::Full(std::vector<int> shape, double value, bool requires_grad) {
+  Tensor t(NewImpl(std::move(shape), requires_grad));
+  std::fill(t.impl_->data.begin(), t.impl_->data.end(), value);
+  return t;
+}
+
+Tensor Tensor::Xavier(std::vector<int> shape, Rng* rng) {
+  Tensor t(NewImpl(shape, /*requires_grad=*/true));
+  int fan_in = shape.size() >= 2 ? shape[shape.size() - 2] : shape.back();
+  int fan_out = shape.back();
+  double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (double& v : t.impl_->data) {
+    v = (rng->UniformDouble() * 2 - 1) * limit;
+  }
+  return t;
+}
+
+Tensor Tensor::FromData(std::vector<int> shape, std::vector<double> data,
+                        bool requires_grad) {
+  AETS_CHECK(NumElements(shape) == static_cast<int64_t>(data.size()));
+  Tensor t(NewImpl(std::move(shape), requires_grad));
+  t.impl_->data = std::move(data);
+  return t;
+}
+
+const std::vector<int>& Tensor::shape() const { return impl_->shape; }
+int64_t Tensor::size() const { return NumElements(impl_->shape); }
+bool Tensor::requires_grad() const { return impl_->requires_grad; }
+std::vector<double>& Tensor::data() { return impl_->data; }
+const std::vector<double>& Tensor::data() const { return impl_->data; }
+std::vector<double>& Tensor::grad() { return impl_->grad; }
+const std::vector<double>& Tensor::grad() const { return impl_->grad; }
+
+double Tensor::item() const {
+  AETS_CHECK(size() == 1);
+  return impl_->data[0];
+}
+
+void Tensor::ZeroGrad() {
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0);
+}
+
+Tensor Tensor::MakeOp(std::vector<int> shape, std::vector<Tensor> parents,
+                      std::function<void(Impl*)> backward_fn) {
+  bool needs_grad = false;
+  for (const auto& p : parents) needs_grad = needs_grad || p.requires_grad();
+  Tensor out(NewImpl(std::move(shape), needs_grad));
+  if (needs_grad) {
+    out.impl_->backward_fn = std::move(backward_fn);
+    for (auto& p : parents) out.impl_->parents.push_back(p.impl_);
+  }
+  return out;
+}
+
+void Tensor::Backward() {
+  AETS_CHECK_MSG(size() == 1, "Backward from non-scalar");
+  // Topological order via iterative post-order DFS.
+  std::vector<Impl*> order;
+  std::unordered_set<Impl*> visited;
+  std::vector<std::pair<Impl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      Impl* parent = node->parents[idx].get();
+      ++idx;
+      if (visited.insert(parent).second) stack.emplace_back(parent, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  impl_->grad[0] = 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn(*it);
+  }
+}
+
+Tensor Tensor::MatMul(const Tensor& a, const Tensor& b) {
+  AETS_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(0));
+  int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  auto pa = a.impl_, pb = b.impl_;
+  Tensor out = MakeOp({m, n}, {a, b}, [pa, pb, m, k, n](Impl* self) {
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double g = self->grad[static_cast<size_t>(i * n + j)];
+        if (g == 0) continue;
+        for (int l = 0; l < k; ++l) {
+          pa->grad[static_cast<size_t>(i * k + l)] +=
+              g * pb->data[static_cast<size_t>(l * n + j)];
+          pb->grad[static_cast<size_t>(l * n + j)] +=
+              g * pa->data[static_cast<size_t>(i * k + l)];
+        }
+      }
+    }
+  });
+  for (int i = 0; i < m; ++i) {
+    for (int l = 0; l < k; ++l) {
+      double av = pa->data[static_cast<size_t>(i * k + l)];
+      if (av == 0) continue;
+      for (int j = 0; j < n; ++j) {
+        out.impl_->data[static_cast<size_t>(i * n + j)] +=
+            av * pb->data[static_cast<size_t>(l * n + j)];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Add(const Tensor& a, const Tensor& b) {
+  AETS_CHECK(a.shape() == b.shape());
+  auto pa = a.impl_, pb = b.impl_;
+  Tensor out = MakeOp(a.shape(), {a, b}, [pa, pb](Impl* self) {
+    for (size_t i = 0; i < self->grad.size(); ++i) {
+      pa->grad[i] += self->grad[i];
+      pb->grad[i] += self->grad[i];
+    }
+  });
+  for (size_t i = 0; i < out.impl_->data.size(); ++i) {
+    out.impl_->data[i] = pa->data[i] + pb->data[i];
+  }
+  return out;
+}
+
+Tensor Tensor::AddBias(const Tensor& a, const Tensor& bias) {
+  AETS_CHECK(bias.ndim() == 1 && a.dim(a.ndim() - 1) == bias.dim(0));
+  int f = bias.dim(0);
+  auto pa = a.impl_, pbias = bias.impl_;
+  Tensor out = MakeOp(a.shape(), {a, bias}, [pa, pbias, f](Impl* self) {
+    for (size_t i = 0; i < self->grad.size(); ++i) {
+      pa->grad[i] += self->grad[i];
+      pbias->grad[i % static_cast<size_t>(f)] += self->grad[i];
+    }
+  });
+  for (size_t i = 0; i < out.impl_->data.size(); ++i) {
+    out.impl_->data[i] = pa->data[i] + pbias->data[i % static_cast<size_t>(f)];
+  }
+  return out;
+}
+
+Tensor Tensor::Mul(const Tensor& a, const Tensor& b) {
+  AETS_CHECK(a.shape() == b.shape());
+  auto pa = a.impl_, pb = b.impl_;
+  Tensor out = MakeOp(a.shape(), {a, b}, [pa, pb](Impl* self) {
+    for (size_t i = 0; i < self->grad.size(); ++i) {
+      pa->grad[i] += self->grad[i] * pb->data[i];
+      pb->grad[i] += self->grad[i] * pa->data[i];
+    }
+  });
+  for (size_t i = 0; i < out.impl_->data.size(); ++i) {
+    out.impl_->data[i] = pa->data[i] * pb->data[i];
+  }
+  return out;
+}
+
+Tensor Tensor::Scale(const Tensor& a, double s) {
+  auto pa = a.impl_;
+  Tensor out = MakeOp(a.shape(), {a}, [pa, s](Impl* self) {
+    for (size_t i = 0; i < self->grad.size(); ++i) {
+      pa->grad[i] += self->grad[i] * s;
+    }
+  });
+  for (size_t i = 0; i < out.impl_->data.size(); ++i) {
+    out.impl_->data[i] = pa->data[i] * s;
+  }
+  return out;
+}
+
+Tensor Tensor::Tanh(const Tensor& a) {
+  // The backward uses the OUTPUT's cached values via the `self` argument —
+  // capturing the output's own shared_ptr here would create a reference
+  // cycle (impl -> backward_fn -> impl) and leak every graph.
+  auto pa = a.impl_;
+  Tensor out = MakeOp(a.shape(), {a}, [pa](Impl* self) {
+    for (size_t i = 0; i < self->grad.size(); ++i) {
+      double y = self->data[i];
+      pa->grad[i] += self->grad[i] * (1 - y * y);
+    }
+  });
+  for (size_t i = 0; i < out.impl_->data.size(); ++i) {
+    out.impl_->data[i] = std::tanh(pa->data[i]);
+  }
+  return out;
+}
+
+Tensor Tensor::Sigmoid(const Tensor& a) {
+  auto pa = a.impl_;
+  Tensor out = MakeOp(a.shape(), {a}, [pa](Impl* self) {
+    for (size_t i = 0; i < self->grad.size(); ++i) {
+      double y = self->data[i];
+      pa->grad[i] += self->grad[i] * y * (1 - y);
+    }
+  });
+  for (size_t i = 0; i < out.impl_->data.size(); ++i) {
+    out.impl_->data[i] = 1.0 / (1.0 + std::exp(-pa->data[i]));
+  }
+  return out;
+}
+
+Tensor Tensor::Relu(const Tensor& a) {
+  auto pa = a.impl_;
+  Tensor out = MakeOp(a.shape(), {a}, [pa](Impl* self) {
+    for (size_t i = 0; i < self->grad.size(); ++i) {
+      if (pa->data[i] > 0) pa->grad[i] += self->grad[i];
+    }
+  });
+  for (size_t i = 0; i < out.impl_->data.size(); ++i) {
+    out.impl_->data[i] = pa->data[i] > 0 ? pa->data[i] : 0.0;
+  }
+  return out;
+}
+
+Tensor Tensor::Conv1dTime(const Tensor& x, const Tensor& w, int dilation) {
+  AETS_CHECK(x.ndim() == 3 && w.ndim() == 3 && x.dim(2) == w.dim(1));
+  AETS_CHECK(dilation >= 1);
+  int t_len = x.dim(0), n = x.dim(1), fi = x.dim(2);
+  int k_len = w.dim(0), fo = w.dim(2);
+  auto px = x.impl_, pw = w.impl_;
+  auto at_x = [n, fi](int t, int node, int f) {
+    return static_cast<size_t>((t * n + node) * fi + f);
+  };
+  auto at_w = [fi, fo](int k, int f_in, int f_out) {
+    return static_cast<size_t>((k * fi + f_in) * fo + f_out);
+  };
+  auto at_y = [n, fo](int t, int node, int f) {
+    return static_cast<size_t>((t * n + node) * fo + f);
+  };
+  Tensor out = MakeOp(
+      {t_len, n, fo}, {x, w},
+      [px, pw, t_len, n, fi, k_len, fo, dilation, at_x, at_w, at_y](Impl* self) {
+        for (int t = 0; t < t_len; ++t) {
+          for (int k = 0; k < k_len; ++k) {
+            int src = t - k * dilation;
+            if (src < 0) continue;
+            for (int node = 0; node < n; ++node) {
+              for (int f_out = 0; f_out < fo; ++f_out) {
+                double g = self->grad[at_y(t, node, f_out)];
+                if (g == 0) continue;
+                for (int f_in = 0; f_in < fi; ++f_in) {
+                  px->grad[at_x(src, node, f_in)] +=
+                      g * pw->data[at_w(k, f_in, f_out)];
+                  pw->grad[at_w(k, f_in, f_out)] +=
+                      g * px->data[at_x(src, node, f_in)];
+                }
+              }
+            }
+          }
+        }
+      });
+  for (int t = 0; t < t_len; ++t) {
+    for (int k = 0; k < k_len; ++k) {
+      int src = t - k * dilation;
+      if (src < 0) continue;
+      for (int node = 0; node < n; ++node) {
+        for (int f_in = 0; f_in < fi; ++f_in) {
+          double xv = px->data[at_x(src, node, f_in)];
+          if (xv == 0) continue;
+          for (int f_out = 0; f_out < fo; ++f_out) {
+            out.impl_->data[at_y(t, node, f_out)] +=
+                xv * pw->data[at_w(k, f_in, f_out)];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::NodeMix(const Tensor& x, const Tensor& adj, const Tensor& w) {
+  AETS_CHECK(x.ndim() == 3 && adj.ndim() == 2 && w.ndim() == 2);
+  int t_len = x.dim(0), n = x.dim(1), fi = x.dim(2), fo = w.dim(1);
+  AETS_CHECK(adj.dim(0) == n && adj.dim(1) == n && w.dim(0) == fi);
+  auto px = x.impl_, padj = adj.impl_, pw = w.impl_;
+  // Forward: z[t] = x[t] * w  (N x Fo), y[t] = adj * z[t].
+  // Cache z for the backward pass (dz = adj^T * dy; dw += x^T dz; dx = dz w^T).
+  auto z = std::make_shared<std::vector<double>>(
+      static_cast<size_t>(t_len * n * fo), 0.0);
+  Tensor out = MakeOp(
+      {t_len, n, fo}, {x, adj, w},
+      [px, padj, pw, z, t_len, n, fi, fo](Impl* self) {
+        std::vector<double> dz(static_cast<size_t>(n * fo));
+        for (int t = 0; t < t_len; ++t) {
+          const double* dy = self->grad.data() + static_cast<size_t>(t) * n * fo;
+          std::fill(dz.begin(), dz.end(), 0.0);
+          // dz = adj^T * dy
+          for (int a = 0; a < n; ++a) {
+            for (int b = 0; b < n; ++b) {
+              double c = padj->data[static_cast<size_t>(a * n + b)];
+              if (c == 0) continue;
+              for (int f = 0; f < fo; ++f) {
+                dz[static_cast<size_t>(b * fo + f)] +=
+                    c * dy[static_cast<size_t>(a * fo + f)];
+              }
+            }
+          }
+          const double* xt = px->data.data() + static_cast<size_t>(t) * n * fi;
+          double* dxt = px->grad.data() + static_cast<size_t>(t) * n * fi;
+          for (int node = 0; node < n; ++node) {
+            for (int f_in = 0; f_in < fi; ++f_in) {
+              double xv = xt[static_cast<size_t>(node * fi + f_in)];
+              double acc = 0;
+              for (int f = 0; f < fo; ++f) {
+                double d = dz[static_cast<size_t>(node * fo + f)];
+                pw->grad[static_cast<size_t>(f_in * fo + f)] += xv * d;
+                acc += d * pw->data[static_cast<size_t>(f_in * fo + f)];
+              }
+              dxt[static_cast<size_t>(node * fi + f_in)] += acc;
+            }
+          }
+        }
+      });
+  for (int t = 0; t < t_len; ++t) {
+    const double* xt = px->data.data() + static_cast<size_t>(t) * n * fi;
+    double* zt = z->data() + static_cast<size_t>(t) * n * fo;
+    for (int node = 0; node < n; ++node) {
+      for (int f_in = 0; f_in < fi; ++f_in) {
+        double xv = xt[static_cast<size_t>(node * fi + f_in)];
+        if (xv == 0) continue;
+        for (int f = 0; f < fo; ++f) {
+          zt[static_cast<size_t>(node * fo + f)] +=
+              xv * pw->data[static_cast<size_t>(f_in * fo + f)];
+        }
+      }
+    }
+    double* yt = out.impl_->data.data() + static_cast<size_t>(t) * n * fo;
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        double c = padj->data[static_cast<size_t>(a * n + b)];
+        if (c == 0) continue;
+        for (int f = 0; f < fo; ++f) {
+          yt[static_cast<size_t>(a * fo + f)] +=
+              c * zt[static_cast<size_t>(b * fo + f)];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Linear(const Tensor& x, const Tensor& w) {
+  AETS_CHECK(w.ndim() == 2 && x.dim(x.ndim() - 1) == w.dim(0));
+  int fi = w.dim(0), fo = w.dim(1);
+  int64_t rows = x.size() / fi;
+  std::vector<int> out_shape = x.shape();
+  out_shape.back() = fo;
+  auto px = x.impl_, pw = w.impl_;
+  Tensor out = MakeOp(out_shape, {x, w}, [px, pw, rows, fi, fo](Impl* self) {
+    for (int64_t r = 0; r < rows; ++r) {
+      const double* xr = px->data.data() + r * fi;
+      double* dxr = px->grad.data() + r * fi;
+      const double* dyr = self->grad.data() + r * fo;
+      for (int f_in = 0; f_in < fi; ++f_in) {
+        double acc = 0;
+        for (int f = 0; f < fo; ++f) {
+          pw->grad[static_cast<size_t>(f_in * fo + f)] +=
+              xr[f_in] * dyr[f];
+          acc += dyr[f] * pw->data[static_cast<size_t>(f_in * fo + f)];
+        }
+        dxr[f_in] += acc;
+      }
+    }
+  });
+  for (int64_t r = 0; r < rows; ++r) {
+    const double* xr = px->data.data() + r * fi;
+    double* yr = out.impl_->data.data() + r * fo;
+    for (int f_in = 0; f_in < fi; ++f_in) {
+      double xv = xr[f_in];
+      if (xv == 0) continue;
+      for (int f = 0; f < fo; ++f) {
+        yr[f] += xv * pw->data[static_cast<size_t>(f_in * fo + f)];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::SelectTime(const Tensor& x, int t) {
+  AETS_CHECK(x.ndim() == 3 && t >= 0 && t < x.dim(0));
+  int n = x.dim(1), f = x.dim(2);
+  auto px = x.impl_;
+  size_t offset = static_cast<size_t>(t) * static_cast<size_t>(n * f);
+  Tensor out = MakeOp({n, f}, {x}, [px, offset](Impl* self) {
+    for (size_t i = 0; i < self->grad.size(); ++i) {
+      px->grad[offset + i] += self->grad[i];
+    }
+  });
+  std::copy(px->data.begin() + static_cast<ptrdiff_t>(offset),
+            px->data.begin() + static_cast<ptrdiff_t>(offset) +
+                static_cast<ptrdiff_t>(out.size()),
+            out.impl_->data.begin());
+  return out;
+}
+
+Tensor Tensor::Dropout(const Tensor& x, double p, Rng* rng, bool training) {
+  if (!training || p <= 0) return x;
+  auto px = x.impl_;
+  auto mask = std::make_shared<std::vector<double>>(px->data.size());
+  double keep = 1.0 - p;
+  for (double& m : *mask) m = rng->Bernoulli(keep) ? 1.0 / keep : 0.0;
+  Tensor out = MakeOp(x.shape(), {x}, [px, mask](Impl* self) {
+    for (size_t i = 0; i < self->grad.size(); ++i) {
+      px->grad[i] += self->grad[i] * (*mask)[i];
+    }
+  });
+  for (size_t i = 0; i < out.impl_->data.size(); ++i) {
+    out.impl_->data[i] = px->data[i] * (*mask)[i];
+  }
+  return out;
+}
+
+Tensor Tensor::MaeLoss(const Tensor& pred, const Tensor& target) {
+  AETS_CHECK(pred.shape() == target.shape());
+  auto pp = pred.impl_, pt = target.impl_;
+  double n = static_cast<double>(pred.size());
+  Tensor out = MakeOp({1}, {pred, target}, [pp, pt, n](Impl* self) {
+    double g = self->grad[0] / n;
+    for (size_t i = 0; i < pp->data.size(); ++i) {
+      double diff = pp->data[i] - pt->data[i];
+      pp->grad[i] += g * (diff > 0 ? 1.0 : (diff < 0 ? -1.0 : 0.0));
+    }
+  });
+  double sum = 0;
+  for (size_t i = 0; i < pp->data.size(); ++i) {
+    sum += std::abs(pp->data[i] - pt->data[i]);
+  }
+  out.impl_->data[0] = sum / n;
+  return out;
+}
+
+Tensor Tensor::SquaredNorm(const Tensor& a) {
+  auto pa = a.impl_;
+  Tensor out = MakeOp({1}, {a}, [pa](Impl* self) {
+    double g = self->grad[0];
+    for (size_t i = 0; i < pa->data.size(); ++i) {
+      pa->grad[i] += g * 2 * pa->data[i];
+    }
+  });
+  double sum = 0;
+  for (double v : pa->data) sum += v * v;
+  out.impl_->data[0] = sum;
+  return out;
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<Tensor> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].data().size(), 0.0);
+    v_[i].assign(params_[i].data().size(), 0.0);
+  }
+}
+
+double AdamOptimizer::current_lr() const {
+  double lr = options_.lr;
+  if (options_.lr_decay_every > 0) {
+    int decays = t_ / options_.lr_decay_every;
+    for (int i = 0; i < decays; ++i) lr *= options_.lr_decay;
+  }
+  return lr;
+}
+
+void AdamOptimizer::Step() {
+  ++t_;
+  double lr = current_lr();
+  double bc1 = 1.0 - std::pow(options_.beta1, t_);
+  double bc2 = 1.0 - std::pow(options_.beta2, t_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    auto& grad = params_[i].grad();
+    for (size_t j = 0; j < data.size(); ++j) {
+      double g = grad[j] + options_.weight_decay * data[j];
+      m_[i][j] = options_.beta1 * m_[i][j] + (1 - options_.beta1) * g;
+      v_[i][j] = options_.beta2 * v_[i][j] + (1 - options_.beta2) * g * g;
+      double mhat = m_[i][j] / bc1;
+      double vhat = v_[i][j] / bc2;
+      data[j] -= lr * mhat / (std::sqrt(vhat) + options_.eps);
+      grad[j] = 0;
+    }
+  }
+}
+
+}  // namespace aets

@@ -1,0 +1,162 @@
+#ifndef AETS_PREDICTOR_TENSOR_H_
+#define AETS_PREDICTOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aets/common/rng.h"
+
+namespace aets {
+
+/// A dense N-dimensional tensor node in a dynamically built autograd graph.
+/// The op set is exactly what the predictor models need: matmul, elementwise
+/// arithmetic and activations, dilated causal 1-D convolution over time,
+/// graph (adjacency-power) mixing over the node dimension, pointwise linear
+/// feature maps, dropout, slicing the time axis, and an MAE loss.
+///
+/// Tensors have shared-pointer semantics: copies alias the same storage.
+/// Backward (`Tensor::Backward`) runs reverse-mode accumulation over the
+/// graph in topological order.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero tensor of the given shape.
+  static Tensor Zeros(std::vector<int> shape, bool requires_grad = false);
+  /// Allocates with every element `value`.
+  static Tensor Full(std::vector<int> shape, double value,
+                     bool requires_grad = false);
+  /// Xavier/Glorot uniform init (fan_in/fan_out from the first/last dims).
+  static Tensor Xavier(std::vector<int> shape, Rng* rng);
+  /// Wraps existing data (copied).
+  static Tensor FromData(std::vector<int> shape, std::vector<double> data,
+                         bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  const std::vector<int>& shape() const;
+  int dim(int i) const { return shape()[static_cast<size_t>(i)]; }
+  int ndim() const { return static_cast<int>(shape().size()); }
+  int64_t size() const;
+  bool requires_grad() const;
+
+  std::vector<double>& data();
+  const std::vector<double>& data() const;
+  std::vector<double>& grad();
+  const std::vector<double>& grad() const;
+
+  double item() const;  // scalar tensors only
+
+  /// Runs reverse-mode autodiff from this (scalar) tensor.
+  void Backward();
+
+  /// Zeroes the gradient buffer.
+  void ZeroGrad();
+
+  // ---- Differentiable ops (build graph nodes) ----
+
+  /// Matrix product: [m,k] x [k,n] -> [m,n].
+  static Tensor MatMul(const Tensor& a, const Tensor& b);
+  /// Elementwise sum of same-shape tensors.
+  static Tensor Add(const Tensor& a, const Tensor& b);
+  /// Broadcast-adds a vector [F] over the last axis of `a` [..., F].
+  static Tensor AddBias(const Tensor& a, const Tensor& bias);
+  /// Elementwise (Hadamard) product.
+  static Tensor Mul(const Tensor& a, const Tensor& b);
+  /// Scales by a constant.
+  static Tensor Scale(const Tensor& a, double s);
+  static Tensor Tanh(const Tensor& a);
+  static Tensor Sigmoid(const Tensor& a);
+  static Tensor Relu(const Tensor& a);
+
+  /// Dilated causal convolution over the time axis:
+  /// x [T,N,Fi], w [K,Fi,Fo], -> [T,N,Fo]; out[t] sums x[t - k*dilation].
+  static Tensor Conv1dTime(const Tensor& x, const Tensor& w, int dilation);
+
+  /// Graph mixing (one adjacency-power term of the GCN):
+  /// x [T,N,Fi], adj (constant, [N,N]), w [Fi,Fo] ->
+  /// out[t,n,fo] = sum_m adj[n,m] * sum_fi x[t,m,fi] * w[fi,fo].
+  static Tensor NodeMix(const Tensor& x, const Tensor& adj, const Tensor& w);
+
+  /// Pointwise feature map over the last axis: x [...,Fi], w [Fi,Fo].
+  static Tensor Linear(const Tensor& x, const Tensor& w);
+
+  /// Selects time step `t` from x [T,N,F] -> [N,F].
+  static Tensor SelectTime(const Tensor& x, int t);
+
+  /// Inverted dropout (scales by 1/(1-p)); identity when !training.
+  static Tensor Dropout(const Tensor& x, double p, Rng* rng, bool training);
+
+  /// Mean absolute error against a constant target of the same shape.
+  static Tensor MaeLoss(const Tensor& pred, const Tensor& target);
+
+  /// Sum of squares (for L2 regularization), returns a scalar.
+  static Tensor SquaredNorm(const Tensor& a);
+
+  /// Number of live tensor nodes process-wide. Graphs must be freed once
+  /// their roots go out of scope; the leak-regression test asserts this
+  /// (a backward closure capturing its own node would cycle and leak).
+  static int64_t LiveNodeCount();
+
+ private:
+  struct Impl {
+    Impl();
+    ~Impl();
+    std::vector<int> shape;
+    std::vector<double> data;
+    std::vector<double> grad;
+    bool requires_grad = false;
+    std::function<void(Impl*)> backward_fn;  // accumulates into parents
+    std::vector<std::shared_ptr<Impl>> parents;
+  };
+
+  explicit Tensor(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+  static std::shared_ptr<Impl> NewImpl(std::vector<int> shape,
+                                       bool requires_grad);
+  static Tensor MakeOp(std::vector<int> shape,
+                       std::vector<Tensor> parents,
+                       std::function<void(Impl*)> backward_fn);
+
+  std::shared_ptr<Impl> impl_;
+
+  friend class AdamOptimizer;
+};
+
+/// Adam with weight decay (L2) and step-decay learning rate — the training
+/// configuration of the paper's Section VI-G.
+class AdamOptimizer {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 1e-5;
+    /// Multiply lr by `lr_decay` every `lr_decay_every` steps (paper: 0.1
+    /// every 20 epochs).
+    double lr_decay = 0.1;
+    int lr_decay_every = 0;  // 0 = never
+  };
+
+  AdamOptimizer(std::vector<Tensor> params, Options options);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  double current_lr() const;
+  int steps() const { return t_; }
+
+ private:
+  std::vector<Tensor> params_;
+  Options options_;
+  std::vector<std::vector<double>> m_;
+  std::vector<std::vector<double>> v_;
+  int t_ = 0;
+};
+
+}  // namespace aets
+
+#endif  // AETS_PREDICTOR_TENSOR_H_

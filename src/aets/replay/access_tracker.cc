@@ -1,0 +1,65 @@
+#include "aets/replay/access_tracker.h"
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+AccessTracker::AccessTracker(size_t num_tables) : counts_(num_tables) {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+void AccessTracker::RecordAccess(TableId table) {
+  AETS_CHECK(table < counts_.size());
+  counts_[table].fetch_add(1, std::memory_order_relaxed);
+}
+
+void AccessTracker::RecordQuery(const std::vector<TableId>& tables) {
+  for (TableId t : tables) RecordAccess(t);
+}
+
+void AccessTracker::AdvanceSlot() {
+  std::vector<double> slot(counts_.size());
+  for (size_t t = 0; t < counts_.size(); ++t) {
+    slot[t] = static_cast<double>(counts_[t].exchange(0, std::memory_order_relaxed));
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  history_.push_back(std::move(slot));
+}
+
+size_t AccessTracker::num_slots() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return history_.size();
+}
+
+std::vector<double> AccessTracker::CurrentSlot() const {
+  std::vector<double> slot(counts_.size());
+  for (size_t t = 0; t < counts_.size(); ++t) {
+    slot[t] = static_cast<double>(counts_[t].load(std::memory_order_relaxed));
+  }
+  return slot;
+}
+
+std::vector<std::vector<double>> AccessTracker::History() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return history_;
+}
+
+std::vector<double> AccessTracker::MeanRate(size_t window) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<double> mean(counts_.size(), 0.0);
+  if (history_.empty() || window == 0) return mean;
+  size_t n = std::min(window, history_.size());
+  for (size_t s = history_.size() - n; s < history_.size(); ++s) {
+    for (size_t t = 0; t < counts_.size(); ++t) mean[t] += history_[s][t];
+  }
+  for (auto& m : mean) m /= static_cast<double>(n);
+  return mean;
+}
+
+std::vector<double> AccessTracker::LastSlot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (history_.empty()) return std::vector<double>(counts_.size(), 0.0);
+  return history_.back();
+}
+
+}  // namespace aets

@@ -1,0 +1,59 @@
+#ifndef AETS_REPLAY_ACCESS_TRACKER_H_
+#define AETS_REPLAY_ACCESS_TRACKER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "aets/catalog/schema.h"
+
+namespace aets {
+
+/// Records per-table OLAP access counts in discrete time slots. The history
+/// matrix it produces ([slot][table] access counts) is the training and
+/// inference input of the table-access-rate predictors (paper Section IV-A:
+/// "for each table, we calculate the total number of queries over it in a
+/// time slot").
+class AccessTracker {
+ public:
+  explicit AccessTracker(size_t num_tables);
+
+  AccessTracker(const AccessTracker&) = delete;
+  AccessTracker& operator=(const AccessTracker&) = delete;
+
+  /// Counts one access to `table` in the current slot. Thread-safe.
+  void RecordAccess(TableId table);
+
+  /// Counts one access to every table in `tables`.
+  void RecordQuery(const std::vector<TableId>& tables);
+
+  /// Closes the current slot and opens a new one. The driver advances slots
+  /// on its experiment cadence (e.g. once per simulated minute).
+  void AdvanceSlot();
+
+  size_t num_tables() const { return counts_.size(); }
+  size_t num_slots() const;
+
+  /// Per-table counts of the current (open) slot.
+  std::vector<double> CurrentSlot() const;
+
+  /// History matrix of all closed slots: history[slot][table].
+  std::vector<std::vector<double>> History() const;
+
+  /// Mean per-table rate over the last `window` closed slots (the AETS-HA
+  /// baseline's estimate).
+  std::vector<double> MeanRate(size_t window) const;
+
+  /// Per-table counts of the most recently closed slot.
+  std::vector<double> LastSlot() const;
+
+ private:
+  std::vector<std::atomic<uint64_t>> counts_;  // open slot
+  mutable std::mutex mu_;
+  std::vector<std::vector<double>> history_;  // closed slots
+};
+
+}  // namespace aets
+
+#endif  // AETS_REPLAY_ACCESS_TRACKER_H_

@@ -1,0 +1,404 @@
+#include "aets/replay/aets_replayer.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "aets/common/macros.h"
+#include "aets/log/codec.h"
+
+namespace aets {
+
+namespace {
+
+void StoreMax(std::atomic<Timestamp>& slot, Timestamp ts) {
+  Timestamp cur = slot.load(std::memory_order_relaxed);
+  while (cur < ts &&
+         !slot.compare_exchange_weak(cur, ts, std::memory_order_release)) {
+  }
+}
+
+}  // namespace
+
+AetsReplayer::AetsReplayer(const Catalog* catalog, EpochChannel* channel,
+                           AetsOptions options)
+    : catalog_(catalog),
+      channel_(channel),
+      options_(std::move(options)),
+      store_(*catalog),
+      table_ts_(catalog->num_tables()) {
+  for (auto& ts : table_ts_) ts.store(kInvalidTimestamp, std::memory_order_relaxed);
+  current_rates_ = options_.initial_rates;
+  current_rates_.resize(catalog_->num_tables(), 0.0);
+  RebuildGroups(current_rates_);
+}
+
+AetsReplayer::~AetsReplayer() { Stop(); }
+
+Status AetsReplayer::Start() {
+  if (options_.replay_threads <= 0 || options_.commit_threads <= 0) {
+    return Status::InvalidArgument("thread counts must be positive");
+  }
+  if (started_) return Status::InvalidArgument("already started");
+  replay_pool_ = std::make_unique<ThreadPool>(options_.replay_threads);
+  commit_pool_ = std::make_unique<ThreadPool>(options_.commit_threads);
+  started_ = true;
+  main_thread_ = std::thread([this] { MainLoop(); });
+  return Status::OK();
+}
+
+void AetsReplayer::Stop() {
+  if (!started_) return;
+  if (main_thread_.joinable()) main_thread_.join();
+  replay_pool_.reset();
+  commit_pool_.reset();
+  started_ = false;
+}
+
+Timestamp AetsReplayer::TableVisibleTs(TableId table) const {
+  AETS_CHECK(table < table_ts_.size());
+  return table_ts_[table].load(std::memory_order_acquire);
+}
+
+Timestamp AetsReplayer::GlobalVisibleTs() const {
+  return global_ts_.load(std::memory_order_acquire);
+}
+
+Status AetsReplayer::error() const {
+  std::lock_guard<std::mutex> lk(error_mu_);
+  return error_;
+}
+
+std::vector<TableGroup> AetsReplayer::groups() const {
+  std::lock_guard<std::mutex> lk(groups_mu_);
+  return groups_;
+}
+
+Status AetsReplayer::Bootstrap(const std::string& checkpoint_path) {
+  if (started_) return Status::InvalidArgument("Bootstrap after Start");
+  if (expected_epoch_ != 0 || global_ts_.load() != kInvalidTimestamp) {
+    return Status::InvalidArgument("Bootstrap on a non-fresh replayer");
+  }
+  auto info = Checkpointer::Restore(checkpoint_path, &store_);
+  if (!info.ok()) return info.status();
+  for (auto& ts : table_ts_) {
+    ts.store(info->snapshot_ts, std::memory_order_relaxed);
+  }
+  global_ts_.store(info->snapshot_ts, std::memory_order_relaxed);
+  expected_epoch_ = info->next_epoch_id;
+  return Status::OK();
+}
+
+Status AetsReplayer::WriteCheckpoint(const std::string& path) const {
+  if (started_) return Status::InvalidArgument("WriteCheckpoint while running");
+  return Checkpointer::Write(store_, global_ts_.load(), expected_epoch_, path);
+}
+
+void AetsReplayer::SetError(Status status) {
+  std::lock_guard<std::mutex> lk(error_mu_);
+  if (error_.ok()) error_ = std::move(status);
+}
+
+void AetsReplayer::MainLoop() {
+  while (auto epoch = channel_->Receive()) {
+    if (epoch->epoch_id != expected_epoch_) {
+      SetError(Status::Corruption(
+          "epoch out of order: expected " + std::to_string(expected_epoch_) +
+          ", got " + std::to_string(epoch->epoch_id)));
+      return;
+    }
+    ++expected_epoch_;
+    if (stats_.wall_start_us.load() == 0) {
+      stats_.wall_start_us.store(MonotonicMicros());
+    }
+    if (epoch->is_heartbeat()) {
+      ProcessHeartbeat(*epoch);
+    } else {
+      ProcessEpoch(*epoch);
+    }
+    stats_.wall_end_us.store(MonotonicMicros());
+  }
+}
+
+void AetsReplayer::ProcessHeartbeat(const ShippedEpoch& epoch) {
+  // The heartbeat is enqueued after everything the primary ever shipped and
+  // epochs are processed in order, so all data older than heartbeat_ts is
+  // already replayed; the whole backup may publish it.
+  for (auto& ts : table_ts_) StoreMax(ts, epoch.heartbeat_ts);
+  StoreMax(global_ts_, epoch.heartbeat_ts);
+}
+
+void AetsReplayer::RefreshRates() {
+  if (!options_.rate_provider) return;
+  std::vector<double> rates = options_.rate_provider();
+  rates.resize(catalog_->num_tables(), 0.0);
+  bool changed = rates != current_rates_;
+  current_rates_ = std::move(rates);
+  if (!changed) return;
+  if (options_.regroup_on_rate_change &&
+      (options_.grouping == GroupingMode::kPerTable ||
+       options_.grouping == GroupingMode::kByAccessRate)) {
+    RebuildGroups(current_rates_);
+  } else {
+    // Keep the group shapes; refresh their access rates for the allocator.
+    std::lock_guard<std::mutex> lk(groups_mu_);
+    for (auto& g : groups_) {
+      g.access_rate = 0;
+      for (TableId t : g.tables) g.access_rate += current_rates_[t];
+      if (options_.grouping != GroupingMode::kStatic &&
+          options_.grouping != GroupingMode::kSingle) {
+        g.hot = g.access_rate >= options_.hot_rate_threshold;
+      }
+    }
+  }
+}
+
+void AetsReplayer::RebuildGroups(const std::vector<double>& rates) {
+  std::vector<TableGroup> groups;
+  switch (options_.grouping) {
+    case GroupingMode::kPerTable:
+      groups = TableGrouping::PerTable(rates, options_.hot_rate_threshold);
+      break;
+    case GroupingMode::kByAccessRate:
+      groups = TableGrouping::ByAccessRate(rates, options_.dbscan_eps,
+                                           options_.hot_rate_threshold);
+      break;
+    case GroupingMode::kStatic:
+      groups = TableGrouping::Static(options_.static_hot_groups, rates,
+                                     catalog_->num_tables());
+      break;
+    case GroupingMode::kSingle:
+      groups = TableGrouping::Single(catalog_->num_tables(), rates);
+      break;
+  }
+  std::vector<int> map = TableGrouping::TableToGroup(groups, catalog_->num_tables());
+  std::lock_guard<std::mutex> lk(groups_mu_);
+  groups_ = std::move(groups);
+  table_to_group_ = std::move(map);
+}
+
+void AetsReplayer::ProcessEpoch(const ShippedEpoch& epoch) {
+  RefreshRates();
+
+  std::vector<GroupEpochState> gstate(groups_.size());
+  {
+    ScopedTimerNs timer(&stats_.dispatch_ns);
+    if (!DispatchEpoch(epoch, &gstate)) return;
+  }
+
+  // Partition groups into the two stages. Without two-stage replay every
+  // group runs in one stage. Groups that received no log entries in this
+  // epoch have nothing pending, so their tables publish the epoch's maximum
+  // commit timestamp immediately — queries touching only quiet tables
+  // (e.g. read-only dimension tables) never wait on the global watermark.
+  std::vector<int> hot_groups;
+  std::vector<int> cold_groups;
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    if (gstate[gi].fragments.empty()) {
+      for (TableId t : groups_[gi].tables) {
+        StoreMax(table_ts_[t], epoch.max_commit_ts);
+      }
+      continue;
+    }
+    if (options_.two_stage && !groups_[gi].hot) {
+      cold_groups.push_back(static_cast<int>(gi));
+    } else {
+      hot_groups.push_back(static_cast<int>(gi));
+    }
+  }
+  {
+    ScopedTimerNs timer(&stats_.stage1_wall_ns);
+    RunStage(epoch, &gstate, hot_groups);
+  }
+  {
+    ScopedTimerNs timer(&stats_.stage2_wall_ns);
+    RunStage(epoch, &gstate, cold_groups);
+  }
+
+  StoreMax(global_ts_, epoch.max_commit_ts);
+  stats_.epochs.fetch_add(1, std::memory_order_relaxed);
+  stats_.txns.fetch_add(epoch.num_txns, std::memory_order_relaxed);
+  stats_.records.fetch_add(epoch.num_records, std::memory_order_relaxed);
+  stats_.bytes.fetch_add(epoch.ByteSize(), std::memory_order_relaxed);
+}
+
+bool AetsReplayer::DispatchEpoch(const ShippedEpoch& epoch,
+                                 std::vector<GroupEpochState>* gstate) {
+  // The log parser + dispatcher (component 1 of Fig. 3): a single pass over
+  // the metadata prefixes finds transaction boundaries and routes each DML
+  // entry to its group, recording only the payload offset — values are
+  // decoded later, in parallel, by the phase-1 replay workers.
+  const std::string& data = *epoch.payload;
+  size_t offset = 0;
+  TxnId cur_txn = kInvalidTxnId;
+  Timestamp cur_ts = kInvalidTimestamp;
+  std::vector<Fragment*> open(groups_.size(), nullptr);
+  std::vector<int> touched;
+  while (offset < data.size()) {
+    size_t rec_start = offset;
+    auto rec = LogCodec::DecodeMetadata(data, &offset);
+    if (!rec.ok()) {
+      SetError(rec.status());
+      return false;
+    }
+    switch (rec->type) {
+      case LogRecordType::kBegin:
+        cur_txn = rec->txn_id;
+        cur_ts = rec->timestamp;
+        break;
+      case LogRecordType::kCommit:
+        for (int gi : touched) open[static_cast<size_t>(gi)] = nullptr;
+        touched.clear();
+        cur_txn = kInvalidTxnId;
+        break;
+      case LogRecordType::kHeartbeat:
+        break;
+      default: {  // DML
+        if (cur_txn == kInvalidTxnId) {
+          SetError(Status::Corruption("DML outside transaction"));
+          return false;
+        }
+        if (rec->table_id >= table_to_group_.size()) {
+          SetError(Status::Corruption("DML for unknown table"));
+          return false;
+        }
+        size_t gi = static_cast<size_t>(table_to_group_[rec->table_id]);
+        GroupEpochState& gs = (*gstate)[gi];
+        if (open[gi] == nullptr) {
+          auto frag = std::make_unique<Fragment>();
+          frag->txn_id = cur_txn;
+          frag->commit_ts = cur_ts;
+          open[gi] = frag.get();
+          gs.fragments.push_back(std::move(frag));
+          touched.push_back(static_cast<int>(gi));
+        }
+        open[gi]->offsets.push_back(rec_start);
+        gs.bytes += offset - rec_start;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+void AetsReplayer::RunStage(const ShippedEpoch& epoch,
+                            std::vector<GroupEpochState>* gstate,
+                            const std::vector<int>& member_groups) {
+  if (member_groups.empty()) return;
+
+  std::vector<GroupDemand> demands;
+  demands.reserve(member_groups.size());
+  for (int gi : member_groups) {
+    demands.push_back(GroupDemand{
+        static_cast<double>((*gstate)[static_cast<size_t>(gi)].bytes),
+        groups_[static_cast<size_t>(gi)].access_rate});
+  }
+  std::vector<int> alloc =
+      AllocateThreads(demands, options_.replay_threads, options_.adaptive_alloc);
+
+  // Expand the allocation into per-worker group assignments. Groups that
+  // received no thread (more groups than workers) piggyback on existing
+  // workers round-robin, so every group always makes progress.
+  std::vector<std::vector<int>> worker_groups;
+  std::vector<int> leftovers;
+  for (size_t i = 0; i < member_groups.size(); ++i) {
+    if (alloc[i] == 0) {
+      leftovers.push_back(member_groups[i]);
+      continue;
+    }
+    for (int k = 0; k < alloc[i]; ++k) {
+      worker_groups.push_back({member_groups[i]});
+    }
+  }
+  if (worker_groups.empty()) worker_groups.push_back({});
+  for (size_t i = 0; i < leftovers.size(); ++i) {
+    worker_groups[i % worker_groups.size()].push_back(leftovers[i]);
+  }
+
+  // Phase 2 committers start first (they block on the translated flags),
+  // then the phase-1 translate workers. The commit pool bounds how many
+  // groups commit in parallel; 1 reproduces a single-commit-thread design.
+  for (int gi : member_groups) {
+    commit_pool_->Submit([this, gstate, gi] {
+      CommitGroup(&(*gstate)[static_cast<size_t>(gi)],
+                  groups_[static_cast<size_t>(gi)]);
+    });
+  }
+  const std::string* payload = epoch.payload.get();
+  for (auto& assignment : worker_groups) {
+    replay_pool_->Submit([this, payload, gstate, assignment] {
+      for (int gi : assignment) {
+        TranslateGroup(*payload, &(*gstate)[static_cast<size_t>(gi)]);
+      }
+    });
+  }
+  replay_pool_->WaitIdle();
+  commit_pool_->WaitIdle();
+}
+
+void AetsReplayer::TranslateGroup(const std::string& payload,
+                                  GroupEpochState* gs) {
+  // TPLR phase 1: claim fragments and translate their log entries into
+  // uncommitted cells. No transaction dependencies are considered and no
+  // Memtable locks are taken — cells only pin their target nodes.
+  ScopedTimerNs timer(&stats_.replay_ns);
+  for (;;) {
+    size_t idx = gs->next_claim.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= gs->fragments.size()) return;
+    Fragment* frag = gs->fragments[idx].get();
+    frag->cells.reserve(frag->offsets.size());
+    for (size_t off : frag->offsets) {
+      size_t pos = off;
+      auto rec = LogCodec::Decode(payload, &pos);
+      if (!rec.ok()) {
+        SetError(rec.status());
+        break;
+      }
+      LogRecord r = std::move(rec).value();
+      MemNode* node = store_.GetTable(r.table_id)->GetOrCreateNode(r.row_key);
+      VersionCell cell;
+      cell.commit_ts = frag->commit_ts;
+      cell.txn_id = r.txn_id;
+      cell.is_delete = r.type == LogRecordType::kDelete;
+      cell.delta = std::move(r.values);
+      frag->cells.push_back(PendingCell{node, std::move(cell)});
+    }
+    frag->translated.store(true, std::memory_order_release);
+  }
+}
+
+void AetsReplayer::CommitGroup(GroupEpochState* gs, const TableGroup& group) {
+  // TPLR phase 2 (Algorithms 1-2): walk the group's commit order; for each
+  // transaction wait until phase 1 finished it, then append its cells to the
+  // version lists and publish tg_cmt_ts.
+  for (auto& frag_ptr : gs->fragments) {
+    Fragment* frag = frag_ptr.get();
+    // waiting_commit_list check: spin briefly, then yield the core to the
+    // translate workers. Yielding (instead of a futex park that the workers
+    // would have to pay a wake for) keeps the phase-1 hot path free of any
+    // committer-signalling cost; the committer wakes to find a batch of
+    // fragments ready.
+    int spins = 0;
+    int yields = 0;
+    while (!frag->translated.load(std::memory_order_acquire)) {
+      if (++spins > 64) {
+        spins = 0;
+        if (++yields > 256) {
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+    {
+      ScopedTimerNs timer(&stats_.commit_ns);
+      for (auto& pc : frag->cells) {
+        pc.node->AppendVersion(std::move(pc.cell));
+      }
+    }
+    for (TableId t : group.tables) {
+      StoreMax(table_ts_[t], frag->commit_ts);
+    }
+  }
+}
+
+}  // namespace aets

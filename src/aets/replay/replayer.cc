@@ -1,0 +1,38 @@
+#include "aets/replay/replayer.h"
+
+#include <chrono>
+#include <limits>
+#include <thread>
+
+namespace aets {
+
+bool IsVisible(const Replayer& replayer, const std::vector<TableId>& tables,
+               Timestamp qts) {
+  if (replayer.GlobalVisibleTs() >= qts) return true;
+  Timestamp min_tg = std::numeric_limits<Timestamp>::max();
+  for (TableId t : tables) {
+    min_tg = std::min(min_tg, replayer.TableVisibleTs(t));
+  }
+  return min_tg >= qts;
+}
+
+int64_t WaitVisible(const Replayer& replayer, const std::vector<TableId>& tables,
+                    Timestamp qts) {
+  int64_t start = MonotonicMicros();
+  if (IsVisible(replayer, tables, qts)) return 0;
+  int spins = 0;
+  while (!IsVisible(replayer, tables, qts)) {
+    // Wait until the replaying of the required log entries is completed
+    // (Algorithm 3 line 9). Spin briefly, yield a few times, then sleep so
+    // waiting queries do not steal cycles from the replay workers.
+    ++spins;
+    if (spins > 4096) {
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    } else if (spins > 64) {
+      std::this_thread::yield();
+    }
+  }
+  return MonotonicMicros() - start;
+}
+
+}  // namespace aets

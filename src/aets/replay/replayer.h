@@ -1,0 +1,107 @@
+#ifndef AETS_REPLAY_REPLAYER_H_
+#define AETS_REPLAY_REPLAYER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aets/catalog/catalog.h"
+#include "aets/common/clock.h"
+#include "aets/common/status.h"
+#include "aets/storage/table_store.h"
+
+namespace aets {
+
+/// Counters shared by all replayer implementations. The dispatch/replay/
+/// commit nanosecond breakdown reproduces the paper's Table II.
+struct ReplayStats {
+  std::atomic<uint64_t> epochs{0};
+  std::atomic<uint64_t> txns{0};
+  std::atomic<uint64_t> records{0};
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<int64_t> dispatch_ns{0};
+  std::atomic<int64_t> replay_ns{0};
+  std::atomic<int64_t> commit_ns{0};
+  /// Wall time spent in the two stages (AETS only): stage 1 replays the
+  /// hot (first-class) groups, stage 2 the cold groups.
+  std::atomic<int64_t> stage1_wall_ns{0};
+  std::atomic<int64_t> stage2_wall_ns{0};
+  /// Time replay workers spent blocked on ordering synchronization (ATR's
+  /// operation-sequence-check spins). Grows with worker count; drives the
+  /// scalability analysis of Fig. 11.
+  std::atomic<int64_t> sync_wait_ns{0};
+  std::atomic<int64_t> wall_start_us{0};
+  std::atomic<int64_t> wall_end_us{0};
+
+  int64_t WallMicros() const {
+    return wall_end_us.load() - wall_start_us.load();
+  }
+  /// Replayed transactions per second of wall time.
+  double TxnsPerSec() const {
+    int64_t us = WallMicros();
+    return us <= 0 ? 0.0 : static_cast<double>(txns.load()) * 1e6 /
+                               static_cast<double>(us);
+  }
+  double DispatchFraction() const {
+    int64_t total = dispatch_ns.load() + replay_ns.load() + commit_ns.load();
+    return total <= 0 ? 0.0
+                      : static_cast<double>(dispatch_ns.load()) /
+                            static_cast<double>(total);
+  }
+  double ReplayFraction() const {
+    int64_t total = dispatch_ns.load() + replay_ns.load() + commit_ns.load();
+    return total <= 0 ? 0.0
+                      : static_cast<double>(replay_ns.load()) /
+                            static_cast<double>(total);
+  }
+  double CommitFraction() const {
+    int64_t total = dispatch_ns.load() + replay_ns.load() + commit_ns.load();
+    return total <= 0 ? 0.0
+                      : static_cast<double>(commit_ns.load()) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Common interface of the backup-side log replayers: AETS and the three
+/// baselines (ATR, C5, ungrouped TPLR) plus the serial oracle. A replayer
+/// consumes encoded epochs from its channel, installs versions into its
+/// TableStore, and publishes visibility timestamps that Algorithm 3 reads.
+class Replayer {
+ public:
+  virtual ~Replayer() = default;
+
+  /// Spawns the replay machinery; returns once threads are running.
+  virtual Status Start() = 0;
+
+  /// Blocks until the channel is closed and fully drained, then joins all
+  /// threads. After Stop(), the backup state is final.
+  virtual void Stop() = 0;
+
+  /// Publish timestamp of the table: the commit timestamp of the latest
+  /// transaction visible on this table's group (tg_cmt_ts in the paper).
+  virtual Timestamp TableVisibleTs(TableId table) const = 0;
+
+  /// Maximum timestamp T such that every transaction with commit_ts <= T is
+  /// fully replayed across all tables (global_cmt_ts in the paper).
+  virtual Timestamp GlobalVisibleTs() const = 0;
+
+  virtual TableStore* store() = 0;
+  virtual const ReplayStats& stats() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Algorithm 3 (Visibility at backup): blocks until every table in `tables`
+/// is visible at snapshot `qts` — i.e. min tg_cmt_ts over the accessed
+/// groups reaches qts, or the global watermark does. Returns the wall time
+/// waited in microseconds (the query's visibility delay).
+int64_t WaitVisible(const Replayer& replayer, const std::vector<TableId>& tables,
+                    Timestamp qts);
+
+/// Non-blocking variant: true when `qts` is already visible on all `tables`.
+bool IsVisible(const Replayer& replayer, const std::vector<TableId>& tables,
+               Timestamp qts);
+
+}  // namespace aets
+
+#endif  // AETS_REPLAY_REPLAYER_H_

@@ -1,0 +1,115 @@
+#include "aets/replay/table_group.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "aets/common/macros.h"
+#include "aets/predictor/dbscan.h"
+
+namespace aets {
+
+std::vector<TableGroup> TableGrouping::PerTable(const std::vector<double>& rates,
+                                                double hot_threshold) {
+  std::vector<TableGroup> groups;
+  groups.reserve(rates.size());
+  for (size_t t = 0; t < rates.size(); ++t) {
+    TableGroup g;
+    g.tables = {static_cast<TableId>(t)};
+    g.access_rate = rates[t];
+    g.hot = rates[t] >= hot_threshold;
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+std::vector<TableGroup> TableGrouping::ByAccessRate(
+    const std::vector<double>& rates, double eps, double hot_threshold) {
+  std::vector<TableGroup> groups;
+  // Hot tables cluster on log10(rate); cold tables (below the threshold —
+  // predictors emit small nonzero noise for unqueried tables) become
+  // singleton groups, mirroring the paper's TPC-C setup.
+  std::vector<size_t> hot_tables;
+  std::vector<double> log_rates;
+  for (size_t t = 0; t < rates.size(); ++t) {
+    if (rates[t] >= hot_threshold) {
+      hot_tables.push_back(t);
+      log_rates.push_back(std::log10(rates[t]));
+    } else {
+      TableGroup g;
+      g.tables = {static_cast<TableId>(t)};
+      g.access_rate = rates[t];
+      g.hot = false;
+      groups.push_back(std::move(g));
+    }
+  }
+  if (!hot_tables.empty()) {
+    std::vector<int> labels = Dbscan1d(log_rates, eps, /*min_pts=*/1);
+    std::map<int, TableGroup> clusters;
+    for (size_t i = 0; i < hot_tables.size(); ++i) {
+      TableGroup& g = clusters[labels[i]];
+      g.tables.push_back(static_cast<TableId>(hot_tables[i]));
+      g.access_rate += rates[hot_tables[i]];
+      g.hot = true;
+    }
+    for (auto& [label, group] : clusters) groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::vector<TableGroup> TableGrouping::Static(
+    const std::vector<std::vector<TableId>>& hot_groups,
+    const std::vector<double>& rates, size_t num_tables) {
+  std::vector<TableGroup> groups;
+  std::vector<bool> covered(num_tables, false);
+  for (const auto& tables : hot_groups) {
+    TableGroup g;
+    g.hot = true;
+    for (TableId t : tables) {
+      AETS_CHECK_MSG(t < num_tables, "static group references unknown table");
+      AETS_CHECK_MSG(!covered[t], "table in two static groups");
+      covered[t] = true;
+      g.tables.push_back(t);
+      g.access_rate += t < rates.size() ? rates[t] : 0;
+    }
+    groups.push_back(std::move(g));
+  }
+  for (size_t t = 0; t < num_tables; ++t) {
+    if (covered[t]) continue;
+    TableGroup g;
+    g.tables = {static_cast<TableId>(t)};
+    g.access_rate = t < rates.size() ? rates[t] : 0;
+    g.hot = false;
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+std::vector<TableGroup> TableGrouping::Single(size_t num_tables,
+                                              const std::vector<double>& rates) {
+  TableGroup g;
+  g.hot = true;
+  for (size_t t = 0; t < num_tables; ++t) {
+    g.tables.push_back(static_cast<TableId>(t));
+    g.access_rate += t < rates.size() ? rates[t] : 0;
+  }
+  return {std::move(g)};
+}
+
+std::vector<int> TableGrouping::TableToGroup(
+    const std::vector<TableGroup>& groups, size_t num_tables) {
+  std::vector<int> map(num_tables, -1);
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    for (TableId t : groups[gi].tables) {
+      AETS_CHECK_MSG(t < num_tables, "group references unknown table");
+      AETS_CHECK_MSG(map[t] == -1, "table assigned to two groups");
+      map[t] = static_cast<int>(gi);
+    }
+  }
+  for (size_t t = 0; t < num_tables; ++t) {
+    AETS_CHECK_MSG(map[t] != -1, "table missing from grouping");
+  }
+  return map;
+}
+
+}  // namespace aets

@@ -1,0 +1,54 @@
+#ifndef AETS_REPLAY_TABLE_GROUP_H_
+#define AETS_REPLAY_TABLE_GROUP_H_
+
+#include <vector>
+
+#include "aets/catalog/schema.h"
+
+namespace aets {
+
+/// A replay group: tables with similar OLAP access rates that share one
+/// commit_order_queue and one commit thread. Groups with a positive access
+/// rate form the first-class (hot) set replayed in stage one; zero-rate
+/// groups are second-class (cold) and replayed in stage two (paper Fig. 1).
+struct TableGroup {
+  std::vector<TableId> tables;
+  double access_rate = 0;
+  bool hot = false;
+};
+
+/// Grouping policies (paper Section IV-A).
+class TableGrouping {
+ public:
+  /// One group per table; hot iff its rate >= `hot_threshold`.
+  static std::vector<TableGroup> PerTable(const std::vector<double>& rates,
+                                          double hot_threshold = 1e-9);
+
+  /// Clusters tables with similar access rates via DBSCAN on log10(rate).
+  /// Tables below `hot_threshold` (predicted noise, or truly unqueried)
+  /// become singleton cold groups. `eps` is the neighbor radius in log10
+  /// space (0.3 groups rates within ~2x of each other).
+  static std::vector<TableGroup> ByAccessRate(const std::vector<double>& rates,
+                                              double eps = 0.3,
+                                              double hot_threshold = 0.5);
+
+  /// Caller-specified hot groups (e.g. the paper's TPC-C configuration);
+  /// every table not listed becomes a singleton cold group. Rates supply
+  /// each group's access rate (summed over member tables).
+  static std::vector<TableGroup> Static(
+      const std::vector<std::vector<TableId>>& hot_groups,
+      const std::vector<double>& rates, size_t num_tables);
+
+  /// Everything in one group (the ungrouped TPLR baseline).
+  static std::vector<TableGroup> Single(size_t num_tables,
+                                        const std::vector<double>& rates);
+
+  /// Builds the table -> group index map. Aborts if any table is missing or
+  /// duplicated across groups.
+  static std::vector<int> TableToGroup(const std::vector<TableGroup>& groups,
+                                       size_t num_tables);
+};
+
+}  // namespace aets
+
+#endif  // AETS_REPLAY_TABLE_GROUP_H_

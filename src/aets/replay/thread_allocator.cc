@@ -1,0 +1,65 @@
+#include "aets/replay/thread_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+double UrgencyFactor(double access_rate) {
+  // log10 damping keeps a 1000x access-rate gap from translating into a
+  // 1000x thread gap (paper Section IV-B's discussion of log(r)).
+  return std::log10(std::max(access_rate, 1.0)) + 1.0;
+}
+
+std::vector<int> AllocateThreads(const std::vector<GroupDemand>& demands,
+                                 int total, bool use_access_rate) {
+  AETS_CHECK(total >= 0);
+  const size_t n = demands.size();
+  std::vector<int> alloc(n, 0);
+  if (n == 0 || total == 0) return alloc;
+
+  std::vector<double> weights(n, 0.0);
+  double weight_sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double lambda = use_access_rate ? UrgencyFactor(demands[i].access_rate) : 1.0;
+    weights[i] = demands[i].bytes > 0 ? lambda * demands[i].bytes : 0.0;
+    weight_sum += weights[i];
+  }
+  if (weight_sum <= 0) return alloc;
+
+  // Largest-remainder apportionment of `total` threads over the weights.
+  std::vector<double> ideal(n);
+  int assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ideal[i] = static_cast<double>(total) * weights[i] / weight_sum;
+    alloc[i] = static_cast<int>(ideal[i]);
+    assigned += alloc[i];
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ideal[a] - std::floor(ideal[a]) > ideal[b] - std::floor(ideal[b]);
+  });
+  for (size_t k = 0; assigned < total; k = (k + 1) % n) {
+    size_t i = order[k];
+    if (weights[i] <= 0) continue;
+    ++alloc[i];
+    ++assigned;
+  }
+
+  // Every group with pending work should make progress this epoch: move
+  // threads from the largest allocations to demand-bearing zero groups.
+  for (size_t i = 0; i < n; ++i) {
+    if (weights[i] <= 0 || alloc[i] > 0) continue;
+    auto richest = std::max_element(alloc.begin(), alloc.end());
+    if (*richest <= 1) break;  // nothing left to take
+    --*richest;
+    alloc[i] = 1;
+  }
+  return alloc;
+}
+
+}  // namespace aets

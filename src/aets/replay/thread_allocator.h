@@ -1,0 +1,33 @@
+#ifndef AETS_REPLAY_THREAD_ALLOCATOR_H_
+#define AETS_REPLAY_THREAD_ALLOCATOR_H_
+
+#include <vector>
+
+namespace aets {
+
+/// Demand of one table group at an epoch boundary: pending (un-replayed) log
+/// bytes and the (predicted) OLAP access rate of the group's tables.
+struct GroupDemand {
+  double bytes = 0;
+  double access_rate = 0;
+};
+
+/// Solves the paper's Section IV-B allocation: choose integer t_gi with
+/// sum t_gi = total such that lambda_gi * n_gi / t_gi is equalized, where
+/// n_gi is the pending log size and lambda_gi = log10(access rate) + 1
+/// (log-damped urgency, "guarantees numerical stability"). With
+/// `use_access_rate == false` (the AETS-NOAC ablation) lambda is 1 and the
+/// split is proportional to log size alone.
+///
+/// Properties (tested): allocations sum to `total`; groups with zero demand
+/// get zero threads; every group with demand gets at least one thread when
+/// enough exist; allocation is monotone in demand weight.
+std::vector<int> AllocateThreads(const std::vector<GroupDemand>& demands,
+                                 int total, bool use_access_rate);
+
+/// The urgency factor lambda for a given access rate.
+double UrgencyFactor(double access_rate);
+
+}  // namespace aets
+
+#endif  // AETS_REPLAY_THREAD_ALLOCATOR_H_

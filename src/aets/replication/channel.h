@@ -1,0 +1,35 @@
+#ifndef AETS_REPLICATION_CHANNEL_H_
+#define AETS_REPLICATION_CHANNEL_H_
+
+#include "aets/common/queue.h"
+#include "aets/log/shipped_epoch.h"
+
+namespace aets {
+
+/// In-process stand-in for the primary->backup network link: a bounded
+/// blocking queue of encoded epochs, delivered in send order. Replayers
+/// validate the epoch-id sequence on receive, so reordering or loss is
+/// detected (and tested via failure injection).
+class EpochChannel {
+ public:
+  explicit EpochChannel(size_t capacity = 128) : queue_(capacity) {}
+
+  bool Send(ShippedEpoch epoch) { return queue_.Push(std::move(epoch)); }
+
+  /// Blocks for the next epoch; nullopt when the channel is closed and
+  /// drained.
+  std::optional<ShippedEpoch> Receive() { return queue_.Pop(); }
+
+  std::optional<ShippedEpoch> TryReceive() { return queue_.TryPop(); }
+
+  void Close() { queue_.Close(); }
+
+  size_t PendingEpochs() const { return queue_.Size(); }
+
+ private:
+  BlockingQueue<ShippedEpoch> queue_;
+};
+
+}  // namespace aets
+
+#endif  // AETS_REPLICATION_CHANNEL_H_

@@ -1,0 +1,91 @@
+#include "aets/replication/log_shipper.h"
+
+#include <chrono>
+
+namespace aets {
+
+LogShipper::LogShipper(size_t epoch_size) : builder_(epoch_size) {}
+
+LogShipper::~LogShipper() { Finish(); }
+
+void LogShipper::AttachChannel(EpochChannel* channel) {
+  std::lock_guard<std::mutex> lk(mu_);
+  channels_.push_back(channel);
+}
+
+void LogShipper::OnCommit(TxnLog txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (finished_) return;
+  last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
+  auto sealed = builder_.AddTxn(std::move(txn));
+  if (sealed) ShipLocked(std::move(*sealed));
+}
+
+void LogShipper::StartHeartbeats(std::function<Timestamp()> ts_source,
+                                 int64_t interval_us) {
+  heartbeat_ts_source_ = std::move(ts_source);
+  heartbeat_interval_us_ = interval_us;
+  last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
+  stop_heartbeats_.store(false, std::memory_order_relaxed);
+  heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+}
+
+void LogShipper::HeartbeatLoop() {
+  while (!stop_heartbeats_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(heartbeat_interval_us_ / 4));
+    int64_t now = MonotonicMicros();
+    if (now - last_activity_us_.load(std::memory_order_relaxed) <
+        heartbeat_interval_us_) {
+      continue;
+    }
+    // Acquire the heartbeat timestamp before taking the shipper lock: the
+    // source holds the primary's commit mutex, so locking it under mu_
+    // while a committing transaction waits to deliver into OnCommit would
+    // invert the lock order. Everything committed below hb_ts has already
+    // been sunk when the source returns, and the flush below ships it.
+    Timestamp hb_ts = heartbeat_ts_source_();
+    std::lock_guard<std::mutex> lk(mu_);
+    if (finished_) return;
+    auto sealed = builder_.Flush();
+    if (sealed) ShipLocked(std::move(*sealed));
+    if (hb_ts != kInvalidTimestamp) {
+      ShippedEpoch hb = MakeHeartbeatEpoch(builder_.ConsumeEpochId(), hb_ts);
+      ++heartbeats_;
+      ++shipped_;
+      for (auto* ch : channels_) ch->Send(hb);
+    }
+    last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
+  }
+}
+
+void LogShipper::Finish() {
+  if (heartbeat_thread_.joinable()) {
+    stop_heartbeats_.store(true, std::memory_order_relaxed);
+    heartbeat_thread_.join();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (finished_) return;
+  finished_ = true;
+  auto sealed = builder_.Flush();
+  if (sealed) ShipLocked(std::move(*sealed));
+  for (auto* ch : channels_) ch->Close();
+}
+
+void LogShipper::ShipLocked(Epoch epoch) {
+  ++shipped_;
+  ShippedEpoch encoded = EncodeEpoch(epoch);
+  for (auto* ch : channels_) ch->Send(encoded);
+}
+
+EpochId LogShipper::epochs_shipped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return shipped_;
+}
+
+uint64_t LogShipper::heartbeats_shipped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return heartbeats_;
+}
+
+}  // namespace aets

@@ -1,0 +1,73 @@
+#ifndef AETS_REPLICATION_LOG_SHIPPER_H_
+#define AETS_REPLICATION_LOG_SHIPPER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "aets/common/clock.h"
+#include "aets/log/epoch.h"
+#include "aets/log/shipped_epoch.h"
+#include "aets/replication/channel.h"
+
+namespace aets {
+
+/// Batches the primary's committed transactions into fixed-size epochs,
+/// encodes each sealed epoch, and fans it out to every attached backup
+/// channel (paper Section III-B: epochs are sealed on transaction
+/// boundaries, sized by transaction count, and shipped in commit order).
+///
+/// When the primary goes idle, an optional heartbeat thread first flushes
+/// the partial epoch and then ships heartbeat epochs so the backups'
+/// global_cmt_ts keeps advancing (paper Section V-B, 50 ms default).
+class LogShipper {
+ public:
+  explicit LogShipper(size_t epoch_size);
+  ~LogShipper();
+
+  LogShipper(const LogShipper&) = delete;
+  LogShipper& operator=(const LogShipper&) = delete;
+
+  /// Attaches a backup channel. All channels receive every epoch.
+  void AttachChannel(EpochChannel* channel);
+
+  /// Commit-sink entry point: call in primary commit order.
+  void OnCommit(TxnLog txn);
+
+  /// Starts the idle-detection heartbeat thread. `ts_source` must return a
+  /// timestamp below every future commit and above every already-sunk commit
+  /// (PrimaryDb::AcquireHeartbeatTs). Called without the shipper lock held.
+  void StartHeartbeats(std::function<Timestamp()> ts_source,
+                       int64_t interval_us = 50'000);
+
+  /// Seals and ships the final partial epoch, stops heartbeats, and closes
+  /// all channels. Idempotent.
+  void Finish();
+
+  EpochId epochs_shipped() const;
+  uint64_t heartbeats_shipped() const;
+
+ private:
+  void ShipLocked(Epoch epoch);
+  void HeartbeatLoop();
+
+  mutable std::mutex mu_;
+  EpochBuilder builder_;
+  std::vector<EpochChannel*> channels_;
+  EpochId shipped_ = 0;
+  uint64_t heartbeats_ = 0;
+  bool finished_ = false;
+
+  std::atomic<int64_t> last_activity_us_{0};
+  std::atomic<bool> stop_heartbeats_{false};
+  int64_t heartbeat_interval_us_ = 50'000;
+  std::function<Timestamp()> heartbeat_ts_source_;
+  std::thread heartbeat_thread_;
+};
+
+}  // namespace aets
+
+#endif  // AETS_REPLICATION_LOG_SHIPPER_H_

@@ -1,0 +1,287 @@
+#ifndef AETS_STORAGE_BTREE_H_
+#define AETS_STORAGE_BTREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+/// In-memory B+Tree mapping int64 keys to heap-allocated values with stable
+/// addresses (the Memtable's index over MemNodes; the paper's backup storage
+/// engine is "a B+Tree as the in-memory storage engine").
+///
+/// Concurrency: tree-level reader/writer latch — lookups and scans run
+/// concurrently under a shared latch; inserts take the exclusive latch only
+/// when the key is absent. Value objects are never moved after insertion, so
+/// returned pointers remain valid for the tree's lifetime (erase only unlinks
+/// the entry; the value is reclaimed with the tree). Erase removes the key
+/// from its leaf without rebalancing (lazy deletion): fine for the workloads
+/// here, where deletes are rare tombstones.
+template <typename V>
+class BPlusTree {
+ public:
+  using Key = int64_t;
+  static constexpr int kFanout = 64;  // max keys per node
+
+  BPlusTree() : root_(NewLeaf()) {}
+  ~BPlusTree() { FreeNode(root_); }
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Finds the value for `key`, or nullptr.
+  V* Find(Key key) const {
+    std::shared_lock<std::shared_mutex> lk(latch_);
+    return FindLocked(key);
+  }
+
+  /// Finds or default-constructs the value for `key`. Sets `*created` when a
+  /// new entry was inserted.
+  template <typename... Args>
+  V* GetOrCreate(Key key, bool* created, Args&&... args) {
+    {
+      std::shared_lock<std::shared_mutex> lk(latch_);
+      if (V* v = FindLocked(key)) {
+        if (created) *created = false;
+        return v;
+      }
+    }
+    std::unique_lock<std::shared_mutex> lk(latch_);
+    // Re-check: another writer may have inserted between latches.
+    if (V* v = FindLocked(key)) {
+      if (created) *created = false;
+      return v;
+    }
+    if (created) *created = true;
+    return Insert(key, std::make_unique<V>(std::forward<Args>(args)...));
+  }
+
+  /// Removes `key`. Returns true if present. The value's storage stays alive
+  /// in the erased list until the tree is destroyed.
+  bool Erase(Key key) {
+    std::unique_lock<std::shared_mutex> lk(latch_);
+    Node* node = root_;
+    while (!node->is_leaf) {
+      node = Child(node, key);
+    }
+    Leaf* leaf = static_cast<Leaf*>(node);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it == leaf->keys.end() || *it != key) return false;
+    size_t idx = static_cast<size_t>(it - leaf->keys.begin());
+    erased_.push_back(std::move(leaf->values[idx]));
+    leaf->keys.erase(it);
+    leaf->values.erase(leaf->values.begin() + static_cast<ptrdiff_t>(idx));
+    --size_;
+    return true;
+  }
+
+  /// Visits entries with keys in [lo, hi], in ascending key order. The
+  /// callback returns false to stop early.
+  void Scan(Key lo, Key hi,
+            const std::function<bool(Key, V*)>& visit) const {
+    std::shared_lock<std::shared_mutex> lk(latch_);
+    const Node* node = root_;
+    while (!node->is_leaf) node = Child(node, lo);
+    const Leaf* leaf = static_cast<const Leaf*>(node);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo);
+    size_t idx = static_cast<size_t>(it - leaf->keys.begin());
+    while (leaf != nullptr) {
+      for (; idx < leaf->keys.size(); ++idx) {
+        if (leaf->keys[idx] > hi) return;
+        if (!visit(leaf->keys[idx], leaf->values[idx].get())) return;
+      }
+      leaf = leaf->next;
+      idx = 0;
+    }
+  }
+
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lk(latch_);
+    return size_;
+  }
+
+  /// Tree height (1 = just a leaf). For tests and diagnostics.
+  int Height() const {
+    std::shared_lock<std::shared_mutex> lk(latch_);
+    int h = 1;
+    const Node* node = root_;
+    while (!node->is_leaf) {
+      node = static_cast<const Internal*>(node)->children.front();
+      ++h;
+    }
+    return h;
+  }
+
+  /// Validates B+Tree structural invariants (sorted keys, fanout bounds,
+  /// leaf chain order). Aborts on violation; used by property tests.
+  void CheckInvariants() const {
+    std::shared_lock<std::shared_mutex> lk(latch_);
+    int64_t prev = INT64_MIN;
+    CheckNode(root_, /*is_root=*/true, &prev);
+  }
+
+ private:
+  struct Node {
+    bool is_leaf;
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+  };
+  struct Leaf : Node {
+    Leaf() : Node(true) {}
+    std::vector<Key> keys;
+    std::vector<std::unique_ptr<V>> values;
+    Leaf* next = nullptr;
+  };
+  struct Internal : Node {
+    Internal() : Node(false) {}
+    // children.size() == keys.size() + 1; subtree i holds keys < keys[i],
+    // subtree i+1 holds keys >= keys[i].
+    std::vector<Key> keys;
+    std::vector<Node*> children;
+  };
+
+  static Leaf* NewLeaf() { return new Leaf(); }
+
+  static void FreeNode(Node* node) {
+    if (!node->is_leaf) {
+      for (Node* c : static_cast<Internal*>(node)->children) FreeNode(c);
+    }
+    if (node->is_leaf) {
+      delete static_cast<Leaf*>(node);
+    } else {
+      delete static_cast<Internal*>(node);
+    }
+  }
+
+  static Node* Child(Node* node, Key key) {
+    Internal* in = static_cast<Internal*>(node);
+    auto it = std::upper_bound(in->keys.begin(), in->keys.end(), key);
+    return in->children[static_cast<size_t>(it - in->keys.begin())];
+  }
+  static const Node* Child(const Node* node, Key key) {
+    const Internal* in = static_cast<const Internal*>(node);
+    auto it = std::upper_bound(in->keys.begin(), in->keys.end(), key);
+    return in->children[static_cast<size_t>(it - in->keys.begin())];
+  }
+
+  V* FindLocked(Key key) const {
+    const Node* node = root_;
+    while (!node->is_leaf) node = Child(node, key);
+    const Leaf* leaf = static_cast<const Leaf*>(node);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it == leaf->keys.end() || *it != key) return nullptr;
+    return leaf->values[static_cast<size_t>(it - leaf->keys.begin())].get();
+  }
+
+  struct SplitResult {
+    Key separator;
+    Node* right;
+  };
+
+  /// Inserts into the subtree; returns a split descriptor if the child split.
+  std::optional<SplitResult> InsertRec(Node* node, Key key,
+                                       std::unique_ptr<V>* value, V** out) {
+    if (node->is_leaf) {
+      Leaf* leaf = static_cast<Leaf*>(node);
+      auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+      size_t idx = static_cast<size_t>(it - leaf->keys.begin());
+      AETS_CHECK_MSG(it == leaf->keys.end() || *it != key,
+                     "duplicate insert must be caught by caller");
+      leaf->keys.insert(it, key);
+      leaf->values.insert(leaf->values.begin() + static_cast<ptrdiff_t>(idx),
+                          std::move(*value));
+      *out = leaf->values[idx].get();
+      if (leaf->keys.size() <= kFanout) return std::nullopt;
+      // Split the leaf in half; right half keeps the upper keys.
+      Leaf* right = NewLeaf();
+      size_t mid = leaf->keys.size() / 2;
+      right->keys.assign(leaf->keys.begin() + static_cast<ptrdiff_t>(mid),
+                         leaf->keys.end());
+      right->values.reserve(leaf->values.size() - mid);
+      for (size_t i = mid; i < leaf->values.size(); ++i) {
+        right->values.push_back(std::move(leaf->values[i]));
+      }
+      leaf->keys.resize(mid);
+      leaf->values.resize(mid);
+      right->next = leaf->next;
+      leaf->next = right;
+      return SplitResult{right->keys.front(), right};
+    }
+    Internal* in = static_cast<Internal*>(node);
+    auto it = std::upper_bound(in->keys.begin(), in->keys.end(), key);
+    size_t child_idx = static_cast<size_t>(it - in->keys.begin());
+    auto split = InsertRec(in->children[child_idx], key, value, out);
+    if (!split) return std::nullopt;
+    in->keys.insert(in->keys.begin() + static_cast<ptrdiff_t>(child_idx),
+                    split->separator);
+    in->children.insert(
+        in->children.begin() + static_cast<ptrdiff_t>(child_idx) + 1,
+        split->right);
+    if (in->keys.size() <= kFanout) return std::nullopt;
+    // Split the internal node; the middle key moves up.
+    Internal* right = new Internal();
+    size_t mid = in->keys.size() / 2;
+    Key up = in->keys[mid];
+    right->keys.assign(in->keys.begin() + static_cast<ptrdiff_t>(mid) + 1,
+                       in->keys.end());
+    right->children.assign(
+        in->children.begin() + static_cast<ptrdiff_t>(mid) + 1,
+        in->children.end());
+    in->keys.resize(mid);
+    in->children.resize(mid + 1);
+    return SplitResult{up, right};
+  }
+
+  V* Insert(Key key, std::unique_ptr<V> value) {
+    V* out = nullptr;
+    auto split = InsertRec(root_, key, &value, &out);
+    if (split) {
+      Internal* new_root = new Internal();
+      new_root->keys.push_back(split->separator);
+      new_root->children.push_back(root_);
+      new_root->children.push_back(split->right);
+      root_ = new_root;
+    }
+    ++size_;
+    return out;
+  }
+
+  void CheckNode(const Node* node, bool is_root, int64_t* prev_leaf_key) const {
+    if (node->is_leaf) {
+      const Leaf* leaf = static_cast<const Leaf*>(node);
+      AETS_CHECK(leaf->keys.size() == leaf->values.size());
+      AETS_CHECK(leaf->keys.size() <= kFanout);
+      for (Key k : leaf->keys) {
+        AETS_CHECK_MSG(k > *prev_leaf_key || (*prev_leaf_key == INT64_MIN),
+                       "leaf keys out of order");
+        AETS_CHECK(k >= *prev_leaf_key);
+        *prev_leaf_key = k;
+      }
+      return;
+    }
+    const Internal* in = static_cast<const Internal*>(node);
+    AETS_CHECK(in->children.size() == in->keys.size() + 1);
+    AETS_CHECK(in->keys.size() <= kFanout);
+    AETS_CHECK(is_root || !in->keys.empty());
+    AETS_CHECK(std::is_sorted(in->keys.begin(), in->keys.end()));
+    for (const Node* c : in->children) CheckNode(c, false, prev_leaf_key);
+  }
+
+  mutable std::shared_mutex latch_;
+  Node* root_;
+  size_t size_ = 0;
+  std::vector<std::unique_ptr<V>> erased_;
+};
+
+}  // namespace aets
+
+#endif  // AETS_STORAGE_BTREE_H_

@@ -1,0 +1,46 @@
+#include "aets/storage/gc_daemon.h"
+
+#include <chrono>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+GcDaemon::GcDaemon(TableStore* store, std::function<Timestamp()> watermark_source,
+                   Timestamp retention, int64_t interval_us)
+    : store_(store),
+      watermark_source_(std::move(watermark_source)),
+      retention_(retention),
+      interval_us_(interval_us) {
+  AETS_CHECK(store != nullptr && watermark_source_ != nullptr);
+}
+
+GcDaemon::~GcDaemon() { Stop(); }
+
+void GcDaemon::Start() {
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void GcDaemon::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+size_t GcDaemon::RunOnce() {
+  Timestamp watermark = watermark_source_();
+  if (watermark <= retention_) return 0;
+  size_t reclaimed = store_->GarbageCollect(watermark - retention_);
+  total_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+  passes_.fetch_add(1, std::memory_order_relaxed);
+  return reclaimed;
+}
+
+void GcDaemon::Loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    RunOnce();
+    std::this_thread::sleep_for(std::chrono::microseconds(interval_us_));
+  }
+}
+
+}  // namespace aets

@@ -1,0 +1,54 @@
+#include "aets/storage/table_store.h"
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+TableStore::TableStore(const Catalog& catalog) {
+  size_t n = catalog.num_tables();
+  tables_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tables_.push_back(std::make_unique<Memtable>(static_cast<TableId>(i)));
+  }
+}
+
+Memtable* TableStore::GetTable(TableId id) {
+  AETS_CHECK_MSG(id < tables_.size(), "unknown table id");
+  return tables_[id].get();
+}
+
+const Memtable* TableStore::GetTable(TableId id) const {
+  AETS_CHECK_MSG(id < tables_.size(), "unknown table id");
+  return tables_[id].get();
+}
+
+uint64_t TableStore::DigestAt(Timestamp ts) const {
+  uint64_t digest = 0;
+  for (const auto& t : tables_) {
+    digest ^= Mix(t->table_id(), t->DigestAt(ts));
+  }
+  return digest;
+}
+
+size_t TableStore::VisibleRowCount(Timestamp ts) const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t->VisibleRowCount(ts);
+  return n;
+}
+
+size_t TableStore::GarbageCollect(Timestamp watermark) {
+  size_t reclaimed = 0;
+  for (const auto& t : tables_) reclaimed += t->GarbageCollect(watermark);
+  return reclaimed;
+}
+
+uint64_t TableStore::Mix(TableId id, uint64_t digest) {
+  // Tag each table's digest with its id so identical contents in different
+  // tables don't cancel under XOR.
+  uint64_t z = digest ^ (static_cast<uint64_t>(id + 1) * 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace aets

@@ -1,0 +1,48 @@
+#ifndef AETS_STORAGE_TABLE_STORE_H_
+#define AETS_STORAGE_TABLE_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "aets/catalog/catalog.h"
+#include "aets/common/clock.h"
+#include "aets/storage/memtable.h"
+
+namespace aets {
+
+/// The set of Memtables for one database instance (primary or backup).
+/// Tables are created eagerly from the catalog so replay never races
+/// table creation.
+class TableStore {
+ public:
+  /// Creates one Memtable per table currently registered in `catalog`.
+  explicit TableStore(const Catalog& catalog);
+
+  TableStore(const TableStore&) = delete;
+  TableStore& operator=(const TableStore&) = delete;
+
+  Memtable* GetTable(TableId id);
+  const Memtable* GetTable(TableId id) const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+  /// XOR-combined digest across all tables at snapshot `ts`.
+  uint64_t DigestAt(Timestamp ts) const;
+
+  /// Total visible rows across all tables at `ts`.
+  size_t VisibleRowCount(Timestamp ts) const;
+
+  /// Runs MVCC garbage collection on every table (see
+  /// Memtable::GarbageCollect). Returns total versions reclaimed.
+  size_t GarbageCollect(Timestamp watermark);
+
+ private:
+  static uint64_t Mix(TableId id, uint64_t digest);
+
+  std::vector<std::unique_ptr<Memtable>> tables_;
+};
+
+}  // namespace aets
+
+#endif  // AETS_STORAGE_TABLE_STORE_H_

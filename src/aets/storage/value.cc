@@ -1,0 +1,12 @@
+#include "aets/storage/value.h"
+
+namespace aets {
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(as_int64());
+  if (is_double()) return std::to_string(as_double());
+  return "\"" + as_string() + "\"";
+}
+
+}  // namespace aets

@@ -1,0 +1,68 @@
+#ifndef AETS_STORAGE_VALUE_H_
+#define AETS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "aets/catalog/schema.h"
+
+namespace aets {
+
+/// A single column value as carried in a value-log entry and stored in the
+/// Memtable's version cells. Monostate represents SQL NULL.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+  explicit Value(const char* v) : repr_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  int64_t as_int64() const { return std::get<int64_t>(repr_); }
+  double as_double() const { return std::get<double>(repr_); }
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+
+  ColumnType type() const {
+    if (is_int64()) return ColumnType::kInt64;
+    if (is_double()) return ColumnType::kDouble;
+    return ColumnType::kString;
+  }
+
+  /// Approximate wire size in bytes; the thread allocator weighs groups by
+  /// un-replayed log bytes.
+  size_t ByteSize() const {
+    if (is_null()) return 1;
+    if (is_string()) return 1 + 4 + as_string().size();
+    return 1 + 8;
+  }
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+/// A (column id, new value) pair — the payload unit of an update log entry.
+struct ColumnValue {
+  ColumnId column_id;
+  Value value;
+
+  bool operator==(const ColumnValue& other) const {
+    return column_id == other.column_id && value == other.value;
+  }
+};
+
+}  // namespace aets
+
+#endif  // AETS_STORAGE_VALUE_H_

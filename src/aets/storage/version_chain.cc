@@ -1,0 +1,88 @@
+#include "aets/storage/version_chain.h"
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+void MemNode::AppendVersion(VersionCell cell) {
+  SpinGuard guard(latch_);
+  AETS_CHECK_MSG(versions_.empty() || versions_.back().commit_ts <= cell.commit_ts,
+                 "version chain must be appended in commit-ts order");
+  versions_.push_back(std::move(cell));
+}
+
+std::optional<Row> MemNode::ReadVisible(Timestamp ts) const {
+  SpinGuard guard(latch_);
+  Row row;
+  bool exists = false;
+  for (const auto& v : versions_) {
+    if (v.commit_ts > ts) break;
+    if (v.is_delete) {
+      row.clear();
+      exists = false;
+      continue;
+    }
+    for (const auto& cv : v.delta) row[cv.column_id] = cv.value;
+    exists = true;
+  }
+  if (!exists) return std::nullopt;
+  return row;
+}
+
+TxnId MemNode::LastWriterTxn() const {
+  SpinGuard guard(latch_);
+  return versions_.empty() ? kInvalidTxnId : versions_.back().txn_id;
+}
+
+Timestamp MemNode::LastCommitTs() const {
+  SpinGuard guard(latch_);
+  return versions_.empty() ? kInvalidTimestamp : versions_.back().commit_ts;
+}
+
+size_t MemNode::NumVersions() const {
+  SpinGuard guard(latch_);
+  return versions_.size();
+}
+
+size_t MemNode::TruncateBefore(Timestamp watermark) {
+  SpinGuard guard(latch_);
+  // Find the newest version with commit_ts <= watermark: the base every
+  // snapshot >= watermark starts from.
+  size_t base = versions_.size();
+  for (size_t i = 0; i < versions_.size(); ++i) {
+    if (versions_[i].commit_ts <= watermark) {
+      base = i;
+    } else {
+      break;
+    }
+  }
+  if (base == versions_.size() || base == 0) return 0;
+
+  // Fold the delta prefix [0, base] into one full-image base version, so a
+  // read at any ts >= versions_[base].commit_ts reconstructs identically.
+  Row folded;
+  bool exists = false;
+  for (size_t i = 0; i <= base; ++i) {
+    if (versions_[i].is_delete) {
+      folded.clear();
+      exists = false;
+      continue;
+    }
+    for (const auto& cv : versions_[i].delta) folded[cv.column_id] = cv.value;
+    exists = true;
+  }
+  VersionCell base_cell;
+  base_cell.commit_ts = versions_[base].commit_ts;
+  base_cell.txn_id = versions_[base].txn_id;
+  base_cell.is_delete = !exists;
+  base_cell.delta.reserve(folded.size());
+  for (auto& [col, value] : folded) {
+    base_cell.delta.push_back(ColumnValue{col, std::move(value)});
+  }
+  size_t reclaimed = base;  // versions [0, base) disappear
+  versions_.erase(versions_.begin(), versions_.begin() + static_cast<ptrdiff_t>(base));
+  versions_.front() = std::move(base_cell);
+  return reclaimed;
+}
+
+}  // namespace aets

@@ -1,0 +1,78 @@
+#ifndef AETS_STORAGE_VERSION_CHAIN_H_
+#define AETS_STORAGE_VERSION_CHAIN_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "aets/common/clock.h"
+#include "aets/common/spin_latch.h"
+#include "aets/log/record.h"
+#include "aets/storage/value.h"
+
+namespace aets {
+
+/// One committed version of a record: the delta written by one transaction.
+/// Inserts carry the full row image; updates carry only the modified columns;
+/// deletes are tombstones.
+struct VersionCell {
+  Timestamp commit_ts = kInvalidTimestamp;
+  TxnId txn_id = kInvalidTxnId;
+  bool is_delete = false;
+  std::vector<ColumnValue> delta;
+};
+
+/// A materialized row at some snapshot: column id -> value.
+using Row = std::map<ColumnId, Value>;
+
+/// A record in the Memtable: row key plus its transactionID-based version
+/// chain (paper Fig. 6). Versions are appended strictly in commit-timestamp
+/// order under the node latch; readers reconstruct the row visible at a
+/// snapshot by folding deltas up to that timestamp.
+class MemNode {
+ public:
+  explicit MemNode(int64_t row_key) : row_key_(row_key) {}
+
+  MemNode(const MemNode&) = delete;
+  MemNode& operator=(const MemNode&) = delete;
+
+  int64_t row_key() const { return row_key_; }
+
+  /// Appends a committed version. Enforces commit-timestamp monotonicity —
+  /// the invariant the commit phase of every replayer must maintain.
+  void AppendVersion(VersionCell cell);
+
+  /// Reconstructs the row visible at `ts` (latest version with
+  /// commit_ts <= ts). Returns nullopt if the row does not exist at `ts`
+  /// (never inserted yet, or deleted).
+  std::optional<Row> ReadVisible(Timestamp ts) const;
+
+  /// The newest committed version's txn id, or kInvalidTxnId when empty.
+  /// ATR's operation-sequence check compares this against the log's
+  /// before-image txn id.
+  TxnId LastWriterTxn() const;
+
+  /// The newest committed version's timestamp.
+  Timestamp LastCommitTs() const;
+
+  size_t NumVersions() const;
+
+  /// Garbage-collects versions no snapshot at or above `watermark` can ever
+  /// read: drops every version older than the newest version with
+  /// commit_ts <= watermark (that one stays as the visible base), after
+  /// folding the dropped delta prefix into it so reconstruction still works.
+  /// Returns the number of versions reclaimed. Reads below the watermark
+  /// afterwards see the folded base instead of history — callers must only
+  /// pass watermarks no reader can still be below.
+  size_t TruncateBefore(Timestamp watermark);
+
+ private:
+  int64_t row_key_;
+  mutable SpinLatch latch_;
+  std::vector<VersionCell> versions_;  // ascending commit_ts
+};
+
+}  // namespace aets
+
+#endif  // AETS_STORAGE_VERSION_CHAIN_H_

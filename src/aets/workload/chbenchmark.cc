@@ -1,0 +1,105 @@
+#include "aets/workload/chbenchmark.h"
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+namespace {
+constexpr ColumnType kI = ColumnType::kInt64;
+constexpr ColumnType kD = ColumnType::kDouble;
+constexpr ColumnType kS = ColumnType::kString;
+}  // namespace
+
+ChBenchmarkWorkload::ChBenchmarkWorkload(TpccConfig config)
+    : tpcc_(std::make_unique<TpccWorkload>(config)) {
+  // Mirror TPC-C's tables into our catalog (same registration order, hence
+  // identical dense table ids), then add the CH-only read-only tables.
+  size_t n = tpcc_->catalog().num_tables();
+  for (size_t i = 0; i < n; ++i) {
+    const TableInfo* info = tpcc_->catalog().GetTable(static_cast<TableId>(i)).value();
+    TableId id = catalog_.RegisterTable(info->name, info->schema).value();
+    AETS_CHECK(id == info->id);
+  }
+  supplier_ = catalog_
+                  .RegisterTable("supplier", Schema::Of({{"su_suppkey", kI},
+                                                         {"su_name", kS},
+                                                         {"su_nationkey", kI},
+                                                         {"su_acctbal", kD}}))
+                  .value();
+  nation_ = catalog_
+                .RegisterTable("nation", Schema::Of({{"n_nationkey", kI},
+                                                     {"n_name", kS},
+                                                     {"n_regionkey", kI}}))
+                .value();
+  region_ = catalog_
+                .RegisterTable("region", Schema::Of({{"r_regionkey", kI},
+                                                     {"r_name", kS}}))
+                .value();
+
+  // The 22 CH-benCHmark queries' table footprints (CH spec; TPC-H query
+  // shapes rewritten over the TPC-C schema).
+  const TableId cu = tpcc_->customer(), no = tpcc_->neworder(),
+                od = tpcc_->orders(), ol = tpcc_->orderline(),
+                it = tpcc_->item(), st = tpcc_->stock(),
+                di = tpcc_->district(), su = supplier_, na = nation_,
+                re = region_;
+  queries_ = {
+      {"Q1", {ol}, 1.0},
+      {"Q2", {it, su, st, na, re}, 1.0},
+      {"Q3", {cu, no, od, ol}, 1.0},
+      {"Q4", {od, ol}, 1.0},
+      {"Q5", {cu, od, ol, st, su, na, re}, 1.0},
+      {"Q6", {ol}, 1.0},
+      {"Q7", {su, st, ol, od, cu, na}, 1.0},
+      {"Q8", {it, su, st, ol, od, cu, na, re}, 1.0},
+      {"Q9", {it, su, st, ol, od, na}, 1.0},
+      {"Q10", {cu, od, ol, na}, 1.0},
+      {"Q11", {su, st, na}, 1.0},
+      {"Q12", {od, ol}, 1.0},
+      {"Q13", {cu, od}, 1.0},
+      {"Q14", {ol, it}, 1.0},
+      {"Q15", {su, st, ol}, 1.0},
+      {"Q16", {it, su, st}, 1.0},
+      {"Q17", {ol, it}, 1.0},
+      {"Q18", {cu, od, ol}, 1.0},
+      {"Q19", {ol, it}, 1.0},
+      {"Q20", {su, na, st, ol, it}, 1.0},
+      {"Q21", {su, ol, od, st, na}, 1.0},
+      {"Q22", {cu, od}, 1.0},
+  };
+  // Silence unused warning for district: it appears only via TPC-C's own
+  // read-only queries, not the CH footprints.
+  (void)di;
+}
+
+void ChBenchmarkWorkload::Load(PrimaryDb* db, Rng* rng) {
+  tpcc_->Load(db, rng);
+  PrimaryTxn txn = db->Begin();
+  for (int64_t r = 1; r <= 5; ++r) {
+    txn.Insert(region_, r, {{0, Value(r)}, {1, Value(rng->AlphaString(6, 12))}});
+  }
+  for (int64_t nkey = 1; nkey <= 25; ++nkey) {
+    txn.Insert(nation_, nkey,
+               {{0, Value(nkey)},
+                {1, Value(rng->AlphaString(6, 12))},
+                {2, Value(rng->UniformInt(1, 5))}});
+  }
+  for (int64_t s = 1; s <= 100; ++s) {
+    txn.Insert(supplier_, s,
+               {{0, Value(s)},
+                {1, Value(rng->AlphaString(8, 16))},
+                {2, Value(rng->UniformInt(1, 25))},
+                {3, Value(rng->UniformDouble() * 10000)}});
+  }
+  AETS_CHECK(db->Commit(std::move(txn)).ok());
+}
+
+Status ChBenchmarkWorkload::RunOltpTransaction(PrimaryDb* db, Rng* rng) {
+  return tpcc_->RunOltpTransaction(db, rng);
+}
+
+std::vector<TableId> ChBenchmarkWorkload::WrittenTables() const {
+  return tpcc_->WrittenTables();
+}
+
+}  // namespace aets

@@ -1,0 +1,54 @@
+#ifndef AETS_WORKLOAD_CHBENCHMARK_H_
+#define AETS_WORKLOAD_CHBENCHMARK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aets/workload/tpcc.h"
+#include "aets/workload/workload.h"
+
+namespace aets {
+
+/// CH-benCHmark: the TPC-C transaction mix as the OLTP side plus the 22
+/// TPC-H-derived analytic queries. The catalog is TPC-C's nine tables plus
+/// the three CH additions (supplier, nation, region), which are read-only.
+/// Each analytic query's footprint is the set of tables it joins, taken
+/// from the CH-benCHmark specification; that footprint is what Algorithm 3
+/// waits on and what Fig. 10 measures per query.
+class ChBenchmarkWorkload : public Workload {
+ public:
+  explicit ChBenchmarkWorkload(TpccConfig config = TpccConfig());
+
+  std::string name() const override { return "CH-benCHmark"; }
+  const Catalog& catalog() const override { return catalog_; }
+  void Load(PrimaryDb* db, Rng* rng) override;
+  Status RunOltpTransaction(PrimaryDb* db, Rng* rng) override;
+  const std::vector<AnalyticQuery>& analytic_queries() const override {
+    return queries_;
+  }
+  std::vector<TableId> WrittenTables() const override;
+
+  /// Per-table groups (paper Section VI-A: "each table is assigned to its
+  /// own group" for CH-benCHmark) is the default — no hot groups declared.
+  std::vector<std::vector<TableId>> DefaultHotGroups() const override {
+    return {};
+  }
+
+  const TpccWorkload& tpcc() const { return *tpcc_; }
+  TableId supplier() const { return supplier_; }
+  TableId nation() const { return nation_; }
+  TableId region() const { return region_; }
+
+ private:
+  /// TPC-C embedded with its catalog replaced by ours (same dense ids for
+  /// the shared tables, registered first).
+  std::unique_ptr<TpccWorkload> tpcc_;
+  Catalog catalog_;
+  std::vector<AnalyticQuery> queries_;
+  TableId supplier_, nation_, region_;
+};
+
+}  // namespace aets
+
+#endif  // AETS_WORKLOAD_CHBENCHMARK_H_

@@ -1,0 +1,70 @@
+#include "aets/workload/query_exec.h"
+
+#include <cmath>
+
+namespace aets {
+
+namespace {
+
+// order_line column ids (see TpccWorkload's schema registration).
+constexpr ColumnId kOlNumber = 1;
+constexpr ColumnId kOlQuantity = 4;
+constexpr ColumnId kOlAmount = 5;
+constexpr ColumnId kOlDeliveryD = 6;
+
+int64_t IntCol(const Row& row, ColumnId col, int64_t fallback = 0) {
+  auto it = row.find(col);
+  return it != row.end() && it->second.is_int64() ? it->second.as_int64()
+                                                  : fallback;
+}
+
+double DoubleCol(const Row& row, ColumnId col, double fallback = 0) {
+  auto it = row.find(col);
+  return it != row.end() && it->second.is_double() ? it->second.as_double()
+                                                   : fallback;
+}
+
+}  // namespace
+
+ChQueryExecutor::Q1Result ChQueryExecutor::RunQ1(
+    Timestamp snapshot, int64_t delivery_cutoff) const {
+  Q1Result result;
+  const Memtable* order_line = store_->GetTable(workload_->tpcc().orderline());
+  order_line->ScanVisible(snapshot, [&](int64_t, const Row& row) {
+    if (IntCol(row, kOlDeliveryD) > delivery_cutoff) return true;
+    Q1Row& agg = result[IntCol(row, kOlNumber)];
+    agg.count += 1;
+    agg.sum_quantity += IntCol(row, kOlQuantity);
+    agg.sum_amount += DoubleCol(row, kOlAmount);
+    return true;
+  });
+  return result;
+}
+
+ChQueryExecutor::Q6Result ChQueryExecutor::RunQ6(Timestamp snapshot,
+                                                 int64_t qty_lo,
+                                                 int64_t qty_hi) const {
+  Q6Result result;
+  const Memtable* order_line = store_->GetTable(workload_->tpcc().orderline());
+  order_line->ScanVisible(snapshot, [&](int64_t, const Row& row) {
+    int64_t quantity = IntCol(row, kOlQuantity);
+    if (quantity < qty_lo || quantity > qty_hi) return true;
+    result.lines += 1;
+    result.revenue += DoubleCol(row, kOlAmount);
+    return true;
+  });
+  return result;
+}
+
+bool operator==(const ChQueryExecutor::Q1Row& a,
+                const ChQueryExecutor::Q1Row& b) {
+  return a.count == b.count && a.sum_quantity == b.sum_quantity &&
+         std::abs(a.sum_amount - b.sum_amount) < 1e-6;
+}
+
+bool operator==(const ChQueryExecutor::Q6Result& a,
+                const ChQueryExecutor::Q6Result& b) {
+  return a.lines == b.lines && std::abs(a.revenue - b.revenue) < 1e-6;
+}
+
+}  // namespace aets

@@ -1,0 +1,56 @@
+#ifndef AETS_WORKLOAD_QUERY_EXEC_H_
+#define AETS_WORKLOAD_QUERY_EXEC_H_
+
+#include <cstdint>
+#include <map>
+
+#include "aets/common/clock.h"
+#include "aets/storage/table_store.h"
+#include "aets/workload/chbenchmark.h"
+
+namespace aets {
+
+/// Minimal analytic executors for representative CH-benCHmark queries,
+/// evaluated over an MVCC snapshot of any store (primary or backup). The
+/// examples and tests run them against the backup after Algorithm 3's wait
+/// and cross-check the result against the primary at the same snapshot —
+/// end-to-end proof that prioritized replay serves *consistent* answers,
+/// not just timestamps.
+class ChQueryExecutor {
+ public:
+  /// CH Q1 (pricing summary over order_line): per ol_number, the count of
+  /// lines and sums of quantity and amount, for lines with
+  /// ol_delivery_d <= delivery_cutoff (0 = undelivered lines excluded when
+  /// cutoff < 0... pass INT64_MAX for all).
+  struct Q1Row {
+    uint64_t count = 0;
+    int64_t sum_quantity = 0;
+    double sum_amount = 0;
+  };
+  using Q1Result = std::map<int64_t, Q1Row>;  // keyed by ol_number
+
+  /// CH Q6 (revenue forecast): total ol_amount over lines with quantity in
+  /// [qty_lo, qty_hi].
+  struct Q6Result {
+    uint64_t lines = 0;
+    double revenue = 0;
+  };
+
+  ChQueryExecutor(const ChBenchmarkWorkload* workload, const TableStore* store)
+      : workload_(workload), store_(store) {}
+
+  Q1Result RunQ1(Timestamp snapshot, int64_t delivery_cutoff) const;
+  Q6Result RunQ6(Timestamp snapshot, int64_t qty_lo, int64_t qty_hi) const;
+
+ private:
+  const ChBenchmarkWorkload* workload_;
+  const TableStore* store_;
+};
+
+bool operator==(const ChQueryExecutor::Q1Row& a, const ChQueryExecutor::Q1Row& b);
+bool operator==(const ChQueryExecutor::Q6Result& a,
+                const ChQueryExecutor::Q6Result& b);
+
+}  // namespace aets
+
+#endif  // AETS_WORKLOAD_QUERY_EXEC_H_

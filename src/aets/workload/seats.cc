@@ -1,0 +1,106 @@
+#include "aets/workload/seats.h"
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+namespace {
+constexpr ColumnType kI = ColumnType::kInt64;
+constexpr ColumnType kD = ColumnType::kDouble;
+constexpr ColumnType kS = ColumnType::kString;
+}  // namespace
+
+SeatsWorkload::SeatsWorkload(SeatsConfig config) : config_(config) {
+  Schema generic = Schema::Of(
+      {{"id", kI}, {"ref_id", kI}, {"value", kD}, {"info", kS}});
+  country_ = catalog_.RegisterTable("country", generic).value();
+  airport_ = catalog_.RegisterTable("airport", generic).value();
+  airport_distance_ = catalog_.RegisterTable("airport_distance", generic).value();
+  airline_ = catalog_.RegisterTable("airline", generic).value();
+  customer_ = catalog_.RegisterTable("customer", generic).value();
+  frequent_flyer_ = catalog_.RegisterTable("frequent_flyer", generic).value();
+  flight_ = catalog_.RegisterTable("flight", generic).value();
+  reservation_ = catalog_.RegisterTable("reservation", generic).value();
+  config_profile_ = catalog_.RegisterTable("config_profile", generic).value();
+  config_histograms_ = catalog_.RegisterTable("config_histograms", generic).value();
+
+  queries_ = {
+      {"FindFlights",
+       {airport_, airport_distance_, flight_, airline_, country_},
+       1.0},
+      {"CustomerLookup", {customer_, config_profile_}, 1.0},
+      {"SystemStats", {config_histograms_, flight_}, 1.0},
+  };
+}
+
+std::vector<TableId> SeatsWorkload::WrittenTables() const {
+  return {customer_, frequent_flyer_, flight_, reservation_};
+}
+
+void SeatsWorkload::Load(PrimaryDb* db, Rng* rng) {
+  PrimaryTxn txn = db->Begin();
+  auto insert_rows = [&](TableId table, int n) {
+    for (int64_t r = 1; r <= n; ++r) {
+      txn.Insert(table, r,
+                 {{0, Value(r)},
+                  {1, Value(rng->UniformInt(1, 100))},
+                  {2, Value(rng->UniformDouble() * 100)},
+                  {3, Value(rng->AlphaString(8, 20))}});
+      if (txn.num_writes() >= 256) {
+        AETS_CHECK(db->Commit(std::move(txn)).ok());
+        txn = db->Begin();
+      }
+    }
+  };
+  insert_rows(country_, 50);
+  insert_rows(airport_, config_.airports);
+  insert_rows(airport_distance_, config_.airports * 4);
+  insert_rows(airline_, 30);
+  insert_rows(customer_, config_.customers);
+  insert_rows(frequent_flyer_, config_.customers / 2);
+  insert_rows(flight_, config_.flights);
+  insert_rows(config_profile_, 10);
+  insert_rows(config_histograms_, 10);
+  if (txn.num_writes() > 0) AETS_CHECK(db->Commit(std::move(txn)).ok());
+}
+
+Status SeatsWorkload::RunOltpTransaction(PrimaryDb* db, Rng* rng) {
+  // Mix tuned so flight+customer (the analytic-and-written tables) receive
+  // ~38-40% of the DML entries, matching Table I's SEATS row.
+  double draw = rng->UniformDouble();
+  PrimaryTxn txn = db->Begin();
+  if (draw < 0.24) {
+    // NewReservation: insert reservation, take a seat, charge the customer.
+    txn.Insert(reservation_, next_reservation_.fetch_add(1),
+               {{0, Value(next_reservation_.load())},
+                {1, Value(rng->UniformInt(1, config_.flights))},
+                {2, Value(rng->UniformDouble() * 500)},
+                {3, Value(rng->AlphaString(8, 16))}});
+    txn.Update(flight_, rng->UniformInt(1, config_.flights),
+               {{1, Value(rng->UniformInt(0, 150))}});
+    txn.Update(customer_, rng->UniformInt(1, config_.customers),
+               {{2, Value(rng->UniformDouble() * 1000)}});
+  } else if (draw < 0.34) {
+    // UpdateCustomer: profile + frequent-flyer status.
+    txn.Update(customer_, rng->UniformInt(1, config_.customers),
+               {{3, Value(rng->AlphaString(8, 20))}});
+    txn.Update(frequent_flyer_, rng->UniformInt(1, config_.customers / 2),
+               {{1, Value(rng->UniformInt(1, 100))}});
+  } else if (draw < 0.84) {
+    // UpdateReservation: seat change only.
+    txn.Update(reservation_,
+               rng->UniformInt(1, std::max<int64_t>(1, next_reservation_.load() - 1)),
+               {{2, Value(rng->UniformDouble() * 500)}});
+  } else {
+    // DeleteReservation: refund path.
+    txn.Delete(reservation_,
+               rng->UniformInt(1, std::max<int64_t>(1, next_reservation_.load() - 1)));
+    txn.Update(customer_, rng->UniformInt(1, config_.customers),
+               {{2, Value(rng->UniformDouble() * 1000)}});
+    txn.Update(frequent_flyer_, rng->UniformInt(1, config_.customers / 2),
+               {{1, Value(rng->UniformInt(1, 100))}});
+  }
+  return db->Commit(std::move(txn)).status();
+}
+
+}  // namespace aets

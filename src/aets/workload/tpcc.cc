@@ -1,0 +1,324 @@
+#include "aets/workload/tpcc.h"
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+namespace {
+
+constexpr ColumnType kI = ColumnType::kInt64;
+constexpr ColumnType kD = ColumnType::kDouble;
+constexpr ColumnType kS = ColumnType::kString;
+
+uint64_t MixKey(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+TpccWorkload::TpccWorkload(TpccConfig config) : config_(config) {
+  AETS_CHECK(config_.warehouses >= 1 && config_.items >= 10 &&
+             config_.customers_per_district >= 1);
+  warehouse_ = catalog_
+                   .RegisterTable("warehouse", Schema::Of({{"w_id", kI},
+                                                           {"w_name", kS},
+                                                           {"w_tax", kD},
+                                                           {"w_ytd", kD}}))
+                   .value();
+  district_ = catalog_
+                  .RegisterTable("district", Schema::Of({{"d_id", kI},
+                                                         {"d_w_id", kI},
+                                                         {"d_name", kS},
+                                                         {"d_tax", kD},
+                                                         {"d_ytd", kD},
+                                                         {"d_next_o_id", kI}}))
+                  .value();
+  customer_ = catalog_
+                  .RegisterTable("customer",
+                                 Schema::Of({{"c_id", kI},
+                                             {"c_name", kS},
+                                             {"c_credit", kS},
+                                             {"c_balance", kD},
+                                             {"c_payment_cnt", kI},
+                                             {"c_delivery_cnt", kI},
+                                             {"c_data", kS}}))
+                  .value();
+  history_ = catalog_
+                 .RegisterTable("history", Schema::Of({{"h_c_id", kI},
+                                                       {"h_d_id", kI},
+                                                       {"h_w_id", kI},
+                                                       {"h_date", kI},
+                                                       {"h_amount", kD}}))
+                 .value();
+  neworder_ = catalog_
+                  .RegisterTable("new_order", Schema::Of({{"no_o_id", kI},
+                                                          {"no_d_id", kI},
+                                                          {"no_w_id", kI}}))
+                  .value();
+  orders_ = catalog_
+                .RegisterTable("orders", Schema::Of({{"o_id", kI},
+                                                     {"o_c_id", kI},
+                                                     {"o_carrier_id", kI},
+                                                     {"o_ol_cnt", kI},
+                                                     {"o_entry_d", kI}}))
+                .value();
+  orderline_ = catalog_
+                   .RegisterTable("order_line",
+                                  Schema::Of({{"ol_o_id", kI},
+                                              {"ol_number", kI},
+                                              {"ol_i_id", kI},
+                                              {"ol_supply_w_id", kI},
+                                              {"ol_quantity", kI},
+                                              {"ol_amount", kD},
+                                              {"ol_delivery_d", kI},
+                                              {"ol_dist_info", kS}}))
+                   .value();
+  item_ = catalog_
+              .RegisterTable("item", Schema::Of({{"i_id", kI},
+                                                 {"i_name", kS},
+                                                 {"i_price", kD},
+                                                 {"i_data", kS}}))
+              .value();
+  stock_ = catalog_
+               .RegisterTable("stock", Schema::Of({{"s_i_id", kI},
+                                                   {"s_w_id", kI},
+                                                   {"s_quantity", kI},
+                                                   {"s_ytd", kD},
+                                                   {"s_order_cnt", kI},
+                                                   {"s_data", kS}}))
+               .value();
+
+  // Read-only transactions as analytic queries (paper Table I: "we regard
+  // the read-only transactions such as StockLevel and OrderStatus as
+  // logical analytical queries").
+  queries_ = {
+      AnalyticQuery{"OrderStatus", {customer_, orders_, orderline_}, 1.0},
+      AnalyticQuery{"StockLevel", {district_, orderline_, stock_}, 1.0},
+  };
+
+  int districts = config_.warehouses * 10;
+  next_o_id_ = std::vector<std::atomic<int64_t>>(districts);
+  next_delivery_o_id_ = std::vector<std::atomic<int64_t>>(districts);
+  for (int i = 0; i < districts; ++i) {
+    next_o_id_[i].store(config_.init_orders_per_district + 1);
+    next_delivery_o_id_[i].store(1);
+  }
+}
+
+std::vector<std::vector<TableId>> TpccWorkload::DefaultHotGroups() const {
+  // Paper Section VI-A: one group of {district, stock, customer, orders} and
+  // one group of {order_line} (accessed at twice the rate).
+  return {{district_, stock_, customer_, orders_}, {orderline_}};
+}
+
+std::vector<TableId> TpccWorkload::WrittenTables() const {
+  return {warehouse_, district_, customer_, history_,
+          neworder_,  orders_,   orderline_, stock_};
+}
+
+int TpccWorkload::OrderLineCount(int w, int d, int64_t o) const {
+  uint64_t h = MixKey(static_cast<uint64_t>(OrderKey(w, d, o)));
+  return 5 + static_cast<int>(h % 11);  // [5, 15]
+}
+
+void TpccWorkload::Load(PrimaryDb* db, Rng* rng) {
+  // Items (shared across warehouses).
+  {
+    PrimaryTxn txn = db->Begin();
+    for (int64_t i = 1; i <= config_.items; ++i) {
+      txn.Insert(item_, i,
+                 {{0, Value(i)},
+                  {1, Value(rng->AlphaString(8, 16))},
+                  {2, Value(rng->UniformDouble() * 100 + 1)},
+                  {3, Value(rng->AlphaString(16, 32))}});
+      if (txn.num_writes() >= 256) {
+        AETS_CHECK(db->Commit(std::move(txn)).ok());
+        txn = db->Begin();
+      }
+    }
+    if (txn.num_writes() > 0) AETS_CHECK(db->Commit(std::move(txn)).ok());
+  }
+
+  for (int w = 1; w <= config_.warehouses; ++w) {
+    PrimaryTxn txn = db->Begin();
+    txn.Insert(warehouse_, w,
+               {{0, Value(static_cast<int64_t>(w))},
+                {1, Value(rng->AlphaString(6, 10))},
+                {2, Value(rng->UniformDouble() * 0.2)},
+                {3, Value(300000.0)}});
+    for (int64_t i = 1; i <= config_.items; ++i) {
+      txn.Insert(stock_, StockKey(w, i),
+                 {{0, Value(i)},
+                  {1, Value(static_cast<int64_t>(w))},
+                  {2, Value(rng->UniformInt(10, 100))},
+                  {3, Value(0.0)},
+                  {4, Value(static_cast<int64_t>(0))},
+                  {5, Value(rng->AlphaString(16, 32))}});
+      if (txn.num_writes() >= 256) {
+        AETS_CHECK(db->Commit(std::move(txn)).ok());
+        txn = db->Begin();
+      }
+    }
+    for (int d = 1; d <= 10; ++d) {
+      txn.Insert(district_, DistrictKey(w, d),
+                 {{0, Value(static_cast<int64_t>(d))},
+                  {1, Value(static_cast<int64_t>(w))},
+                  {2, Value(rng->AlphaString(6, 10))},
+                  {3, Value(rng->UniformDouble() * 0.2)},
+                  {4, Value(30000.0)},
+                  {5, Value(static_cast<int64_t>(config_.init_orders_per_district + 1))}});
+      for (int c = 1; c <= config_.customers_per_district; ++c) {
+        txn.Insert(customer_, CustomerKey(w, d, c),
+                   {{0, Value(static_cast<int64_t>(c))},
+                    {1, Value(rng->AlphaString(8, 16))},
+                    {2, Value(rng->Bernoulli(0.1) ? "BC" : "GC")},
+                    {3, Value(-10.0)},
+                    {4, Value(static_cast<int64_t>(1))},
+                    {5, Value(static_cast<int64_t>(0))},
+                    {6, Value(rng->AlphaString(32, 64))}});
+        if (txn.num_writes() >= 256) {
+          AETS_CHECK(db->Commit(std::move(txn)).ok());
+          txn = db->Begin();
+        }
+      }
+      // A small backlog of undelivered initial orders.
+      for (int64_t o = 1; o <= config_.init_orders_per_district; ++o) {
+        int ol_cnt = OrderLineCount(w, d, o);
+        int64_t c = rng->UniformInt(1, config_.customers_per_district);
+        txn.Insert(orders_, OrderKey(w, d, o),
+                   {{0, Value(o)},
+                    {1, Value(c)},
+                    {2, Value(static_cast<int64_t>(0))},
+                    {3, Value(static_cast<int64_t>(ol_cnt))},
+                    {4, Value(static_cast<int64_t>(0))}});
+        txn.Insert(neworder_, OrderKey(w, d, o),
+                   {{0, Value(o)},
+                    {1, Value(static_cast<int64_t>(d))},
+                    {2, Value(static_cast<int64_t>(w))}});
+        for (int ol = 1; ol <= ol_cnt; ++ol) {
+          txn.Insert(orderline_, OrderLineKey(w, d, o, ol),
+                     {{0, Value(o)},
+                      {1, Value(static_cast<int64_t>(ol))},
+                      {2, Value(rng->UniformInt(1, config_.items))},
+                      {3, Value(static_cast<int64_t>(w))},
+                      {4, Value(rng->UniformInt(1, 10))},
+                      {5, Value(rng->UniformDouble() * 100)},
+                      {6, Value(static_cast<int64_t>(0))},
+                      {7, Value(rng->AlphaString(24, 24))}});
+        }
+        if (txn.num_writes() >= 256) {
+          AETS_CHECK(db->Commit(std::move(txn)).ok());
+          txn = db->Begin();
+        }
+      }
+    }
+    if (txn.num_writes() > 0) AETS_CHECK(db->Commit(std::move(txn)).ok());
+  }
+}
+
+Status TpccWorkload::RunOltpTransaction(PrimaryDb* db, Rng* rng) {
+  double total = config_.new_order_weight + config_.payment_weight +
+                 config_.delivery_weight;
+  double draw = rng->UniformDouble() * total;
+  if (draw < config_.new_order_weight) return RunNewOrder(db, rng);
+  if (draw < config_.new_order_weight + config_.payment_weight) {
+    return RunPayment(db, rng);
+  }
+  return RunDelivery(db, rng);
+}
+
+Status TpccWorkload::RunNewOrder(PrimaryDb* db, Rng* rng) {
+  int w = static_cast<int>(rng->UniformInt(1, config_.warehouses));
+  int d = static_cast<int>(rng->UniformInt(1, 10));
+  int64_t c = rng->NuRand(1023, 1, config_.customers_per_district);
+  int64_t o = next_o_id_[DistrictIndex(w, d)].fetch_add(1);
+  int ol_cnt = OrderLineCount(w, d, o);
+
+  PrimaryTxn txn = db->Begin();
+  txn.Update(district_, DistrictKey(w, d), {{5, Value(o + 1)}});
+  txn.Insert(orders_, OrderKey(w, d, o),
+             {{0, Value(o)},
+              {1, Value(c)},
+              {2, Value(static_cast<int64_t>(0))},
+              {3, Value(static_cast<int64_t>(ol_cnt))},
+              {4, Value(static_cast<int64_t>(MonotonicMicros()))}});
+  txn.Insert(neworder_, OrderKey(w, d, o),
+             {{0, Value(o)},
+              {1, Value(static_cast<int64_t>(d))},
+              {2, Value(static_cast<int64_t>(w))}});
+  for (int ol = 1; ol <= ol_cnt; ++ol) {
+    int64_t i = rng->NuRand(8191, 1, config_.items);
+    int supply_w = rng->Bernoulli(0.99) || config_.warehouses == 1
+                       ? w
+                       : static_cast<int>(rng->UniformInt(1, config_.warehouses));
+    int64_t qty = rng->UniformInt(1, 10);
+    txn.Update(stock_, StockKey(supply_w, i),
+               {{2, Value(rng->UniformInt(10, 100))},
+                {3, Value(rng->UniformDouble() * 1000)},
+                {4, Value(static_cast<int64_t>(o))}});
+    txn.Insert(orderline_, OrderLineKey(w, d, o, ol),
+               {{0, Value(o)},
+                {1, Value(static_cast<int64_t>(ol))},
+                {2, Value(i)},
+                {3, Value(static_cast<int64_t>(supply_w))},
+                {4, Value(qty)},
+                {5, Value(static_cast<double>(qty) * rng->UniformDouble() * 100)},
+                {6, Value(static_cast<int64_t>(0))},
+                {7, Value(rng->AlphaString(24, 24))}});
+  }
+  return db->Commit(std::move(txn)).status();
+}
+
+Status TpccWorkload::RunPayment(PrimaryDb* db, Rng* rng) {
+  int w = static_cast<int>(rng->UniformInt(1, config_.warehouses));
+  int d = static_cast<int>(rng->UniformInt(1, 10));
+  int64_t c = rng->NuRand(1023, 1, config_.customers_per_district);
+  double amount = rng->UniformDouble() * 4999 + 1;
+
+  PrimaryTxn txn = db->Begin();
+  txn.Update(warehouse_, w, {{3, Value(amount)}});
+  txn.Update(district_, DistrictKey(w, d), {{4, Value(amount)}});
+  txn.Update(customer_, CustomerKey(w, d, c),
+             {{3, Value(-amount)}, {4, Value(rng->UniformInt(1, 100))}});
+  txn.Insert(history_, next_history_id_.fetch_add(1),
+             {{0, Value(c)},
+              {1, Value(static_cast<int64_t>(d))},
+              {2, Value(static_cast<int64_t>(w))},
+              {3, Value(static_cast<int64_t>(MonotonicMicros()))},
+              {4, Value(amount)}});
+  return db->Commit(std::move(txn)).status();
+}
+
+Status TpccWorkload::RunDelivery(PrimaryDb* db, Rng* rng) {
+  int w = static_cast<int>(rng->UniformInt(1, config_.warehouses));
+  int64_t carrier = rng->UniformInt(1, 10);
+
+  PrimaryTxn txn = db->Begin();
+  for (int d = 1; d <= 10; ++d) {
+    int idx = DistrictIndex(w, d);
+    int64_t o = next_delivery_o_id_[idx].load(std::memory_order_relaxed);
+    if (o >= next_o_id_[idx].load(std::memory_order_relaxed)) continue;
+    next_delivery_o_id_[idx].fetch_add(1);
+    int ol_cnt = OrderLineCount(w, d, o);
+    txn.Delete(neworder_, OrderKey(w, d, o));
+    txn.Update(orders_, OrderKey(w, d, o), {{2, Value(carrier)}});
+    for (int ol = 1; ol <= ol_cnt; ++ol) {
+      txn.Update(orderline_, OrderLineKey(w, d, o, ol),
+                 {{6, Value(static_cast<int64_t>(MonotonicMicros()))}});
+    }
+    int64_t c = rng->UniformInt(1, config_.customers_per_district);
+    txn.Update(customer_, CustomerKey(w, d, c),
+               {{3, Value(rng->UniformDouble() * 100)},
+                {5, Value(rng->UniformInt(1, 50))}});
+  }
+  if (txn.num_writes() == 0) {
+    // Nothing to deliver in any district; fall back to a payment so the
+    // driver always makes progress.
+    return RunPayment(db, rng);
+  }
+  return db->Commit(std::move(txn)).status();
+}
+
+}  // namespace aets

@@ -1,0 +1,41 @@
+#include "aets/workload/workload.h"
+
+#include <algorithm>
+#include <set>
+
+namespace aets {
+
+size_t Workload::SampleQuery(Rng* rng, double /*phase01*/) const {
+  const auto& queries = analytic_queries();
+  double total = 0;
+  for (const auto& q : queries) total += q.weight;
+  double draw = rng->UniformDouble() * total;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    draw -= queries[i].weight;
+    if (draw <= 0) return i;
+  }
+  return queries.size() - 1;
+}
+
+std::vector<TableId> Workload::AccessedTables() const {
+  std::set<TableId> tables;
+  for (const auto& q : analytic_queries()) {
+    tables.insert(q.tables.begin(), q.tables.end());
+  }
+  return std::vector<TableId>(tables.begin(), tables.end());
+}
+
+std::vector<TableId> Workload::HotTables() const {
+  std::vector<TableId> accessed = AccessedTables();
+  std::vector<TableId> written = WrittenTables();
+  std::sort(written.begin(), written.end());
+  std::vector<TableId> hot;
+  for (TableId t : accessed) {
+    if (std::binary_search(written.begin(), written.end(), t)) {
+      hot.push_back(t);
+    }
+  }
+  return hot;
+}
+
+}  // namespace aets

@@ -1,0 +1,66 @@
+#ifndef AETS_WORKLOAD_WORKLOAD_H_
+#define AETS_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aets/catalog/catalog.h"
+#include "aets/common/rng.h"
+#include "aets/common/status.h"
+#include "aets/primary/primary_db.h"
+
+namespace aets {
+
+/// A read-only analytic query template: the tables it accesses (what
+/// Algorithm 3 waits on) and a relative issue weight.
+struct AnalyticQuery {
+  std::string name;
+  std::vector<TableId> tables;
+  double weight = 1.0;
+};
+
+/// An HTAP workload: an OLTP transaction mix executed on the primary plus a
+/// set of analytic query templates issued against the backup. Concrete
+/// workloads: TPC-C, CH-benCHmark, BusTracker, SEATS.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual const Catalog& catalog() const = 0;
+
+  /// Populates initial data on the primary (a scaled-down load phase).
+  virtual void Load(PrimaryDb* db, Rng* rng) = 0;
+
+  /// Executes one transaction from the OLTP mix.
+  virtual Status RunOltpTransaction(PrimaryDb* db, Rng* rng) = 0;
+
+  /// The analytic query templates.
+  virtual const std::vector<AnalyticQuery>& analytic_queries() const = 0;
+
+  /// Samples the next analytic query index. `phase01` in [0,1) positions the
+  /// draw within the workload's time horizon, letting workloads with
+  /// time-varying access patterns (BusTracker) shift their mix.
+  virtual size_t SampleQuery(Rng* rng, double phase01) const;
+
+  /// The paper's table-group configuration for this workload (hot groups;
+  /// remaining tables are singleton cold groups). Empty = group per table.
+  virtual std::vector<std::vector<TableId>> DefaultHotGroups() const {
+    return {};
+  }
+
+  /// Tables written by the OLTP mix (num(T) of Table I).
+  virtual std::vector<TableId> WrittenTables() const = 0;
+
+  /// Union of tables accessed by the analytic queries (num(A) of Table I).
+  std::vector<TableId> AccessedTables() const;
+
+  /// AccessedTables intersected with WrittenTables — the hot tables whose
+  /// log share is Table I's "ratio" column.
+  std::vector<TableId> HotTables() const;
+};
+
+}  // namespace aets
+
+#endif  // AETS_WORKLOAD_WORKLOAD_H_

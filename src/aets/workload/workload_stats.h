@@ -1,0 +1,36 @@
+#ifndef AETS_WORKLOAD_WORKLOAD_STATS_H_
+#define AETS_WORKLOAD_WORKLOAD_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "aets/workload/workload.h"
+
+namespace aets {
+
+/// The Table I characterization of one benchmark: how many tables OLTP
+/// writes, how many OLAP reads, their intersection, and the fraction of log
+/// entries that land in the intersection (the hot-log ratio).
+struct WorkloadStats {
+  std::string benchmark;
+  size_t num_written_tables = 0;   // num(T)
+  size_t num_accessed_tables = 0;  // num(A)
+  size_t num_hot_tables = 0;       // num(A ∩ T)
+  double hot_log_ratio = 0;        // ratio
+};
+
+/// Runs `num_txns` of the workload's OLTP mix on a fresh primary (after the
+/// load phase, whose log entries are excluded) and measures Table I's
+/// statistics from the produced value log.
+WorkloadStats MeasureWorkloadStats(Workload* workload, uint64_t num_txns,
+                                   uint64_t seed = 11);
+
+/// Per-query variant for CH-benCHmark's Table I block: the ratio of log
+/// entries in `query_tables ∩ written`.
+double HotRatioForTables(Workload* workload, uint64_t num_txns,
+                         const std::vector<TableId>& query_tables,
+                         uint64_t seed = 11);
+
+}  // namespace aets
+
+#endif  // AETS_WORKLOAD_WORKLOAD_STATS_H_

@@ -1,0 +1,209 @@
+// Adaptive thread allocation (paper Section IV-B) and DBSCAN/grouping tests.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "aets/common/rng.h"
+#include "aets/predictor/dbscan.h"
+#include "aets/replay/table_group.h"
+#include "aets/replay/thread_allocator.h"
+
+namespace aets {
+namespace {
+
+TEST(UrgencyFactorTest, LogDamped) {
+  EXPECT_DOUBLE_EQ(UrgencyFactor(0), 1.0);      // no accesses -> lambda 1
+  EXPECT_DOUBLE_EQ(UrgencyFactor(1), 1.0);
+  EXPECT_DOUBLE_EQ(UrgencyFactor(10), 2.0);
+  EXPECT_DOUBLE_EQ(UrgencyFactor(1000), 4.0);   // paper: log(10^3)=3 (+1 here)
+}
+
+TEST(AllocateThreadsTest, ConservesTotal) {
+  std::vector<GroupDemand> demands = {{100, 0}, {300, 10}, {50, 1000}};
+  auto alloc = AllocateThreads(demands, 8, true);
+  EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0), 8);
+}
+
+TEST(AllocateThreadsTest, ZeroDemandGetsNothing) {
+  std::vector<GroupDemand> demands = {{0, 500}, {100, 1}};
+  auto alloc = AllocateThreads(demands, 4, true);
+  EXPECT_EQ(alloc[0], 0);
+  EXPECT_EQ(alloc[1], 4);
+}
+
+TEST(AllocateThreadsTest, EmptyOrNoWork) {
+  EXPECT_TRUE(AllocateThreads({}, 4, true).empty());
+  auto alloc = AllocateThreads({{0, 0}, {0, 0}}, 4, true);
+  EXPECT_EQ(alloc, (std::vector<int>{0, 0}));
+  EXPECT_EQ(AllocateThreads({{10, 0}}, 0, true), (std::vector<int>{0}));
+}
+
+TEST(AllocateThreadsTest, ProportionalToBytesWithoutRates) {
+  std::vector<GroupDemand> demands = {{100, 0}, {300, 0}};
+  auto alloc = AllocateThreads(demands, 8, false);
+  EXPECT_EQ(alloc[0], 2);
+  EXPECT_EQ(alloc[1], 6);
+}
+
+TEST(AllocateThreadsTest, AccessRateShiftsThreads) {
+  // Equal bytes; one group with a 1000x access rate gets lambda 4 vs 1.
+  std::vector<GroupDemand> demands = {{100, 1}, {100, 1000}};
+  auto with_rate = AllocateThreads(demands, 10, true);
+  EXPECT_GT(with_rate[1], with_rate[0]);
+  EXPECT_EQ(with_rate[0] + with_rate[1], 10);
+  // NOAC splits evenly.
+  auto without = AllocateThreads(demands, 10, false);
+  EXPECT_EQ(without[0], 5);
+  EXPECT_EQ(without[1], 5);
+}
+
+TEST(AllocateThreadsTest, EveryNonEmptyGroupProgresses) {
+  // 3 groups, one huge: smaller groups still get their 1 thread.
+  std::vector<GroupDemand> demands = {{1'000'000, 100}, {10, 0}, {10, 0}};
+  auto alloc = AllocateThreads(demands, 6, true);
+  EXPECT_GE(alloc[1], 1);
+  EXPECT_GE(alloc[2], 1);
+  EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0), 6);
+}
+
+TEST(AllocateThreadsTest, MoreGroupsThanThreads) {
+  std::vector<GroupDemand> demands(10, GroupDemand{100, 1});
+  auto alloc = AllocateThreads(demands, 4, true);
+  EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0), 4);
+  for (int a : alloc) EXPECT_GE(a, 0);
+}
+
+// Property sweep: allocation conserves the total and never gives threads to
+// empty groups, across random demand vectors.
+class AllocatorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(AllocatorPropertyTest, Invariants) {
+  auto [seed, total] = GetParam();
+  Rng rng(seed);
+  for (int round = 0; round < 200; ++round) {
+    int n = static_cast<int>(rng.UniformInt(1, 12));
+    std::vector<GroupDemand> demands;
+    bool any = false;
+    for (int i = 0; i < n; ++i) {
+      double bytes = rng.Bernoulli(0.25)
+                         ? 0
+                         : static_cast<double>(rng.UniformInt(1, 1'000'000));
+      double rate = rng.Bernoulli(0.5)
+                        ? 0
+                        : static_cast<double>(rng.UniformInt(1, 100'000));
+      any = any || bytes > 0;
+      demands.push_back({bytes, rate});
+    }
+    auto alloc = AllocateThreads(demands, total, rng.Bernoulli(0.5));
+    int sum = std::accumulate(alloc.begin(), alloc.end(), 0);
+    if (any) {
+      EXPECT_EQ(sum, total);
+    } else {
+      EXPECT_EQ(sum, 0);
+    }
+    for (int i = 0; i < n; ++i) {
+      if (demands[static_cast<size_t>(i)].bytes == 0) {
+        EXPECT_EQ(alloc[static_cast<size_t>(i)], 0);
+      }
+      EXPECT_GE(alloc[static_cast<size_t>(i)], 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllocatorPropertyTest,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                                            ::testing::Values(1, 4, 16, 32)));
+
+TEST(DbscanTest, SeparatedClusters) {
+  std::vector<double> values = {1.0, 1.1, 1.2, 10.0, 10.1, 10.2};
+  auto labels = Dbscan1d(values, 0.5, 1);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(DbscanTest, NoiseWithMinPts) {
+  std::vector<double> values = {0, 0.1, 0.2, 100};
+  auto labels = Dbscan1d(values, 0.5, 2);
+  EXPECT_EQ(labels[3], -1);  // isolated point is noise
+  EXPECT_GE(labels[0], 0);
+}
+
+TEST(DbscanTest, ChainedDensityConnectivity) {
+  // Points spaced below eps must merge transitively into one cluster.
+  std::vector<double> values;
+  for (int i = 0; i < 20; ++i) values.push_back(i * 0.4);
+  auto labels = Dbscan1d(values, 0.5, 1);
+  for (int l : labels) EXPECT_EQ(l, labels[0]);
+}
+
+TEST(DbscanTest, MultiDimensional) {
+  std::vector<std::vector<double>> points = {
+      {0, 0}, {0.1, 0.1}, {5, 5}, {5.1, 4.9}};
+  auto labels = Dbscan(points, 0.5, 1);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(TableGroupingTest, PerTable) {
+  auto groups = TableGrouping::PerTable({5.0, 0.0, 2.0});
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_TRUE(groups[0].hot);
+  EXPECT_FALSE(groups[1].hot);
+  EXPECT_TRUE(groups[2].hot);
+  auto map = TableGrouping::TableToGroup(groups, 3);
+  EXPECT_EQ(map, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TableGroupingTest, ByAccessRateClustersSimilarRates) {
+  // Rates 100 and 120 cluster together in log space; 10000 is separate;
+  // zero-rate tables become singleton cold groups.
+  auto groups = TableGrouping::ByAccessRate({100, 120, 10000, 0, 0}, 0.3);
+  size_t hot_groups = 0, cold_groups = 0;
+  for (const auto& g : groups) {
+    if (g.hot) {
+      ++hot_groups;
+    } else {
+      ++cold_groups;
+      EXPECT_EQ(g.tables.size(), 1u);
+    }
+  }
+  EXPECT_EQ(hot_groups, 2u);
+  EXPECT_EQ(cold_groups, 2u);
+  auto map = TableGrouping::TableToGroup(groups, 5);
+  EXPECT_EQ(map[0], map[1]);  // 100 and 120 together
+  EXPECT_NE(map[0], map[2]);
+}
+
+TEST(TableGroupingTest, StaticGroupsCoverRemainder) {
+  auto groups = TableGrouping::Static({{0, 1}, {3}}, {10, 20, 0, 40, 0}, 5);
+  // 2 hot groups + singleton cold groups for tables 2 and 4.
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_TRUE(groups[0].hot);
+  EXPECT_DOUBLE_EQ(groups[0].access_rate, 30);
+  EXPECT_TRUE(groups[1].hot);
+  EXPECT_FALSE(groups[2].hot);
+  EXPECT_FALSE(groups[3].hot);
+  TableGrouping::TableToGroup(groups, 5);  // must not abort
+}
+
+TEST(TableGroupingTest, SingleGroup) {
+  auto groups = TableGrouping::Single(4, {1, 2, 3, 4});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].tables.size(), 4u);
+  EXPECT_DOUBLE_EQ(groups[0].access_rate, 10);
+  EXPECT_TRUE(groups[0].hot);
+}
+
+TEST(TableGroupingDeathTest, RejectsIncompleteGrouping) {
+  std::vector<TableGroup> groups = {{{0}, 1.0, true}};
+  EXPECT_DEATH(TableGrouping::TableToGroup(groups, 2), "missing");
+}
+
+}  // namespace
+}  // namespace aets

@@ -1,0 +1,216 @@
+// B+Tree tests: structure (splits, height, invariants), point and range
+// operations, lazy erase, concurrency, and a parameterized random-operation
+// oracle comparison against std::map.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "aets/common/rng.h"
+#include "aets/storage/btree.h"
+
+namespace aets {
+namespace {
+
+struct Payload {
+  explicit Payload(int v = 0) : value(v) {}
+  int value;
+};
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree<Payload> tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Height(), 1);
+  EXPECT_EQ(tree.Find(42), nullptr);
+  tree.CheckInvariants();
+}
+
+TEST(BPlusTreeTest, InsertAndFind) {
+  BPlusTree<Payload> tree;
+  bool created = false;
+  Payload* p = tree.GetOrCreate(10, &created, 7);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(p->value, 7);
+  EXPECT_EQ(tree.Find(10), p);
+  // Second lookup does not recreate.
+  Payload* again = tree.GetOrCreate(10, &created, 99);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(again, p);
+  EXPECT_EQ(again->value, 7);
+}
+
+TEST(BPlusTreeTest, PointerStabilityAcrossSplits) {
+  BPlusTree<Payload> tree;
+  std::vector<Payload*> ptrs;
+  for (int i = 0; i < 2000; ++i) {
+    bool created;
+    ptrs.push_back(tree.GetOrCreate(i, &created, i));
+  }
+  // Splits must not move values.
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(tree.Find(i), ptrs[static_cast<size_t>(i)]);
+    EXPECT_EQ(ptrs[static_cast<size_t>(i)]->value, i);
+  }
+  EXPECT_GT(tree.Height(), 1);
+  tree.CheckInvariants();
+}
+
+TEST(BPlusTreeTest, DescendingInsertOrder) {
+  BPlusTree<Payload> tree;
+  for (int i = 5000; i >= 0; --i) {
+    bool created;
+    tree.GetOrCreate(i, &created, i);
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 5001u);
+  for (int i = 0; i <= 5000; i += 97) {
+    ASSERT_NE(tree.Find(i), nullptr);
+  }
+}
+
+TEST(BPlusTreeTest, ScanRange) {
+  BPlusTree<Payload> tree;
+  for (int i = 0; i < 1000; i += 2) {  // even keys only
+    bool created;
+    tree.GetOrCreate(i, &created, i);
+  }
+  std::vector<int64_t> keys;
+  tree.Scan(100, 200, [&](int64_t k, Payload*) {
+    keys.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(keys.size(), 51u);
+  EXPECT_EQ(keys.front(), 100);
+  EXPECT_EQ(keys.back(), 200);
+  for (size_t i = 1; i < keys.size(); ++i) EXPECT_EQ(keys[i], keys[i - 1] + 2);
+}
+
+TEST(BPlusTreeTest, ScanEarlyStop) {
+  BPlusTree<Payload> tree;
+  for (int i = 0; i < 100; ++i) {
+    bool created;
+    tree.GetOrCreate(i, &created, i);
+  }
+  int visited = 0;
+  tree.Scan(0, 99, [&](int64_t, Payload*) { return ++visited < 10; });
+  EXPECT_EQ(visited, 10);
+}
+
+TEST(BPlusTreeTest, ScanFullRangeWithNegativeKeys) {
+  BPlusTree<Payload> tree;
+  for (int64_t k : {-100, -1, 0, 1, 100}) {
+    bool created;
+    tree.GetOrCreate(k, &created, 0);
+  }
+  std::vector<int64_t> keys;
+  tree.Scan(INT64_MIN, INT64_MAX, [&](int64_t k, Payload*) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<int64_t>{-100, -1, 0, 1, 100}));
+}
+
+TEST(BPlusTreeTest, EraseRemovesKey) {
+  BPlusTree<Payload> tree;
+  for (int i = 0; i < 500; ++i) {
+    bool created;
+    tree.GetOrCreate(i, &created, i);
+  }
+  EXPECT_TRUE(tree.Erase(250));
+  EXPECT_FALSE(tree.Erase(250));
+  EXPECT_EQ(tree.Find(250), nullptr);
+  EXPECT_EQ(tree.size(), 499u);
+  tree.CheckInvariants();
+}
+
+TEST(BPlusTreeTest, ConcurrentGetOrCreateSameKeys) {
+  BPlusTree<Payload> tree;
+  constexpr int kKeys = 500;
+  std::vector<std::thread> threads;
+  std::atomic<int> creates{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kKeys; ++i) {
+        bool created;
+        Payload* p = tree.GetOrCreate(i, &created, i);
+        if (created) creates.fetch_add(1);
+        ASSERT_NE(p, nullptr);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Each key created exactly once despite 4 racing threads.
+  EXPECT_EQ(creates.load(), kKeys);
+  EXPECT_EQ(tree.size(), static_cast<size_t>(kKeys));
+  tree.CheckInvariants();
+}
+
+// Property test: a random stream of insert/find/erase/scan operations
+// matches a std::map oracle exactly.
+class BTreeOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeOracleTest, MatchesStdMap) {
+  Rng rng(GetParam());
+  BPlusTree<Payload> tree;
+  std::map<int64_t, int> oracle;
+  for (int op = 0; op < 20000; ++op) {
+    int64_t key = rng.UniformInt(-500, 500);
+    switch (rng.UniformInt(0, 9)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // insert-if-absent
+        bool created;
+        Payload* p = tree.GetOrCreate(key, &created, static_cast<int>(op));
+        bool oracle_created = oracle.emplace(key, op).second;
+        EXPECT_EQ(created, oracle_created);
+        EXPECT_EQ(p->value, oracle[key]);
+        break;
+      }
+      case 4: {  // erase
+        bool erased = tree.Erase(key);
+        EXPECT_EQ(erased, oracle.erase(key) > 0);
+        break;
+      }
+      case 5:
+      case 6:
+      case 7: {  // find
+        Payload* p = tree.Find(key);
+        auto it = oracle.find(key);
+        if (it == oracle.end()) {
+          EXPECT_EQ(p, nullptr);
+        } else {
+          ASSERT_NE(p, nullptr);
+          EXPECT_EQ(p->value, it->second);
+        }
+        break;
+      }
+      default: {  // bounded scan
+        int64_t lo = key, hi = key + static_cast<int64_t>(rng.UniformInt(0, 100));
+        std::vector<int64_t> got;
+        tree.Scan(lo, hi, [&](int64_t k, Payload*) {
+          got.push_back(k);
+          return true;
+        });
+        std::vector<int64_t> want;
+        for (auto it = oracle.lower_bound(lo);
+             it != oracle.end() && it->first <= hi; ++it) {
+          want.push_back(it->first);
+        }
+        EXPECT_EQ(got, want);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(tree.size(), oracle.size());
+  tree.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeOracleTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace aets

@@ -1,0 +1,229 @@
+// Checkpoint/restore tests: image round-trips, corruption detection, and
+// resuming replay from a checkpoint mid-stream.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "aets/common/rng.h"
+#include "aets/primary/primary_db.h"
+#include "aets/replay/aets_replayer.h"
+#include "aets/replication/log_shipper.h"
+#include "aets/storage/checkpoint.h"
+
+namespace aets {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Catalog* MakeCatalog(int num_tables) {
+  auto* catalog = new Catalog();
+  for (int t = 0; t < num_tables; ++t) {
+    AETS_CHECK(catalog
+                   ->RegisterTable("t" + std::to_string(t),
+                                   Schema::Of({{"a", ColumnType::kInt64},
+                                               {"b", ColumnType::kString}}))
+                   .ok());
+  }
+  return catalog;
+}
+
+void FillRandom(PrimaryDb* db, int num_tables, int num_txns, uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < num_txns; ++i) {
+    PrimaryTxn txn = db->Begin();
+    int writes = static_cast<int>(rng.UniformInt(1, 4));
+    for (int w = 0; w < writes; ++w) {
+      TableId table = static_cast<TableId>(rng.UniformInt(0, num_tables - 1));
+      if (rng.Bernoulli(0.1)) {
+        txn.Delete(table, rng.UniformInt(0, 60));
+      } else {
+        txn.Insert(table, rng.UniformInt(0, 60),
+                   {{0, Value(static_cast<int64_t>(i))},
+                    {1, Value(rng.AlphaString(3, 10))}});
+      }
+    }
+    ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  }
+}
+
+TEST(CheckpointTest, RoundTripPreservesSnapshot) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(3));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  FillRandom(&db, 3, 400, 1);
+  Timestamp ts = db.last_commit_ts();
+
+  std::string path = TempPath("ckpt_roundtrip");
+  ASSERT_TRUE(Checkpointer::Write(db.store(), ts, /*next_epoch=*/7, path).ok());
+
+  TableStore restored(*catalog);
+  auto info = Checkpointer::Restore(path, &restored);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->snapshot_ts, ts);
+  EXPECT_EQ(info->next_epoch_id, 7u);
+  EXPECT_EQ(info->num_rows, db.store().VisibleRowCount(ts));
+  EXPECT_EQ(restored.DigestAt(ts), db.store().DigestAt(ts));
+  // Any later snapshot reads the same image (no post-snapshot versions).
+  EXPECT_EQ(restored.DigestAt(ts + 100), db.store().DigestAt(ts));
+}
+
+TEST(CheckpointTest, SnapshotIsolation) {
+  // The image reflects the requested snapshot, not later writes.
+  std::unique_ptr<Catalog> catalog(MakeCatalog(1));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  PrimaryTxn txn1 = db.Begin();
+  txn1.Insert(0, 1, {{0, Value(int64_t{1})}});
+  Timestamp early = db.Commit(std::move(txn1))->commit_ts;
+  PrimaryTxn txn2 = db.Begin();
+  txn2.Insert(0, 2, {{0, Value(int64_t{2})}});
+  ASSERT_TRUE(db.Commit(std::move(txn2)).ok());
+
+  std::string path = TempPath("ckpt_snapshot");
+  ASSERT_TRUE(Checkpointer::Write(db.store(), early, 0, path).ok());
+  TableStore restored(*catalog);
+  ASSERT_TRUE(Checkpointer::Restore(path, &restored).ok());
+  EXPECT_EQ(restored.GetTable(0)->VisibleRowCount(early + 10), 1u);
+}
+
+TEST(CheckpointTest, DetectsCorruptionAndTruncation) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(2));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  FillRandom(&db, 2, 100, 2);
+  std::string path = TempPath("ckpt_corrupt");
+  ASSERT_TRUE(
+      Checkpointer::Write(db.store(), db.last_commit_ts(), 1, path).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  {  // bad magic
+    std::string bad = bytes;
+    bad[0] = 'X';
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bad;
+    out.close();
+    TableStore store(*catalog);
+    EXPECT_TRUE(Checkpointer::Restore(path, &store).status().IsCorruption());
+  }
+  {  // flipped byte in a row record
+    std::string bad = bytes;
+    bad[bad.size() / 2] ^= 0x20;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bad;
+    out.close();
+    TableStore store(*catalog);
+    EXPECT_FALSE(Checkpointer::Restore(path, &store).ok());
+  }
+  {  // truncated body
+    std::string bad = bytes.substr(0, bytes.size() - 13);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bad;
+    out.close();
+    TableStore store(*catalog);
+    EXPECT_FALSE(Checkpointer::Restore(path, &store).ok());
+  }
+  {  // table count mismatch
+    std::unique_ptr<Catalog> other(MakeCatalog(5));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+    out.close();
+    TableStore store(*other);
+    EXPECT_TRUE(
+        Checkpointer::Restore(path, &store).status().IsInvalidArgument());
+  }
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(1));
+  TableStore store(*catalog);
+  EXPECT_TRUE(Checkpointer::Restore(TempPath("no_such_ckpt"), &store)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(CheckpointTest, ReplayerResumeFromCheckpoint) {
+  // Replay half the stream, checkpoint, bootstrap a fresh replayer from the
+  // image, feed it only the remaining epochs: final state must match a
+  // replayer that saw everything.
+  constexpr int kTables = 3;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  LogShipper shipper(/*epoch_size=*/16);
+  EpochChannel recorder(0);
+  shipper.AttachChannel(&recorder);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+  FillRandom(&db, kTables, 600, 3);
+  shipper.Finish();
+
+  std::vector<ShippedEpoch> epochs;
+  while (auto e = recorder.TryReceive()) epochs.push_back(std::move(*e));
+  ASSERT_GT(epochs.size(), 4u);
+  size_t half = epochs.size() / 2;
+
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+
+  // Phase 1: replay the first half, checkpoint, discard the replayer.
+  std::string path = TempPath("ckpt_resume");
+  {
+    EpochChannel channel(0);
+    for (size_t i = 0; i < half; ++i) channel.Send(epochs[i]);
+    channel.Close();
+    AetsReplayer first(catalog.get(), &channel, options);
+    ASSERT_TRUE(first.Start().ok());
+    first.Stop();
+    ASSERT_TRUE(first.error().ok());
+    ASSERT_TRUE(first.WriteCheckpoint(path).ok());
+    EXPECT_EQ(first.next_expected_epoch(), half);
+  }
+
+  // Phase 2: bootstrap a fresh replayer and feed the remainder.
+  EpochChannel channel(0);
+  for (size_t i = half; i < epochs.size(); ++i) channel.Send(epochs[i]);
+  channel.Close();
+  AetsReplayer resumed(catalog.get(), &channel, options);
+  ASSERT_TRUE(resumed.Bootstrap(path).ok());
+  ASSERT_TRUE(resumed.Start().ok());
+  resumed.Stop();
+  ASSERT_TRUE(resumed.error().ok()) << resumed.error().ToString();
+
+  Timestamp final_ts = db.last_commit_ts();
+  EXPECT_EQ(resumed.store()->DigestAt(final_ts),
+            db.store().DigestAt(final_ts));
+  EXPECT_EQ(resumed.GlobalVisibleTs(), final_ts);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, BootstrapRejectsUsedReplayer) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(1));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  FillRandom(&db, 1, 20, 4);
+  std::string path = TempPath("ckpt_guard");
+  ASSERT_TRUE(
+      Checkpointer::Write(db.store(), db.last_commit_ts(), 0, path).ok());
+
+  EpochChannel channel(0);
+  channel.Send(MakeHeartbeatEpoch(0, 1));
+  channel.Close();
+  AetsOptions options;
+  options.replay_threads = 1;
+  AetsReplayer replayer(catalog.get(), &channel, options);
+  ASSERT_TRUE(replayer.Start().ok());
+  replayer.Stop();
+  // Already processed epochs: bootstrap must refuse.
+  EXPECT_TRUE(replayer.Bootstrap(path).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace aets

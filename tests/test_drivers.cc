@@ -1,0 +1,198 @@
+// End-to-end HTAP driver tests: OLTP driver feeding a live replayer while
+// the OLAP driver issues queries per Algorithm 3, plus the access tracker.
+
+#include <gtest/gtest.h>
+
+#include "aets/baselines/atr_replayer.h"
+#include "aets/replay/access_tracker.h"
+#include "aets/replay/aets_replayer.h"
+#include "aets/replication/log_shipper.h"
+#include "aets/workload/bustracker.h"
+#include "aets/workload/driver.h"
+#include "aets/workload/tpcc.h"
+
+namespace aets {
+namespace {
+
+TEST(AccessTrackerTest, SlotsAndRates) {
+  AccessTracker tracker(3);
+  tracker.RecordAccess(0);
+  tracker.RecordAccess(0);
+  tracker.RecordQuery({1, 2});
+  EXPECT_EQ(tracker.CurrentSlot(), (std::vector<double>{2, 1, 1}));
+  tracker.AdvanceSlot();
+  EXPECT_EQ(tracker.num_slots(), 1u);
+  EXPECT_EQ(tracker.CurrentSlot(), (std::vector<double>{0, 0, 0}));
+  tracker.RecordAccess(0);
+  tracker.AdvanceSlot();
+  EXPECT_EQ(tracker.LastSlot(), (std::vector<double>{1, 0, 0}));
+  EXPECT_EQ(tracker.MeanRate(2), (std::vector<double>{1.5, 0.5, 0.5}));
+  auto history = tracker.History();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0], (std::vector<double>{2, 1, 1}));
+}
+
+TEST(AccessTrackerTest, MeanRateWindowClamping) {
+  AccessTracker tracker(1);
+  tracker.RecordAccess(0);
+  tracker.AdvanceSlot();
+  EXPECT_EQ(tracker.MeanRate(100)[0], 1.0);  // window larger than history
+  EXPECT_EQ(tracker.MeanRate(0)[0], 0.0);
+}
+
+TEST(DriverTest, EndToEndTpccHtap) {
+  TpccConfig config;
+  config.warehouses = 1;
+  config.items = 60;
+  config.customers_per_district = 8;
+  config.init_orders_per_district = 2;
+  TpccWorkload tpcc(config);
+
+  LogicalClock clock;
+  PrimaryDb db(&tpcc.catalog(), &clock);
+
+  LogShipper shipper(/*epoch_size=*/32);
+  EpochChannel channel(1024);
+  shipper.AttachChannel(&channel);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+  // The sink is attached before the load phase so the backup receives the
+  // initial population too.
+  Rng rng(1);
+  tpcc.Load(&db, &rng);
+  // Heartbeats flush partial epochs when the primary goes idle; without
+  // them a query whose data sits in an unsealed epoch would wait forever.
+  shipper.StartHeartbeats([&db] { return db.AcquireHeartbeatTs(); },
+                          /*interval_us=*/2'000);
+
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kStatic;
+  options.static_hot_groups = tpcc.DefaultHotGroups();
+  options.initial_rates = std::vector<double>(tpcc.catalog().num_tables(), 0.0);
+  options.initial_rates[tpcc.orderline()] = 200;
+  options.initial_rates[tpcc.district()] = 100;
+  options.initial_rates[tpcc.stock()] = 100;
+  options.initial_rates[tpcc.customer()] = 100;
+  options.initial_rates[tpcc.orders()] = 100;
+  AetsReplayer replayer(&tpcc.catalog(), &channel, options);
+  ASSERT_TRUE(replayer.Start().ok());
+
+  // OLTP concurrent with OLAP on the backup.
+  OltpDriver oltp(&tpcc, &db, 3);
+  oltp.Start(/*num_txns=*/300);
+
+  AccessTracker tracker(tpcc.catalog().num_tables());
+  OlapDriver::Options olap_options;
+  olap_options.num_queries = 100;
+  olap_options.tracker = &tracker;
+  olap_options.read_rows = true;
+  OlapDriver olap(&tpcc, &replayer, &clock, olap_options);
+  olap.Run();
+
+  oltp.Join();
+  shipper.Finish();
+  replayer.Stop();
+  ASSERT_TRUE(replayer.error().ok()) << replayer.error().ToString();
+
+  EXPECT_EQ(oltp.txns_committed(), 300u);
+  EXPECT_EQ(olap.delays().count(), 100);
+  EXPECT_GE(olap.delays().Mean(), 0.0);
+  // Per-query histograms cover both templates.
+  ASSERT_EQ(olap.per_query_delays().size(), 2u);
+  EXPECT_EQ(olap.per_query_delays()[0].count() +
+                olap.per_query_delays()[1].count(),
+            100);
+  // The tracker saw accesses on hot tables only.
+  auto counts = tracker.CurrentSlot();
+  EXPECT_GT(counts[tpcc.orderline()], 0.0);
+  EXPECT_EQ(counts[tpcc.warehouse()], 0.0);
+
+  // Final state matches primary.
+  Timestamp final_ts = db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->DigestAt(final_ts),
+            db.store().DigestAt(final_ts));
+}
+
+TEST(DriverTest, BusTrackerWithDynamicRegrouping) {
+  BusTrackerConfig config;
+  config.rows_per_table = 10;
+  BusTrackerWorkload bus(config);
+
+  LogicalClock clock;
+  PrimaryDb db(&bus.catalog(), &clock);
+
+  LogShipper shipper(/*epoch_size=*/16);
+  EpochChannel channel(1024);
+  shipper.AttachChannel(&channel);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+  Rng rng(2);
+  bus.Load(&db, &rng);
+
+  std::atomic<int> slot{0};
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kByAccessRate;
+  options.initial_rates = bus.TrueRates(0);
+  options.rate_provider = [&bus, &slot] {
+    return bus.TrueRates(slot.load());
+  };
+  AetsReplayer replayer(&bus.catalog(), &channel, options);
+  ASSERT_TRUE(replayer.Start().ok());
+
+  OltpDriver oltp(&bus, &db, 7);
+  for (int s = 0; s < 4; ++s) {
+    slot.store(s * 12);  // shift the workload phase
+    oltp.Run(150);
+  }
+  shipper.Finish();
+  replayer.Stop();
+  ASSERT_TRUE(replayer.error().ok()) << replayer.error().ToString();
+
+  Timestamp final_ts = db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->DigestAt(final_ts),
+            db.store().DigestAt(final_ts));
+  // Grouping reflects hot/cold structure: some hot groups, singleton colds.
+  auto groups = replayer.groups();
+  size_t hot = 0;
+  for (const auto& g : groups) hot += g.hot ? 1 : 0;
+  EXPECT_GT(hot, 0u);
+  EXPECT_GT(groups.size(), hot);
+}
+
+TEST(DriverTest, OlapDriverAgainstAtr) {
+  TpccConfig config;
+  config.warehouses = 1;
+  config.items = 40;
+  config.customers_per_district = 5;
+  config.init_orders_per_district = 1;
+  TpccWorkload tpcc(config);
+  LogicalClock clock;
+  PrimaryDb db(&tpcc.catalog(), &clock);
+
+  LogShipper shipper(/*epoch_size=*/16);
+  EpochChannel channel(1024);
+  shipper.AttachChannel(&channel);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+  Rng rng(3);
+  tpcc.Load(&db, &rng);
+  shipper.StartHeartbeats([&db] { return db.AcquireHeartbeatTs(); },
+                          /*interval_us=*/2'000);
+
+  AtrReplayer replayer(&tpcc.catalog(), &channel, AtrOptions{2});
+  ASSERT_TRUE(replayer.Start().ok());
+
+  OltpDriver oltp(&tpcc, &db, 9);
+  oltp.Start(150);
+  OlapDriver::Options olap_options;
+  olap_options.num_queries = 50;
+  OlapDriver olap(&tpcc, &replayer, &clock, olap_options);
+  olap.Run();
+  oltp.Join();
+  shipper.Finish();
+  replayer.Stop();
+  ASSERT_TRUE(replayer.error().ok());
+  EXPECT_EQ(olap.delays().count(), 50);
+}
+
+}  // namespace
+}  // namespace aets

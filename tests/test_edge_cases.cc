@@ -1,0 +1,213 @@
+// Edge-case and boundary tests across modules: degenerate epochs, huge
+// transactions, delete-heavy streams, queue close semantics, and builder
+// ordering violations.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "aets/baselines/atr_replayer.h"
+#include "aets/baselines/c5_replayer.h"
+#include "aets/common/queue.h"
+#include "aets/common/rng.h"
+#include "aets/primary/primary_db.h"
+#include "aets/replay/aets_replayer.h"
+#include "aets/replication/log_shipper.h"
+
+namespace aets {
+namespace {
+
+Catalog* MakeCatalog(int num_tables) {
+  auto* catalog = new Catalog();
+  for (int t = 0; t < num_tables; ++t) {
+    AETS_CHECK(catalog
+                   ->RegisterTable("t" + std::to_string(t),
+                                   Schema::Of({{"a", ColumnType::kInt64}}))
+                   .ok());
+  }
+  return catalog;
+}
+
+TEST(EpochBuilderDeathTest, RejectsOutOfOrderTransactions) {
+  EpochBuilder builder(4);
+  TxnLog t5;
+  t5.txn_id = 5;
+  t5.commit_ts = 5;
+  builder.AddTxn(std::move(t5));
+  TxnLog t3;
+  t3.txn_id = 3;
+  t3.commit_ts = 3;
+  EXPECT_DEATH(builder.AddTxn(std::move(t3)), "commit order");
+}
+
+TEST(EdgeCaseTest, SingleHugeTransactionSpanningAllTables) {
+  // One transaction with thousands of writes across every table: fragments
+  // per group stay ordered and the state converges.
+  constexpr int kTables = 4;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  LogShipper shipper(/*epoch_size=*/4);
+  EpochChannel channel(64);
+  shipper.AttachChannel(&channel);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+  AetsOptions options;
+  options.replay_threads = 3;
+  options.grouping = GroupingMode::kPerTable;
+  options.initial_rates = {100, 0, 50, 0};
+  AetsReplayer replayer(catalog.get(), &channel, options);
+  ASSERT_TRUE(replayer.Start().ok());
+
+  PrimaryTxn big = db.Begin();
+  for (int i = 0; i < 4000; ++i) {
+    big.Insert(static_cast<TableId>(i % kTables), i,
+               {{0, Value(static_cast<int64_t>(i))}});
+  }
+  ASSERT_TRUE(db.Commit(std::move(big)).ok());
+  shipper.Finish();
+  replayer.Stop();
+  ASSERT_TRUE(replayer.error().ok());
+
+  Timestamp ts = db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->DigestAt(ts), db.store().DigestAt(ts));
+  EXPECT_EQ(replayer.store()->VisibleRowCount(ts), 4000u);
+}
+
+TEST(EdgeCaseTest, DeleteHeavyStreamLeavesTombstonesEverywhere) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(2));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  LogShipper shipper(8);
+  EpochChannel channel(64);
+  shipper.AttachChannel(&channel);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+  AtrReplayer replayer(catalog.get(), &channel, AtrOptions{2});
+  ASSERT_TRUE(replayer.Start().ok());
+
+  // Insert 50 rows then delete all of them, interleaved across tables.
+  for (int i = 0; i < 50; ++i) {
+    PrimaryTxn txn = db.Begin();
+    txn.Insert(0, i, {{0, Value(static_cast<int64_t>(i))}});
+    txn.Insert(1, i, {{0, Value(static_cast<int64_t>(i))}});
+    ASSERT_TRUE(db.Commit(std::move(txn)).ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    PrimaryTxn txn = db.Begin();
+    txn.Delete(0, i);
+    txn.Delete(1, 49 - i);
+    ASSERT_TRUE(db.Commit(std::move(txn)).ok());
+  }
+  shipper.Finish();
+  replayer.Stop();
+
+  Timestamp ts = db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->VisibleRowCount(ts), 0u);
+  EXPECT_EQ(replayer.store()->DigestAt(ts), db.store().DigestAt(ts));
+  // The midpoint snapshot still sees all 100 rows on both sides.
+  Timestamp mid = ts - 50;
+  EXPECT_EQ(replayer.store()->DigestAt(mid), db.store().DigestAt(mid));
+}
+
+TEST(EdgeCaseTest, C5SingleWorkerDegeneratesToSerialOrder) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(2));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  LogShipper shipper(16);
+  EpochChannel channel(64);
+  shipper.AttachChannel(&channel);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+  C5Replayer replayer(catalog.get(), &channel, C5Options{1, 100});
+  ASSERT_TRUE(replayer.Start().ok());
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    PrimaryTxn txn = db.Begin();
+    txn.Insert(static_cast<TableId>(rng.UniformInt(0, 1)),
+               rng.UniformInt(0, 30), {{0, Value(static_cast<int64_t>(i))}});
+    ASSERT_TRUE(db.Commit(std::move(txn)).ok());
+  }
+  shipper.Finish();
+  replayer.Stop();
+  Timestamp ts = db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->DigestAt(ts), db.store().DigestAt(ts));
+}
+
+TEST(EdgeCaseTest, EmptyChannelCloseStopsCleanly) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(1));
+  EpochChannel channel;
+  AetsOptions options;
+  options.replay_threads = 1;
+  AetsReplayer replayer(catalog.get(), &channel, options);
+  ASSERT_TRUE(replayer.Start().ok());
+  channel.Close();
+  replayer.Stop();
+  EXPECT_TRUE(replayer.error().ok());
+  EXPECT_EQ(replayer.stats().epochs.load(), 0u);
+  EXPECT_EQ(replayer.GlobalVisibleTs(), kInvalidTimestamp);
+}
+
+TEST(EdgeCaseTest, BlockedPushWakesOnClose) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> push_returned{false};
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    push_result.store(q.Push(2));  // blocks: queue full
+    push_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(push_returned.load());
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(push_returned.load());
+  EXPECT_FALSE(push_result.load());  // push after close fails
+}
+
+TEST(EdgeCaseTest, ShipperAfterFinishDropsCommits) {
+  LogShipper shipper(4);
+  EpochChannel channel;
+  shipper.AttachChannel(&channel);
+  shipper.Finish();
+  TxnLog txn;
+  txn.txn_id = 1;
+  txn.commit_ts = 1;
+  shipper.OnCommit(std::move(txn));  // ignored, no crash
+  EXPECT_EQ(shipper.epochs_shipped(), 0u);
+  EXPECT_FALSE(channel.Receive().has_value());
+}
+
+TEST(EdgeCaseTest, AllColdGroupingStillReplaysInStageTwo) {
+  // No hot table at all: two_stage runs everything in the cold stage.
+  std::unique_ptr<Catalog> catalog(MakeCatalog(3));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  LogShipper shipper(8);
+  EpochChannel channel(64);
+  shipper.AttachChannel(&channel);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+  options.initial_rates = {0, 0, 0};
+  AetsReplayer replayer(catalog.get(), &channel, options);
+  ASSERT_TRUE(replayer.Start().ok());
+  for (int i = 0; i < 100; ++i) {
+    PrimaryTxn txn = db.Begin();
+    txn.Insert(static_cast<TableId>(i % 3), i,
+               {{0, Value(static_cast<int64_t>(i))}});
+    ASSERT_TRUE(db.Commit(std::move(txn)).ok());
+  }
+  shipper.Finish();
+  replayer.Stop();
+  Timestamp ts = db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->DigestAt(ts), db.store().DigestAt(ts));
+  // All the replay work happened in the cold stage.
+  EXPECT_GT(replayer.stats().stage2_wall_ns.load(),
+            replayer.stats().stage1_wall_ns.load() * 10);
+}
+
+}  // namespace
+}  // namespace aets

@@ -1,0 +1,159 @@
+// Epoch batching and shipped-epoch (wire form) tests: transaction-boundary
+// sealing, id sequencing, heartbeat epochs, and decode validation.
+
+#include <gtest/gtest.h>
+
+#include "aets/log/epoch.h"
+#include "aets/log/shipped_epoch.h"
+
+namespace aets {
+namespace {
+
+TxnLog MakeTxn(TxnId id, Timestamp ts, int dml_count = 2) {
+  TxnLog txn;
+  txn.txn_id = id;
+  txn.commit_ts = ts;
+  Lsn lsn = id * 100;
+  txn.records.push_back(LogRecord::Begin(lsn++, id, ts));
+  for (int i = 0; i < dml_count; ++i) {
+    txn.records.push_back(LogRecord::Dml(
+        LogRecordType::kUpdate, lsn++, id, ts, /*table=*/i % 3,
+        /*row_key=*/static_cast<int64_t>(id) * 10 + i,
+        {{0, Value(static_cast<int64_t>(i))}}));
+  }
+  txn.records.push_back(LogRecord::Commit(lsn++, id, ts));
+  return txn;
+}
+
+TEST(EpochBuilderTest, SealsAtEpochSize) {
+  EpochBuilder builder(3);
+  EXPECT_FALSE(builder.AddTxn(MakeTxn(1, 10)).has_value());
+  EXPECT_FALSE(builder.AddTxn(MakeTxn(2, 11)).has_value());
+  auto sealed = builder.AddTxn(MakeTxn(3, 12));
+  ASSERT_TRUE(sealed.has_value());
+  EXPECT_EQ(sealed->epoch_id, 0u);
+  EXPECT_EQ(sealed->num_txns(), 3u);
+  EXPECT_EQ(sealed->first_txn(), 1u);
+  EXPECT_EQ(sealed->last_txn(), 3u);
+  EXPECT_EQ(sealed->max_commit_ts(), 12u);
+}
+
+TEST(EpochBuilderTest, SequentialEpochIds) {
+  EpochBuilder builder(2);
+  builder.AddTxn(MakeTxn(1, 1));
+  auto e0 = builder.AddTxn(MakeTxn(2, 2));
+  builder.AddTxn(MakeTxn(3, 3));
+  auto e1 = builder.AddTxn(MakeTxn(4, 4));
+  ASSERT_TRUE(e0 && e1);
+  EXPECT_EQ(e0->epoch_id, 0u);
+  EXPECT_EQ(e1->epoch_id, 1u);
+}
+
+TEST(EpochBuilderTest, FlushSealsPartial) {
+  EpochBuilder builder(10);
+  builder.AddTxn(MakeTxn(1, 1));
+  builder.AddTxn(MakeTxn(2, 2));
+  auto partial = builder.Flush();
+  ASSERT_TRUE(partial.has_value());
+  EXPECT_EQ(partial->num_txns(), 2u);
+  EXPECT_FALSE(builder.Flush().has_value());  // empty now
+}
+
+TEST(EpochBuilderTest, ConsumeEpochIdAdvancesSequence) {
+  EpochBuilder builder(2);
+  EpochId hb_id = builder.ConsumeEpochId();
+  EXPECT_EQ(hb_id, 0u);
+  builder.AddTxn(MakeTxn(1, 1));
+  auto sealed = builder.AddTxn(MakeTxn(2, 2));
+  ASSERT_TRUE(sealed);
+  EXPECT_EQ(sealed->epoch_id, 1u);
+}
+
+TEST(EpochBuilderTest, TransactionBoundariesNeverSplit) {
+  // A transaction's records always stay within one epoch regardless of its
+  // size relative to the epoch size.
+  EpochBuilder builder(2);
+  builder.AddTxn(MakeTxn(1, 1, /*dml_count=*/50));
+  auto sealed = builder.AddTxn(MakeTxn(2, 2, /*dml_count=*/50));
+  ASSERT_TRUE(sealed);
+  EXPECT_EQ(sealed->num_txns(), 2u);
+  EXPECT_EQ(sealed->num_records(), 2u * 52u);
+}
+
+TEST(EpochBuilderTest, ByteSizeAggregates) {
+  EpochBuilder builder(2);
+  builder.AddTxn(MakeTxn(1, 1));
+  auto sealed = builder.AddTxn(MakeTxn(2, 2));
+  ASSERT_TRUE(sealed);
+  EXPECT_EQ(sealed->ByteSize(), MakeTxn(1, 1).ByteSize() + MakeTxn(2, 2).ByteSize());
+  EXPECT_GT(sealed->ByteSize(), 0u);
+}
+
+TEST(ShippedEpochTest, EncodeDecodeRoundTrip) {
+  Epoch epoch;
+  epoch.epoch_id = 5;
+  epoch.txns = {MakeTxn(10, 100), MakeTxn(11, 101, 4)};
+  ShippedEpoch shipped = EncodeEpoch(epoch);
+  EXPECT_EQ(shipped.epoch_id, 5u);
+  EXPECT_EQ(shipped.num_txns, 2u);
+  EXPECT_EQ(shipped.first_txn, 10u);
+  EXPECT_EQ(shipped.last_txn, 11u);
+  EXPECT_EQ(shipped.max_commit_ts, 101u);
+  EXPECT_FALSE(shipped.is_heartbeat());
+
+  auto decoded = DecodeEpoch(shipped);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->txns.size(), 2u);
+  EXPECT_EQ(decoded->txns[0].txn_id, 10u);
+  EXPECT_EQ(decoded->txns[0].commit_ts, 100u);
+  EXPECT_EQ(decoded->txns[0].records, epoch.txns[0].records);
+  EXPECT_EQ(decoded->txns[1].records, epoch.txns[1].records);
+}
+
+TEST(ShippedEpochTest, HeartbeatEpoch) {
+  ShippedEpoch hb = MakeHeartbeatEpoch(7, 12345);
+  EXPECT_TRUE(hb.is_heartbeat());
+  EXPECT_EQ(hb.heartbeat_ts, 12345u);
+  EXPECT_EQ(hb.max_commit_ts, 12345u);
+  auto decoded = DecodeEpoch(hb);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->txns.empty());
+}
+
+TEST(ShippedEpochTest, RejectsNestedBegin) {
+  Epoch epoch;
+  TxnLog bad;
+  bad.txn_id = 1;
+  bad.commit_ts = 1;
+  bad.records = {LogRecord::Begin(1, 1, 1), LogRecord::Begin(2, 1, 1)};
+  epoch.txns.push_back(bad);
+  auto decoded = DecodeEpoch(EncodeEpoch(epoch));
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(ShippedEpochTest, RejectsDmlOutsideTransaction) {
+  Epoch epoch;
+  TxnLog bad;
+  bad.txn_id = 1;
+  bad.commit_ts = 1;
+  bad.records = {LogRecord::Dml(LogRecordType::kInsert, 1, 1, 1, 0, 1,
+                                {{0, Value(int64_t{1})}})};
+  epoch.txns.push_back(bad);
+  auto decoded = DecodeEpoch(EncodeEpoch(epoch));
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(ShippedEpochTest, RejectsUnterminatedTransaction) {
+  Epoch epoch;
+  TxnLog bad;
+  bad.txn_id = 1;
+  bad.commit_ts = 1;
+  bad.records = {LogRecord::Begin(1, 1, 1)};
+  epoch.txns.push_back(bad);
+  auto decoded = DecodeEpoch(EncodeEpoch(epoch));
+  EXPECT_FALSE(decoded.ok());
+}
+
+}  // namespace
+}  // namespace aets

@@ -1,0 +1,71 @@
+// LogBuffer tests: append bookkeeping, per-table DML statistics, and the
+// Table I hot-ratio computation.
+
+#include <gtest/gtest.h>
+
+#include "aets/log/log_buffer.h"
+
+namespace aets {
+namespace {
+
+LogRecord Dml(TableId table, int64_t key) {
+  return LogRecord::Dml(LogRecordType::kInsert, 1, 1, 1, table, key,
+                        {{0, Value(int64_t{1})}});
+}
+
+TEST(LogBufferTest, AppendAndSnapshot) {
+  LogBuffer buffer;
+  buffer.Append(LogRecord::Begin(1, 1, 1));
+  buffer.Append(Dml(0, 1));
+  buffer.Append(LogRecord::Commit(3, 1, 1));
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.At(0).type, LogRecordType::kBegin);
+  EXPECT_EQ(buffer.At(1).table_id, 0u);
+  auto snapshot = buffer.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[2].type, LogRecordType::kCommit);
+}
+
+TEST(LogBufferTest, OnlyDmlCounted) {
+  LogBuffer buffer;
+  buffer.Append(LogRecord::Begin(1, 1, 1));
+  buffer.Append(Dml(0, 1));
+  buffer.Append(Dml(0, 2));
+  buffer.Append(Dml(2, 1));
+  buffer.Append(LogRecord::Commit(5, 1, 1));
+  buffer.Append(LogRecord::Heartbeat(6, 2, 2));
+  EXPECT_EQ(buffer.TotalDmlCount(), 3u);
+  auto counts = buffer.DmlCountsByTable();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts.count(1), 0u);
+}
+
+TEST(LogBufferTest, HotRatio) {
+  LogBuffer buffer;
+  for (int i = 0; i < 9; ++i) buffer.Append(Dml(0, i));
+  buffer.Append(Dml(1, 0));
+  EXPECT_DOUBLE_EQ(buffer.HotRatio({0}), 0.9);
+  EXPECT_DOUBLE_EQ(buffer.HotRatio({1}), 0.1);
+  EXPECT_DOUBLE_EQ(buffer.HotRatio({0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(buffer.HotRatio({7}), 0.0);   // unknown table
+  EXPECT_DOUBLE_EQ(buffer.HotRatio({}), 0.0);
+}
+
+TEST(LogBufferTest, HotRatioEmptyBuffer) {
+  LogBuffer buffer;
+  EXPECT_DOUBLE_EQ(buffer.HotRatio({0}), 0.0);
+  EXPECT_EQ(buffer.TotalDmlCount(), 0u);
+}
+
+TEST(LogBufferTest, AppendAllMatchesLoop) {
+  LogBuffer a, b;
+  std::vector<LogRecord> records = {Dml(0, 1), Dml(1, 2), Dml(0, 3)};
+  a.AppendAll(records);
+  for (const auto& r : records) b.Append(r);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.DmlCountsByTable(), b.DmlCountsByTable());
+}
+
+}  // namespace
+}  // namespace aets

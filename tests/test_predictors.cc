@@ -1,0 +1,267 @@
+// Predictor tests: MAPE, HA exactness, ARIMA on known processes, LSTM and
+// DTGM convergence and accuracy relative to naive baselines, the QB5000
+// ensemble, and the Table IV GCN ablation mechanics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aets/common/rng.h"
+#include "aets/predictor/classical.h"
+#include "aets/predictor/dtgm.h"
+#include "aets/predictor/lstm.h"
+#include "aets/predictor/qb5000.h"
+#include "aets/workload/bustracker.h"
+
+namespace aets {
+namespace {
+
+// A small synthetic sinusoid dataset: N correlated tables with phase
+// offsets, the same structure the BusTracker generator produces.
+RateMatrix Sinusoids(int slots, int tables, double noise, uint64_t seed) {
+  Rng rng(seed);
+  RateMatrix out;
+  for (int s = 0; s < slots; ++s) {
+    std::vector<double> row(static_cast<size_t>(tables));
+    for (int t = 0; t < tables; ++t) {
+      double base = 100.0 + 20.0 * t;
+      double u = static_cast<double>(s) / 24.0 + 0.1 * t;
+      row[static_cast<size_t>(t)] = std::max(
+          1.0, base * (1 + 0.5 * std::sin(2 * M_PI * u)) +
+                   rng.Gaussian(0, noise * base));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+TEST(MapeTest, Definition) {
+  EXPECT_DOUBLE_EQ(Mape({100, 200}, {110, 180}), (0.1 + 0.1) / 2);
+  EXPECT_DOUBLE_EQ(Mape({100}, {100}), 0.0);
+  // Zero actuals are skipped.
+  EXPECT_DOUBLE_EQ(Mape({0, 100}, {50, 150}), 0.5);
+  EXPECT_DOUBLE_EQ(Mape({0}, {50}), 0.0);
+}
+
+TEST(HaTest, PredictsWindowMeanAtEveryHorizon) {
+  HaPredictor ha(3);
+  RateMatrix recent = {{10, 1}, {20, 2}, {30, 3}};
+  RateMatrix pred = ha.Predict(recent, 5);
+  ASSERT_EQ(pred.size(), 5u);
+  for (const auto& row : pred) {
+    EXPECT_DOUBLE_EQ(row[0], 20.0);
+    EXPECT_DOUBLE_EQ(row[1], 2.0);
+  }
+}
+
+TEST(HaTest, HorizonIndependentMape) {
+  // The paper's Table III shows HA at the same MAPE for 15/30/60 minutes;
+  // that's structural: the forecast is constant in the horizon.
+  RateMatrix series = Sinusoids(200, 3, 0.05, 1);
+  HaPredictor ha(60);
+  double m15 = EvaluateHorizonMape(&ha, series, 120, 60, 15, 4);
+  double m60 = EvaluateHorizonMape(&ha, series, 120, 60, 60, 4);
+  EXPECT_GT(m15, 0.0);
+  // Same forecast value, evaluated at different actuals; not exactly equal
+  // here because the evaluation offsets differ, but both substantial.
+  EXPECT_GT(m60, 0.05);
+}
+
+TEST(ArimaTest, RecoversArProcess) {
+  // y_t = 0.8 y_{t-1} + e on the differenced series: ARIMA should beat a
+  // last-value carry-forward on a trending AR process.
+  Rng rng(2);
+  std::vector<double> y = {100};
+  for (int i = 1; i < 300; ++i) {
+    double prev_delta = i >= 2 ? y[static_cast<size_t>(i - 1)] - y[static_cast<size_t>(i - 2)] : 1.0;
+    y.push_back(y.back() + 0.8 * prev_delta + rng.Gaussian(0.2, 0.5));
+  }
+  RateMatrix series;
+  for (double v : y) series.push_back({std::max(1.0, v)});
+  ArimaPredictor arima(4, 1, 2);
+  arima.Fit(RateMatrix(series.begin(), series.begin() + 250));
+  RateMatrix recent(series.begin() + 200, series.begin() + 250);
+  RateMatrix pred = arima.Predict(recent, 10);
+  ASSERT_EQ(pred.size(), 10u);
+  // The AR(1)-on-deltas process keeps trending; ARIMA must extrapolate a
+  // continued rise rather than flat-lining.
+  EXPECT_GT(pred[9][0], recent.back()[0]);
+}
+
+TEST(ArimaTest, FallsBackGracefullyOnShortSeries) {
+  ArimaPredictor arima;
+  RateMatrix tiny = {{5}, {6}, {7}};
+  arima.Fit(tiny);
+  RateMatrix pred = arima.Predict(tiny, 3);
+  ASSERT_EQ(pred.size(), 3u);
+  EXPECT_DOUBLE_EQ(pred[0][0], 7.0);  // last-value fallback
+}
+
+TEST(LstmTest, LearnsSinusoidBetterThanNaiveMean) {
+  RateMatrix series = Sinusoids(160, 4, 0.02, 3);
+  LstmConfig config;
+  config.input_window = 12;
+  config.horizon = 12;
+  config.hidden = 16;
+  config.train_steps = 80;
+  config.batch = 4;
+  LstmPredictor lstm(config);
+  double lstm_mape = EvaluateHorizonMape(&lstm, series, 120, 12, 12, 4);
+  HaPredictor ha(60);
+  double ha_mape = EvaluateHorizonMape(&ha, series, 120, 60, 12, 4);
+  EXPECT_LT(lstm_mape, ha_mape);
+  EXPECT_LT(lstm_mape, 0.5);
+}
+
+TEST(DtgmTest, TrainingReducesLoss) {
+  RateMatrix series = Sinusoids(120, 4, 0.02, 4);
+  DtgmConfig config;
+  config.input_window = 12;
+  config.horizon = 8;
+  config.hidden = 12;
+  config.layers = 2;
+  config.train_steps = 150;
+  config.batch = 4;
+  config.dropout = 0.0;  // deterministic loss for the convergence assertion
+  DtgmPredictor dtgm(config);
+  dtgm.Fit(series);
+  // Normalized MAE well below 1 (the scale of the standardized data).
+  EXPECT_LT(dtgm.final_loss(), 0.6);
+}
+
+TEST(DtgmTest, BeatsHaOnStructuredSeries) {
+  RateMatrix series = Sinusoids(160, 4, 0.02, 5);
+  DtgmConfig config;
+  config.input_window = 12;
+  config.horizon = 12;
+  config.hidden = 16;
+  config.layers = 2;
+  config.train_steps = 80;
+  config.batch = 4;
+  DtgmPredictor dtgm(config);
+  double dtgm_mape = EvaluateHorizonMape(&dtgm, series, 120, 12, 12, 4);
+  HaPredictor ha(60);
+  double ha_mape = EvaluateHorizonMape(&ha, series, 120, 60, 12, 4);
+  EXPECT_LT(dtgm_mape, ha_mape);
+}
+
+TEST(DtgmTest, GcnAblationRunsAndPredicts) {
+  RateMatrix series = Sinusoids(120, 3, 0.02, 6);
+  DtgmConfig config;
+  config.input_window = 12;
+  config.horizon = 8;
+  config.hidden = 8;
+  config.layers = 1;
+  config.train_steps = 20;
+  config.use_gcn = false;
+  DtgmPredictor no_gcn(config);
+  EXPECT_EQ(no_gcn.name(), "DTGM(w/o gcn)");
+  no_gcn.Fit(series);
+  RateMatrix recent(series.end() - 12, series.end());
+  RateMatrix pred = no_gcn.Predict(recent, 8);
+  ASSERT_EQ(pred.size(), 8u);
+  for (const auto& row : pred) {
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(DtgmTest, PredictionsAreNonNegativeAndFinite) {
+  BusTrackerWorkload bus;
+  RateMatrix series = bus.GenerateRateSeries(90, 0.1, 11);
+  DtgmConfig config;
+  config.input_window = 12;
+  config.horizon = 8;
+  config.hidden = 8;
+  config.layers = 1;
+  config.train_steps = 15;
+  config.batch = 2;
+  DtgmPredictor dtgm(config);
+  dtgm.Fit(series);
+  RateMatrix recent(series.end() - 12, series.end());
+  RateMatrix pred = dtgm.Predict(recent, 8);
+  for (const auto& row : pred) {
+    ASSERT_EQ(row.size(), 65u);
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(DtgmTest, FineTuneAdaptsToShiftedWorkload) {
+  // Train on one regime, shift the scale of every series, fine-tune on the
+  // shifted history: accuracy on the new regime must improve.
+  RateMatrix before = Sinusoids(160, 4, 0.02, 12);
+  RateMatrix after = before;
+  for (auto& row : after) {
+    for (size_t t = 0; t < row.size(); ++t) {
+      row[t] = row[t] * (t % 2 == 0 ? 2.5 : 0.4) + 10;  // regime change
+    }
+  }
+  DtgmConfig config;
+  config.input_window = 12;
+  config.horizon = 12;
+  config.hidden = 16;
+  config.layers = 2;
+  config.train_steps = 60;
+  config.batch = 3;
+  config.dropout = 0.0;
+  DtgmPredictor dtgm(config);
+  dtgm.Fit(RateMatrix(before.begin(), before.begin() + 120));
+
+  auto mape_on_after = [&] {
+    std::vector<double> actual, pred;
+    for (int t = 120; t + 12 <= static_cast<int>(after.size()); t += 6) {
+      RateMatrix recent(after.begin() + (t - 12), after.begin() + t);
+      RateMatrix forecast = dtgm.Predict(recent, 12);
+      const auto& a = after[static_cast<size_t>(t + 11)];
+      actual.insert(actual.end(), a.begin(), a.end());
+      pred.insert(pred.end(), forecast.back().begin(), forecast.back().end());
+    }
+    return Mape(actual, pred);
+  };
+
+  double stale = mape_on_after();
+  dtgm.FineTune(RateMatrix(after.begin(), after.begin() + 120), 40);
+  double tuned = mape_on_after();
+  EXPECT_LT(tuned, stale);
+}
+
+TEST(Qb5000Test, EnsembleRunsAndIsReasonable) {
+  RateMatrix series = Sinusoids(160, 3, 0.02, 7);
+  Qb5000Config config;
+  config.lag_window = 12;
+  config.horizon = 12;
+  config.lstm.hidden = 12;
+  config.lstm.train_steps = 40;
+  Qb5000Predictor qb(config);
+  double qb_mape = EvaluateHorizonMape(&qb, series, 120, 12, 12, 4);
+  EXPECT_GT(qb_mape, 0.0);
+  EXPECT_LT(qb_mape, 0.6);
+}
+
+TEST(Qb5000Test, HandlesAllZeroTables) {
+  // Cold tables (constant zero) must not break the ensemble.
+  RateMatrix series = Sinusoids(140, 2, 0.02, 8);
+  for (auto& row : series) row.push_back(0.0);  // third, always-cold table
+  Qb5000Config config;
+  config.lag_window = 10;
+  config.horizon = 6;
+  config.lstm.hidden = 8;
+  config.lstm.train_steps = 10;
+  Qb5000Predictor qb(config);
+  qb.Fit(series);
+  RateMatrix recent(series.end() - 10, series.end());
+  RateMatrix pred = qb.Predict(recent, 6);
+  ASSERT_EQ(pred.size(), 6u);
+  for (const auto& row : pred) {
+    EXPECT_TRUE(std::isfinite(row[2]));
+    EXPECT_GE(row[2], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace aets

@@ -1,0 +1,118 @@
+// Analytic query executor tests: the CH Q1/Q6 aggregations evaluated on a
+// replaying backup must equal the primary's answers at the same snapshot —
+// including at a snapshot taken mid-stream.
+
+#include <gtest/gtest.h>
+
+#include "aets/replay/aets_replayer.h"
+#include "aets/replication/log_shipper.h"
+#include "aets/workload/driver.h"
+#include "aets/workload/query_exec.h"
+
+namespace aets {
+namespace {
+
+class QueryExecTest : public ::testing::Test {
+ protected:
+  QueryExecTest() {
+    TpccConfig config;
+    config.warehouses = 1;
+    config.items = 80;
+    config.customers_per_district = 8;
+    config.init_orders_per_district = 3;
+    ch_ = std::make_unique<ChBenchmarkWorkload>(config);
+  }
+
+  std::unique_ptr<ChBenchmarkWorkload> ch_;
+};
+
+TEST_F(QueryExecTest, Q1AndQ6MatchPrimaryAfterReplay) {
+  LogicalClock clock;
+  PrimaryDb db(&ch_->catalog(), &clock);
+  LogShipper shipper(/*epoch_size=*/32);
+  EpochChannel channel(1024);
+  shipper.AttachChannel(&channel);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+  Rng rng(1);
+  ch_->Load(&db, &rng);
+  Timestamp mid_ts;
+  {
+    OltpDriver oltp(ch_.get(), &db, 1);
+    oltp.Run(200);
+    mid_ts = db.last_commit_ts();
+    oltp.Run(200);
+  }
+  shipper.Finish();
+
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+  AetsReplayer backup(&ch_->catalog(), &channel, options);
+  ASSERT_TRUE(backup.Start().ok());
+  backup.Stop();
+  ASSERT_TRUE(backup.error().ok());
+
+  ChQueryExecutor on_primary(ch_.get(), &db.store());
+  ChQueryExecutor on_backup(ch_.get(), backup.store());
+  Timestamp final_ts = db.last_commit_ts();
+
+  for (Timestamp snapshot : {mid_ts, final_ts}) {
+    auto q1_primary = on_primary.RunQ1(snapshot, INT64_MAX);
+    auto q1_backup = on_backup.RunQ1(snapshot, INT64_MAX);
+    ASSERT_EQ(q1_primary.size(), q1_backup.size());
+    for (const auto& [ol_number, row] : q1_primary) {
+      ASSERT_TRUE(q1_backup.count(ol_number));
+      EXPECT_TRUE(q1_backup.at(ol_number) == row) << "ol " << ol_number;
+    }
+    EXPECT_TRUE(on_backup.RunQ6(snapshot, 1, 5) ==
+                on_primary.RunQ6(snapshot, 1, 5));
+  }
+  // Q1 has 5..15 ol_number buckets; the workload must have produced them.
+  EXPECT_GE(on_primary.RunQ1(final_ts, INT64_MAX).size(), 5u);
+}
+
+TEST_F(QueryExecTest, Q1DeliveryCutoffFilters) {
+  LogicalClock clock;
+  PrimaryDb db(&ch_->catalog(), &clock);
+  Rng rng(2);
+  ch_->Load(&db, &rng);
+  OltpDriver oltp(ch_.get(), &db, 2);
+  oltp.Run(150);
+
+  ChQueryExecutor exec(ch_.get(), &db.store());
+  Timestamp ts = db.last_commit_ts();
+  // Cutoff 0 keeps only undelivered lines (ol_delivery_d == 0); INT64_MAX
+  // keeps everything; the filtered count must be strictly smaller whenever
+  // deliveries happened.
+  auto all = exec.RunQ1(ts, INT64_MAX);
+  auto undelivered = exec.RunQ1(ts, 0);
+  uint64_t all_count = 0, undelivered_count = 0;
+  for (const auto& [k, v] : all) all_count += v.count;
+  for (const auto& [k, v] : undelivered) undelivered_count += v.count;
+  EXPECT_LE(undelivered_count, all_count);
+  EXPECT_GT(all_count, 0u);
+}
+
+TEST_F(QueryExecTest, Q6QuantityRange) {
+  LogicalClock clock;
+  PrimaryDb db(&ch_->catalog(), &clock);
+  Rng rng(3);
+  ch_->Load(&db, &rng);
+  OltpDriver oltp(ch_.get(), &db, 3);
+  oltp.Run(100);
+
+  ChQueryExecutor exec(ch_.get(), &db.store());
+  Timestamp ts = db.last_commit_ts();
+  auto narrow = exec.RunQ6(ts, 3, 3);
+  auto wide = exec.RunQ6(ts, 1, 10);
+  auto empty = exec.RunQ6(ts, 100, 200);
+  EXPECT_LE(narrow.lines, wide.lines);
+  EXPECT_GT(wide.lines, 0u);
+  EXPECT_EQ(empty.lines, 0u);
+  EXPECT_DOUBLE_EQ(empty.revenue, 0.0);
+  EXPECT_GE(wide.revenue, narrow.revenue);
+}
+
+}  // namespace
+}  // namespace aets

@@ -1,0 +1,438 @@
+// Replayer correctness: every parallel replayer (AETS in several grouping
+// configurations, TPLR-ungrouped, ATR, C5) must produce a backup state
+// identical to the primary and the serial oracle, publish monotonic
+// visibility timestamps, and satisfy Algorithm 3. Includes a parameterized
+// random-workload equivalence sweep and failure injection.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aets/baselines/atr_replayer.h"
+#include "aets/baselines/c5_replayer.h"
+#include "aets/baselines/serial_replayer.h"
+#include "aets/baselines/tplr_replayer.h"
+#include "aets/replay/aets_replayer.h"
+#include "aets/replication/log_shipper.h"
+#include "aets/storage/gc_daemon.h"
+#include "aets/workload/driver.h"
+#include "aets/workload/tpcc.h"
+
+namespace aets {
+namespace {
+
+// Runs `num_txns` of a random multi-table workload on the primary and ships
+// it to every provided replayer; returns the primary digest at the final
+// commit timestamp.
+struct Pipeline {
+  explicit Pipeline(const Catalog* catalog, size_t epoch_size = 16)
+      : catalog(catalog), clock(), db(catalog, &clock), shipper(epoch_size) {
+    db.SetCommitSink([this](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+  }
+
+  EpochChannel* AddChannel() {
+    channels.push_back(std::make_unique<EpochChannel>(1024));
+    shipper.AttachChannel(channels.back().get());
+    return channels.back().get();
+  }
+
+  const Catalog* catalog;
+  LogicalClock clock;
+  PrimaryDb db;
+  LogShipper shipper;
+  std::vector<std::unique_ptr<EpochChannel>> channels;
+};
+
+// A small random workload over `num_tables` tables with inserts, updates,
+// deletes, and multi-table transactions.
+void RunRandomWorkload(PrimaryDb* db, int num_tables, int num_txns,
+                       uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < num_txns; ++i) {
+    PrimaryTxn txn = db->Begin();
+    int writes = static_cast<int>(rng.UniformInt(1, 6));
+    for (int w = 0; w < writes; ++w) {
+      TableId table = static_cast<TableId>(rng.UniformInt(0, num_tables - 1));
+      int64_t key = rng.UniformInt(0, 199);
+      int kind = static_cast<int>(rng.UniformInt(0, 9));
+      if (kind < 5) {
+        txn.Insert(table, key,
+                   {{0, Value(static_cast<int64_t>(i))},
+                    {1, Value(rng.AlphaString(4, 12))}});
+      } else if (kind < 9) {
+        txn.Update(table, key, {{0, Value(static_cast<int64_t>(i * 10))}});
+      } else {
+        txn.Delete(table, key);
+      }
+    }
+    ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  }
+}
+
+Catalog* MakeCatalog(int num_tables) {
+  auto* catalog = new Catalog();
+  for (int t = 0; t < num_tables; ++t) {
+    AETS_CHECK(catalog
+                   ->RegisterTable("t" + std::to_string(t),
+                                   Schema::Of({{"a", ColumnType::kInt64},
+                                               {"b", ColumnType::kString}}))
+                   .ok());
+  }
+  return catalog;
+}
+
+std::vector<double> RatesForTables(int num_tables) {
+  std::vector<double> rates(static_cast<size_t>(num_tables), 0.0);
+  // Half the tables are hot with varying rates.
+  for (int t = 0; t < num_tables / 2; ++t) {
+    rates[static_cast<size_t>(t)] = 10.0 * (t + 1) * (t + 1);
+  }
+  return rates;
+}
+
+// Builds one of each replayer configuration under test.
+std::vector<std::unique_ptr<Replayer>> MakeAllReplayers(
+    const Catalog* catalog, Pipeline* pipeline, int num_tables) {
+  std::vector<std::unique_ptr<Replayer>> replayers;
+  std::vector<double> rates = RatesForTables(num_tables);
+
+  {
+    AetsOptions options;
+    options.replay_threads = 4;
+    options.commit_threads = 2;
+    options.grouping = GroupingMode::kPerTable;
+    options.initial_rates = rates;
+    replayers.push_back(std::make_unique<AetsReplayer>(
+        catalog, pipeline->AddChannel(), options));
+  }
+  {
+    AetsOptions options;
+    options.replay_threads = 3;
+    options.commit_threads = 2;
+    options.grouping = GroupingMode::kByAccessRate;
+    options.initial_rates = rates;
+    replayers.push_back(std::make_unique<AetsReplayer>(
+        catalog, pipeline->AddChannel(), options));
+  }
+  {
+    AetsOptions options;
+    options.replay_threads = 4;
+    options.commit_threads = 2;
+    options.grouping = GroupingMode::kStatic;
+    options.static_hot_groups = {{0, 1}, {2}};
+    options.initial_rates = rates;
+    replayers.push_back(std::make_unique<AetsReplayer>(
+        catalog, pipeline->AddChannel(), options));
+  }
+  replayers.push_back(
+      MakeTplrReplayer(catalog, pipeline->AddChannel(), /*threads=*/4));
+  replayers.push_back(std::make_unique<AtrReplayer>(
+      catalog, pipeline->AddChannel(), AtrOptions{/*workers=*/4}));
+  replayers.push_back(std::make_unique<C5Replayer>(
+      catalog, pipeline->AddChannel(),
+      C5Options{/*workers=*/4, /*watermark_period_us=*/500}));
+  replayers.push_back(
+      std::make_unique<SerialReplayer>(catalog, pipeline->AddChannel()));
+  return replayers;
+}
+
+TEST(ReplayerEquivalenceTest, AllReplayersMatchPrimaryOnRandomWorkload) {
+  constexpr int kTables = 6;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  Pipeline pipeline(catalog.get());
+  auto replayers = MakeAllReplayers(catalog.get(), &pipeline, kTables);
+  for (auto& r : replayers) ASSERT_TRUE(r->Start().ok());
+
+  RunRandomWorkload(&pipeline.db, kTables, /*num_txns=*/800, /*seed=*/42);
+  pipeline.shipper.Finish();
+  for (auto& r : replayers) r->Stop();
+
+  Timestamp final_ts = pipeline.db.last_commit_ts();
+  uint64_t expected = pipeline.db.store().DigestAt(final_ts);
+  size_t expected_rows = pipeline.db.store().VisibleRowCount(final_ts);
+  for (auto& r : replayers) {
+    EXPECT_EQ(r->store()->DigestAt(final_ts), expected) << r->name();
+    EXPECT_EQ(r->store()->VisibleRowCount(final_ts), expected_rows)
+        << r->name();
+    EXPECT_EQ(r->GlobalVisibleTs(), final_ts) << r->name();
+    EXPECT_EQ(r->stats().txns.load(), 800u) << r->name();
+  }
+}
+
+// Parameterized sweep over seeds and epoch sizes.
+class ReplayerEquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(ReplayerEquivalenceSweep, DigestsMatch) {
+  auto [seed, epoch_size] = GetParam();
+  constexpr int kTables = 5;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  Pipeline pipeline(catalog.get(), static_cast<size_t>(epoch_size));
+  auto replayers = MakeAllReplayers(catalog.get(), &pipeline, kTables);
+  for (auto& r : replayers) ASSERT_TRUE(r->Start().ok());
+
+  RunRandomWorkload(&pipeline.db, kTables, /*num_txns=*/300, seed);
+  pipeline.shipper.Finish();
+  for (auto& r : replayers) r->Stop();
+
+  Timestamp final_ts = pipeline.db.last_commit_ts();
+  uint64_t expected = pipeline.db.store().DigestAt(final_ts);
+  for (auto& r : replayers) {
+    EXPECT_EQ(r->store()->DigestAt(final_ts), expected)
+        << r->name() << " seed=" << seed << " epoch=" << epoch_size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReplayerEquivalenceSweep,
+    ::testing::Combine(::testing::Values(1u, 7u, 99u),
+                       ::testing::Values(1, 8, 64, 1024)));
+
+TEST(ReplayerEquivalenceTest, TpccWorkloadMatches) {
+  TpccConfig config;
+  config.warehouses = 1;
+  config.items = 100;
+  config.customers_per_district = 10;
+  config.init_orders_per_district = 3;
+  TpccWorkload tpcc(config);
+  Pipeline pipeline(&tpcc.catalog(), /*epoch_size=*/32);
+  auto replayers =
+      MakeAllReplayers(&tpcc.catalog(),
+                       &pipeline, static_cast<int>(tpcc.catalog().num_tables()));
+  for (auto& r : replayers) ASSERT_TRUE(r->Start().ok());
+
+  Rng rng(5);
+  tpcc.Load(&pipeline.db, &rng);
+  OltpDriver driver(&tpcc, &pipeline.db, 5);
+  driver.Run(400);
+  pipeline.shipper.Finish();
+  for (auto& r : replayers) r->Stop();
+
+  Timestamp final_ts = pipeline.db.last_commit_ts();
+  uint64_t expected = pipeline.db.store().DigestAt(final_ts);
+  for (auto& r : replayers) {
+    EXPECT_EQ(r->store()->DigestAt(final_ts), expected) << r->name();
+  }
+}
+
+TEST(VisibilityTest, PerGroupPublishBeforeEpochEnd) {
+  // With per-table groups, a table's data becomes visible when its group
+  // commits, which Algorithm 3 observes through tg_cmt_ts.
+  std::unique_ptr<Catalog> catalog(MakeCatalog(2));
+  Pipeline pipeline(catalog.get(), /*epoch_size=*/4);
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+  options.initial_rates = {100.0, 0.0};  // table 0 hot, table 1 cold
+  AetsReplayer replayer(catalog.get(), pipeline.AddChannel(), options);
+  ASSERT_TRUE(replayer.Start().ok());
+
+  RunRandomWorkload(&pipeline.db, 2, 64, 3);
+  Timestamp qts = pipeline.db.last_commit_ts();
+  pipeline.shipper.Finish();
+
+  // Algorithm 3 for a query on both tables must eventually unblock with all
+  // data visible.
+  int64_t waited = WaitVisible(replayer, {0, 1}, qts);
+  EXPECT_GE(waited, 0);
+  EXPECT_TRUE(IsVisible(replayer, {0, 1}, qts));
+  replayer.Stop();
+  EXPECT_GE(replayer.TableVisibleTs(0), qts);
+  EXPECT_EQ(replayer.GlobalVisibleTs(), qts);
+}
+
+TEST(VisibilityTest, WatermarkIsMonotonic) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(3));
+  Pipeline pipeline(catalog.get(), /*epoch_size=*/8);
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+  options.initial_rates = RatesForTables(3);
+  AetsReplayer replayer(catalog.get(), pipeline.AddChannel(), options);
+  ASSERT_TRUE(replayer.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violated{false};
+  std::thread monitor([&] {
+    Timestamp last_global = 0;
+    std::vector<Timestamp> last_table(3, 0);
+    while (!stop.load()) {
+      Timestamp g = replayer.GlobalVisibleTs();
+      if (g < last_global) violated.store(true);
+      last_global = g;
+      for (TableId t = 0; t < 3; ++t) {
+        Timestamp ts = replayer.TableVisibleTs(t);
+        if (ts < last_table[t]) violated.store(true);
+        last_table[t] = ts;
+      }
+    }
+  });
+  RunRandomWorkload(&pipeline.db, 3, 500, 9);
+  pipeline.shipper.Finish();
+  replayer.Stop();
+  stop.store(true);
+  monitor.join();
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(FailureInjectionTest, CorruptedPayloadSetsError) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(2));
+  EpochChannel channel;
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+  AetsReplayer replayer(catalog.get(), &channel, options);
+  ASSERT_TRUE(replayer.Start().ok());
+
+  // Hand-craft an epoch and corrupt one byte mid-payload.
+  Epoch epoch;
+  TxnLog txn;
+  txn.txn_id = 1;
+  txn.commit_ts = 1;
+  txn.records = {LogRecord::Begin(1, 1, 1),
+                 LogRecord::Dml(LogRecordType::kInsert, 2, 1, 1, 0, 1,
+                                {{0, Value(int64_t{1})}}),
+                 LogRecord::Commit(3, 1, 1)};
+  epoch.txns.push_back(txn);
+  ShippedEpoch shipped = EncodeEpoch(epoch);
+  auto corrupted = std::make_shared<std::string>(*shipped.payload);
+  (*corrupted)[corrupted->size() / 2] ^= 0x10;
+  shipped.payload = corrupted;
+  channel.Send(shipped);
+  channel.Close();
+  replayer.Stop();
+  EXPECT_TRUE(replayer.error().IsCorruption()) << replayer.error().ToString();
+}
+
+TEST(FailureInjectionTest, OutOfOrderEpochRejected) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(2));
+  EpochChannel channel;
+  AetsOptions options;
+  options.replay_threads = 1;
+  options.grouping = GroupingMode::kSingle;
+  AetsReplayer replayer(catalog.get(), &channel, options);
+  ASSERT_TRUE(replayer.Start().ok());
+
+  // Epoch id 3 when 0 is expected.
+  channel.Send(MakeHeartbeatEpoch(3, 100));
+  channel.Close();
+  replayer.Stop();
+  EXPECT_TRUE(replayer.error().IsCorruption());
+}
+
+TEST(FailureInjectionTest, SerialReplayerDetectsCorruption) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(1));
+  EpochChannel channel;
+  SerialReplayer replayer(catalog.get(), &channel);
+  ASSERT_TRUE(replayer.Start().ok());
+  channel.Send(MakeHeartbeatEpoch(5, 1));  // wrong first epoch id
+  channel.Close();
+  replayer.Stop();
+  EXPECT_TRUE(replayer.error().IsCorruption());
+}
+
+TEST(ReplayerLifecycleTest, StartValidatesOptions) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(1));
+  EpochChannel channel;
+  AetsOptions options;
+  options.replay_threads = 0;
+  AetsReplayer replayer(catalog.get(), &channel, options);
+  EXPECT_TRUE(replayer.Start().IsInvalidArgument());
+  channel.Close();
+}
+
+TEST(ReplayerLifecycleTest, HeartbeatAdvancesAllTables) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(3));
+  EpochChannel channel;
+  AetsOptions options;
+  options.replay_threads = 1;
+  options.grouping = GroupingMode::kPerTable;
+  AetsReplayer replayer(catalog.get(), &channel, options);
+  ASSERT_TRUE(replayer.Start().ok());
+  channel.Send(MakeHeartbeatEpoch(0, 500));
+  channel.Close();
+  replayer.Stop();
+  EXPECT_EQ(replayer.GlobalVisibleTs(), 500u);
+  for (TableId t = 0; t < 3; ++t) EXPECT_EQ(replayer.TableVisibleTs(t), 500u);
+  EXPECT_TRUE(replayer.error().ok());
+}
+
+// Property sweep: the full live pipeline — heartbeats flushing partial
+// epochs, concurrent GC on the backup, dynamic regrouping — still converges
+// to the primary state for every seed.
+class LivePipelineSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LivePipelineSweep, HeartbeatsAndGcPreserveEquivalence) {
+  constexpr int kTables = 4;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  LogShipper shipper(/*epoch_size=*/32);
+  EpochChannel channel(1024);
+  shipper.AttachChannel(&channel);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+  shipper.StartHeartbeats([&db] { return db.AcquireHeartbeatTs(); },
+                          /*interval_us=*/1'000);
+
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kByAccessRate;
+  options.initial_rates = RatesForTables(kTables);
+  AetsReplayer replayer(catalog.get(), &channel, options);
+  ASSERT_TRUE(replayer.Start().ok());
+  GcDaemon gc(replayer.store(), [&] { return replayer.GlobalVisibleTs(); },
+              /*retention=*/20, /*interval_us=*/300);
+  gc.Start();
+
+  for (int burst = 0; burst < 5; ++burst) {
+    RunRandomWorkload(&db, kTables, 120, GetParam() * 100 + burst);
+    // Idle gap: heartbeats flush the partial epoch; queries at "now" must
+    // unblock without the shipper finishing.
+    Timestamp qts = clock.Now();
+    int64_t waited = WaitVisible(replayer, {0, 1, 2, 3}, qts);
+    EXPECT_GE(waited, 0);
+  }
+  shipper.Finish();
+  replayer.Stop();
+  gc.Stop();
+
+  Timestamp final_ts = db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->DigestAt(final_ts),
+            db.store().DigestAt(final_ts));
+  EXPECT_TRUE(replayer.error().ok()) << replayer.error().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LivePipelineSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(ReplayerStatsTest, PhaseBreakdownAccumulates) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(4));
+  Pipeline pipeline(catalog.get(), /*epoch_size=*/16);
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+  options.initial_rates = RatesForTables(4);
+  AetsReplayer replayer(catalog.get(), pipeline.AddChannel(), options);
+  ASSERT_TRUE(replayer.Start().ok());
+  RunRandomWorkload(&pipeline.db, 4, 200, 17);
+  pipeline.shipper.Finish();
+  replayer.Stop();
+
+  const ReplayStats& stats = replayer.stats();
+  EXPECT_EQ(stats.txns.load(), 200u);
+  EXPECT_GT(stats.records.load(), 0u);
+  EXPECT_GT(stats.bytes.load(), 0u);
+  EXPECT_GT(stats.dispatch_ns.load(), 0);
+  EXPECT_GT(stats.replay_ns.load(), 0);
+  EXPECT_GT(stats.commit_ns.load(), 0);
+  // The replay phase dominates (paper Table II: > 98%). Allow slack on a
+  // loaded CI machine but the ordering must hold.
+  EXPECT_GT(stats.ReplayFraction(), stats.DispatchFraction());
+  EXPECT_GT(stats.ReplayFraction(), stats.CommitFraction());
+  double total = stats.DispatchFraction() + stats.ReplayFraction() +
+                 stats.CommitFraction();
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace aets

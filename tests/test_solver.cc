@@ -1,0 +1,108 @@
+// Linear-algebra helper tests: Gaussian elimination and OLS fitting, the
+// numeric core under ARIMA and the QB5000 linear-regression member.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aets/common/rng.h"
+#include "aets/predictor/solver.h"
+
+namespace aets {
+namespace {
+
+TEST(SolveLinearSystemTest, TwoByTwo) {
+  // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem({2, 1, 1, -1}, {5, 1}, 2, &x));
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem({0, 1, 1, 0}, {3, 7}, 2, &x));
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, SingularFails) {
+  std::vector<double> x;
+  EXPECT_FALSE(SolveLinearSystem({1, 2, 2, 4}, {1, 2}, 2, &x));
+}
+
+TEST(SolveLinearSystemTest, RandomSystemsRoundTrip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(1, 8));
+    std::vector<double> a(static_cast<size_t>(n * n));
+    std::vector<double> truth(static_cast<size_t>(n));
+    for (auto& v : a) v = rng.Gaussian(0, 1);
+    for (auto& v : truth) v = rng.Gaussian(0, 2);
+    // b = A * truth.
+    std::vector<double> b(static_cast<size_t>(n), 0.0);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        b[static_cast<size_t>(r)] +=
+            a[static_cast<size_t>(r * n + c)] * truth[static_cast<size_t>(c)];
+      }
+    }
+    std::vector<double> x;
+    if (!SolveLinearSystem(a, b, n, &x)) continue;  // near-singular draw
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[static_cast<size_t>(i)], truth[static_cast<size_t>(i)], 1e-6);
+    }
+  }
+}
+
+TEST(OlsFitTest, RecoversExactLinearModel) {
+  // y = 3 + 2a - b over a grid; OLS must recover the coefficients.
+  std::vector<double> x, y;
+  for (int a = 0; a < 10; ++a) {
+    for (int b = 0; b < 10; ++b) {
+      x.push_back(1);
+      x.push_back(a);
+      x.push_back(b);
+      y.push_back(3 + 2.0 * a - b);
+    }
+  }
+  std::vector<double> theta;
+  ASSERT_TRUE(OlsFit(x, y, 100, 3, &theta));
+  EXPECT_NEAR(theta[0], 3.0, 1e-6);
+  EXPECT_NEAR(theta[1], 2.0, 1e-6);
+  EXPECT_NEAR(theta[2], -1.0, 1e-6);
+}
+
+TEST(OlsFitTest, NoisyFitIsClose) {
+  Rng rng(4);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    double a = rng.Gaussian(0, 1);
+    x.push_back(1);
+    x.push_back(a);
+    y.push_back(5 - 0.7 * a + rng.Gaussian(0, 0.1));
+  }
+  std::vector<double> theta;
+  ASSERT_TRUE(OlsFit(x, y, 500, 2, &theta));
+  EXPECT_NEAR(theta[0], 5.0, 0.05);
+  EXPECT_NEAR(theta[1], -0.7, 0.05);
+}
+
+TEST(OlsFitTest, RidgeHandlesCollinearColumns) {
+  // Perfectly collinear features: plain normal equations are singular, but
+  // the ridge keeps the solve stable.
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    x.push_back(2.0 * i);
+    y.push_back(10.0 * i);
+  }
+  std::vector<double> theta;
+  ASSERT_TRUE(OlsFit(x, y, 50, 2, &theta, 1e-4));
+  // Any (t0 + 2 t1) == 10 combination is acceptable; check the prediction.
+  EXPECT_NEAR(theta[0] + 2 * theta[1], 10.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace aets

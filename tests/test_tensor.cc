@@ -1,0 +1,301 @@
+// Autograd engine tests: numeric gradient checks for every op, optimizer
+// behavior, and graph mechanics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "aets/common/rng.h"
+#include "aets/predictor/tensor.h"
+
+namespace aets {
+namespace {
+
+// Numeric gradient check: perturb each element of `param`, re-run
+// `forward` (which must rebuild the graph and return the scalar loss), and
+// compare against the autograd gradient captured by `grad_of`.
+void CheckGradient(Tensor param,
+                   const std::function<double()>& forward_value,
+                   const std::function<std::vector<double>()>& autograd,
+                   double eps = 1e-5, double tol = 1e-4) {
+  std::vector<double> analytic = autograd();
+  auto& data = param.data();
+  for (size_t i = 0; i < data.size(); ++i) {
+    double saved = data[i];
+    data[i] = saved + eps;
+    double up = forward_value();
+    data[i] = saved - eps;
+    double down = forward_value();
+    data[i] = saved;
+    double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric, tol)
+        << "param element " << i << " analytic=" << analytic[i]
+        << " numeric=" << numeric;
+  }
+}
+
+TEST(TensorTest, ConstructionAndAccess) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.size(), 6);
+  EXPECT_EQ(z.ndim(), 2);
+  EXPECT_FALSE(z.requires_grad());
+  Tensor f = Tensor::Full({2}, 7.0);
+  EXPECT_EQ(f.data()[0], 7.0);
+  Tensor d = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(d.data()[3], 4.0);
+  EXPECT_EQ(Tensor::Full({1}, 5.0).item(), 5.0);
+}
+
+TEST(TensorTest, XavierWithinBounds) {
+  Rng rng(1);
+  Tensor w = Tensor::Xavier({64, 64}, &rng);
+  double limit = std::sqrt(6.0 / 128.0);
+  for (double v : w.data()) {
+    EXPECT_LE(std::abs(v), limit + 1e-12);
+  }
+  EXPECT_TRUE(w.requires_grad());
+}
+
+TEST(TensorTest, MatMulForward) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData({2, 2}, {5, 6, 7, 8});
+  Tensor c = Tensor::MatMul(a, b);
+  EXPECT_EQ(c.data(), (std::vector<double>{19, 22, 43, 50}));
+}
+
+TEST(TensorGradTest, MatMul) {
+  Rng rng(2);
+  Tensor a = Tensor::Xavier({3, 4}, &rng);
+  Tensor b = Tensor::Xavier({4, 2}, &rng);
+  Tensor target = Tensor::Zeros({3, 2});
+  auto loss_value = [&] {
+    return Tensor::MaeLoss(Tensor::MatMul(a, b), target).item();
+  };
+  auto autograd = [&] {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Tensor::MaeLoss(Tensor::MatMul(a, b), target).Backward();
+    return a.grad();
+  };
+  CheckGradient(a, loss_value, autograd);
+}
+
+TEST(TensorGradTest, AddBiasAndActivations) {
+  Rng rng(3);
+  Tensor x = Tensor::Xavier({4, 3}, &rng);
+  Tensor bias = Tensor::Xavier({3}, &rng);
+  Tensor target = Tensor::Full({4, 3}, 0.3);
+  auto make_loss = [&] {
+    Tensor h = Tensor::AddBias(x, bias);
+    Tensor t = Tensor::Tanh(h);
+    Tensor s = Tensor::Sigmoid(h);
+    Tensor r = Tensor::Relu(Tensor::Add(t, s));
+    return Tensor::MaeLoss(Tensor::Mul(r, Tensor::Scale(h, 0.5)), target);
+  };
+  auto autograd = [&] {
+    x.ZeroGrad();
+    bias.ZeroGrad();
+    make_loss().Backward();
+    return bias.grad();
+  };
+  CheckGradient(bias, [&] { return make_loss().item(); }, autograd);
+}
+
+TEST(TensorGradTest, Conv1dTimeWithDilation) {
+  Rng rng(4);
+  Tensor x = Tensor::Xavier({6, 2, 3}, &rng);  // [T,N,Fi]
+  Tensor w = Tensor::Xavier({2, 3, 2}, &rng);  // [K,Fi,Fo]
+  Tensor target = Tensor::Zeros({6, 2, 2});
+  auto make_loss = [&] {
+    return Tensor::MaeLoss(Tensor::Conv1dTime(x, w, /*dilation=*/2), target);
+  };
+  auto autograd_w = [&] {
+    x.ZeroGrad();
+    w.ZeroGrad();
+    make_loss().Backward();
+    return w.grad();
+  };
+  CheckGradient(w, [&] { return make_loss().item(); }, autograd_w);
+  auto autograd_x = [&] {
+    x.ZeroGrad();
+    w.ZeroGrad();
+    make_loss().Backward();
+    return x.grad();
+  };
+  CheckGradient(x, [&] { return make_loss().item(); }, autograd_x);
+}
+
+TEST(TensorGradTest, NodeMix) {
+  Rng rng(5);
+  Tensor x = Tensor::Xavier({3, 4, 2}, &rng);  // [T,N,Fi]
+  Tensor adj = Tensor::FromData(
+      {4, 4}, {0.5, 0.5, 0, 0, 0.3, 0.4, 0.3, 0, 0, 0.2, 0.8, 0, 0, 0, 0, 1});
+  Tensor w = Tensor::Xavier({2, 3}, &rng);  // [Fi,Fo]
+  Tensor target = Tensor::Zeros({3, 4, 3});
+  auto make_loss = [&] {
+    return Tensor::MaeLoss(Tensor::NodeMix(x, adj, w), target);
+  };
+  auto autograd_w = [&] {
+    x.ZeroGrad();
+    w.ZeroGrad();
+    make_loss().Backward();
+    return w.grad();
+  };
+  CheckGradient(w, [&] { return make_loss().item(); }, autograd_w);
+  auto autograd_x = [&] {
+    x.ZeroGrad();
+    w.ZeroGrad();
+    make_loss().Backward();
+    return x.grad();
+  };
+  CheckGradient(x, [&] { return make_loss().item(); }, autograd_x);
+}
+
+TEST(TensorGradTest, LinearAndSelectTime) {
+  Rng rng(6);
+  Tensor x = Tensor::Xavier({4, 3, 2}, &rng);
+  Tensor w = Tensor::Xavier({2, 5}, &rng);
+  Tensor target = Tensor::Zeros({3, 5});
+  auto make_loss = [&] {
+    Tensor y = Tensor::Linear(x, w);     // [4,3,5]
+    Tensor last = Tensor::SelectTime(y, 3);  // [3,5]
+    return Tensor::MaeLoss(last, target);
+  };
+  auto autograd = [&] {
+    x.ZeroGrad();
+    w.ZeroGrad();
+    make_loss().Backward();
+    return x.grad();
+  };
+  CheckGradient(x, [&] { return make_loss().item(); }, autograd);
+}
+
+TEST(TensorGradTest, SquaredNorm) {
+  Tensor a = Tensor::FromData({3}, {1, -2, 3}, /*requires_grad=*/true);
+  Tensor loss = Tensor::SquaredNorm(a);
+  EXPECT_DOUBLE_EQ(loss.item(), 14.0);
+  loss.Backward();
+  EXPECT_EQ(a.grad(), (std::vector<double>{2, -4, 6}));
+}
+
+TEST(TensorTest, DropoutTrainVsEval) {
+  Rng rng(7);
+  Tensor x = Tensor::Full({100, 10}, 1.0, /*requires_grad=*/true);
+  Tensor eval = Tensor::Dropout(x, 0.5, &rng, /*training=*/false);
+  EXPECT_EQ(eval.data(), x.data());  // identity in eval mode
+  Tensor train = Tensor::Dropout(x, 0.5, &rng, /*training=*/true);
+  int zeros = 0, scaled = 0;
+  for (double v : train.data()) {
+    if (v == 0.0) ++zeros;
+    if (std::abs(v - 2.0) < 1e-12) ++scaled;
+  }
+  EXPECT_EQ(zeros + scaled, 1000);
+  EXPECT_GT(zeros, 300);  // roughly half dropped
+  EXPECT_GT(scaled, 300);
+}
+
+TEST(TensorTest, DiamondGraphAccumulatesGradOnce) {
+  // y = a*a used twice downstream: gradients must accumulate exactly once
+  // per path (topological traversal must not double-run backward fns).
+  Tensor a = Tensor::FromData({1}, {3.0}, /*requires_grad=*/true);
+  Tensor sq = Tensor::Mul(a, a);
+  Tensor sum = Tensor::Add(sq, sq);  // d/da = 2 * 2a = 12
+  sum.Backward();
+  EXPECT_DOUBLE_EQ(a.grad()[0], 12.0);
+}
+
+// Parameterized gradient sweep: a small MLP-like composite over varying
+// shapes and seeds, checked numerically end to end.
+class CompositeGradSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(CompositeGradSweep, CompositeGraphMatchesNumericGradient) {
+  auto [rows, features, seed] = GetParam();
+  Rng rng(seed);
+  Tensor x = Tensor::Xavier({rows, features}, &rng);
+  Tensor w1 = Tensor::Xavier({features, features}, &rng);
+  Tensor bias = Tensor::Xavier({features}, &rng);
+  Tensor w2 = Tensor::Xavier({features, 2}, &rng);
+  Tensor target = Tensor::Full({rows, 2}, 0.25);
+  auto make_loss = [&] {
+    Tensor h = Tensor::Tanh(Tensor::AddBias(Tensor::MatMul(x, w1), bias));
+    Tensor g = Tensor::Mul(h, Tensor::Sigmoid(h));
+    Tensor out = Tensor::MatMul(g, w2);
+    return Tensor::Add(Tensor::MaeLoss(out, target),
+                       Tensor::Scale(Tensor::SquaredNorm(w2), 1e-3));
+  };
+  auto autograd = [&](Tensor param) {
+    return [&, param]() mutable {
+      x.ZeroGrad();
+      w1.ZeroGrad();
+      bias.ZeroGrad();
+      w2.ZeroGrad();
+      make_loss().Backward();
+      return param.grad();
+    };
+  };
+  CheckGradient(w1, [&] { return make_loss().item(); }, autograd(w1));
+  CheckGradient(bias, [&] { return make_loss().item(); }, autograd(bias));
+  CheckGradient(w2, [&] { return make_loss().item(); }, autograd(w2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CompositeGradSweep,
+    ::testing::Combine(::testing::Values(1, 3), ::testing::Values(2, 5),
+                       ::testing::Values(21u, 22u)));
+
+TEST(TensorTest, GraphsAreFreedWhenRootsDie) {
+  // Regression test for the backward-closure reference cycle: after the
+  // graph's root goes out of scope, only the parameters survive.
+  Rng rng(11);
+  Tensor w = Tensor::Xavier({8, 8}, &rng);
+  int64_t baseline = Tensor::LiveNodeCount();
+  for (int i = 0; i < 20; ++i) {
+    Tensor x = Tensor::FromData({4, 8}, std::vector<double>(32, 1.0));
+    Tensor h = Tensor::Sigmoid(Tensor::Tanh(Tensor::MatMul(x, w)));
+    Tensor loss = Tensor::MaeLoss(h, Tensor::Zeros({4, 8}));
+    loss.Backward();
+    w.ZeroGrad();
+  }
+  EXPECT_EQ(Tensor::LiveNodeCount(), baseline);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize |x - 5| elementwise via MAE against a constant target.
+  Tensor x = Tensor::FromData({4}, {0, 1, -2, 10}, /*requires_grad=*/true);
+  Tensor target = Tensor::Full({4}, 5.0);
+  AdamOptimizer::Options options;
+  options.lr = 0.2;
+  options.weight_decay = 0;
+  AdamOptimizer opt({x}, options);
+  for (int i = 0; i < 300; ++i) {
+    Tensor loss = Tensor::MaeLoss(x, target);
+    loss.Backward();
+    opt.Step();
+  }
+  for (double v : x.data()) EXPECT_NEAR(v, 5.0, 0.4);
+}
+
+TEST(AdamTest, LrDecaySchedule) {
+  Tensor x = Tensor::FromData({1}, {1.0}, /*requires_grad=*/true);
+  AdamOptimizer::Options options;
+  options.lr = 1e-3;
+  options.lr_decay = 0.1;
+  options.lr_decay_every = 20;
+  AdamOptimizer opt({x}, options);
+  EXPECT_DOUBLE_EQ(opt.current_lr(), 1e-3);
+  for (int i = 0; i < 20; ++i) {
+    x.grad()[0] = 1.0;
+    opt.Step();
+  }
+  EXPECT_NEAR(opt.current_lr(), 1e-4, 1e-12);
+  for (int i = 0; i < 20; ++i) {
+    x.grad()[0] = 1.0;
+    opt.Step();
+  }
+  EXPECT_NEAR(opt.current_lr(), 1e-5, 1e-13);
+}
+
+}  // namespace
+}  // namespace aets
