@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aets/baselines/atr_replayer.cc" "CMakeFiles/aets.dir/src/aets/baselines/atr_replayer.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/baselines/atr_replayer.cc.o.d"
+  "/root/repo/src/aets/baselines/c5_replayer.cc" "CMakeFiles/aets.dir/src/aets/baselines/c5_replayer.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/baselines/c5_replayer.cc.o.d"
+  "/root/repo/src/aets/baselines/serial_replayer.cc" "CMakeFiles/aets.dir/src/aets/baselines/serial_replayer.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/baselines/serial_replayer.cc.o.d"
+  "/root/repo/src/aets/baselines/tplr_replayer.cc" "CMakeFiles/aets.dir/src/aets/baselines/tplr_replayer.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/baselines/tplr_replayer.cc.o.d"
+  "/root/repo/src/aets/bench/harness.cc" "CMakeFiles/aets.dir/src/aets/bench/harness.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/bench/harness.cc.o.d"
+  "/root/repo/src/aets/catalog/catalog.cc" "CMakeFiles/aets.dir/src/aets/catalog/catalog.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/catalog/catalog.cc.o.d"
+  "/root/repo/src/aets/catalog/schema.cc" "CMakeFiles/aets.dir/src/aets/catalog/schema.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/catalog/schema.cc.o.d"
+  "/root/repo/src/aets/common/histogram.cc" "CMakeFiles/aets.dir/src/aets/common/histogram.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/common/histogram.cc.o.d"
+  "/root/repo/src/aets/common/rng.cc" "CMakeFiles/aets.dir/src/aets/common/rng.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/common/rng.cc.o.d"
+  "/root/repo/src/aets/common/status.cc" "CMakeFiles/aets.dir/src/aets/common/status.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/common/status.cc.o.d"
+  "/root/repo/src/aets/common/thread_pool.cc" "CMakeFiles/aets.dir/src/aets/common/thread_pool.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/common/thread_pool.cc.o.d"
+  "/root/repo/src/aets/log/codec.cc" "CMakeFiles/aets.dir/src/aets/log/codec.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/log/codec.cc.o.d"
+  "/root/repo/src/aets/log/epoch.cc" "CMakeFiles/aets.dir/src/aets/log/epoch.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/log/epoch.cc.o.d"
+  "/root/repo/src/aets/log/log_buffer.cc" "CMakeFiles/aets.dir/src/aets/log/log_buffer.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/log/log_buffer.cc.o.d"
+  "/root/repo/src/aets/log/record.cc" "CMakeFiles/aets.dir/src/aets/log/record.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/log/record.cc.o.d"
+  "/root/repo/src/aets/log/shipped_epoch.cc" "CMakeFiles/aets.dir/src/aets/log/shipped_epoch.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/log/shipped_epoch.cc.o.d"
+  "/root/repo/src/aets/predictor/classical.cc" "CMakeFiles/aets.dir/src/aets/predictor/classical.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/predictor/classical.cc.o.d"
+  "/root/repo/src/aets/predictor/dbscan.cc" "CMakeFiles/aets.dir/src/aets/predictor/dbscan.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/predictor/dbscan.cc.o.d"
+  "/root/repo/src/aets/predictor/dtgm.cc" "CMakeFiles/aets.dir/src/aets/predictor/dtgm.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/predictor/dtgm.cc.o.d"
+  "/root/repo/src/aets/predictor/lstm.cc" "CMakeFiles/aets.dir/src/aets/predictor/lstm.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/predictor/lstm.cc.o.d"
+  "/root/repo/src/aets/predictor/predictor.cc" "CMakeFiles/aets.dir/src/aets/predictor/predictor.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/predictor/predictor.cc.o.d"
+  "/root/repo/src/aets/predictor/qb5000.cc" "CMakeFiles/aets.dir/src/aets/predictor/qb5000.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/predictor/qb5000.cc.o.d"
+  "/root/repo/src/aets/predictor/solver.cc" "CMakeFiles/aets.dir/src/aets/predictor/solver.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/predictor/solver.cc.o.d"
+  "/root/repo/src/aets/predictor/tensor.cc" "CMakeFiles/aets.dir/src/aets/predictor/tensor.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/predictor/tensor.cc.o.d"
+  "/root/repo/src/aets/primary/primary_db.cc" "CMakeFiles/aets.dir/src/aets/primary/primary_db.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/primary/primary_db.cc.o.d"
+  "/root/repo/src/aets/replay/access_tracker.cc" "CMakeFiles/aets.dir/src/aets/replay/access_tracker.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/replay/access_tracker.cc.o.d"
+  "/root/repo/src/aets/replay/aets_replayer.cc" "CMakeFiles/aets.dir/src/aets/replay/aets_replayer.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/replay/aets_replayer.cc.o.d"
+  "/root/repo/src/aets/replay/replayer.cc" "CMakeFiles/aets.dir/src/aets/replay/replayer.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/replay/replayer.cc.o.d"
+  "/root/repo/src/aets/replay/table_group.cc" "CMakeFiles/aets.dir/src/aets/replay/table_group.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/replay/table_group.cc.o.d"
+  "/root/repo/src/aets/replay/thread_allocator.cc" "CMakeFiles/aets.dir/src/aets/replay/thread_allocator.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/replay/thread_allocator.cc.o.d"
+  "/root/repo/src/aets/replication/log_shipper.cc" "CMakeFiles/aets.dir/src/aets/replication/log_shipper.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/replication/log_shipper.cc.o.d"
+  "/root/repo/src/aets/storage/checkpoint.cc" "CMakeFiles/aets.dir/src/aets/storage/checkpoint.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/storage/checkpoint.cc.o.d"
+  "/root/repo/src/aets/storage/gc_daemon.cc" "CMakeFiles/aets.dir/src/aets/storage/gc_daemon.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/storage/gc_daemon.cc.o.d"
+  "/root/repo/src/aets/storage/memtable.cc" "CMakeFiles/aets.dir/src/aets/storage/memtable.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/storage/memtable.cc.o.d"
+  "/root/repo/src/aets/storage/table_store.cc" "CMakeFiles/aets.dir/src/aets/storage/table_store.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/storage/table_store.cc.o.d"
+  "/root/repo/src/aets/storage/value.cc" "CMakeFiles/aets.dir/src/aets/storage/value.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/storage/value.cc.o.d"
+  "/root/repo/src/aets/storage/version_chain.cc" "CMakeFiles/aets.dir/src/aets/storage/version_chain.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/storage/version_chain.cc.o.d"
+  "/root/repo/src/aets/workload/bustracker.cc" "CMakeFiles/aets.dir/src/aets/workload/bustracker.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/workload/bustracker.cc.o.d"
+  "/root/repo/src/aets/workload/chbenchmark.cc" "CMakeFiles/aets.dir/src/aets/workload/chbenchmark.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/workload/chbenchmark.cc.o.d"
+  "/root/repo/src/aets/workload/driver.cc" "CMakeFiles/aets.dir/src/aets/workload/driver.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/workload/driver.cc.o.d"
+  "/root/repo/src/aets/workload/query_exec.cc" "CMakeFiles/aets.dir/src/aets/workload/query_exec.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/workload/query_exec.cc.o.d"
+  "/root/repo/src/aets/workload/seats.cc" "CMakeFiles/aets.dir/src/aets/workload/seats.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/workload/seats.cc.o.d"
+  "/root/repo/src/aets/workload/tpcc.cc" "CMakeFiles/aets.dir/src/aets/workload/tpcc.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/workload/tpcc.cc.o.d"
+  "/root/repo/src/aets/workload/workload.cc" "CMakeFiles/aets.dir/src/aets/workload/workload.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/workload/workload.cc.o.d"
+  "/root/repo/src/aets/workload/workload_stats.cc" "CMakeFiles/aets.dir/src/aets/workload/workload_stats.cc.o" "gcc" "CMakeFiles/aets.dir/src/aets/workload/workload_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_chbench_visibility.dir/fig10_chbench_visibility.cc.o"
+  "CMakeFiles/fig10_chbench_visibility.dir/fig10_chbench_visibility.cc.o.d"
+  "fig10_chbench_visibility"
+  "fig10_chbench_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_chbench_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

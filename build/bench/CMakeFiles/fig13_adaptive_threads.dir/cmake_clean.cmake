@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_adaptive_threads.dir/fig13_adaptive_threads.cc.o"
+  "CMakeFiles/fig13_adaptive_threads.dir/fig13_adaptive_threads.cc.o.d"
+  "fig13_adaptive_threads"
+  "fig13_adaptive_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_adaptive_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_hidden_dim.dir/fig14_hidden_dim.cc.o"
+  "CMakeFiles/fig14_hidden_dim.dir/fig14_hidden_dim.cc.o.d"
+  "fig14_hidden_dim"
+  "fig14_hidden_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_hidden_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tpcc_comparison.dir/fig8_tpcc_comparison.cc.o"
+  "CMakeFiles/fig8_tpcc_comparison.dir/fig8_tpcc_comparison.cc.o.d"
+  "fig8_tpcc_comparison"
+  "fig8_tpcc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tpcc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

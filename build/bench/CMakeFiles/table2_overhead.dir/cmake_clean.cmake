@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_overhead.dir/table2_overhead.cc.o"
+  "CMakeFiles/table2_overhead.dir/table2_overhead.cc.o.d"
+  "table2_overhead"
+  "table2_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_dashboard.dir/bus_dashboard.cpp.o"
+  "CMakeFiles/bus_dashboard.dir/bus_dashboard.cpp.o.d"
+  "bus_dashboard"
+  "bus_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

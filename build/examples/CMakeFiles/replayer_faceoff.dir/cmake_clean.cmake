@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replayer_faceoff.dir/replayer_faceoff.cpp.o"
+  "CMakeFiles/replayer_faceoff.dir/replayer_faceoff.cpp.o.d"
+  "replayer_faceoff"
+  "replayer_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replayer_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_btree.dir/test_btree.cc.o"
+  "CMakeFiles/test_btree.dir/test_btree.cc.o.d"
+  "test_btree"
+  "test_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drivers.dir/test_drivers.cc.o"
+  "CMakeFiles/test_drivers.dir/test_drivers.cc.o.d"
+  "test_drivers"
+  "test_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_buffer.dir/test_log_buffer.cc.o"
+  "CMakeFiles/test_log_buffer.dir/test_log_buffer.cc.o.d"
+  "test_log_buffer"
+  "test_log_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_primary.dir/test_primary.cc.o"
+  "CMakeFiles/test_primary.dir/test_primary.cc.o.d"
+  "test_primary"
+  "test_primary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_primary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replayers.dir/test_replayers.cc.o"
+  "CMakeFiles/test_replayers.dir/test_replayers.cc.o.d"
+  "test_replayers"
+  "test_replayers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replayers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_visibility.dir/test_visibility.cc.o"
+  "CMakeFiles/test_visibility.dir/test_visibility.cc.o.d"
+  "test_visibility"
+  "test_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
