@@ -70,7 +70,8 @@ void Run() {
 }  // namespace
 }  // namespace aets
 
-int main() {
+int main(int argc, char** argv) {
+  aets::BenchInit(argc, argv);
   aets::Run();
   return 0;
 }

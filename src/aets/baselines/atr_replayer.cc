@@ -4,6 +4,7 @@
 
 #include "aets/common/macros.h"
 #include "aets/log/codec.h"
+#include "aets/obs/trace.h"
 
 namespace aets {
 
@@ -72,6 +73,7 @@ void AtrReplayer::MainLoop() {
 }
 
 void AtrReplayer::ProcessEpoch(const ShippedEpoch& epoch) {
+  AETS_TRACE_SPAN("replay.epoch");
   // Dispatch: one metadata pass splits the payload into per-transaction
   // tasks (transactionID-based dispatch parses only the log metadata).
   std::deque<TxnTask> tasks;
@@ -142,6 +144,16 @@ void AtrReplayer::ProcessEpoch(const ShippedEpoch& epoch) {
   stats_.epochs.fetch_add(1, std::memory_order_relaxed);
   stats_.records.fetch_add(epoch.num_records, std::memory_order_relaxed);
   stats_.bytes.fetch_add(epoch.ByteSize(), std::memory_order_relaxed);
+
+  static obs::Counter* epochs_applied = obs::GetCounter("replay.epochs_applied");
+  static obs::Counter* txns_applied = obs::GetCounter("replay.txns_applied");
+  static obs::Counter* records_applied =
+      obs::GetCounter("replay.records_applied");
+  static obs::Counter* bytes_applied = obs::GetCounter("replay.bytes_applied");
+  epochs_applied->Add(1);
+  txns_applied->Add(epoch.num_txns);
+  records_applied->Add(epoch.num_records);
+  bytes_applied->Add(epoch.ByteSize());
 }
 
 void AtrReplayer::WorkerRun(const std::string& payload,
@@ -166,6 +178,9 @@ void AtrReplayer::WorkerRun(const std::string& payload,
       // cannot deadlock. Time spent here is the synchronization cost the
       // paper identifies as ATR's scalability limiter.
       if (node->NumVersions() != r.row_seq) {
+        static obs::Counter* sync_retries =
+            obs::GetCounter("replay.conflict_retries");
+        sync_retries->Add(1);
         ScopedTimerNs wait_timer(&stats_.sync_wait_ns);
         int spins = 0;
         while (node->NumVersions() != r.row_seq) {

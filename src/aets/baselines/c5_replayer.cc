@@ -4,6 +4,7 @@
 
 #include "aets/common/macros.h"
 #include "aets/log/codec.h"
+#include "aets/obs/trace.h"
 
 namespace aets {
 
@@ -83,6 +84,7 @@ void C5Replayer::MainLoop() {
 }
 
 void C5Replayer::ProcessEpoch(const ShippedEpoch& epoch) {
+  AETS_TRACE_SPAN("replay.epoch");
   // Row-based dispatch: decode the ENTIRE data image on the dispatch thread
   // and send each operation, in transaction order, to the dedicated queue of
   // its row. Per-transaction remaining-op counters drive the watermark.
@@ -185,6 +187,16 @@ void C5Replayer::ProcessEpoch(const ShippedEpoch& epoch) {
   stats_.epochs.fetch_add(1, std::memory_order_relaxed);
   stats_.records.fetch_add(epoch.num_records, std::memory_order_relaxed);
   stats_.bytes.fetch_add(epoch.ByteSize(), std::memory_order_relaxed);
+
+  static obs::Counter* epochs_applied = obs::GetCounter("replay.epochs_applied");
+  static obs::Counter* txns_applied = obs::GetCounter("replay.txns_applied");
+  static obs::Counter* records_applied =
+      obs::GetCounter("replay.records_applied");
+  static obs::Counter* bytes_applied = obs::GetCounter("replay.bytes_applied");
+  epochs_applied->Add(1);
+  txns_applied->Add(epoch.num_txns);
+  records_applied->Add(epoch.num_records);
+  bytes_applied->Add(epoch.ByteSize());
 }
 
 }  // namespace aets

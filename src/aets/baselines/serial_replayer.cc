@@ -2,6 +2,7 @@
 
 #include "aets/common/macros.h"
 #include "aets/log/shipped_epoch.h"
+#include "aets/obs/trace.h"
 
 namespace aets {
 
@@ -59,6 +60,7 @@ void SerialReplayer::MainLoop() {
       return;
     }
     {
+      AETS_TRACE_SPAN("replay.epoch");
       ScopedTimerNs timer(&stats_.replay_ns);
       for (const auto& txn : epoch->txns) {
         for (const auto& rec : txn.records) {
@@ -72,6 +74,11 @@ void SerialReplayer::MainLoop() {
     }
     stats_.epochs.fetch_add(1, std::memory_order_relaxed);
     stats_.bytes.fetch_add(shipped->ByteSize(), std::memory_order_relaxed);
+    static obs::Counter* epochs_applied =
+        obs::GetCounter("replay.epochs_applied");
+    static obs::Counter* txns_applied = obs::GetCounter("replay.txns_applied");
+    epochs_applied->Add(1);
+    txns_applied->Add(shipped->num_txns);
     stats_.wall_end_us.store(MonotonicMicros());
   }
 }

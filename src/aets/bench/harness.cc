@@ -5,10 +5,52 @@
 #include <chrono>
 #include <thread>
 
+#include <string>
+
 #include "aets/common/macros.h"
+#include "aets/obs/export.h"
 #include "aets/replication/log_shipper.h"
 
 namespace aets {
+
+namespace {
+
+std::string g_metrics_json_path;  // set by BenchInit, read by the atexit hook
+
+void DumpMetricsAtExit() {
+  if (g_metrics_json_path.empty()) return;
+  Status st = obs::WriteMetricsJsonFile(g_metrics_json_path);
+  if (st.ok()) {
+    std::fprintf(stderr, "metrics snapshot written to %s\n",
+                 g_metrics_json_path.c_str());
+  } else {
+    std::fprintf(stderr, "metrics export failed: %s\n", st.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+void BenchInit(int argc, char** argv) {
+  const char* env = std::getenv("AETS_METRICS_JSON");
+  if (env != nullptr && env[0] != '\0') {
+    g_metrics_json_path = env;
+    // Take ownership of the dump: without this the MetricsRegistry's own
+    // env hook would also fire at exit and write a second file.
+    unsetenv("AETS_METRICS_JSON");
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics-json" && i + 1 < argc) {
+      g_metrics_json_path = argv[++i];
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      g_metrics_json_path = arg.substr(std::string("--metrics-json=").size());
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics-json <path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  if (!g_metrics_json_path.empty()) std::atexit(DumpMetricsAtExit);
+}
 
 double BenchScale() {
   const char* env = std::getenv("AETS_BENCH_SCALE");

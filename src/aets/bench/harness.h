@@ -24,6 +24,15 @@
 
 namespace aets {
 
+/// Parses harness-wide command-line flags and registers the metrics dump.
+/// Call first thing in main(). Flags:
+///   --metrics-json <path>   write the obs::MetricsRegistry JSON snapshot
+///                           (metrics + recent spans) to <path> at exit.
+/// The AETS_METRICS_JSON env var is the flagless equivalent (works for
+/// binaries without harness wiring, e.g. the google-benchmark micros); the
+/// flag wins when both are set. Unknown flags abort with a usage message.
+void BenchInit(int argc, char** argv);
+
 /// Multiplier applied to transaction/query counts (env AETS_BENCH_SCALE).
 double BenchScale();
 

@@ -82,6 +82,25 @@ int64_t Histogram::Max() const {
 
 double Histogram::Percentile(double p) const {
   std::lock_guard<std::mutex> lk(mu_);
+  return PercentileLocked(p);
+}
+
+Histogram::Stats Histogram::SnapshotStats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.mean = count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  s.p50 = PercentileLocked(50);
+  s.p95 = PercentileLocked(95);
+  s.p99 = PercentileLocked(99);
+  return s;
+}
+
+double Histogram::PercentileLocked(double p) const {
   if (count_ == 0) return 0.0;
   double rank = p / 100.0 * static_cast<double>(count_);
   int64_t seen = 0;

@@ -12,6 +12,20 @@ namespace aets {
 /// the OLAP driver records one visibility-delay sample per query.
 class Histogram {
  public:
+  /// Consistent point-in-time statistics, taken under one lock acquisition
+  /// (the individual accessors each lock separately, so combining them can
+  /// mix states under concurrent recording).
+  struct Stats {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+
   Histogram();
 
   void Record(int64_t value);
@@ -28,6 +42,8 @@ class Histogram {
   /// the containing bucket.
   double Percentile(double p) const;
 
+  Stats SnapshotStats() const;
+
   /// One-line summary, e.g. "n=100 mean=5.2us p50=4 p95=11 p99=20 max=33".
   std::string Summary() const;
 
@@ -38,6 +54,9 @@ class Histogram {
 
   static int BucketFor(int64_t value);
   static int64_t BucketLower(int bucket);
+
+  /// Percentile with `mu_` already held.
+  double PercentileLocked(double p) const;
 
   mutable std::mutex mu_;
   std::vector<int64_t> buckets_;

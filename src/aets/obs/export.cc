@@ -1,0 +1,137 @@
+#include "aets/obs/export.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "aets/obs/trace.h"
+
+namespace aets {
+namespace obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min(sizeof(buf) - 1, static_cast<size_t>(n)));
+}
+
+/// %.17g round-trips every double; trim to a compact fixed form for the
+/// histogram stats (latencies in microseconds — 3 decimals is plenty).
+void AppendDouble(std::string* out, double v) { AppendF(out, "%.3f", v); }
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendF(&out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string SnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snapshot.counters) {
+    AppendF(&out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",",
+            JsonEscape(name).c_str(), v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snapshot.gauges) {
+    AppendF(&out, "%s\n    \"%s\": %" PRId64, first ? "" : ",",
+            JsonEscape(name).c_str(), v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    AppendF(&out,
+            "%s\n    \"%s\": {\"count\": %" PRId64 ", \"sum\": %" PRId64
+            ", \"min\": %" PRId64 ", \"max\": %" PRId64 ", \"mean\": ",
+            first ? "" : ",", JsonEscape(name).c_str(), h.count, h.sum, h.min,
+            h.max);
+    AppendDouble(&out, h.mean);
+    out += ", \"p50\": ";
+    AppendDouble(&out, h.p50);
+    out += ", \"p95\": ";
+    AppendDouble(&out, h.p95);
+    out += ", \"p99\": ";
+    AppendDouble(&out, h.p99);
+    out += "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}";
+  return out;
+}
+
+std::string MetricsToJson() {
+  Tracer::Instance().FlushThisThread();
+  std::string out = "{\n\"metrics\": ";
+  out += SnapshotToJson(MetricsRegistry::Instance().Snapshot());
+  out += ",\n\"spans\": [";
+  bool first = true;
+  for (const SpanEvent& ev : Tracer::Instance().RecentSpans()) {
+    AppendF(&out,
+            "%s\n  {\"name\": \"%s\", \"thread\": %u, \"start_ns\": %" PRId64
+            ", \"duration_ns\": %" PRId64 "}",
+            first ? "" : ",", JsonEscape(ev.name).c_str(), ev.thread_id,
+            ev.start_ns, ev.duration_ns);
+    first = false;
+  }
+  out += first ? "]\n}\n" : "\n]\n}\n";
+  return out;
+}
+
+Status WriteMetricsJsonFile(const std::string& path) {
+  std::string json = MetricsToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open metrics file " + path + ": " +
+                            std::strerror(errno));
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal("short write to metrics file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace aets

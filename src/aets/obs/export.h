@@ -1,0 +1,34 @@
+#ifndef AETS_OBS_EXPORT_H_
+#define AETS_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "aets/common/status.h"
+#include "aets/obs/metrics.h"
+
+namespace aets {
+namespace obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
+/// Renders one snapshot as a pretty-printed JSON object:
+/// {"counters": {...}, "gauges": {...},
+///  "histograms": {name: {count, sum, min, max, mean, p50, p95, p99}}}.
+std::string SnapshotToJson(const MetricsSnapshot& snapshot);
+
+/// Full observability dump: the registry snapshot plus the tracer's recent
+/// spans ({"metrics": ..., "spans": [{name, thread, start_ns, duration_ns}]}).
+/// Flushes the calling thread's span buffer first.
+std::string MetricsToJson();
+
+/// Writes MetricsToJson() to `path` (truncating). Used by the bench
+/// harness's --metrics-json flag and the AETS_METRICS_JSON env hook.
+Status WriteMetricsJsonFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace aets
+
+#endif  // AETS_OBS_EXPORT_H_

@@ -1,0 +1,104 @@
+#ifndef AETS_OBS_METRICS_H_
+#define AETS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "aets/common/histogram.h"
+
+namespace aets {
+namespace obs {
+
+/// Monotonically increasing event counter. Lock-free; safe to hammer from
+/// replay workers, committers, and daemon threads concurrently.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, thread counts,
+/// watermarks). Lock-free.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// One consistent snapshot of every registered instrument. Histogram stats
+/// are each taken under that histogram's lock (see Histogram::SnapshotStats).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram::Stats> histograms;
+};
+
+/// Process-wide registry of named Counters, Gauges, and Histograms.
+///
+/// Lookup takes a mutex and allocates on first use, so call sites resolve
+/// their instrument pointer ONCE (constructor, static local, or member) and
+/// then update through the pointer on the hot path — returned pointers are
+/// stable for the process lifetime; instruments are never unregistered.
+///
+/// The registry aggregates across every component instance in the process:
+/// a comparison bench that runs four replayers sequentially accumulates all
+/// four into the same `replay.*` series (use ResetAll between phases when
+/// per-phase numbers are needed).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named instrument. Never returns nullptr.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered instrument (names stay registered). Tests and
+  /// multi-phase benches use this to scope measurements.
+  void ResetAll();
+
+ private:
+  MetricsRegistry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shorthands for instrument resolution at initialization time.
+inline Counter* GetCounter(std::string_view name) {
+  return MetricsRegistry::Instance().GetCounter(name);
+}
+inline Gauge* GetGauge(std::string_view name) {
+  return MetricsRegistry::Instance().GetGauge(name);
+}
+inline Histogram* GetHistogram(std::string_view name) {
+  return MetricsRegistry::Instance().GetHistogram(name);
+}
+
+}  // namespace obs
+}  // namespace aets
+
+#endif  // AETS_OBS_METRICS_H_

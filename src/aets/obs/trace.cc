@@ -1,0 +1,100 @@
+#include "aets/obs/trace.h"
+
+#include <atomic>
+
+namespace aets {
+namespace obs {
+
+namespace {
+
+uint32_t ThisThreadOrdinal() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+/// Thread-local staging buffer. Flushes on overflow and at thread exit (the
+/// destructor), so short-lived pool workers never strand their spans.
+struct Tracer::ThreadBuffer {
+  std::vector<SpanEvent> events;
+
+  ThreadBuffer() { events.reserve(kThreadBufferSize); }
+  ~ThreadBuffer() {
+    if (!events.empty()) Tracer::Instance().FlushBuffer(this);
+  }
+};
+
+Tracer& Tracer::Instance() {
+  // Intentionally leaked, like MetricsRegistry: thread-exit buffer flushes
+  // and atexit dump hooks can run after static destruction begins.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+void Tracer::Record(const SpanEvent& event) {
+  ThreadBuffer& buf = LocalBuffer();
+  buf.events.push_back(event);
+  if (buf.events.size() >= kThreadBufferSize) FlushBuffer(&buf);
+}
+
+void Tracer::FlushThisThread() {
+  ThreadBuffer& buf = LocalBuffer();
+  if (!buf.events.empty()) FlushBuffer(&buf);
+}
+
+void Tracer::FlushBuffer(ThreadBuffer* buf) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const SpanEvent& ev : buf->events) {
+    if (ring_.size() < kRingCapacity) {
+      ring_.push_back(ev);
+    } else {
+      ring_[ring_next_] = ev;
+      ring_next_ = (ring_next_ + 1) % kRingCapacity;
+    }
+    ++total_;
+  }
+  buf->events.clear();
+}
+
+std::vector<SpanEvent> Tracer::RecentSpans() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SpanEvent> out;
+  out.reserve(ring_.size());
+  // Once wrapped, ring_next_ points at the oldest element.
+  if (ring_.size() == kRingCapacity) {
+    for (size_t i = 0; i < kRingCapacity; ++i) {
+      out.push_back(ring_[(ring_next_ + i) % kRingCapacity]);
+    }
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+  ring_next_ = 0;
+}
+
+uint64_t Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  int64_t duration = MonotonicNanos() - start_ns_;
+  site_->hist()->Record(duration / 1000);
+  Tracer::Instance().Record(
+      SpanEvent{site_->name(), ThisThreadOrdinal(), start_ns_, duration});
+}
+
+}  // namespace obs
+}  // namespace aets

@@ -1,0 +1,114 @@
+#ifndef AETS_OBS_TRACE_H_
+#define AETS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "aets/common/clock.h"
+#include "aets/obs/metrics.h"
+
+namespace aets {
+namespace obs {
+
+/// One completed span: a named wall-clock interval on one thread.
+struct SpanEvent {
+  const char* name = nullptr;  // static string owned by the SpanSite
+  uint32_t thread_id = 0;      // small per-process ordinal, not the OS tid
+  int64_t start_ns = 0;        // MonotonicNanos at entry
+  int64_t duration_ns = 0;
+};
+
+/// Process-wide span sink. Spans land in a per-thread buffer first (no
+/// locks on the hot path) and are flushed in batches into a bounded ring
+/// that keeps the most recent `kRingCapacity` events; older events are
+/// overwritten. Thread buffers flush when full and at thread exit.
+class Tracer {
+ public:
+  static constexpr size_t kRingCapacity = 8192;
+  static constexpr size_t kThreadBufferSize = 128;
+
+  static Tracer& Instance();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Appends to the calling thread's buffer; flushes to the ring if full.
+  void Record(const SpanEvent& event);
+
+  /// Pushes the calling thread's buffered spans into the ring now.
+  void FlushThisThread();
+
+  /// The ring contents in arrival order (oldest first). Only spans already
+  /// flushed from their thread buffers are visible.
+  std::vector<SpanEvent> RecentSpans() const;
+
+  /// Empties the ring (thread buffers are untouched).
+  void Clear();
+
+  /// Total spans ever flushed into the ring (monotone; exceeds
+  /// kRingCapacity once the ring has wrapped).
+  uint64_t total_recorded() const;
+
+ private:
+  Tracer() { ring_.reserve(kRingCapacity); }
+
+  struct ThreadBuffer;
+  void FlushBuffer(ThreadBuffer* buf);
+  static ThreadBuffer& LocalBuffer();
+
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> ring_;  // grows to kRingCapacity, then circular
+  size_t ring_next_ = 0;
+  uint64_t total_ = 0;
+};
+
+/// Per-call-site state for AETS_TRACE_SPAN: owns the span name and the
+/// latency histogram (`span.<name>`, microseconds) resolved once.
+class SpanSite {
+ public:
+  explicit SpanSite(const char* name)
+      : name_(name), hist_(GetHistogram(std::string("span.") + name)) {}
+
+  const char* name() const { return name_; }
+  Histogram* hist() const { return hist_; }
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+};
+
+/// RAII span: on destruction records the duration into the site's histogram
+/// and emits a SpanEvent to the tracer.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const SpanSite* site)
+      : site_(site), start_ns_(MonotonicNanos()) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan();
+
+ private:
+  const SpanSite* site_;
+  int64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace aets
+
+#define AETS_OBS_CONCAT_INNER(a, b) a##b
+#define AETS_OBS_CONCAT(a, b) AETS_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope under `name`: duration goes to the registry
+/// histogram `span.<name>` (microseconds) and to the tracer ring. The site
+/// is resolved once per call site (function-local static).
+#define AETS_TRACE_SPAN(name)                                              \
+  static const ::aets::obs::SpanSite AETS_OBS_CONCAT(aets_span_site_,      \
+                                                     __LINE__){name};      \
+  ::aets::obs::ScopedSpan AETS_OBS_CONCAT(aets_span_, __LINE__)(           \
+      &AETS_OBS_CONCAT(aets_span_site_, __LINE__))
+
+#endif  // AETS_OBS_TRACE_H_

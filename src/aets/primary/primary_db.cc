@@ -1,6 +1,7 @@
 #include "aets/primary/primary_db.h"
 
 #include "aets/common/macros.h"
+#include "aets/obs/metrics.h"
 
 namespace aets {
 
@@ -39,6 +40,14 @@ Result<TxnLog> PrimaryDb::Commit(PrimaryTxn&& txn) {
     }
   }
 
+  static obs::Counter* txns_metric = obs::GetCounter("primary.txns_committed");
+  static obs::Counter* writes_metric =
+      obs::GetCounter("primary.rows_written");
+  static obs::Gauge* commit_ts_metric =
+      obs::GetGauge("primary.last_commit_ts");
+  static Histogram* commit_us_metric = obs::GetHistogram("primary.commit_us");
+  int64_t start_us = MonotonicMicros();
+
   // The commit mutex defines the commit order: txn id assignment, state
   // application, log append, and sink delivery happen atomically per txn.
   std::lock_guard<std::mutex> lk(commit_mu_);
@@ -71,6 +80,11 @@ Result<TxnLog> PrimaryDb::Commit(PrimaryTxn&& txn) {
   log_buffer_.AppendAll(out.records);
   last_commit_ts_.store(commit_ts, std::memory_order_release);
   if (sink_) sink_(out);
+
+  txns_metric->Add(1);
+  writes_metric->Add(txn.writes_.size());
+  commit_ts_metric->Set(static_cast<int64_t>(commit_ts));
+  commit_us_metric->Record(MonotonicMicros() - start_us);
   return out;
 }
 

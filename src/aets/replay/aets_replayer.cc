@@ -5,6 +5,7 @@
 
 #include "aets/common/macros.h"
 #include "aets/log/codec.h"
+#include "aets/obs/trace.h"
 
 namespace aets {
 
@@ -25,7 +26,18 @@ AetsReplayer::AetsReplayer(const Catalog* catalog, EpochChannel* channel,
       channel_(channel),
       options_(std::move(options)),
       store_(*catalog),
-      table_ts_(catalog->num_tables()) {
+      table_ts_(catalog->num_tables()),
+      epochs_applied_metric_(obs::GetCounter("replay.epochs_applied")),
+      txns_applied_metric_(obs::GetCounter("replay.txns_applied")),
+      records_applied_metric_(obs::GetCounter("replay.records_applied")),
+      bytes_applied_metric_(obs::GetCounter("replay.bytes_applied")),
+      heartbeats_applied_metric_(obs::GetCounter("replay.heartbeats_applied")),
+      commit_spin_waits_metric_(obs::GetCounter("replay.commit_spin_waits")),
+      regroup_metric_(obs::GetCounter("allocator.regroups")),
+      realloc_metric_(obs::GetCounter("allocator.reallocations")),
+      watermark_metric_(obs::GetGauge("replay.global_visible_ts")),
+      num_groups_metric_(obs::GetGauge("allocator.groups")),
+      epoch_apply_us_metric_(obs::GetHistogram("replay.epoch_apply_us")) {
   for (auto& ts : table_ts_) ts.store(kInvalidTimestamp, std::memory_order_relaxed);
   current_rates_ = options_.initial_rates;
   current_rates_.resize(catalog_->num_tables(), 0.0);
@@ -125,6 +137,9 @@ void AetsReplayer::ProcessHeartbeat(const ShippedEpoch& epoch) {
   // already replayed; the whole backup may publish it.
   for (auto& ts : table_ts_) StoreMax(ts, epoch.heartbeat_ts);
   StoreMax(global_ts_, epoch.heartbeat_ts);
+  heartbeats_applied_metric_->Add(1);
+  watermark_metric_->Set(
+      static_cast<int64_t>(global_ts_.load(std::memory_order_relaxed)));
 }
 
 void AetsReplayer::RefreshRates() {
@@ -171,16 +186,29 @@ void AetsReplayer::RebuildGroups(const std::vector<double>& rates) {
       break;
   }
   std::vector<int> map = TableGrouping::TableToGroup(groups, catalog_->num_tables());
-  std::lock_guard<std::mutex> lk(groups_mu_);
-  groups_ = std::move(groups);
-  table_to_group_ = std::move(map);
+  {
+    std::lock_guard<std::mutex> lk(groups_mu_);
+    groups_ = std::move(groups);
+    table_to_group_ = std::move(map);
+  }
+  regroup_metric_->Add(1);
+  num_groups_metric_->Set(static_cast<int64_t>(groups_.size()));
+  group_thread_gauges_.resize(groups_.size());
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    group_thread_gauges_[gi] = obs::GetGauge("allocator.group_threads.g" +
+                                             std::to_string(gi));
+  }
+  last_alloc_.assign(groups_.size(), -1);
 }
 
 void AetsReplayer::ProcessEpoch(const ShippedEpoch& epoch) {
+  AETS_TRACE_SPAN("replay.epoch");
+  int64_t apply_start_us = MonotonicMicros();
   RefreshRates();
 
   std::vector<GroupEpochState> gstate(groups_.size());
   {
+    AETS_TRACE_SPAN("replay.dispatch");
     ScopedTimerNs timer(&stats_.dispatch_ns);
     if (!DispatchEpoch(epoch, &gstate)) return;
   }
@@ -206,10 +234,12 @@ void AetsReplayer::ProcessEpoch(const ShippedEpoch& epoch) {
     }
   }
   {
+    AETS_TRACE_SPAN("replay.stage1_hot");
     ScopedTimerNs timer(&stats_.stage1_wall_ns);
     RunStage(epoch, &gstate, hot_groups);
   }
   {
+    AETS_TRACE_SPAN("replay.stage2_cold");
     ScopedTimerNs timer(&stats_.stage2_wall_ns);
     RunStage(epoch, &gstate, cold_groups);
   }
@@ -219,6 +249,14 @@ void AetsReplayer::ProcessEpoch(const ShippedEpoch& epoch) {
   stats_.txns.fetch_add(epoch.num_txns, std::memory_order_relaxed);
   stats_.records.fetch_add(epoch.num_records, std::memory_order_relaxed);
   stats_.bytes.fetch_add(epoch.ByteSize(), std::memory_order_relaxed);
+
+  epochs_applied_metric_->Add(1);
+  txns_applied_metric_->Add(epoch.num_txns);
+  records_applied_metric_->Add(epoch.num_records);
+  bytes_applied_metric_->Add(epoch.ByteSize());
+  watermark_metric_->Set(
+      static_cast<int64_t>(global_ts_.load(std::memory_order_relaxed)));
+  epoch_apply_us_metric_->Record(MonotonicMicros() - apply_start_us);
 }
 
 bool AetsReplayer::DispatchEpoch(const ShippedEpoch& epoch,
@@ -294,6 +332,19 @@ void AetsReplayer::RunStage(const ShippedEpoch& epoch,
   }
   std::vector<int> alloc =
       AllocateThreads(demands, options_.replay_threads, options_.adaptive_alloc);
+
+  // Publish the allocation and count the epochs where it shifted (the
+  // adaptive-allocation activity the paper's Fig. 13 sweeps).
+  bool changed = false;
+  for (size_t i = 0; i < member_groups.size(); ++i) {
+    size_t gi = static_cast<size_t>(member_groups[i]);
+    group_thread_gauges_[gi]->Set(alloc[i]);
+    if (last_alloc_[gi] != alloc[i]) {
+      if (last_alloc_[gi] >= 0) changed = true;
+      last_alloc_[gi] = alloc[i];
+    }
+  }
+  if (changed) realloc_metric_->Add(1);
 
   // Expand the allocation into per-worker group assignments. Groups that
   // received no thread (more groups than workers) piggyback on existing
@@ -379,7 +430,9 @@ void AetsReplayer::CommitGroup(GroupEpochState* gs, const TableGroup& group) {
     // fragments ready.
     int spins = 0;
     int yields = 0;
+    bool waited = false;
     while (!frag->translated.load(std::memory_order_acquire)) {
+      waited = true;
       if (++spins > 64) {
         spins = 0;
         if (++yields > 256) {
@@ -389,6 +442,7 @@ void AetsReplayer::CommitGroup(GroupEpochState* gs, const TableGroup& group) {
         }
       }
     }
+    if (waited) commit_spin_waits_metric_->Add(1);
     {
       ScopedTimerNs timer(&stats_.commit_ns);
       for (auto& pc : frag->cells) {

@@ -13,6 +13,7 @@
 #include "aets/catalog/catalog.h"
 #include "aets/common/thread_pool.h"
 #include "aets/log/shipped_epoch.h"
+#include "aets/obs/metrics.h"
 #include "aets/replay/replayer.h"
 #include "aets/replay/table_group.h"
 #include "aets/replay/thread_allocator.h"
@@ -162,6 +163,24 @@ class AetsReplayer : public Replayer {
   std::vector<TableGroup> groups_;
   std::vector<int> table_to_group_;
   std::vector<double> current_rates_;
+
+  /// Observability (resolved once per instrument; aggregated process-wide).
+  obs::Counter* epochs_applied_metric_;
+  obs::Counter* txns_applied_metric_;
+  obs::Counter* records_applied_metric_;
+  obs::Counter* bytes_applied_metric_;
+  obs::Counter* heartbeats_applied_metric_;
+  obs::Counter* commit_spin_waits_metric_;
+  obs::Counter* regroup_metric_;
+  obs::Counter* realloc_metric_;
+  obs::Gauge* watermark_metric_;
+  obs::Gauge* num_groups_metric_;
+  Histogram* epoch_apply_us_metric_;
+  /// Per-group thread-count gauges (`allocator.group_threads.g<i>`),
+  /// re-resolved on regroup; `last_alloc_` detects reallocation events.
+  /// Touched only by the main replay thread.
+  std::vector<obs::Gauge*> group_thread_gauges_;
+  std::vector<int> last_alloc_;
 
   std::unique_ptr<ThreadPool> replay_pool_;
   std::unique_ptr<ThreadPool> commit_pool_;

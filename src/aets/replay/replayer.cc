@@ -4,6 +4,8 @@
 #include <limits>
 #include <thread>
 
+#include "aets/obs/metrics.h"
+
 namespace aets {
 
 bool IsVisible(const Replayer& replayer, const std::vector<TableId>& tables,
@@ -18,8 +20,16 @@ bool IsVisible(const Replayer& replayer, const std::vector<TableId>& tables,
 
 int64_t WaitVisible(const Replayer& replayer, const std::vector<TableId>& tables,
                     Timestamp qts) {
+  static obs::Counter* queries = obs::GetCounter("visibility.queries");
+  static obs::Counter* blocked = obs::GetCounter("visibility.blocked_queries");
+  static Histogram* wait_us = obs::GetHistogram("visibility.wait_us");
+  queries->Add(1);
   int64_t start = MonotonicMicros();
-  if (IsVisible(replayer, tables, qts)) return 0;
+  if (IsVisible(replayer, tables, qts)) {
+    wait_us->Record(0);
+    return 0;
+  }
+  blocked->Add(1);
   int spins = 0;
   while (!IsVisible(replayer, tables, qts)) {
     // Wait until the replaying of the required log entries is completed
@@ -32,7 +42,9 @@ int64_t WaitVisible(const Replayer& replayer, const std::vector<TableId>& tables
       std::this_thread::yield();
     }
   }
-  return MonotonicMicros() - start;
+  int64_t waited = MonotonicMicros() - start;
+  wait_us->Record(waited);
+  return waited;
 }
 
 }  // namespace aets

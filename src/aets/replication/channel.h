@@ -1,8 +1,10 @@
 #ifndef AETS_REPLICATION_CHANNEL_H_
 #define AETS_REPLICATION_CHANNEL_H_
 
+#include "aets/common/clock.h"
 #include "aets/common/queue.h"
 #include "aets/log/shipped_epoch.h"
+#include "aets/obs/metrics.h"
 
 namespace aets {
 
@@ -10,17 +12,44 @@ namespace aets {
 /// blocking queue of encoded epochs, delivered in send order. Replayers
 /// validate the epoch-id sequence on receive, so reordering or loss is
 /// detected (and tested via failure injection).
+///
+/// Instrumented: `channel.depth` (epochs queued across all channels, the
+/// replay backlog), `channel.recv_wait_us` (consumer time blocked per
+/// receive — replayer starvation), `channel.epochs_sent`.
 class EpochChannel {
  public:
-  explicit EpochChannel(size_t capacity = 128) : queue_(capacity) {}
+  explicit EpochChannel(size_t capacity = 128)
+      : queue_(capacity),
+        depth_metric_(obs::GetGauge("channel.depth")),
+        sent_metric_(obs::GetCounter("channel.epochs_sent")),
+        recv_wait_us_metric_(obs::GetHistogram("channel.recv_wait_us")) {}
 
-  bool Send(ShippedEpoch epoch) { return queue_.Push(std::move(epoch)); }
+  bool Send(ShippedEpoch epoch) {
+    bool ok = queue_.Push(std::move(epoch));
+    if (ok) {
+      sent_metric_->Add(1);
+      depth_metric_->Add(1);
+    }
+    return ok;
+  }
 
   /// Blocks for the next epoch; nullopt when the channel is closed and
   /// drained.
-  std::optional<ShippedEpoch> Receive() { return queue_.Pop(); }
+  std::optional<ShippedEpoch> Receive() {
+    int64_t start = MonotonicMicros();
+    std::optional<ShippedEpoch> epoch = queue_.Pop();
+    if (epoch) {
+      depth_metric_->Add(-1);
+      recv_wait_us_metric_->Record(MonotonicMicros() - start);
+    }
+    return epoch;
+  }
 
-  std::optional<ShippedEpoch> TryReceive() { return queue_.TryPop(); }
+  std::optional<ShippedEpoch> TryReceive() {
+    std::optional<ShippedEpoch> epoch = queue_.TryPop();
+    if (epoch) depth_metric_->Add(-1);
+    return epoch;
+  }
 
   void Close() { queue_.Close(); }
 
@@ -28,6 +57,9 @@ class EpochChannel {
 
  private:
   BlockingQueue<ShippedEpoch> queue_;
+  obs::Gauge* depth_metric_;
+  obs::Counter* sent_metric_;
+  Histogram* recv_wait_us_metric_;
 };
 
 }  // namespace aets

@@ -4,7 +4,13 @@
 
 namespace aets {
 
-LogShipper::LogShipper(size_t epoch_size) : builder_(epoch_size) {}
+LogShipper::LogShipper(size_t epoch_size)
+    : builder_(epoch_size),
+      epochs_shipped_metric_(obs::GetCounter("shipper.epochs_shipped")),
+      heartbeats_shipped_metric_(obs::GetCounter("shipper.heartbeats_shipped")),
+      bytes_shipped_metric_(obs::GetCounter("shipper.bytes_shipped")),
+      txns_shipped_metric_(obs::GetCounter("shipper.txns_shipped")),
+      batch_latency_us_metric_(obs::GetHistogram("shipper.batch_latency_us")) {}
 
 LogShipper::~LogShipper() { Finish(); }
 
@@ -17,6 +23,7 @@ void LogShipper::OnCommit(TxnLog txn) {
   std::lock_guard<std::mutex> lk(mu_);
   if (finished_) return;
   last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
+  if (epoch_open_us_ == 0) epoch_open_us_ = MonotonicMicros();
   auto sealed = builder_.AddTxn(std::move(txn));
   if (sealed) ShipLocked(std::move(*sealed));
 }
@@ -53,6 +60,7 @@ void LogShipper::HeartbeatLoop() {
       ShippedEpoch hb = MakeHeartbeatEpoch(builder_.ConsumeEpochId(), hb_ts);
       ++heartbeats_;
       ++shipped_;
+      heartbeats_shipped_metric_->Add(1);
       for (auto* ch : channels_) ch->Send(hb);
     }
     last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
@@ -75,6 +83,13 @@ void LogShipper::Finish() {
 void LogShipper::ShipLocked(Epoch epoch) {
   ++shipped_;
   ShippedEpoch encoded = EncodeEpoch(epoch);
+  epochs_shipped_metric_->Add(1);
+  txns_shipped_metric_->Add(encoded.num_txns);
+  bytes_shipped_metric_->Add(encoded.ByteSize());
+  if (epoch_open_us_ != 0) {
+    batch_latency_us_metric_->Record(MonotonicMicros() - epoch_open_us_);
+    epoch_open_us_ = 0;
+  }
   for (auto* ch : channels_) ch->Send(encoded);
 }
 

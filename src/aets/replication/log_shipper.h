@@ -11,6 +11,7 @@
 #include "aets/common/clock.h"
 #include "aets/log/epoch.h"
 #include "aets/log/shipped_epoch.h"
+#include "aets/obs/metrics.h"
 #include "aets/replication/channel.h"
 
 namespace aets {
@@ -60,6 +61,15 @@ class LogShipper {
   EpochId shipped_ = 0;
   uint64_t heartbeats_ = 0;
   bool finished_ = false;
+
+  /// Observability (resolved once; see obs::MetricsRegistry). Batch latency
+  /// is first-commit-in-epoch to ship.
+  obs::Counter* epochs_shipped_metric_;
+  obs::Counter* heartbeats_shipped_metric_;
+  obs::Counter* bytes_shipped_metric_;
+  obs::Counter* txns_shipped_metric_;
+  Histogram* batch_latency_us_metric_;
+  int64_t epoch_open_us_ = 0;  // first OnCommit of the open epoch; 0 = none
 
   std::atomic<int64_t> last_activity_us_{0};
   std::atomic<bool> stop_heartbeats_{false};

@@ -6,6 +6,7 @@
 
 #include "aets/common/macros.h"
 #include "aets/log/codec.h"
+#include "aets/obs/metrics.h"
 
 namespace aets {
 
@@ -36,6 +37,12 @@ Status Checkpointer::Write(const TableStore& store, Timestamp snapshot_ts,
   if (snapshot_ts == kInvalidTimestamp) {
     return Status::InvalidArgument("checkpoint needs a valid snapshot ts");
   }
+  static obs::Counter* writes_metric = obs::GetCounter("checkpoint.writes");
+  static obs::Counter* bytes_metric =
+      obs::GetCounter("checkpoint.bytes_written");
+  static Histogram* write_us_metric =
+      obs::GetHistogram("checkpoint.write_us");
+  int64_t start_us = MonotonicMicros();
   // Encode all visible rows first (also gives the row count for the header).
   std::string body;
   uint64_t num_rows = 0;
@@ -72,6 +79,9 @@ Status Checkpointer::Write(const TableStore& store, Timestamp snapshot_ts,
   out.write(body.data(), static_cast<std::streamsize>(body.size()));
   out.flush();
   if (!out) return Status::Internal("checkpoint write failed: " + path);
+  writes_metric->Add(1);
+  bytes_metric->Add(sizeof(header) + body.size());
+  write_us_metric->Record(MonotonicMicros() - start_us);
   return Status::OK();
 }
 
@@ -122,6 +132,11 @@ Result<CheckpointInfo> Checkpointer::Restore(const std::string& path,
   info.snapshot_ts = header.snapshot_ts;
   info.next_epoch_id = header.next_epoch_id;
   info.num_rows = rows;
+  static obs::Counter* restores_metric = obs::GetCounter("checkpoint.restores");
+  static obs::Counter* rows_metric =
+      obs::GetCounter("checkpoint.rows_restored");
+  restores_metric->Add(1);
+  rows_metric->Add(rows);
   return info;
 }
 

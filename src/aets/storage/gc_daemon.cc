@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "aets/common/macros.h"
+#include "aets/obs/metrics.h"
 
 namespace aets {
 
@@ -28,9 +29,17 @@ void GcDaemon::Stop() {
 }
 
 size_t GcDaemon::RunOnce() {
+  static obs::Counter* passes_metric = obs::GetCounter("gc.passes");
+  static obs::Counter* reclaimed_metric =
+      obs::GetCounter("gc.versions_reclaimed");
+  static Histogram* pause_us_metric = obs::GetHistogram("gc.pause_us");
   Timestamp watermark = watermark_source_();
   if (watermark <= retention_) return 0;
+  int64_t start_us = MonotonicMicros();
   size_t reclaimed = store_->GarbageCollect(watermark - retention_);
+  pause_us_metric->Record(MonotonicMicros() - start_us);
+  passes_metric->Add(1);
+  reclaimed_metric->Add(reclaimed);
   total_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
   passes_.fetch_add(1, std::memory_order_relaxed);
   return reclaimed;

@@ -12,6 +12,7 @@
 #include "aets/baselines/c5_replayer.h"
 #include "aets/baselines/serial_replayer.h"
 #include "aets/baselines/tplr_replayer.h"
+#include "aets/obs/metrics.h"
 #include "aets/replay/aets_replayer.h"
 #include "aets/replication/log_shipper.h"
 #include "aets/storage/gc_daemon.h"
@@ -432,6 +433,61 @@ TEST(ReplayerStatsTest, PhaseBreakdownAccumulates) {
   double total = stats.DispatchFraction() + stats.ReplayFraction() +
                  stats.CommitFraction();
   EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ReplayerStatsTest, ObservabilityMetricsPopulatedAfterReplay) {
+  // The aets::obs registry is process-wide; scope this test's readings.
+  obs::MetricsRegistry::Instance().ResetAll();
+
+  std::unique_ptr<Catalog> catalog(MakeCatalog(4));
+  Pipeline pipeline(catalog.get(), /*epoch_size=*/16);
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+  options.initial_rates = RatesForTables(4);
+  AetsReplayer replayer(catalog.get(), pipeline.AddChannel(), options);
+  ASSERT_TRUE(replayer.Start().ok());
+  RunRandomWorkload(&pipeline.db, 4, 200, 23);
+  pipeline.shipper.Finish();
+
+  // An OLAP query waiting for visibility populates the replay-lag series.
+  Timestamp query_ts = pipeline.clock.Now();
+  WaitVisible(replayer, {0, 1, 2, 3}, query_ts);
+  replayer.Stop();
+
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Instance().Snapshot();
+
+  // Volume counters: every shipped txn was applied exactly once.
+  EXPECT_GT(snap.counters.at("replay.epochs_applied"), 0u);
+  EXPECT_EQ(snap.counters.at("replay.txns_applied"), 200u);
+  EXPECT_GT(snap.counters.at("replay.records_applied"), 0u);
+  EXPECT_GT(snap.counters.at("replay.bytes_applied"), 0u);
+  EXPECT_EQ(snap.counters.at("shipper.txns_shipped"), 200u);
+
+  // Replay lag: the published watermark reached the query timestamp, and
+  // the visibility series recorded the wait.
+  EXPECT_GE(snap.gauges.at("replay.global_visible_ts"),
+            static_cast<int64_t>(query_ts));
+  EXPECT_GT(snap.counters.at("visibility.queries"), 0u);
+  EXPECT_GT(snap.histograms.at("visibility.wait_us").count, 0);
+
+  // Per-stage latency series: the epoch span plus both replay stages ran
+  // (RatesForTables(4) makes tables 0-1 hot and 2-3 cold).
+  EXPECT_GT(snap.histograms.at("replay.epoch_apply_us").count, 0);
+  EXPECT_GT(snap.histograms.at("span.replay.epoch").count, 0);
+  EXPECT_GT(snap.histograms.at("span.replay.dispatch").count, 0);
+  EXPECT_GT(snap.histograms.at("span.replay.stage1_hot").count, 0);
+  EXPECT_GT(snap.histograms.at("span.replay.stage2_cold").count, 0);
+
+  // Thread-allocator series: groups exist and per-group thread gauges were
+  // published during the run.
+  EXPECT_GT(snap.gauges.at("allocator.groups"), 0);
+  ASSERT_TRUE(snap.gauges.count("allocator.group_threads.g0"));
+  EXPECT_GE(snap.gauges.at("allocator.group_threads.g0"), 0);
+
+  // Channel accounting balances: everything sent was received.
+  EXPECT_GT(snap.counters.at("channel.epochs_sent"), 0u);
+  EXPECT_EQ(snap.gauges.at("channel.depth"), 0);
 }
 
 }  // namespace
