@@ -1,0 +1,64 @@
+// Global operator-new replacement that counts heap allocations, so the
+// micro-benchmarks can report allocs/record alongside ns/record. Replacement
+// allocation functions must not be inline, so this header may be included by
+// EXACTLY ONE translation unit per binary (each micro_*.cc is its own
+// binary, so including it at the top of the bench file is safe).
+//
+// Not thread-safe beyond the relaxed counter itself: benchmarks that want a
+// meaningful allocs/op figure should measure single-threaded loops.
+
+#ifndef AETS_BENCH_ALLOC_COUNTER_H_
+#define AETS_BENCH_ALLOC_COUNTER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace aets_bench {
+
+std::atomic<size_t> g_allocs{0};
+
+inline size_t AllocCount() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace aets_bench
+
+// GCC pattern-matches free() inside these replacement functions against the
+// pointer's original new-expression and flags a mismatch; the pairing is in
+// fact consistent because every replacement below allocates with malloc.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  aets_bench::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  aets_bench::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // AETS_BENCH_ALLOC_COUNTER_H_

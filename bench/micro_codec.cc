@@ -1,6 +1,10 @@
-// Micro-benchmarks for the value-log codec: encode, full decode, and the
-// metadata-only decode that the AETS/ATR dispatchers use. The full-vs-
-// metadata decode gap is the root of C5's dispatcher penalty.
+// Micro-benchmarks for the value-log codec: encode, full decode, the
+// zero-copy view decode the replay hot path uses, and the metadata-only
+// decode that the AETS/ATR dispatchers use. The full-vs-metadata decode gap
+// is the root of C5's dispatcher penalty; the full-vs-view gap is what the
+// zero-copy refactor buys. Reports allocs/op via the global new counter.
+
+#include "alloc_counter.h"  // must precede everything: replaces operator new
 
 #include <benchmark/benchmark.h>
 
@@ -43,14 +47,36 @@ BENCHMARK(BM_Encode)->Arg(2)->Arg(8)->Arg(32);
 void BM_DecodeFull(benchmark::State& state) {
   std::string buf;
   LogCodec::Encode(SampleRecord(static_cast<int>(state.range(0))), &buf);
+  size_t allocs_before = aets_bench::AllocCount();
   for (auto _ : state) {
     size_t offset = 0;
     auto rec = LogCodec::Decode(buf, &offset);
     benchmark::DoNotOptimize(rec);
   }
+  state.counters["allocs/op"] = benchmark::Counter(
+      static_cast<double>(aets_bench::AllocCount() - allocs_before),
+      benchmark::Counter::kAvgIterations);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DecodeFull)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_DecodeView(benchmark::State& state) {
+  // The replay hot path: one validation walk, string_view slices, no
+  // per-value allocations.
+  std::string buf;
+  LogCodec::Encode(SampleRecord(static_cast<int>(state.range(0))), &buf);
+  size_t allocs_before = aets_bench::AllocCount();
+  for (auto _ : state) {
+    size_t offset = 0;
+    auto rec = LogCodec::DecodeView(buf, &offset);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.counters["allocs/op"] = benchmark::Counter(
+      static_cast<double>(aets_bench::AllocCount() - allocs_before),
+      benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeView)->Arg(2)->Arg(8)->Arg(32);
 
 void BM_DecodeMetadataOnly(benchmark::State& state) {
   std::string buf;

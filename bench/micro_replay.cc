@@ -1,11 +1,16 @@
 // Micro-benchmarks for the replay-side hot paths: metadata dispatch, the
-// full-image dispatch C5 pays, epoch encode, and end-to-end single-epoch
-// replay through AETS.
+// full-image dispatch C5 pays, epoch encode, the translate stage in both its
+// owning-decode and zero-copy-view forms, and end-to-end single-epoch replay
+// through AETS. Reports allocs/record via the global new counter.
+
+#include "alloc_counter.h"  // must precede everything: replaces operator new
 
 #include <benchmark/benchmark.h>
 
+#include "aets/common/macros.h"
 #include "aets/log/codec.h"
 #include "aets/log/shipped_epoch.h"
+#include "aets/storage/version_chain.h"
 #include "aets/replay/aets_replayer.h"
 #include "aets/replication/channel.h"
 #include "aets/workload/tpcc.h"
@@ -97,6 +102,73 @@ void BM_EncodeEpoch(benchmark::State& state) {
                           static_cast<int64_t>(Fixture().shipped.ByteSize()));
 }
 BENCHMARK(BM_EncodeEpoch);
+
+// The two translate-stage variants below decode every DML record of the
+// epoch and produce install-ready VersionCells (what TranslateGroup hands to
+// the committer). The owning variant is the pre-refactor shape: a full
+// Decode that materializes a std::vector<ColumnValue> (string payloads and
+// all) per record. The view variant is the current hot path: DecodeView plus
+// a single-memcpy PackedDelta::FromWire.
+
+void BM_TranslateEpochOwning(benchmark::State& state) {
+  const std::string& data = *Fixture().shipped.payload;
+  std::vector<VersionCell> cells;
+  cells.reserve(Fixture().shipped.num_records);
+  size_t allocs_before = aets_bench::AllocCount();
+  for (auto _ : state) {
+    cells.clear();
+    size_t offset = 0;
+    while (offset < data.size()) {
+      auto rec = LogCodec::Decode(data, &offset);
+      AETS_CHECK(rec.ok());
+      if (!rec->is_dml()) continue;
+      VersionCell cell;
+      cell.commit_ts = rec->timestamp;
+      cell.txn_id = rec->txn_id;
+      cell.is_delete = rec->type == LogRecordType::kDelete;
+      cell.delta = PackedDelta::FromColumnValues(rec->values);
+      cells.push_back(std::move(cell));
+    }
+    benchmark::DoNotOptimize(cells.data());
+  }
+  int64_t records = static_cast<int64_t>(Fixture().shipped.num_records);
+  state.counters["allocs/record"] = benchmark::Counter(
+      static_cast<double>(aets_bench::AllocCount() - allocs_before) /
+          static_cast<double>(records),
+      benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_TranslateEpochOwning);
+
+void BM_TranslateEpochView(benchmark::State& state) {
+  const std::string& data = *Fixture().shipped.payload;
+  std::vector<VersionCell> cells;
+  cells.reserve(Fixture().shipped.num_records);
+  size_t allocs_before = aets_bench::AllocCount();
+  for (auto _ : state) {
+    cells.clear();
+    size_t offset = 0;
+    while (offset < data.size()) {
+      auto rec = LogCodec::DecodeView(data, &offset);
+      AETS_CHECK(rec.ok());
+      if (!rec->is_dml()) continue;
+      VersionCell cell;
+      cell.commit_ts = rec->timestamp;
+      cell.txn_id = rec->txn_id;
+      cell.is_delete = rec->type == LogRecordType::kDelete;
+      cell.delta = PackedDelta::FromWire(rec->num_values, rec->value_bytes);
+      cells.push_back(std::move(cell));
+    }
+    benchmark::DoNotOptimize(cells.data());
+  }
+  int64_t records = static_cast<int64_t>(Fixture().shipped.num_records);
+  state.counters["allocs/record"] = benchmark::Counter(
+      static_cast<double>(aets_bench::AllocCount() - allocs_before) /
+          static_cast<double>(records),
+      benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_TranslateEpochView);
 
 void BM_AetsSingleEpochReplay(benchmark::State& state) {
   const TpccWorkload& tpcc = Fixture().tpcc;

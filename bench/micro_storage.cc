@@ -66,7 +66,8 @@ void BM_VersionAppend(benchmark::State& state) {
       VersionCell cell;
       cell.commit_ts = static_cast<Timestamp>(i);
       cell.txn_id = static_cast<TxnId>(i);
-      cell.delta = {{0, Value(static_cast<int64_t>(i))}};
+      cell.delta =
+          PackedDelta::FromColumnValues({{0, Value(static_cast<int64_t>(i))}});
       node.AppendVersion(std::move(cell));
     }
   }
@@ -80,7 +81,8 @@ void BM_SnapshotRead(benchmark::State& state) {
     VersionCell cell;
     cell.commit_ts = static_cast<Timestamp>(i);
     cell.txn_id = static_cast<TxnId>(i);
-    cell.delta = {{static_cast<ColumnId>(i % 8), Value(static_cast<int64_t>(i))}};
+    cell.delta = PackedDelta::FromColumnValues(
+        {{static_cast<ColumnId>(i % 8), Value(static_cast<int64_t>(i))}});
     node.AppendVersion(std::move(cell));
   }
   Rng rng(3);

@@ -1,7 +1,6 @@
 #include "aets/baselines/atr_replayer.h"
 
-#include <chrono>
-
+#include "aets/common/backoff.h"
 #include "aets/common/macros.h"
 #include "aets/log/codec.h"
 #include "aets/obs/trace.h"
@@ -10,30 +9,19 @@ namespace aets {
 
 AtrReplayer::AtrReplayer(const Catalog* catalog, EpochChannel* channel,
                          AtrOptions options)
-    : catalog_(catalog),
-      channel_(channel),
-      options_(options),
-      store_(*catalog) {}
+    : ReplayerBase(catalog, channel, "ATR"), options_(options) {}
 
 AtrReplayer::~AtrReplayer() { Stop(); }
 
-Status AtrReplayer::Start() {
+Status AtrReplayer::StartWorkers() {
   if (options_.workers <= 0) {
     return Status::InvalidArgument("workers must be positive");
   }
-  if (started_) return Status::InvalidArgument("already started");
   pool_ = std::make_unique<ThreadPool>(options_.workers);
-  started_ = true;
-  main_thread_ = std::thread([this] { MainLoop(); });
   return Status::OK();
 }
 
-void AtrReplayer::Stop() {
-  if (!started_) return;
-  if (main_thread_.joinable()) main_thread_.join();
-  pool_.reset();
-  started_ = false;
-}
+void AtrReplayer::StopWorkers() { pool_.reset(); }
 
 Timestamp AtrReplayer::TableVisibleTs(TableId) const {
   return watermark_.load(std::memory_order_acquire);
@@ -43,33 +31,8 @@ Timestamp AtrReplayer::GlobalVisibleTs() const {
   return watermark_.load(std::memory_order_acquire);
 }
 
-Status AtrReplayer::error() const {
-  std::lock_guard<std::mutex> lk(error_mu_);
-  return error_;
-}
-
-void AtrReplayer::SetError(Status status) {
-  std::lock_guard<std::mutex> lk(error_mu_);
-  if (error_.ok()) error_ = std::move(status);
-}
-
-void AtrReplayer::MainLoop() {
-  while (auto epoch = channel_->Receive()) {
-    if (epoch->epoch_id != expected_epoch_) {
-      SetError(Status::Corruption("epoch out of order"));
-      return;
-    }
-    ++expected_epoch_;
-    if (stats_.wall_start_us.load() == 0) {
-      stats_.wall_start_us.store(MonotonicMicros());
-    }
-    if (epoch->is_heartbeat()) {
-      watermark_.store(epoch->heartbeat_ts, std::memory_order_release);
-    } else {
-      ProcessEpoch(*epoch);
-    }
-    stats_.wall_end_us.store(MonotonicMicros());
-  }
+void AtrReplayer::ProcessHeartbeat(const ShippedEpoch& epoch) {
+  watermark_.store(epoch.heartbeat_ts, std::memory_order_release);
 }
 
 void AtrReplayer::ProcessEpoch(const ShippedEpoch& epoch) {
@@ -119,41 +82,21 @@ void AtrReplayer::ProcessEpoch(const ShippedEpoch& epoch) {
 
   // The single commit thread: make transactions visible strictly in primary
   // commit order (run inline on the epoch loop thread). Spin-then-yield so
-  // the workers never pay a wake-up cost.
-  {
-    for (auto& task : tasks) {
-      int spins = 0;
-      int yields = 0;
-      while (!task.done.load(std::memory_order_acquire)) {
-        if (++spins > 64) {
-          spins = 0;
-          if (++yields > 256) {
-            std::this_thread::sleep_for(std::chrono::microseconds(20));
-          } else {
-            std::this_thread::yield();
-          }
-        }
-      }
-      ScopedTimerNs timer(&stats_.commit_ns);
-      watermark_.store(task.commit_ts, std::memory_order_release);
-      stats_.txns.fetch_add(1, std::memory_order_relaxed);
+  // the workers never pay a wake-up cost. On error a worker may never flip
+  // its tasks' done flags, so the latch is the exit — the watermark freezes
+  // at the last fully applied transaction.
+  for (auto& task : tasks) {
+    SpinBackoff backoff;
+    while (!task.done.load(std::memory_order_acquire)) {
+      if (HasError()) break;
+      backoff.Pause();
     }
+    if (HasError()) break;
+    ScopedTimerNs timer(&stats_.commit_ns);
+    watermark_.store(task.commit_ts, std::memory_order_release);
+    stats_.txns.fetch_add(1, std::memory_order_relaxed);
   }
   pool_->WaitIdle();
-
-  stats_.epochs.fetch_add(1, std::memory_order_relaxed);
-  stats_.records.fetch_add(epoch.num_records, std::memory_order_relaxed);
-  stats_.bytes.fetch_add(epoch.ByteSize(), std::memory_order_relaxed);
-
-  static obs::Counter* epochs_applied = obs::GetCounter("replay.epochs_applied");
-  static obs::Counter* txns_applied = obs::GetCounter("replay.txns_applied");
-  static obs::Counter* records_applied =
-      obs::GetCounter("replay.records_applied");
-  static obs::Counter* bytes_applied = obs::GetCounter("replay.bytes_applied");
-  epochs_applied->Add(1);
-  txns_applied->Add(epoch.num_txns);
-  records_applied->Add(epoch.num_records);
-  bytes_applied->Add(epoch.ByteSize());
 }
 
 void AtrReplayer::WorkerRun(const std::string& payload,
@@ -161,40 +104,45 @@ void AtrReplayer::WorkerRun(const std::string& payload,
   ScopedTimerNs timer(&stats_.replay_ns);
   for (size_t i = static_cast<size_t>(worker_id); i < tasks->size();
        i += static_cast<size_t>(options_.workers)) {
+    if (HasError()) return;
     TxnTask& task = (*tasks)[i];
     for (size_t off : task.offsets) {
       size_t pos = off;
-      auto rec = LogCodec::Decode(payload, &pos);
+      auto rec = LogCodec::DecodeView(payload, &pos);
       if (!rec.ok()) {
+        // Leave `done` unset: a partially applied transaction must never
+        // become visible. The commit loop and the other workers exit
+        // through the error latch.
         SetError(rec.status());
-        break;
+        return;
       }
-      LogRecord r = std::move(rec).value();
-      MemNode* node = store_.GetTable(r.table_id)->GetOrCreateNode(r.row_key);
+      MemNode* node =
+          store_.GetTable(rec->table_id)->GetOrCreateNode(rec->row_key);
       // Operation-sequence check: versions of one record must be installed
       // in the primary's modification order. Spin until the chain length
       // matches the log entry's row sequence (its before-image position);
       // the dependency always points to an earlier operation, so this
-      // cannot deadlock. Time spent here is the synchronization cost the
-      // paper identifies as ATR's scalability limiter.
-      if (node->NumVersions() != r.row_seq) {
+      // cannot stall — unless that operation's worker died on the error
+      // latch, which the spin checks for. Time spent here is the
+      // synchronization cost the paper identifies as ATR's scalability
+      // limiter.
+      if (node->NumVersions() != rec->row_seq) {
         static obs::Counter* sync_retries =
             obs::GetCounter("replay.conflict_retries");
         sync_retries->Add(1);
         ScopedTimerNs wait_timer(&stats_.sync_wait_ns);
-        int spins = 0;
-        while (node->NumVersions() != r.row_seq) {
-          if (++spins > 512) {
-            std::this_thread::yield();
-            spins = 0;
-          }
+        SpinBackoff backoff(/*spins_per_yield=*/512,
+                            /*yields_before_sleep=*/-1);
+        while (node->NumVersions() != rec->row_seq) {
+          if (HasError()) return;
+          backoff.Pause();
         }
       }
       VersionCell cell;
       cell.commit_ts = task.commit_ts;
-      cell.txn_id = r.txn_id;
-      cell.is_delete = r.type == LogRecordType::kDelete;
-      cell.delta = std::move(r.values);
+      cell.txn_id = rec->txn_id;
+      cell.is_delete = rec->type == LogRecordType::kDelete;
+      cell.delta = PackedDelta::FromWire(rec->num_values, rec->value_bytes);
       node->AppendVersion(std::move(cell));
     }
     task.done.store(true, std::memory_order_release);

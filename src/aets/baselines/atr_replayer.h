@@ -2,20 +2,16 @@
 #define AETS_BASELINES_ATR_REPLAYER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "aets/catalog/catalog.h"
 #include "aets/common/thread_pool.h"
 #include "aets/log/shipped_epoch.h"
-#include "aets/replay/replayer.h"
+#include "aets/replay/replayer_base.h"
 #include "aets/replication/channel.h"
-#include "aets/storage/table_store.h"
 
 namespace aets {
 
@@ -30,21 +26,19 @@ struct AtrOptions {
 /// matches the log entry's before-image txn id), and a single commit thread
 /// that advances the visibility watermark in primary transaction order.
 /// There is no table grouping: all tables publish the same watermark.
-class AtrReplayer : public Replayer {
+class AtrReplayer : public ReplayerBase {
  public:
   AtrReplayer(const Catalog* catalog, EpochChannel* channel, AtrOptions options);
   ~AtrReplayer() override;
 
-  Status Start() override;
-  void Stop() override;
-
   Timestamp TableVisibleTs(TableId table) const override;
   Timestamp GlobalVisibleTs() const override;
-  TableStore* store() override { return &store_; }
-  const ReplayStats& stats() const override { return stats_; }
-  std::string name() const override { return "ATR"; }
 
-  Status error() const;
+ protected:
+  Status StartWorkers() override;
+  void StopWorkers() override;
+  void ProcessEpoch(const ShippedEpoch& epoch) override;
+  void ProcessHeartbeat(const ShippedEpoch& epoch) override;
 
  private:
   /// One transaction's work: offsets of its DML records in the payload.
@@ -55,26 +49,12 @@ class AtrReplayer : public Replayer {
     std::atomic<bool> done{false};
   };
 
-  void MainLoop();
-  void ProcessEpoch(const ShippedEpoch& epoch);
   void WorkerRun(const std::string& payload, std::deque<TxnTask>* tasks,
                  int worker_id);
-  void SetError(Status status);
 
-  const Catalog* catalog_;
-  EpochChannel* channel_;
   AtrOptions options_;
-  TableStore store_;
-  ReplayStats stats_;
   std::atomic<Timestamp> watermark_{kInvalidTimestamp};
-
   std::unique_ptr<ThreadPool> pool_;
-  std::thread main_thread_;
-  EpochId expected_epoch_ = 0;
-  bool started_ = false;
-
-  mutable std::mutex error_mu_;
-  Status error_;
 };
 
 }  // namespace aets

@@ -1,6 +1,8 @@
 #include "aets/baselines/c5_replayer.h"
 
 #include <chrono>
+#include <thread>
+#include <vector>
 
 #include "aets/common/macros.h"
 #include "aets/log/codec.h"
@@ -21,30 +23,19 @@ size_t RowQueueOf(TableId table, int64_t row_key, int workers) {
 
 C5Replayer::C5Replayer(const Catalog* catalog, EpochChannel* channel,
                        C5Options options)
-    : catalog_(catalog),
-      channel_(channel),
-      options_(options),
-      store_(*catalog) {}
+    : ReplayerBase(catalog, channel, "C5"), options_(options) {}
 
 C5Replayer::~C5Replayer() { Stop(); }
 
-Status C5Replayer::Start() {
+Status C5Replayer::StartWorkers() {
   if (options_.workers <= 0) {
     return Status::InvalidArgument("workers must be positive");
   }
-  if (started_) return Status::InvalidArgument("already started");
   pool_ = std::make_unique<ThreadPool>(options_.workers);
-  started_ = true;
-  main_thread_ = std::thread([this] { MainLoop(); });
   return Status::OK();
 }
 
-void C5Replayer::Stop() {
-  if (!started_) return;
-  if (main_thread_.joinable()) main_thread_.join();
-  pool_.reset();
-  started_ = false;
-}
+void C5Replayer::StopWorkers() { pool_.reset(); }
 
 Timestamp C5Replayer::TableVisibleTs(TableId) const {
   return watermark_.load(std::memory_order_acquire);
@@ -54,40 +45,16 @@ Timestamp C5Replayer::GlobalVisibleTs() const {
   return watermark_.load(std::memory_order_acquire);
 }
 
-Status C5Replayer::error() const {
-  std::lock_guard<std::mutex> lk(error_mu_);
-  return error_;
-}
-
-void C5Replayer::SetError(Status status) {
-  std::lock_guard<std::mutex> lk(error_mu_);
-  if (error_.ok()) error_ = std::move(status);
-}
-
-void C5Replayer::MainLoop() {
-  while (auto epoch = channel_->Receive()) {
-    if (epoch->epoch_id != expected_epoch_) {
-      SetError(Status::Corruption("epoch out of order"));
-      return;
-    }
-    ++expected_epoch_;
-    if (stats_.wall_start_us.load() == 0) {
-      stats_.wall_start_us.store(MonotonicMicros());
-    }
-    if (epoch->is_heartbeat()) {
-      watermark_.store(epoch->heartbeat_ts, std::memory_order_release);
-    } else {
-      ProcessEpoch(*epoch);
-    }
-    stats_.wall_end_us.store(MonotonicMicros());
-  }
+void C5Replayer::ProcessHeartbeat(const ShippedEpoch& epoch) {
+  watermark_.store(epoch.heartbeat_ts, std::memory_order_release);
 }
 
 void C5Replayer::ProcessEpoch(const ShippedEpoch& epoch) {
   AETS_TRACE_SPAN("replay.epoch");
   // Row-based dispatch: decode the ENTIRE data image on the dispatch thread
   // and send each operation, in transaction order, to the dedicated queue of
-  // its row. Per-transaction remaining-op counters drive the watermark.
+  // its row. Per-transaction remaining-op counters drive the watermark. All
+  // decode errors surface here, before any worker runs.
   std::vector<std::vector<RowOp>> queues(static_cast<size_t>(options_.workers));
   std::vector<Timestamp> txn_ts;
   std::vector<std::atomic<uint32_t>> txn_remaining;
@@ -101,7 +68,7 @@ void C5Replayer::ProcessEpoch(const ShippedEpoch& epoch) {
     size_t cur_txn = SIZE_MAX;
     Timestamp cur_ts = kInvalidTimestamp;
     while (offset < data.size()) {
-      auto rec = LogCodec::Decode(data, &offset);  // full image decode
+      auto rec = LogCodec::DecodeView(data, &offset);  // full image decode
       if (!rec.ok()) {
         SetError(rec.status());
         return;
@@ -123,8 +90,15 @@ void C5Replayer::ProcessEpoch(const ShippedEpoch& epoch) {
           }
           size_t q = RowQueueOf(rec->table_id, rec->row_key, options_.workers);
           counts[cur_txn]++;
-          queues[q].push_back(
-              RowOp{std::move(rec).value(), cur_ts, cur_txn});
+          RowOp op;
+          op.table_id = rec->table_id;
+          op.row_key = rec->row_key;
+          op.txn_id = rec->txn_id;
+          op.is_delete = rec->type == LogRecordType::kDelete;
+          op.delta = PackedDelta::FromWire(rec->num_values, rec->value_bytes);
+          op.commit_ts = cur_ts;
+          op.txn_index = cur_txn;
+          queues[q].push_back(std::move(op));
           break;
         }
       }
@@ -140,8 +114,8 @@ void C5Replayer::ProcessEpoch(const ShippedEpoch& epoch) {
     pool_->Submit([this, &queues, &txn_remaining, w] {
       ScopedTimerNs timer(&stats_.replay_ns);
       for (auto& op : queues[static_cast<size_t>(w)]) {
-        MemNode* node = store_.GetTable(op.record.table_id)
-                            ->GetOrCreateNode(op.record.row_key);
+        MemNode* node =
+            store_.GetTable(op.table_id)->GetOrCreateNode(op.row_key);
         // Writes to one row always land in the same queue in log order, so
         // per-row operation order holds without any check — but commit-ts
         // monotonicity across rows of a node still requires waiting for
@@ -149,9 +123,9 @@ void C5Replayer::ProcessEpoch(const ShippedEpoch& epoch) {
         // order already guarantees.
         VersionCell cell;
         cell.commit_ts = op.commit_ts;
-        cell.txn_id = op.record.txn_id;
-        cell.is_delete = op.record.type == LogRecordType::kDelete;
-        cell.delta = std::move(op.record.values);
+        cell.txn_id = op.txn_id;
+        cell.is_delete = op.is_delete;
+        cell.delta = std::move(op.delta);
         node->AppendVersion(std::move(cell));
         txn_remaining[op.txn_index].fetch_sub(1, std::memory_order_acq_rel);
       }
@@ -183,20 +157,6 @@ void C5Replayer::ProcessEpoch(const ShippedEpoch& epoch) {
   pool_->WaitIdle();
   workers_done.store(true, std::memory_order_release);
   watermark_thread.join();
-
-  stats_.epochs.fetch_add(1, std::memory_order_relaxed);
-  stats_.records.fetch_add(epoch.num_records, std::memory_order_relaxed);
-  stats_.bytes.fetch_add(epoch.ByteSize(), std::memory_order_relaxed);
-
-  static obs::Counter* epochs_applied = obs::GetCounter("replay.epochs_applied");
-  static obs::Counter* txns_applied = obs::GetCounter("replay.txns_applied");
-  static obs::Counter* records_applied =
-      obs::GetCounter("replay.records_applied");
-  static obs::Counter* bytes_applied = obs::GetCounter("replay.bytes_applied");
-  epochs_applied->Add(1);
-  txns_applied->Add(epoch.num_txns);
-  records_applied->Add(epoch.num_records);
-  bytes_applied->Add(epoch.ByteSize());
 }
 
 }  // namespace aets

@@ -2,19 +2,15 @@
 #define AETS_BASELINES_C5_REPLAYER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "aets/catalog/catalog.h"
 #include "aets/common/thread_pool.h"
 #include "aets/log/shipped_epoch.h"
-#include "aets/replay/replayer.h"
+#include "aets/replay/replayer_base.h"
 #include "aets/replication/channel.h"
-#include "aets/storage/table_store.h"
+#include "aets/storage/packed_delta.h"
 
 namespace aets {
 
@@ -32,48 +28,38 @@ struct C5Options {
 /// construction; a single watermark thread advances the snapshot timestamp
 /// every `watermark_period_us` to the largest prefix of fully applied
 /// transactions. No table grouping: one global watermark.
-class C5Replayer : public Replayer {
+class C5Replayer : public ReplayerBase {
  public:
   C5Replayer(const Catalog* catalog, EpochChannel* channel, C5Options options);
   ~C5Replayer() override;
 
-  Status Start() override;
-  void Stop() override;
-
   Timestamp TableVisibleTs(TableId table) const override;
   Timestamp GlobalVisibleTs() const override;
-  TableStore* store() override { return &store_; }
-  const ReplayStats& stats() const override { return stats_; }
-  std::string name() const override { return "C5"; }
 
-  Status error() const;
+ protected:
+  Status StartWorkers() override;
+  void StopWorkers() override;
+  void ProcessEpoch(const ShippedEpoch& epoch) override;
+  void ProcessHeartbeat(const ShippedEpoch& epoch) override;
 
  private:
-  /// A fully decoded row operation bound for one dedicated queue.
+  /// A fully decoded row operation bound for one dedicated queue: the fixed
+  /// fields plus the delta already packed for installation (the dispatcher
+  /// pays the full parse, per the baseline's design — but no longer a
+  /// per-value materialization).
   struct RowOp {
-    LogRecord record;
-    Timestamp commit_ts;
-    size_t txn_index;  // index into the epoch's txn bookkeeping
+    TableId table_id = kInvalidTableId;
+    int64_t row_key = 0;
+    TxnId txn_id = kInvalidTxnId;
+    bool is_delete = false;
+    PackedDelta delta;
+    Timestamp commit_ts = kInvalidTimestamp;
+    size_t txn_index = 0;  // index into the epoch's txn bookkeeping
   };
 
-  void MainLoop();
-  void ProcessEpoch(const ShippedEpoch& epoch);
-  void SetError(Status status);
-
-  const Catalog* catalog_;
-  EpochChannel* channel_;
   C5Options options_;
-  TableStore store_;
-  ReplayStats stats_;
   std::atomic<Timestamp> watermark_{kInvalidTimestamp};
-
   std::unique_ptr<ThreadPool> pool_;
-  std::thread main_thread_;
-  EpochId expected_epoch_ = 0;
-  bool started_ = false;
-
-  mutable std::mutex error_mu_;
-  Status error_;
 };
 
 }  // namespace aets

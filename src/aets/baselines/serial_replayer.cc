@@ -7,22 +7,9 @@
 namespace aets {
 
 SerialReplayer::SerialReplayer(const Catalog* catalog, EpochChannel* channel)
-    : catalog_(catalog), channel_(channel), store_(*catalog) {}
+    : ReplayerBase(catalog, channel, "Serial") {}
 
 SerialReplayer::~SerialReplayer() { Stop(); }
-
-Status SerialReplayer::Start() {
-  if (started_) return Status::InvalidArgument("already started");
-  started_ = true;
-  main_thread_ = std::thread([this] { MainLoop(); });
-  return Status::OK();
-}
-
-void SerialReplayer::Stop() {
-  if (!started_) return;
-  if (main_thread_.joinable()) main_thread_.join();
-  started_ = false;
-}
 
 Timestamp SerialReplayer::TableVisibleTs(TableId) const {
   return watermark_.load(std::memory_order_acquire);
@@ -32,54 +19,25 @@ Timestamp SerialReplayer::GlobalVisibleTs() const {
   return watermark_.load(std::memory_order_acquire);
 }
 
-Status SerialReplayer::error() const {
-  std::lock_guard<std::mutex> lk(error_mu_);
-  return error_;
+void SerialReplayer::ProcessHeartbeat(const ShippedEpoch& epoch) {
+  watermark_.store(epoch.heartbeat_ts, std::memory_order_release);
 }
 
-void SerialReplayer::MainLoop() {
-  while (auto shipped = channel_->Receive()) {
-    if (shipped->epoch_id != expected_epoch_) {
-      std::lock_guard<std::mutex> lk(error_mu_);
-      error_ = Status::Corruption("epoch out of order");
-      return;
+void SerialReplayer::ProcessEpoch(const ShippedEpoch& shipped) {
+  auto epoch = DecodeEpoch(shipped);
+  if (!epoch.ok()) {
+    SetError(epoch.status());
+    return;
+  }
+  AETS_TRACE_SPAN("replay.epoch");
+  ScopedTimerNs timer(&stats_.replay_ns);
+  for (const auto& txn : epoch->txns) {
+    for (const auto& rec : txn.records) {
+      if (!rec.is_dml()) continue;
+      store_.GetTable(rec.table_id)->ApplyCommitted(rec, txn.commit_ts);
     }
-    ++expected_epoch_;
-    if (stats_.wall_start_us.load() == 0) {
-      stats_.wall_start_us.store(MonotonicMicros());
-    }
-    if (shipped->is_heartbeat()) {
-      watermark_.store(shipped->heartbeat_ts, std::memory_order_release);
-      stats_.wall_end_us.store(MonotonicMicros());
-      continue;
-    }
-    auto epoch = DecodeEpoch(*shipped);
-    if (!epoch.ok()) {
-      std::lock_guard<std::mutex> lk(error_mu_);
-      error_ = epoch.status();
-      return;
-    }
-    {
-      AETS_TRACE_SPAN("replay.epoch");
-      ScopedTimerNs timer(&stats_.replay_ns);
-      for (const auto& txn : epoch->txns) {
-        for (const auto& rec : txn.records) {
-          if (!rec.is_dml()) continue;
-          store_.GetTable(rec.table_id)->ApplyCommitted(rec, txn.commit_ts);
-        }
-        watermark_.store(txn.commit_ts, std::memory_order_release);
-        stats_.txns.fetch_add(1, std::memory_order_relaxed);
-        stats_.records.fetch_add(txn.records.size(), std::memory_order_relaxed);
-      }
-    }
-    stats_.epochs.fetch_add(1, std::memory_order_relaxed);
-    stats_.bytes.fetch_add(shipped->ByteSize(), std::memory_order_relaxed);
-    static obs::Counter* epochs_applied =
-        obs::GetCounter("replay.epochs_applied");
-    static obs::Counter* txns_applied = obs::GetCounter("replay.txns_applied");
-    epochs_applied->Add(1);
-    txns_applied->Add(shipped->num_txns);
-    stats_.wall_end_us.store(MonotonicMicros());
+    watermark_.store(txn.commit_ts, std::memory_order_release);
+    stats_.txns.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

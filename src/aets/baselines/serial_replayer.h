@@ -2,49 +2,32 @@
 #define AETS_BASELINES_SERIAL_REPLAYER_H_
 
 #include <atomic>
-#include <string>
-#include <thread>
 
 #include "aets/catalog/catalog.h"
-#include "aets/replay/replayer.h"
+#include "aets/replay/replayer_base.h"
 #include "aets/replication/channel.h"
-#include "aets/storage/table_store.h"
 
 namespace aets {
 
 /// Single-threaded replayer that applies transactions strictly in commit
 /// order. It is the correctness oracle: every parallel replayer's final
-/// backup state must equal the serial replayer's (and the primary's).
-class SerialReplayer : public Replayer {
+/// backup state must equal the serial replayer's (and the primary's). It
+/// deliberately keeps the owning decode path (DecodeEpoch) so the oracle
+/// exercises different codec machinery than the replayers under test.
+class SerialReplayer : public ReplayerBase {
  public:
   SerialReplayer(const Catalog* catalog, EpochChannel* channel);
   ~SerialReplayer() override;
 
-  Status Start() override;
-  void Stop() override;
-
   Timestamp TableVisibleTs(TableId table) const override;
   Timestamp GlobalVisibleTs() const override;
-  TableStore* store() override { return &store_; }
-  const ReplayStats& stats() const override { return stats_; }
-  std::string name() const override { return "Serial"; }
 
-  Status error() const;
+ protected:
+  void ProcessEpoch(const ShippedEpoch& epoch) override;
+  void ProcessHeartbeat(const ShippedEpoch& epoch) override;
 
  private:
-  void MainLoop();
-
-  const Catalog* catalog_;
-  EpochChannel* channel_;
-  TableStore store_;
-  ReplayStats stats_;
   std::atomic<Timestamp> watermark_{kInvalidTimestamp};
-  std::thread main_thread_;
-  EpochId expected_epoch_ = 0;
-  bool started_ = false;
-
-  mutable std::mutex error_mu_;
-  Status error_;
 };
 
 }  // namespace aets

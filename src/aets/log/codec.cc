@@ -34,64 +34,11 @@ void PutFixed(std::string* out, T v) {
 }
 
 template <typename T>
-bool GetFixed(const std::string& data, size_t* offset, T* out) {
+bool GetFixed(std::string_view data, size_t* offset, T* out) {
   if (*offset + sizeof(T) > data.size()) return false;
   std::memcpy(out, data.data() + *offset, sizeof(T));
   *offset += sizeof(T);
   return true;
-}
-
-constexpr uint8_t kTagNull = 0;
-constexpr uint8_t kTagInt64 = 1;
-constexpr uint8_t kTagDouble = 2;
-constexpr uint8_t kTagString = 3;
-
-void EncodeValue(const Value& v, std::string* out) {
-  if (v.is_null()) {
-    PutFixed<uint8_t>(out, kTagNull);
-  } else if (v.is_int64()) {
-    PutFixed<uint8_t>(out, kTagInt64);
-    PutFixed<int64_t>(out, v.as_int64());
-  } else if (v.is_double()) {
-    PutFixed<uint8_t>(out, kTagDouble);
-    PutFixed<double>(out, v.as_double());
-  } else {
-    PutFixed<uint8_t>(out, kTagString);
-    const std::string& s = v.as_string();
-    PutFixed<uint32_t>(out, static_cast<uint32_t>(s.size()));
-    out->append(s);
-  }
-}
-
-Result<Value> DecodeValue(const std::string& data, size_t* offset) {
-  uint8_t tag;
-  if (!GetFixed(data, offset, &tag)) {
-    return Status::Corruption("truncated value tag");
-  }
-  switch (tag) {
-    case kTagNull:
-      return Value::Null();
-    case kTagInt64: {
-      int64_t v;
-      if (!GetFixed(data, offset, &v)) return Status::Corruption("truncated i64");
-      return Value(v);
-    }
-    case kTagDouble: {
-      double v;
-      if (!GetFixed(data, offset, &v)) return Status::Corruption("truncated f64");
-      return Value(v);
-    }
-    case kTagString: {
-      uint32_t len;
-      if (!GetFixed(data, offset, &len)) return Status::Corruption("truncated len");
-      if (*offset + len > data.size()) return Status::Corruption("truncated str");
-      Value v(data.substr(*offset, len));
-      *offset += len;
-      return v;
-    }
-    default:
-      return Status::Corruption("bad value tag " + std::to_string(tag));
-  }
 }
 
 }  // namespace
@@ -121,7 +68,7 @@ void LogCodec::Encode(const LogRecord& record, std::string* out) {
     PutFixed<uint16_t>(&payload, static_cast<uint16_t>(record.values.size()));
     for (const auto& cv : record.values) {
       PutFixed<uint16_t>(&payload, cv.column_id);
-      EncodeValue(cv.value, &payload);
+      AppendValueWire(cv.value, &payload);
     }
   }
   PutFixed<uint32_t>(out, Crc32c(payload.data(), payload.size()));
@@ -135,7 +82,7 @@ namespace {
 /// returns payload bounds. The metadata-only dispatch path skips the
 /// checksum — it touches just the fixed prefix, and the phase-1 full decode
 /// verifies the same frame before any value is installed.
-Result<std::pair<size_t, size_t>> ReadFrame(const std::string& data,
+Result<std::pair<size_t, size_t>> ReadFrame(std::string_view data,
                                             size_t* offset, bool verify_crc) {
   uint32_t crc, len;
   if (!GetFixed(data, offset, &crc) || !GetFixed(data, offset, &len)) {
@@ -155,68 +102,84 @@ Result<std::pair<size_t, size_t>> ReadFrame(const std::string& data,
   return std::make_pair(begin, begin + len);
 }
 
-Result<LogRecord> DecodeBody(const std::string& data, size_t begin, size_t end,
-                             bool metadata_only) {
+Result<LogRecordView> DecodeViewBody(std::string_view data, size_t begin,
+                                     size_t end, bool metadata_only) {
   size_t pos = begin;
-  LogRecord rec;
+  LogRecordView view;
   uint8_t type;
-  if (!GetFixed(data, &pos, &type) || !GetFixed(data, &pos, &rec.lsn) ||
-      !GetFixed(data, &pos, &rec.txn_id) ||
-      !GetFixed(data, &pos, &rec.timestamp)) {
+  if (!GetFixed(data, &pos, &type) || !GetFixed(data, &pos, &view.lsn) ||
+      !GetFixed(data, &pos, &view.txn_id) ||
+      !GetFixed(data, &pos, &view.timestamp)) {
     return Status::Corruption("truncated record header");
   }
   if (type > static_cast<uint8_t>(LogRecordType::kHeartbeat)) {
     return Status::Corruption("bad record type");
   }
-  rec.type = static_cast<LogRecordType>(type);
-  if (rec.is_dml()) {
-    uint16_t count;
-    if (!GetFixed(data, &pos, &rec.table_id) ||
-        !GetFixed(data, &pos, &rec.row_key) ||
-        !GetFixed(data, &pos, &rec.prev_txn_id) ||
-        !GetFixed(data, &pos, &rec.row_seq) ||
-        !GetFixed(data, &pos, &count)) {
+  view.type = static_cast<LogRecordType>(type);
+  if (view.is_dml()) {
+    if (!GetFixed(data, &pos, &view.table_id) ||
+        !GetFixed(data, &pos, &view.row_key) ||
+        !GetFixed(data, &pos, &view.prev_txn_id) ||
+        !GetFixed(data, &pos, &view.row_seq) ||
+        !GetFixed(data, &pos, &view.num_values)) {
       return Status::Corruption("truncated dml header");
     }
     if (!metadata_only) {
-      rec.values.reserve(count);
-      for (uint16_t i = 0; i < count; ++i) {
-        uint16_t col;
-        if (!GetFixed(data, &pos, &col)) {
+      // One bounds-validating walk; after it, DeltaReader can iterate the
+      // slice without any further checks.
+      const char* p = data.data() + pos;
+      const char* const value_end = data.data() + end;
+      ValueView scratch;
+      for (uint16_t i = 0; i < view.num_values; ++i) {
+        ColumnId col;
+        if (value_end - p < static_cast<ptrdiff_t>(sizeof(col))) {
           return Status::Corruption("truncated column id");
         }
-        auto value = DecodeValue(data, &pos);
-        if (!value.ok()) return value.status();
-        rec.values.push_back(ColumnValue{col, std::move(value).value()});
+        std::memcpy(&col, p, sizeof(col));
+        p = ParseValueWire(p + sizeof(col), value_end, &scratch);
+        if (p == nullptr) return Status::Corruption("truncated value");
       }
-      if (pos != end) return Status::Corruption("trailing bytes in record");
+      if (p != value_end) return Status::Corruption("trailing bytes in record");
+      view.value_bytes = data.substr(pos, end - pos);
     }
   }
-  return rec;
+  return view;
 }
 
 }  // namespace
 
-Result<LogRecord> LogCodec::Decode(const std::string& data, size_t* offset) {
+Result<LogRecordView> LogCodec::DecodeView(std::string_view data,
+                                           size_t* offset) {
   auto frame = ReadFrame(data, offset, /*verify_crc=*/true);
   if (!frame.ok()) return frame.status();
-  return DecodeBody(data, frame->first, frame->second, /*metadata_only=*/false);
+  return DecodeViewBody(data, frame->first, frame->second,
+                        /*metadata_only=*/false);
 }
 
-Result<LogRecord> LogCodec::DecodeMetadata(const std::string& data,
-                                           size_t* offset) {
+Result<LogRecord> LogCodec::Decode(std::string_view data, size_t* offset) {
+  auto view = DecodeView(data, offset);
+  if (!view.ok()) return view.status();
+  return view->Materialize();
+}
+
+Result<LogRecordView> LogCodec::DecodeMetadata(std::string_view data,
+                                               size_t* offset) {
   auto frame = ReadFrame(data, offset, /*verify_crc=*/false);
   if (!frame.ok()) return frame.status();
-  return DecodeBody(data, frame->first, frame->second, /*metadata_only=*/true);
+  return DecodeViewBody(data, frame->first, frame->second,
+                        /*metadata_only=*/true);
 }
 
 std::string LogCodec::EncodeAll(const std::vector<LogRecord>& records) {
+  size_t total = 0;
+  for (const auto& r : records) total += r.ByteSize() + 8;  // + frame header
   std::string out;
+  out.reserve(total);
   for (const auto& r : records) Encode(r, &out);
   return out;
 }
 
-Result<std::vector<LogRecord>> LogCodec::DecodeAll(const std::string& data) {
+Result<std::vector<LogRecord>> LogCodec::DecodeAll(std::string_view data) {
   std::vector<LogRecord> records;
   size_t offset = 0;
   while (offset < data.size()) {

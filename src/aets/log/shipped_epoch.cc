@@ -14,6 +14,7 @@ ShippedEpoch EncodeEpoch(const Epoch& epoch) {
   out.last_txn = epoch.last_txn();
   out.max_commit_ts = epoch.max_commit_ts();
   auto payload = std::make_shared<std::string>();
+  payload->reserve(epoch.ByteSize() + 8 * epoch.num_records());  // + frames
   for (const auto& txn : epoch.txns) {
     for (const auto& rec : txn.records) LogCodec::Encode(rec, payload.get());
   }

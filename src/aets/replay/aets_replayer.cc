@@ -1,8 +1,8 @@
 #include "aets/replay/aets_replayer.h"
 
 #include <algorithm>
-#include <chrono>
 
+#include "aets/common/backoff.h"
 #include "aets/common/macros.h"
 #include "aets/log/codec.h"
 #include "aets/obs/trace.h"
@@ -22,16 +22,9 @@ void StoreMax(std::atomic<Timestamp>& slot, Timestamp ts) {
 
 AetsReplayer::AetsReplayer(const Catalog* catalog, EpochChannel* channel,
                            AetsOptions options)
-    : catalog_(catalog),
-      channel_(channel),
+    : ReplayerBase(catalog, channel, options.name),
       options_(std::move(options)),
-      store_(*catalog),
       table_ts_(catalog->num_tables()),
-      epochs_applied_metric_(obs::GetCounter("replay.epochs_applied")),
-      txns_applied_metric_(obs::GetCounter("replay.txns_applied")),
-      records_applied_metric_(obs::GetCounter("replay.records_applied")),
-      bytes_applied_metric_(obs::GetCounter("replay.bytes_applied")),
-      heartbeats_applied_metric_(obs::GetCounter("replay.heartbeats_applied")),
       commit_spin_waits_metric_(obs::GetCounter("replay.commit_spin_waits")),
       regroup_metric_(obs::GetCounter("allocator.regroups")),
       realloc_metric_(obs::GetCounter("allocator.reallocations")),
@@ -46,24 +39,18 @@ AetsReplayer::AetsReplayer(const Catalog* catalog, EpochChannel* channel,
 
 AetsReplayer::~AetsReplayer() { Stop(); }
 
-Status AetsReplayer::Start() {
+Status AetsReplayer::StartWorkers() {
   if (options_.replay_threads <= 0 || options_.commit_threads <= 0) {
     return Status::InvalidArgument("thread counts must be positive");
   }
-  if (started_) return Status::InvalidArgument("already started");
   replay_pool_ = std::make_unique<ThreadPool>(options_.replay_threads);
   commit_pool_ = std::make_unique<ThreadPool>(options_.commit_threads);
-  started_ = true;
-  main_thread_ = std::thread([this] { MainLoop(); });
   return Status::OK();
 }
 
-void AetsReplayer::Stop() {
-  if (!started_) return;
-  if (main_thread_.joinable()) main_thread_.join();
+void AetsReplayer::StopWorkers() {
   replay_pool_.reset();
   commit_pool_.reset();
-  started_ = false;
 }
 
 Timestamp AetsReplayer::TableVisibleTs(TableId table) const {
@@ -75,18 +62,13 @@ Timestamp AetsReplayer::GlobalVisibleTs() const {
   return global_ts_.load(std::memory_order_acquire);
 }
 
-Status AetsReplayer::error() const {
-  std::lock_guard<std::mutex> lk(error_mu_);
-  return error_;
-}
-
 std::vector<TableGroup> AetsReplayer::groups() const {
   std::lock_guard<std::mutex> lk(groups_mu_);
   return groups_;
 }
 
 Status AetsReplayer::Bootstrap(const std::string& checkpoint_path) {
-  if (started_) return Status::InvalidArgument("Bootstrap after Start");
+  if (started()) return Status::InvalidArgument("Bootstrap after Start");
   if (expected_epoch_ != 0 || global_ts_.load() != kInvalidTimestamp) {
     return Status::InvalidArgument("Bootstrap on a non-fresh replayer");
   }
@@ -101,34 +83,8 @@ Status AetsReplayer::Bootstrap(const std::string& checkpoint_path) {
 }
 
 Status AetsReplayer::WriteCheckpoint(const std::string& path) const {
-  if (started_) return Status::InvalidArgument("WriteCheckpoint while running");
+  if (started()) return Status::InvalidArgument("WriteCheckpoint while running");
   return Checkpointer::Write(store_, global_ts_.load(), expected_epoch_, path);
-}
-
-void AetsReplayer::SetError(Status status) {
-  std::lock_guard<std::mutex> lk(error_mu_);
-  if (error_.ok()) error_ = std::move(status);
-}
-
-void AetsReplayer::MainLoop() {
-  while (auto epoch = channel_->Receive()) {
-    if (epoch->epoch_id != expected_epoch_) {
-      SetError(Status::Corruption(
-          "epoch out of order: expected " + std::to_string(expected_epoch_) +
-          ", got " + std::to_string(epoch->epoch_id)));
-      return;
-    }
-    ++expected_epoch_;
-    if (stats_.wall_start_us.load() == 0) {
-      stats_.wall_start_us.store(MonotonicMicros());
-    }
-    if (epoch->is_heartbeat()) {
-      ProcessHeartbeat(*epoch);
-    } else {
-      ProcessEpoch(*epoch);
-    }
-    stats_.wall_end_us.store(MonotonicMicros());
-  }
 }
 
 void AetsReplayer::ProcessHeartbeat(const ShippedEpoch& epoch) {
@@ -137,7 +93,6 @@ void AetsReplayer::ProcessHeartbeat(const ShippedEpoch& epoch) {
   // already replayed; the whole backup may publish it.
   for (auto& ts : table_ts_) StoreMax(ts, epoch.heartbeat_ts);
   StoreMax(global_ts_, epoch.heartbeat_ts);
-  heartbeats_applied_metric_->Add(1);
   watermark_metric_->Set(
       static_cast<int64_t>(global_ts_.load(std::memory_order_relaxed)));
 }
@@ -244,16 +199,11 @@ void AetsReplayer::ProcessEpoch(const ShippedEpoch& epoch) {
     RunStage(epoch, &gstate, cold_groups);
   }
 
-  StoreMax(global_ts_, epoch.max_commit_ts);
-  stats_.epochs.fetch_add(1, std::memory_order_relaxed);
-  stats_.txns.fetch_add(epoch.num_txns, std::memory_order_relaxed);
-  stats_.records.fetch_add(epoch.num_records, std::memory_order_relaxed);
-  stats_.bytes.fetch_add(epoch.ByteSize(), std::memory_order_relaxed);
+  // A failed epoch must not move any watermark past the failure point.
+  if (HasError()) return;
 
-  epochs_applied_metric_->Add(1);
-  txns_applied_metric_->Add(epoch.num_txns);
-  records_applied_metric_->Add(epoch.num_records);
-  bytes_applied_metric_->Add(epoch.ByteSize());
+  StoreMax(global_ts_, epoch.max_commit_ts);
+  stats_.txns.fetch_add(epoch.num_txns, std::memory_order_relaxed);
   watermark_metric_->Set(
       static_cast<int64_t>(global_ts_.load(std::memory_order_relaxed)));
   epoch_apply_us_metric_->Record(MonotonicMicros() - apply_start_us);
@@ -390,29 +340,36 @@ void AetsReplayer::TranslateGroup(const std::string& payload,
                                   GroupEpochState* gs) {
   // TPLR phase 1: claim fragments and translate their log entries into
   // uncommitted cells. No transaction dependencies are considered and no
-  // Memtable locks are taken — cells only pin their target nodes.
+  // Memtable locks are taken — cells only pin their target nodes. The
+  // zero-copy decode validates each frame once; the packed delta is the
+  // only allocation per record.
   ScopedTimerNs timer(&stats_.replay_ns);
   for (;;) {
+    if (HasError()) return;  // stop claiming; committers bail on the latch
     size_t idx = gs->next_claim.fetch_add(1, std::memory_order_relaxed);
     if (idx >= gs->fragments.size()) return;
     Fragment* frag = gs->fragments[idx].get();
     frag->cells.reserve(frag->offsets.size());
     for (size_t off : frag->offsets) {
       size_t pos = off;
-      auto rec = LogCodec::Decode(payload, &pos);
+      auto rec = LogCodec::DecodeView(payload, &pos);
       if (!rec.ok()) {
         SetError(rec.status());
+        frag->poisoned.store(true, std::memory_order_release);
         break;
       }
-      LogRecord r = std::move(rec).value();
-      MemNode* node = store_.GetTable(r.table_id)->GetOrCreateNode(r.row_key);
+      MemNode* node =
+          store_.GetTable(rec->table_id)->GetOrCreateNode(rec->row_key);
       VersionCell cell;
       cell.commit_ts = frag->commit_ts;
-      cell.txn_id = r.txn_id;
-      cell.is_delete = r.type == LogRecordType::kDelete;
-      cell.delta = std::move(r.values);
+      cell.txn_id = rec->txn_id;
+      cell.is_delete = rec->type == LogRecordType::kDelete;
+      cell.delta = PackedDelta::FromWire(rec->num_values, rec->value_bytes);
       frag->cells.push_back(PendingCell{node, std::move(cell)});
     }
+    // Always flip `translated` (even when poisoned) so a committer already
+    // spinning on this fragment wakes promptly; `poisoned` keeps the
+    // partial cells from ever being installed.
     frag->translated.store(true, std::memory_order_release);
   }
 }
@@ -424,25 +381,19 @@ void AetsReplayer::CommitGroup(GroupEpochState* gs, const TableGroup& group) {
   for (auto& frag_ptr : gs->fragments) {
     Fragment* frag = frag_ptr.get();
     // waiting_commit_list check: spin briefly, then yield the core to the
-    // translate workers. Yielding (instead of a futex park that the workers
-    // would have to pay a wake for) keeps the phase-1 hot path free of any
-    // committer-signalling cost; the committer wakes to find a batch of
-    // fragments ready.
-    int spins = 0;
-    int yields = 0;
-    bool waited = false;
+    // translate workers (see SpinBackoff for why not a futex park). On
+    // error, unclaimed fragments never flip `translated`, so the latch is
+    // the exit.
+    SpinBackoff backoff;
     while (!frag->translated.load(std::memory_order_acquire)) {
-      waited = true;
-      if (++spins > 64) {
-        spins = 0;
-        if (++yields > 256) {
-          std::this_thread::sleep_for(std::chrono::microseconds(20));
-        } else {
-          std::this_thread::yield();
-        }
-      }
+      if (HasError()) return;
+      backoff.Pause();
     }
-    if (waited) commit_spin_waits_metric_->Add(1);
+    if (backoff.waited()) commit_spin_waits_metric_->Add(1);
+    // A poisoned fragment holds a partial transaction; installing it would
+    // corrupt the backup. Freeze this group's watermark at the last fully
+    // committed transaction instead.
+    if (frag->poisoned.load(std::memory_order_acquire) || HasError()) return;
     {
       ScopedTimerNs timer(&stats_.commit_ns);
       for (auto& pc : frag->cells) {

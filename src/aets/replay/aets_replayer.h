@@ -2,23 +2,20 @@
 #define AETS_REPLAY_AETS_REPLAYER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "aets/catalog/catalog.h"
 #include "aets/common/thread_pool.h"
 #include "aets/log/shipped_epoch.h"
 #include "aets/obs/metrics.h"
-#include "aets/replay/replayer.h"
+#include "aets/replay/replayer_base.h"
 #include "aets/replay/table_group.h"
 #include "aets/replay/thread_allocator.h"
 #include "aets/replication/channel.h"
-#include "aets/storage/checkpoint.h"
 #include "aets/storage/checkpoint.h"
 #include "aets/storage/table_store.h"
 
@@ -74,23 +71,14 @@ struct AetsOptions {
 ///
 /// One AetsReplayer drives one backup node: it pulls encoded epochs from its
 /// channel in order and replays each epoch in (up to) two stages.
-class AetsReplayer : public Replayer {
+class AetsReplayer : public ReplayerBase {
  public:
   AetsReplayer(const Catalog* catalog, EpochChannel* channel,
                AetsOptions options);
   ~AetsReplayer() override;
 
-  Status Start() override;
-  void Stop() override;
-
   Timestamp TableVisibleTs(TableId table) const override;
   Timestamp GlobalVisibleTs() const override;
-  TableStore* store() override { return &store_; }
-  const ReplayStats& stats() const override { return stats_; }
-  std::string name() const override { return options_.name; }
-
-  /// Sticky error (corrupted record, out-of-order epoch). OK while healthy.
-  Status error() const;
 
   /// Current grouping (for tests / diagnostics).
   std::vector<TableGroup> groups() const;
@@ -109,6 +97,12 @@ class AetsReplayer : public Replayer {
   /// The next epoch id this replayer expects from its channel.
   EpochId next_expected_epoch() const { return expected_epoch_; }
 
+ protected:
+  Status StartWorkers() override;
+  void StopWorkers() override;
+  void ProcessEpoch(const ShippedEpoch& epoch) override;
+  void ProcessHeartbeat(const ShippedEpoch& epoch) override;
+
  private:
   /// A translated-but-uncommitted cell: the TPLR phase-1 output. Holds the
   /// pinned Memtable node and the version to append at commit.
@@ -126,6 +120,10 @@ class AetsReplayer : public Replayer {
     std::vector<size_t> offsets;
     std::vector<PendingCell> cells;
     std::atomic<bool> translated{false};
+    /// Set when translation failed mid-fragment: the cells are incomplete
+    /// and must never be committed (a partial transaction is worse than a
+    /// stalled watermark).
+    std::atomic<bool> poisoned{false};
   };
 
   /// Per-group per-epoch replay state: the fragment list doubles as the
@@ -137,9 +135,6 @@ class AetsReplayer : public Replayer {
     size_t bytes = 0;
   };
 
-  void MainLoop();
-  void ProcessEpoch(const ShippedEpoch& epoch);
-  void ProcessHeartbeat(const ShippedEpoch& epoch);
   void RefreshRates();
   void RebuildGroups(const std::vector<double>& rates);
   bool DispatchEpoch(const ShippedEpoch& epoch,
@@ -148,13 +143,8 @@ class AetsReplayer : public Replayer {
                 const std::vector<int>& member_groups);
   void TranslateGroup(const std::string& payload, GroupEpochState* gs);
   void CommitGroup(GroupEpochState* gs, const TableGroup& group);
-  void SetError(Status status);
 
-  const Catalog* catalog_;
-  EpochChannel* channel_;
   AetsOptions options_;
-  TableStore store_;
-  ReplayStats stats_;
 
   std::vector<std::atomic<Timestamp>> table_ts_;
   std::atomic<Timestamp> global_ts_{kInvalidTimestamp};
@@ -165,11 +155,6 @@ class AetsReplayer : public Replayer {
   std::vector<double> current_rates_;
 
   /// Observability (resolved once per instrument; aggregated process-wide).
-  obs::Counter* epochs_applied_metric_;
-  obs::Counter* txns_applied_metric_;
-  obs::Counter* records_applied_metric_;
-  obs::Counter* bytes_applied_metric_;
-  obs::Counter* heartbeats_applied_metric_;
   obs::Counter* commit_spin_waits_metric_;
   obs::Counter* regroup_metric_;
   obs::Counter* realloc_metric_;
@@ -184,12 +169,6 @@ class AetsReplayer : public Replayer {
 
   std::unique_ptr<ThreadPool> replay_pool_;
   std::unique_ptr<ThreadPool> commit_pool_;
-  std::thread main_thread_;
-  EpochId expected_epoch_ = 0;
-  bool started_ = false;
-
-  mutable std::mutex error_mu_;
-  Status error_;
 };
 
 }  // namespace aets

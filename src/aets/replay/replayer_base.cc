@@ -1,0 +1,95 @@
+#include "aets/replay/replayer_base.h"
+
+#include "aets/common/clock.h"
+
+namespace aets {
+
+ReplayerBase::ReplayerBase(const Catalog* catalog, EpochChannel* channel,
+                           std::string name)
+    : catalog_(catalog),
+      channel_(channel),
+      store_(*catalog),
+      name_(std::move(name)),
+      epochs_applied_metric_(obs::GetCounter("replay.epochs_applied")),
+      txns_applied_metric_(obs::GetCounter("replay.txns_applied")),
+      records_applied_metric_(obs::GetCounter("replay.records_applied")),
+      bytes_applied_metric_(obs::GetCounter("replay.bytes_applied")),
+      heartbeats_applied_metric_(
+          obs::GetCounter("replay.heartbeats_applied")) {}
+
+ReplayerBase::~ReplayerBase() {
+  // Backstop only: by now the derived part is gone, so StopWorkers() would
+  // not dispatch — derived destructors must call Stop() themselves.
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (main_thread_.joinable()) main_thread_.join();
+}
+
+Status ReplayerBase::Start() {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (started_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("already started");
+  }
+  Status s = StartWorkers();
+  if (!s.ok()) return s;
+  started_.store(true, std::memory_order_release);
+  main_thread_ = std::thread([this] { MainLoop(); });
+  return Status::OK();
+}
+
+void ReplayerBase::Stop() {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (!started_.load(std::memory_order_relaxed)) return;
+  if (main_thread_.joinable()) main_thread_.join();
+  StopWorkers();
+  started_.store(false, std::memory_order_release);
+}
+
+Status ReplayerBase::error() const {
+  std::lock_guard<std::mutex> lk(error_mu_);
+  return error_;
+}
+
+void ReplayerBase::SetError(Status status) {
+  std::lock_guard<std::mutex> lk(error_mu_);
+  if (error_.ok()) error_ = std::move(status);
+  error_flag_.store(true, std::memory_order_release);
+}
+
+void ReplayerBase::MainLoop() {
+  while (auto epoch = channel_->Receive()) {
+    // Once the error latch trips, stop applying but keep draining: the
+    // channel is bounded, so refusing to receive could block the shipper
+    // forever. Nothing received after the failure point is installed and no
+    // watermark moves.
+    if (HasError()) continue;
+    if (epoch->epoch_id != expected_epoch_) {
+      SetError(Status::Corruption(
+          "epoch out of order: expected " + std::to_string(expected_epoch_) +
+          ", got " + std::to_string(epoch->epoch_id)));
+      continue;
+    }
+    ++expected_epoch_;
+    if (stats_.wall_start_us.load() == 0) {
+      stats_.wall_start_us.store(MonotonicMicros());
+    }
+    if (epoch->is_heartbeat()) {
+      ProcessHeartbeat(*epoch);
+      heartbeats_applied_metric_->Add(1);
+    } else {
+      ProcessEpoch(*epoch);
+      if (!HasError()) {
+        stats_.epochs.fetch_add(1, std::memory_order_relaxed);
+        stats_.records.fetch_add(epoch->num_records,
+                                 std::memory_order_relaxed);
+        stats_.bytes.fetch_add(epoch->ByteSize(), std::memory_order_relaxed);
+        epochs_applied_metric_->Add(1);
+        txns_applied_metric_->Add(epoch->num_txns);
+        records_applied_metric_->Add(epoch->num_records);
+        bytes_applied_metric_->Add(epoch->ByteSize());
+      }
+    }
+    stats_.wall_end_us.store(MonotonicMicros());
+  }
+}
+
+}  // namespace aets

@@ -1,0 +1,104 @@
+#ifndef AETS_REPLAY_REPLAYER_BASE_H_
+#define AETS_REPLAY_REPLAYER_BASE_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "aets/catalog/catalog.h"
+#include "aets/log/shipped_epoch.h"
+#include "aets/obs/metrics.h"
+#include "aets/replay/replayer.h"
+#include "aets/replication/channel.h"
+#include "aets/storage/table_store.h"
+
+namespace aets {
+
+/// The scaffolding every replayer shares — previously copy-pasted across
+/// AETS, ATR, C5, and the serial oracle. Owns:
+///
+///  - the epoch-ordered main loop (strict epoch-id sequencing, wall-clock
+///    stats, heartbeat routing, the per-epoch volume counters and metrics);
+///  - the sticky error latch, with a lock-free HasError() fast check the
+///    hot loops poll — once it trips, the main loop stops applying and
+///    drains the channel without installing anything (the channel is
+///    bounded, so halting receives outright could deadlock the producer);
+///  - race-safe Start()/Stop(): lifecycle transitions are serialized by a
+///    mutex, Stop() is idempotent, and a failed StartWorkers() leaves the
+///    replayer cleanly un-started.
+///
+/// Subclasses implement ProcessEpoch/ProcessHeartbeat, and optionally
+/// StartWorkers/StopWorkers for their thread pools. Their destructors must
+/// call Stop() (so the virtual StopWorkers still dispatches).
+class ReplayerBase : public Replayer {
+ public:
+  ReplayerBase(const Catalog* catalog, EpochChannel* channel, std::string name);
+  ~ReplayerBase() override;
+
+  Status Start() final;
+  void Stop() final;
+
+  TableStore* store() override { return &store_; }
+  const ReplayStats& stats() const override { return stats_; }
+  std::string name() const override { return name_; }
+
+  /// Sticky error (corrupted record, out-of-order epoch). OK while healthy.
+  Status error() const;
+
+ protected:
+  /// Validates options and spawns worker pools; a failure aborts Start()
+  /// without marking the replayer started. Called under the lifecycle lock.
+  virtual Status StartWorkers() { return Status::OK(); }
+
+  /// Tears down worker pools after the main loop joined.
+  virtual void StopWorkers() {}
+
+  /// Applies one data epoch. On failure, latch with SetError() — the base
+  /// then skips the per-epoch stats/metrics and stops applying.
+  virtual void ProcessEpoch(const ShippedEpoch& epoch) = 0;
+
+  /// Publishes a heartbeat timestamp to the visibility watermark(s).
+  virtual void ProcessHeartbeat(const ShippedEpoch& epoch) = 0;
+
+  void SetError(Status status);
+
+  /// Lock-free check for the hot loops (translate claims, commit spins).
+  bool HasError() const {
+    return error_flag_.load(std::memory_order_acquire);
+  }
+
+  bool started() const { return started_.load(std::memory_order_acquire); }
+
+  const Catalog* catalog_;
+  EpochChannel* channel_;
+  TableStore store_;
+  ReplayStats stats_;
+  /// The next epoch id expected from the channel. Only the main loop writes
+  /// it while running; Bootstrap arms it before Start().
+  EpochId expected_epoch_ = 0;
+
+ private:
+  void MainLoop();
+
+  std::string name_;
+
+  /// Observability (resolved once per instrument; aggregated process-wide).
+  obs::Counter* epochs_applied_metric_;
+  obs::Counter* txns_applied_metric_;
+  obs::Counter* records_applied_metric_;
+  obs::Counter* bytes_applied_metric_;
+  obs::Counter* heartbeats_applied_metric_;
+
+  std::thread main_thread_;
+  std::mutex lifecycle_mu_;
+  std::atomic<bool> started_{false};
+
+  mutable std::mutex error_mu_;
+  Status error_;
+  std::atomic<bool> error_flag_{false};
+};
+
+}  // namespace aets
+
+#endif  // AETS_REPLAY_REPLAYER_BASE_H_

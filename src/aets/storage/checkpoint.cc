@@ -111,7 +111,7 @@ Result<CheckpointInfo> Checkpointer::Restore(const std::string& path,
   size_t offset = 0;
   uint64_t rows = 0;
   while (offset < body.size()) {
-    auto rec = LogCodec::Decode(body, &offset);
+    auto rec = LogCodec::DecodeView(body, &offset);
     if (!rec.ok()) return rec.status();
     if (rec->type != LogRecordType::kInsert ||
         rec->timestamp != header.snapshot_ts) {

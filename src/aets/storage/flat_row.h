@@ -1,0 +1,85 @@
+#ifndef AETS_STORAGE_FLAT_ROW_H_
+#define AETS_STORAGE_FLAT_ROW_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "aets/common/macros.h"
+#include "aets/storage/value.h"
+
+namespace aets {
+
+/// A materialized row at some snapshot: (column id, value) pairs kept sorted
+/// by column id in one flat vector. Rows have a handful of columns, so
+/// binary-searched upserts into contiguous storage beat the node-per-entry
+/// std::map this replaces — one allocation (amortized) per row instead of
+/// one per column, and ordered iteration falls out for free (the digest and
+/// checkpoint serialization depend on column order).
+class FlatRow {
+ public:
+  using value_type = std::pair<ColumnId, Value>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  FlatRow() = default;
+
+  /// Upserts: replaces the value if the column exists, inserts in sorted
+  /// position otherwise.
+  void Set(ColumnId col, Value value) {
+    auto it = LowerBound(col);
+    if (it != cols_.end() && it->first == col) {
+      it->second = std::move(value);
+    } else {
+      cols_.insert(it, value_type{col, std::move(value)});
+    }
+  }
+
+  /// Binary search; nullptr when the column is absent.
+  const Value* Find(ColumnId col) const {
+    auto it = LowerBound(col);
+    if (it == cols_.end() || it->first != col) return nullptr;
+    return &it->second;
+  }
+
+  /// map-compatible lookup: iterator to the (col, value) pair or end().
+  const_iterator find(ColumnId col) const {
+    auto it = LowerBound(col);
+    if (it == cols_.end() || it->first != col) return cols_.end();
+    return it;
+  }
+
+  /// map-compatible checked access; the column must exist.
+  const Value& at(ColumnId col) const {
+    const Value* v = Find(col);
+    AETS_CHECK_MSG(v != nullptr, "FlatRow::at: no such column");
+    return *v;
+  }
+
+  const_iterator begin() const { return cols_.begin(); }
+  const_iterator end() const { return cols_.end(); }
+  size_t size() const { return cols_.size(); }
+  bool empty() const { return cols_.empty(); }
+  void clear() { cols_.clear(); }
+  void reserve(size_t n) { cols_.reserve(n); }
+
+  bool operator==(const FlatRow& other) const { return cols_ == other.cols_; }
+  bool operator!=(const FlatRow& other) const { return !(*this == other); }
+
+ private:
+  std::vector<value_type>::iterator LowerBound(ColumnId col) {
+    return std::lower_bound(
+        cols_.begin(), cols_.end(), col,
+        [](const value_type& e, ColumnId c) { return e.first < c; });
+  }
+  const_iterator LowerBound(ColumnId col) const {
+    return std::lower_bound(
+        cols_.begin(), cols_.end(), col,
+        [](const value_type& e, ColumnId c) { return e.first < c; });
+  }
+
+  std::vector<value_type> cols_;  // ascending column id
+};
+
+}  // namespace aets
+
+#endif  // AETS_STORAGE_FLAT_ROW_H_

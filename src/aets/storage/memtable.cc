@@ -60,7 +60,19 @@ void Memtable::ApplyCommitted(const LogRecord& record, Timestamp commit_ts) {
   cell.commit_ts = commit_ts;
   cell.txn_id = record.txn_id;
   cell.is_delete = record.type == LogRecordType::kDelete;
-  cell.delta = record.values;
+  cell.delta = PackedDelta::FromColumnValues(record.values);
+  node->AppendVersion(std::move(cell));
+}
+
+void Memtable::ApplyCommitted(const LogRecordView& record,
+                              Timestamp commit_ts) {
+  AETS_CHECK(record.is_dml());
+  MemNode* node = GetOrCreateNode(record.row_key);
+  VersionCell cell;
+  cell.commit_ts = commit_ts;
+  cell.txn_id = record.txn_id;
+  cell.is_delete = record.type == LogRecordType::kDelete;
+  cell.delta = PackedDelta::FromWire(record.num_values, record.value_bytes);
   node->AppendVersion(std::move(cell));
 }
 

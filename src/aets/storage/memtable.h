@@ -37,6 +37,10 @@ class Memtable {
   /// C5); TPLR-style replayers append the translated cells themselves.
   void ApplyCommitted(const LogRecord& record, Timestamp commit_ts);
 
+  /// Zero-copy variant: packs the view's validated value slice straight into
+  /// the version cell (one allocation, no per-value materialization).
+  void ApplyCommitted(const LogRecordView& record, Timestamp commit_ts);
+
   /// The row visible at snapshot `ts`, or nullopt.
   std::optional<Row> ReadRow(int64_t row_key, Timestamp ts) const;
 

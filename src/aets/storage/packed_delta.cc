@@ -1,0 +1,80 @@
+#include "aets/storage/packed_delta.h"
+
+namespace aets {
+
+PackedDelta PackedDelta::FromWire(uint16_t count, std::string_view bytes) {
+  if (count == 0) return PackedDelta();
+  uint32_t size = static_cast<uint32_t>(sizeof(uint16_t) + bytes.size());
+  std::unique_ptr<char[]> data(new char[size]);
+  std::memcpy(data.get(), &count, sizeof(count));
+  std::memcpy(data.get() + sizeof(count), bytes.data(), bytes.size());
+  return PackedDelta(std::move(data), size);
+}
+
+PackedDelta PackedDelta::FromColumnValues(
+    const std::vector<ColumnValue>& values) {
+  if (values.empty()) return PackedDelta();
+  size_t body = 0;
+  for (const auto& cv : values) {
+    body += sizeof(ColumnId) + ValueWireSize(cv.value);
+  }
+  uint32_t size = static_cast<uint32_t>(sizeof(uint16_t) + body);
+  std::unique_ptr<char[]> data(new char[size]);
+  uint16_t count = static_cast<uint16_t>(values.size());
+  std::memcpy(data.get(), &count, sizeof(count));
+  char* p = data.get() + sizeof(count);
+  for (const auto& cv : values) {
+    std::memcpy(p, &cv.column_id, sizeof(cv.column_id));
+    p = WriteValueWire(p + sizeof(cv.column_id), cv.value);
+  }
+  return PackedDelta(std::move(data), size);
+}
+
+PackedDelta PackedDelta::FromRow(const FlatRow& row) {
+  if (row.empty()) return PackedDelta();
+  size_t body = 0;
+  for (const auto& [col, value] : row) {
+    (void)col;
+    body += sizeof(ColumnId) + ValueWireSize(value);
+  }
+  uint32_t size = static_cast<uint32_t>(sizeof(uint16_t) + body);
+  std::unique_ptr<char[]> data(new char[size]);
+  uint16_t count = static_cast<uint16_t>(row.size());
+  std::memcpy(data.get(), &count, sizeof(count));
+  char* p = data.get() + sizeof(count);
+  for (const auto& [col, value] : row) {
+    std::memcpy(p, &col, sizeof(col));
+    p = WriteValueWire(p + sizeof(col), value);
+  }
+  return PackedDelta(std::move(data), size);
+}
+
+PackedDelta PackedDelta::Clone() const {
+  if (data_ == nullptr) return PackedDelta();
+  std::unique_ptr<char[]> copy(new char[size_]);
+  std::memcpy(copy.get(), data_.get(), size_);
+  return PackedDelta(std::move(copy), size_);
+}
+
+void PackedDelta::ApplyTo(FlatRow* row) const {
+  DeltaReader reader = Read();
+  ColumnId col;
+  ValueView v;
+  while (reader.Next(&col, &v)) {
+    row->Set(col, v.ToValue());
+  }
+}
+
+std::vector<ColumnValue> PackedDelta::ToColumnValues() const {
+  std::vector<ColumnValue> out;
+  out.reserve(count());
+  DeltaReader reader = Read();
+  ColumnId col;
+  ValueView v;
+  while (reader.Next(&col, &v)) {
+    out.push_back(ColumnValue{col, v.ToValue()});
+  }
+  return out;
+}
+
+}  // namespace aets

@@ -22,7 +22,7 @@ std::optional<Row> MemNode::ReadVisible(Timestamp ts) const {
       exists = false;
       continue;
     }
-    for (const auto& cv : v.delta) row[cv.column_id] = cv.value;
+    v.delta.ApplyTo(&row);
     exists = true;
   }
   if (!exists) return std::nullopt;
@@ -68,17 +68,14 @@ size_t MemNode::TruncateBefore(Timestamp watermark) {
       exists = false;
       continue;
     }
-    for (const auto& cv : versions_[i].delta) folded[cv.column_id] = cv.value;
+    versions_[i].delta.ApplyTo(&folded);
     exists = true;
   }
   VersionCell base_cell;
   base_cell.commit_ts = versions_[base].commit_ts;
   base_cell.txn_id = versions_[base].txn_id;
   base_cell.is_delete = !exists;
-  base_cell.delta.reserve(folded.size());
-  for (auto& [col, value] : folded) {
-    base_cell.delta.push_back(ColumnValue{col, std::move(value)});
-  }
+  base_cell.delta = PackedDelta::FromRow(folded);
   size_t reclaimed = base;  // versions [0, base) disappear
   versions_.erase(versions_.begin(), versions_.begin() + static_cast<ptrdiff_t>(base));
   versions_.front() = std::move(base_cell);

@@ -2,29 +2,31 @@
 #define AETS_STORAGE_VERSION_CHAIN_H_
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "aets/common/clock.h"
 #include "aets/common/spin_latch.h"
 #include "aets/log/record.h"
+#include "aets/storage/flat_row.h"
+#include "aets/storage/packed_delta.h"
 #include "aets/storage/value.h"
 
 namespace aets {
 
-/// One committed version of a record: the delta written by one transaction.
-/// Inserts carry the full row image; updates carry only the modified columns;
-/// deletes are tombstones.
+/// One committed version of a record: the delta written by one transaction,
+/// packed into a single contiguous block. Inserts carry the full row image;
+/// updates carry only the modified columns; deletes are tombstones.
+/// Move-only (the delta block has one owner).
 struct VersionCell {
   Timestamp commit_ts = kInvalidTimestamp;
   TxnId txn_id = kInvalidTxnId;
   bool is_delete = false;
-  std::vector<ColumnValue> delta;
+  PackedDelta delta;
 };
 
-/// A materialized row at some snapshot: column id -> value.
-using Row = std::map<ColumnId, Value>;
+/// A materialized row at some snapshot: sorted (column id, value) pairs.
+using Row = FlatRow;
 
 /// A record in the Memtable: row key plus its transactionID-based version
 /// chain (paper Fig. 6). Versions are appended strictly in commit-timestamp

@@ -13,15 +13,13 @@ constexpr ColumnId kOlAmount = 5;
 constexpr ColumnId kOlDeliveryD = 6;
 
 int64_t IntCol(const Row& row, ColumnId col, int64_t fallback = 0) {
-  auto it = row.find(col);
-  return it != row.end() && it->second.is_int64() ? it->second.as_int64()
-                                                  : fallback;
+  const Value* v = row.Find(col);
+  return v != nullptr && v->is_int64() ? v->as_int64() : fallback;
 }
 
 double DoubleCol(const Row& row, ColumnId col, double fallback = 0) {
-  auto it = row.find(col);
-  return it != row.end() && it->second.is_double() ? it->second.as_double()
-                                                   : fallback;
+  const Value* v = row.Find(col);
+  return v != nullptr && v->is_double() ? v->as_double() : fallback;
 }
 
 }  // namespace

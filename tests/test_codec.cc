@@ -80,7 +80,8 @@ TEST(CodecTest, MetadataDecodeSkipsValuesButAdvances) {
   EXPECT_EQ(meta->table_id, 3u);
   EXPECT_EQ(meta->row_key, -12345);
   EXPECT_EQ(meta->txn_id, 7u);
-  EXPECT_TRUE(meta->values.empty());  // values not parsed
+  EXPECT_TRUE(meta->value_bytes.empty());  // values not parsed
+  EXPECT_EQ(meta->num_values, 4u);         // but the declared count is read
   auto next = LogCodec::DecodeMetadata(buf, &offset);
   ASSERT_TRUE(next.ok());
   EXPECT_EQ(next->type, LogRecordType::kCommit);

@@ -25,7 +25,7 @@ VersionCell Cell(Timestamp ts, TxnId txn, std::vector<ColumnValue> delta,
   cell.commit_ts = ts;
   cell.txn_id = txn;
   cell.is_delete = is_delete;
-  cell.delta = std::move(delta);
+  cell.delta = PackedDelta::FromColumnValues(delta);
   return cell;
 }
 
