@@ -64,7 +64,9 @@ class LogCodec {
   static Result<std::vector<LogRecord>> DecodeAll(std::string_view data);
 };
 
-/// Software CRC32C (Castagnoli), byte-at-a-time table-driven.
+/// Software CRC32C (Castagnoli), table-driven slice-by-8 (little-endian
+/// fast path, byte-at-a-time tail). Also guards shipped-epoch payloads and
+/// checkpoint images, so throughput matters beyond the per-record frames.
 uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
 
 }  // namespace aets

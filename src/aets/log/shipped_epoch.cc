@@ -18,6 +18,7 @@ ShippedEpoch EncodeEpoch(const Epoch& epoch) {
   for (const auto& txn : epoch.txns) {
     for (const auto& rec : txn.records) LogCodec::Encode(rec, payload.get());
   }
+  out.payload_crc = Crc32c(payload->data(), payload->size());
   out.payload = std::move(payload);
   return out;
 }
@@ -27,9 +28,16 @@ ShippedEpoch MakeHeartbeatEpoch(EpochId id, Timestamp ts) {
   ShippedEpoch out;
   out.epoch_id = id;
   out.payload = std::make_shared<std::string>();
+  out.payload_crc = Crc32c(nullptr, 0);
   out.heartbeat_ts = ts;
   out.max_commit_ts = ts;
   return out;
+}
+
+bool ShippedEpoch::PayloadIntact() const {
+  const char* data = payload ? payload->data() : nullptr;
+  size_t n = payload ? payload->size() : 0;
+  return Crc32c(data, n) == payload_crc;
 }
 
 Result<Epoch> DecodeEpoch(const ShippedEpoch& shipped) {

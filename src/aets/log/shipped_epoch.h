@@ -20,6 +20,12 @@ struct ShippedEpoch {
   /// Encoded records; shared so fragments can reference offsets into it
   /// without copying.
   std::shared_ptr<const std::string> payload;
+  /// CRC32C over the whole payload, computed by EncodeEpoch before the epoch
+  /// leaves the primary. Receivers verify it before dispatch (the per-record
+  /// checksums protect individual frames, but the cheap metadata dispatch
+  /// path skips them — the epoch-level CRC closes that window and turns link
+  /// corruption into a retransmittable loss instead of a decode error).
+  uint32_t payload_crc = 0;
   size_t num_txns = 0;
   size_t num_records = 0;
   TxnId first_txn = kInvalidTxnId;
@@ -31,6 +37,11 @@ struct ShippedEpoch {
 
   bool is_heartbeat() const { return heartbeat_ts != kInvalidTimestamp; }
   size_t ByteSize() const { return payload ? payload->size() : 0; }
+
+  /// Recomputes the payload CRC32C and compares it against `payload_crc`.
+  /// False means the payload was damaged in flight (or truncated); the
+  /// receiver must treat the epoch as lost and request a retransmit.
+  bool PayloadIntact() const;
 };
 
 /// Encodes a sealed epoch for shipping.

@@ -33,6 +33,13 @@ struct ReplayStats {
   std::atomic<int64_t> sync_wait_ns{0};
   std::atomic<int64_t> wall_start_us{0};
   std::atomic<int64_t> wall_end_us{0};
+  /// Degraded-mode counters of the loss-recovery protocol: epochs recovered
+  /// through the shipper's retention buffer (NACK retransmits), duplicate
+  /// epoch ids skipped, and payloads whose CRC failed on receive. All zero
+  /// on a healthy link.
+  std::atomic<uint64_t> epochs_retried{0};
+  std::atomic<uint64_t> duplicates_dropped{0};
+  std::atomic<uint64_t> corrupt_dropped{0};
 
   int64_t WallMicros() const {
     return wall_end_us.load() - wall_start_us.load();
@@ -67,9 +74,17 @@ struct ReplayStats {
 /// baselines (ATR, C5, ungrouped TPLR) plus the serial oracle. A replayer
 /// consumes encoded epochs from its channel, installs versions into its
 /// TableStore, and publishes visibility timestamps that Algorithm 3 reads.
+class EpochSource;
+
 class Replayer {
  public:
   virtual ~Replayer() = default;
+
+  /// Attaches the primary-side retransmission source (the NACK back-channel
+  /// of the recovery protocol; LogShipper implements it). Optional — without
+  /// one, any gap or corrupt payload on the channel is a terminal error.
+  /// Must be called before Start(). Default: ignored.
+  virtual void SetEpochSource(EpochSource* /*source*/) {}
 
   /// Spawns the replay machinery; returns once threads are running.
   virtual Status Start() = 0;

@@ -1,5 +1,9 @@
 #include "aets/replay/replayer_base.h"
 
+#include <string>
+#include <utility>
+
+#include "aets/common/backoff.h"
 #include "aets/common/clock.h"
 
 namespace aets {
@@ -15,13 +19,30 @@ ReplayerBase::ReplayerBase(const Catalog* catalog, EpochChannel* channel,
       records_applied_metric_(obs::GetCounter("replay.records_applied")),
       bytes_applied_metric_(obs::GetCounter("replay.bytes_applied")),
       heartbeats_applied_metric_(
-          obs::GetCounter("replay.heartbeats_applied")) {}
+          obs::GetCounter("replay.heartbeats_applied")),
+      epochs_retried_metric_(obs::GetCounter("replay.epochs_retried")),
+      duplicates_dropped_metric_(
+          obs::GetCounter("replay.epochs_duplicate_dropped")),
+      corrupt_dropped_metric_(
+          obs::GetCounter("replay.epochs_corrupt_dropped")) {}
 
 ReplayerBase::~ReplayerBase() {
   // Backstop only: by now the derived part is gone, so StopWorkers() would
   // not dispatch — derived destructors must call Stop() themselves.
   std::lock_guard<std::mutex> lk(lifecycle_mu_);
   if (main_thread_.joinable()) main_thread_.join();
+}
+
+void ReplayerBase::SetEpochSource(EpochSource* source) {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (started_.load(std::memory_order_relaxed)) return;
+  source_ = source;
+}
+
+void ReplayerBase::SetRecoveryOptions(const ReplayRecoveryOptions& options) {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (started_.load(std::memory_order_relaxed)) return;
+  recovery_ = options;
 }
 
 Status ReplayerBase::Start() {
@@ -55,41 +76,179 @@ void ReplayerBase::SetError(Status status) {
   error_flag_.store(true, std::memory_order_release);
 }
 
+void ReplayerBase::ApplyNext(const ShippedEpoch& epoch, bool retransmitted) {
+  ++expected_epoch_;
+  if (retransmitted) {
+    stats_.epochs_retried.fetch_add(1, std::memory_order_relaxed);
+    epochs_retried_metric_->Add(1);
+  }
+  if (stats_.wall_start_us.load() == 0) {
+    stats_.wall_start_us.store(MonotonicMicros());
+  }
+  if (epoch.is_heartbeat()) {
+    ProcessHeartbeat(epoch);
+    heartbeats_applied_metric_->Add(1);
+  } else {
+    ProcessEpoch(epoch);
+    if (!HasError()) {
+      stats_.epochs.fetch_add(1, std::memory_order_relaxed);
+      stats_.records.fetch_add(epoch.num_records, std::memory_order_relaxed);
+      stats_.bytes.fetch_add(epoch.ByteSize(), std::memory_order_relaxed);
+      epochs_applied_metric_->Add(1);
+      txns_applied_metric_->Add(epoch.num_txns);
+      records_applied_metric_->Add(epoch.num_records);
+      bytes_applied_metric_->Add(epoch.ByteSize());
+    }
+  }
+  stats_.wall_end_us.store(MonotonicMicros());
+}
+
+void ReplayerBase::Ingest(ShippedEpoch epoch, PendingMap* pending,
+                          bool retransmitted) {
+  if (!epoch.PayloadIntact()) {
+    // Damaged in flight. The epoch is a loss, not an error: the clean copy
+    // lives in the shipper's retention buffer and the gap machinery will
+    // NACK it back. Without a source there is no way to recover — latch.
+    stats_.corrupt_dropped.fetch_add(1, std::memory_order_relaxed);
+    corrupt_dropped_metric_->Add(1);
+    if (source_ == nullptr) {
+      SetError(Status::Corruption(
+          "epoch " + std::to_string(epoch.epoch_id) +
+          " payload checksum mismatch (no retransmission source)"));
+    }
+    return;
+  }
+  if (epoch.epoch_id < expected_epoch_) {
+    // Already applied — a link-level duplicate or a redundant retransmit.
+    stats_.duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+    duplicates_dropped_metric_->Add(1);
+    return;
+  }
+  if (epoch.epoch_id > expected_epoch_) {
+    if (source_ == nullptr) {
+      SetError(Status::Corruption(
+          "epoch out of order: expected " + std::to_string(expected_epoch_) +
+          ", got " + std::to_string(epoch.epoch_id) +
+          " (no retransmission source)"));
+      return;
+    }
+    auto [it, inserted] = pending->emplace(epoch.epoch_id, std::move(epoch));
+    if (!inserted) {
+      stats_.duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+      duplicates_dropped_metric_->Add(1);
+    } else if (pending->size() > recovery_.max_pending) {
+      SetError(Status::Corruption(
+          "reorder buffer overflow: " + std::to_string(pending->size()) +
+          " epochs parked waiting for epoch " +
+          std::to_string(expected_epoch_)));
+    }
+    return;
+  }
+  ApplyNext(epoch, retransmitted);
+  // The arrival may have been the gap head — drain every parked successor
+  // that is now contiguous.
+  while (!HasError()) {
+    auto it = pending->find(expected_epoch_);
+    if (it == pending->end()) break;
+    ShippedEpoch next = std::move(it->second);
+    pending->erase(it);
+    ApplyNext(next, false);
+  }
+}
+
+void ReplayerBase::RecoverGaps(PendingMap* pending) {
+  // Invariant here: pending is non-empty, so some epoch beyond
+  // expected_epoch_ arrived — the shipper definitely assigned (and
+  // retained or evicted) every id up to it. source_ is non-null, because
+  // Ingest latches instead of parking without one.
+  int rounds_without_progress = 0;
+  while (!pending->empty() && !HasError()) {
+    EpochId gap = expected_epoch_;
+    // Reorder window: the missing epoch may be queued right behind what we
+    // already pulled (or held back by the link). Poll before NACKing.
+    SpinBackoff backoff;
+    for (int i = 0; i < recovery_.reorder_window_pauses; ++i) {
+      if (auto epoch = channel_->TryReceive()) {
+        Ingest(std::move(*epoch), pending, false);
+        if (pending->empty() || HasError()) return;
+        if (expected_epoch_ > gap) break;
+      } else {
+        backoff.Pause();
+      }
+    }
+    if (expected_epoch_ > gap) {
+      rounds_without_progress = 0;
+      continue;
+    }
+    // NACK: re-fetch the gap head from the shipper's retention buffer.
+    if (auto epoch = source_->FetchEpoch(gap)) {
+      Ingest(std::move(*epoch), pending, true);
+      if (expected_epoch_ > gap) {
+        rounds_without_progress = 0;
+        continue;
+      }
+    } else {
+      SetError(Status::Corruption(
+          "epoch " + std::to_string(gap) +
+          " lost in transit and evicted from the shipper's retention "
+          "buffer; re-bootstrap from a checkpoint"));
+      return;
+    }
+    if (++rounds_without_progress >= recovery_.max_retries) {
+      SetError(Status::Corruption(
+          "epoch gap at " + std::to_string(gap) + " persisted after " +
+          std::to_string(recovery_.max_retries) + " recovery rounds"));
+      return;
+    }
+  }
+}
+
+void ReplayerBase::FinalDrain(PendingMap* pending) {
+  if (source_ == nullptr) {
+    // Unreachable in practice: without a source Ingest latches on the first
+    // out-of-order id, so nothing is ever parked. Kept as a backstop.
+    if (!pending->empty()) {
+      SetError(Status::Corruption(
+          "channel closed with an epoch gap at " +
+          std::to_string(expected_epoch_) + " (no retransmission source)"));
+    }
+    return;
+  }
+  // The channel is closed and drained, so the shipper has finished: every id
+  // in [0, end) was handed to the link, and anything we have not applied was
+  // swallowed by it. Pull the remainder straight from retention.
+  EpochId end = source_->NextEpochId();
+  while (!HasError() && expected_epoch_ < end) {
+    auto it = pending->find(expected_epoch_);
+    if (it != pending->end()) {
+      ShippedEpoch epoch = std::move(it->second);
+      pending->erase(it);
+      Ingest(std::move(epoch), pending, false);
+      continue;
+    }
+    if (auto epoch = source_->FetchEpoch(expected_epoch_)) {
+      Ingest(std::move(*epoch), pending, true);
+      continue;
+    }
+    SetError(Status::Corruption(
+        "epoch " + std::to_string(expected_epoch_) +
+        " lost in transit and evicted from the shipper's retention buffer; "
+        "re-bootstrap from a checkpoint"));
+  }
+}
+
 void ReplayerBase::MainLoop() {
+  PendingMap pending;
   while (auto epoch = channel_->Receive()) {
     // Once the error latch trips, stop applying but keep draining: the
     // channel is bounded, so refusing to receive could block the shipper
     // forever. Nothing received after the failure point is installed and no
     // watermark moves.
     if (HasError()) continue;
-    if (epoch->epoch_id != expected_epoch_) {
-      SetError(Status::Corruption(
-          "epoch out of order: expected " + std::to_string(expected_epoch_) +
-          ", got " + std::to_string(epoch->epoch_id)));
-      continue;
-    }
-    ++expected_epoch_;
-    if (stats_.wall_start_us.load() == 0) {
-      stats_.wall_start_us.store(MonotonicMicros());
-    }
-    if (epoch->is_heartbeat()) {
-      ProcessHeartbeat(*epoch);
-      heartbeats_applied_metric_->Add(1);
-    } else {
-      ProcessEpoch(*epoch);
-      if (!HasError()) {
-        stats_.epochs.fetch_add(1, std::memory_order_relaxed);
-        stats_.records.fetch_add(epoch->num_records,
-                                 std::memory_order_relaxed);
-        stats_.bytes.fetch_add(epoch->ByteSize(), std::memory_order_relaxed);
-        epochs_applied_metric_->Add(1);
-        txns_applied_metric_->Add(epoch->num_txns);
-        records_applied_metric_->Add(epoch->num_records);
-        bytes_applied_metric_->Add(epoch->ByteSize());
-      }
-    }
-    stats_.wall_end_us.store(MonotonicMicros());
+    Ingest(std::move(*epoch), &pending, false);
+    if (!pending.empty() && !HasError()) RecoverGaps(&pending);
   }
+  if (!HasError()) FinalDrain(&pending);
 }
 
 }  // namespace aets

@@ -2,6 +2,7 @@
 #define AETS_REPLAY_REPLAYER_BASE_H_
 
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -11,15 +12,40 @@
 #include "aets/obs/metrics.h"
 #include "aets/replay/replayer.h"
 #include "aets/replication/channel.h"
+#include "aets/replication/epoch_source.h"
 #include "aets/storage/table_store.h"
 
 namespace aets {
 
+/// Tuning knobs of the epoch-loss recovery protocol (see MainLoop below and
+/// DESIGN.md "Failure model & recovery").
+struct ReplayRecoveryOptions {
+  /// SpinBackoff pauses spent polling the channel before concluding a gap is
+  /// a loss rather than a reordering still in flight.
+  int reorder_window_pauses = 2000;
+  /// Recovery rounds (reorder wait + NACK) per gap without progress before
+  /// the sticky error latch trips.
+  int max_retries = 8;
+  /// Bound on buffered out-of-order epochs; exceeding it means the stream is
+  /// unrecoverable (or the peer is misbehaving) and latches an error.
+  size_t max_pending = 1024;
+};
+
 /// The scaffolding every replayer shares — previously copy-pasted across
 /// AETS, ATR, C5, and the serial oracle. Owns:
 ///
-///  - the epoch-ordered main loop (strict epoch-id sequencing, wall-clock
-///    stats, heartbeat routing, the per-epoch volume counters and metrics);
+///  - the epoch-ordered main loop: payload-CRC verification on receive,
+///    epoch-id sequencing, wall-clock stats, heartbeat routing, and the
+///    per-epoch volume counters and metrics;
+///  - the loss-recovery protocol. The channel may drop, duplicate, reorder,
+///    or corrupt epochs; the loop skips already-applied ids (duplicates),
+///    buffers early arrivals, and fills gaps by first waiting a bounded
+///    reorder window on the channel and then NACK-fetching the missing id
+///    from the attached EpochSource (the shipper's retention buffer). After
+///    the channel closes, any tail the link swallowed is pulled the same
+///    way, so a finished replayer is either byte-equal to the primary or
+///    has a latched error — never silently short. Without an EpochSource
+///    the pre-recovery behavior stands: any anomaly is terminal;
 ///  - the sticky error latch, with a lock-free HasError() fast check the
 ///    hot loops poll — once it trips, the main loop stops applying and
 ///    drains the channel without installing anything (the channel is
@@ -36,6 +62,10 @@ class ReplayerBase : public Replayer {
   ReplayerBase(const Catalog* catalog, EpochChannel* channel, std::string name);
   ~ReplayerBase() override;
 
+  void SetEpochSource(EpochSource* source) override;
+  /// Shrinks/extends the recovery windows (tests). Before Start() only.
+  void SetRecoveryOptions(const ReplayRecoveryOptions& options);
+
   Status Start() final;
   void Stop() final;
 
@@ -43,7 +73,8 @@ class ReplayerBase : public Replayer {
   const ReplayStats& stats() const override { return stats_; }
   std::string name() const override { return name_; }
 
-  /// Sticky error (corrupted record, out-of-order epoch). OK while healthy.
+  /// Sticky error (unrecoverable loss, corrupted record, pending-buffer
+  /// overflow). OK while healthy or fully recovered.
   Status error() const;
 
  protected:
@@ -79,9 +110,28 @@ class ReplayerBase : public Replayer {
   EpochId expected_epoch_ = 0;
 
  private:
+  /// Early arrivals parked while a gap is open, keyed by epoch id.
+  using PendingMap = std::map<EpochId, ShippedEpoch>;
+
   void MainLoop();
+  /// Classifies one received epoch: corrupt payloads are dropped (a loss the
+  /// NACK path repairs), stale ids are counted as duplicates, early ids are
+  /// parked in `pending`, and the expected id is applied — followed by every
+  /// now-contiguous parked successor.
+  void Ingest(ShippedEpoch epoch, PendingMap* pending, bool retransmitted);
+  /// Applies the epoch at expected_epoch_ and advances the sequence.
+  void ApplyNext(const ShippedEpoch& epoch, bool retransmitted);
+  /// Closes the gap at expected_epoch_ while the channel is live: bounded
+  /// reorder wait, then NACK via the EpochSource, then the error latch.
+  void RecoverGaps(PendingMap* pending);
+  /// After the channel closed: drain parked epochs and NACK-fetch whatever
+  /// the link swallowed up to the source's NextEpochId().
+  void FinalDrain(PendingMap* pending);
 
   std::string name_;
+
+  EpochSource* source_ = nullptr;
+  ReplayRecoveryOptions recovery_;
 
   /// Observability (resolved once per instrument; aggregated process-wide).
   obs::Counter* epochs_applied_metric_;
@@ -89,6 +139,9 @@ class ReplayerBase : public Replayer {
   obs::Counter* records_applied_metric_;
   obs::Counter* bytes_applied_metric_;
   obs::Counter* heartbeats_applied_metric_;
+  obs::Counter* epochs_retried_metric_;
+  obs::Counter* duplicates_dropped_metric_;
+  obs::Counter* corrupt_dropped_metric_;
 
   std::thread main_thread_;
   std::mutex lifecycle_mu_;

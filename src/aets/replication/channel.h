@@ -9,9 +9,18 @@
 namespace aets {
 
 /// In-process stand-in for the primary->backup network link: a bounded
-/// blocking queue of encoded epochs, delivered in send order. Replayers
-/// validate the epoch-id sequence on receive, so reordering or loss is
-/// detected (and tested via failure injection).
+/// blocking queue of encoded epochs, delivered in send order. The link is
+/// NOT assumed reliable by the consumers: replayers verify each epoch's
+/// payload CRC and the epoch-id sequence on receive, tolerate duplicates,
+/// and recover drops/reorderings through the shipper's retention buffer
+/// (see EpochSource and DESIGN.md "Failure model & recovery"). Loss,
+/// duplication, reordering, delay, and corruption are exercised by
+/// FaultInjectingChannel in tests/test_fault_injection.cc.
+///
+/// The receive-side methods are non-virtual on purpose: a faulty link only
+/// mutates what the sender puts on the wire, so FaultInjectingChannel
+/// overrides Send (and Close, to flush its reorder slot) while delivery
+/// stays the plain queue pop.
 ///
 /// Instrumented: `channel.depth` (epochs queued across all channels, the
 /// replay backlog), `channel.recv_wait_us` (consumer time blocked per
@@ -24,14 +33,15 @@ class EpochChannel {
         sent_metric_(obs::GetCounter("channel.epochs_sent")),
         recv_wait_us_metric_(obs::GetHistogram("channel.recv_wait_us")) {}
 
-  bool Send(ShippedEpoch epoch) {
-    bool ok = queue_.Push(std::move(epoch));
-    if (ok) {
-      sent_metric_->Add(1);
-      depth_metric_->Add(1);
-    }
-    return ok;
-  }
+  virtual ~EpochChannel() = default;
+
+  EpochChannel(const EpochChannel&) = delete;
+  EpochChannel& operator=(const EpochChannel&) = delete;
+
+  /// Hands one epoch to the link. False means the channel is closed — the
+  /// caller must count the failure; pretending a rejected epoch was shipped
+  /// is exactly the silent-loss bug this layer exists to prevent.
+  virtual bool Send(ShippedEpoch epoch) { return Enqueue(std::move(epoch)); }
 
   /// Blocks for the next epoch; nullopt when the channel is closed and
   /// drained.
@@ -51,9 +61,20 @@ class EpochChannel {
     return epoch;
   }
 
-  void Close() { queue_.Close(); }
+  virtual void Close() { queue_.Close(); }
 
   size_t PendingEpochs() const { return queue_.Size(); }
+
+ protected:
+  /// Actual delivery onto the queue, shared by Send overrides.
+  bool Enqueue(ShippedEpoch epoch) {
+    bool ok = queue_.Push(std::move(epoch));
+    if (ok) {
+      sent_metric_->Add(1);
+      depth_metric_->Add(1);
+    }
+    return ok;
+  }
 
  private:
   BlockingQueue<ShippedEpoch> queue_;

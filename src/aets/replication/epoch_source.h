@@ -1,0 +1,39 @@
+#ifndef AETS_REPLICATION_EPOCH_SOURCE_H_
+#define AETS_REPLICATION_EPOCH_SOURCE_H_
+
+#include <optional>
+
+#include "aets/log/shipped_epoch.h"
+
+namespace aets {
+
+/// The recovery back-channel from a backup replayer to its primary-side
+/// shipper — the NACK path of the replication protocol. The streaming data
+/// path (EpochChannel) may drop, duplicate, reorder, or corrupt epochs; this
+/// control path is reliable (in-process it is a direct call into the
+/// shipper's retention buffer; over a real network it would be a separate
+/// acknowledged RPC connection).
+///
+/// LogShipper implements it from a bounded retention buffer of recently
+/// shipped epochs, so recovery is possible only while the backup lags less
+/// than the retention window — beyond that the replayer must latch a
+/// terminal error and re-bootstrap from a checkpoint.
+class EpochSource {
+ public:
+  virtual ~EpochSource() = default;
+
+  /// Returns a clean copy of shipped epoch `id`, or nullopt when it was
+  /// never shipped or has already been evicted from retention (in which
+  /// case the requester cannot recover and must escalate).
+  virtual std::optional<ShippedEpoch> FetchEpoch(EpochId id) = 0;
+
+  /// The id the next shipped epoch will carry; every id in [0, NextEpochId())
+  /// has been handed to the channels. After the channels close, a replayer
+  /// whose expected id is below this bound is missing tail epochs and must
+  /// fetch them before declaring its state final.
+  virtual EpochId NextEpochId() const = 0;
+};
+
+}  // namespace aets
+
+#endif  // AETS_REPLICATION_EPOCH_SOURCE_H_

@@ -1,0 +1,91 @@
+#include "aets/replication/fault_injection.h"
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace aets {
+
+FaultInjectingChannel::FaultInjectingChannel(FaultProfile profile,
+                                             size_t capacity)
+    : EpochChannel(capacity),
+      profile_(profile),
+      rng_(profile.seed),
+      drops_metric_(obs::GetCounter("fault.drops")),
+      duplicates_metric_(obs::GetCounter("fault.duplicates")),
+      reorders_metric_(obs::GetCounter("fault.reorders")),
+      corruptions_metric_(obs::GetCounter("fault.corruptions")),
+      delays_metric_(obs::GetCounter("fault.delays")) {}
+
+FaultInjectingChannel::~FaultInjectingChannel() = default;
+
+void FaultInjectingChannel::CorruptPayload(ShippedEpoch* epoch) {
+  auto damaged = std::make_shared<std::string>(*epoch->payload);
+  size_t bit = static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(damaged->size() * 8 - 1)));
+  (*damaged)[bit / 8] = static_cast<char>(
+      static_cast<unsigned char>((*damaged)[bit / 8]) ^ (1u << (bit % 8)));
+  epoch->payload = std::move(damaged);
+}
+
+bool FaultInjectingChannel::Send(ShippedEpoch epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Fixed draw order keeps the schedule deterministic regardless of which
+  // faults actually fire.
+  bool delay = rng_.Bernoulli(profile_.delay);
+  bool drop = rng_.Bernoulli(profile_.drop);
+  bool corrupt = rng_.Bernoulli(profile_.corrupt);
+  bool duplicate = rng_.Bernoulli(profile_.duplicate);
+  bool reorder = rng_.Bernoulli(profile_.reorder);
+
+  if (delay) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    delays_metric_->Add(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(profile_.delay_us));
+  }
+  if (drop) {
+    // The wire ate it. Report success: a lossy link gives no feedback, so
+    // the sender's accounting must not see this — recovery is entirely the
+    // receiver's NACK protocol.
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    drops_metric_->Add(1);
+    return true;
+  }
+  if (corrupt && !epoch.is_heartbeat() && epoch.ByteSize() > 0) {
+    corruptions_.fetch_add(1, std::memory_order_relaxed);
+    corruptions_metric_->Add(1);
+    CorruptPayload(&epoch);
+  }
+  if (reorder && !held_) {
+    reorders_.fetch_add(1, std::memory_order_relaxed);
+    reorders_metric_->Add(1);
+    held_ = std::move(epoch);
+    return true;
+  }
+  bool ok = Enqueue(epoch);
+  if (duplicate) {
+    duplicates_.fetch_add(1, std::memory_order_relaxed);
+    duplicates_metric_->Add(1);
+    Enqueue(epoch);
+  }
+  if (held_) {
+    Enqueue(std::move(*held_));
+    held_.reset();
+  }
+  return ok;
+}
+
+void FaultInjectingChannel::Close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (held_) {
+      Enqueue(std::move(*held_));
+      held_.reset();
+    }
+  }
+  EpochChannel::Close();
+}
+
+}  // namespace aets

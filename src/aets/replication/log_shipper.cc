@@ -2,15 +2,23 @@
 
 #include <chrono>
 
+#include "aets/common/macros.h"
+
 namespace aets {
 
-LogShipper::LogShipper(size_t epoch_size)
+LogShipper::LogShipper(size_t epoch_size, size_t retention_capacity)
     : builder_(epoch_size),
+      retention_capacity_(retention_capacity),
       epochs_shipped_metric_(obs::GetCounter("shipper.epochs_shipped")),
       heartbeats_shipped_metric_(obs::GetCounter("shipper.heartbeats_shipped")),
       bytes_shipped_metric_(obs::GetCounter("shipper.bytes_shipped")),
       txns_shipped_metric_(obs::GetCounter("shipper.txns_shipped")),
-      batch_latency_us_metric_(obs::GetHistogram("shipper.batch_latency_us")) {}
+      send_failures_metric_(obs::GetCounter("shipper.send_failures")),
+      epochs_dropped_metric_(obs::GetCounter("shipper.epochs_dropped")),
+      retransmits_metric_(obs::GetCounter("shipper.retransmits")),
+      batch_latency_us_metric_(obs::GetHistogram("shipper.batch_latency_us")) {
+  AETS_CHECK(retention_capacity_ > 0);
+}
 
 LogShipper::~LogShipper() { Finish(); }
 
@@ -30,6 +38,11 @@ void LogShipper::OnCommit(TxnLog txn) {
 
 void LogShipper::StartHeartbeats(std::function<Timestamp()> ts_source,
                                  int64_t interval_us) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (heartbeats_started_ || finished_) return;
+    heartbeats_started_ = true;
+  }
   heartbeat_ts_source_ = std::move(ts_source);
   heartbeat_interval_us_ = interval_us;
   last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
@@ -58,10 +71,11 @@ void LogShipper::HeartbeatLoop() {
     if (sealed) ShipLocked(std::move(*sealed));
     if (hb_ts != kInvalidTimestamp) {
       ShippedEpoch hb = MakeHeartbeatEpoch(builder_.ConsumeEpochId(), hb_ts);
-      ++heartbeats_;
-      ++shipped_;
-      heartbeats_shipped_metric_->Add(1);
-      for (auto* ch : channels_) ch->Send(hb);
+      if (DeliverLocked(hb)) {
+        ++heartbeats_;
+        ++shipped_;
+        heartbeats_shipped_metric_->Add(1);
+      }
     }
     last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
   }
@@ -80,17 +94,55 @@ void LogShipper::Finish() {
   for (auto* ch : channels_) ch->Close();
 }
 
+bool LogShipper::DeliverLocked(const ShippedEpoch& encoded) {
+  // Retain before fan-out: a replayer may NACK the very epoch whose Send it
+  // raced with (duplicate fetch is harmless, a missed fetch is not).
+  retained_.push_back(encoded);
+  if (retained_.size() > retention_capacity_) retained_.pop_front();
+  size_t delivered = 0;
+  for (auto* ch : channels_) {
+    if (ch->Send(encoded)) {
+      ++delivered;
+    } else {
+      ++send_failures_;
+      send_failures_metric_->Add(1);
+    }
+  }
+  if (!channels_.empty() && delivered == 0) {
+    ++epochs_dropped_;
+    epochs_dropped_metric_->Add(1);
+    return false;
+  }
+  return true;
+}
+
 void LogShipper::ShipLocked(Epoch epoch) {
-  ++shipped_;
   ShippedEpoch encoded = EncodeEpoch(epoch);
-  epochs_shipped_metric_->Add(1);
-  txns_shipped_metric_->Add(encoded.num_txns);
-  bytes_shipped_metric_->Add(encoded.ByteSize());
   if (epoch_open_us_ != 0) {
     batch_latency_us_metric_->Record(MonotonicMicros() - epoch_open_us_);
     epoch_open_us_ = 0;
   }
-  for (auto* ch : channels_) ch->Send(encoded);
+  if (!DeliverLocked(encoded)) return;  // counted dropped, not shipped
+  ++shipped_;
+  epochs_shipped_metric_->Add(1);
+  txns_shipped_metric_->Add(encoded.num_txns);
+  bytes_shipped_metric_->Add(encoded.ByteSize());
+}
+
+std::optional<ShippedEpoch> LogShipper::FetchEpoch(EpochId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (retained_.empty() || id < retained_.front().epoch_id ||
+      id > retained_.back().epoch_id) {
+    return std::nullopt;
+  }
+  ++retransmits_;
+  retransmits_metric_->Add(1);
+  return retained_[id - retained_.front().epoch_id];
+}
+
+EpochId LogShipper::NextEpochId() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return builder_.next_epoch_id();
 }
 
 EpochId LogShipper::epochs_shipped() const {
@@ -101,6 +153,21 @@ EpochId LogShipper::epochs_shipped() const {
 uint64_t LogShipper::heartbeats_shipped() const {
   std::lock_guard<std::mutex> lk(mu_);
   return heartbeats_;
+}
+
+uint64_t LogShipper::send_failures() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return send_failures_;
+}
+
+uint64_t LogShipper::epochs_dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epochs_dropped_;
+}
+
+uint64_t LogShipper::retransmits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return retransmits_;
 }
 
 }  // namespace aets

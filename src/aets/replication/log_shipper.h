@@ -2,9 +2,11 @@
 #define AETS_REPLICATION_LOG_SHIPPER_H_
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "aets/log/shipped_epoch.h"
 #include "aets/obs/metrics.h"
 #include "aets/replication/channel.h"
+#include "aets/replication/epoch_source.h"
 
 namespace aets {
 
@@ -24,10 +27,20 @@ namespace aets {
 /// When the primary goes idle, an optional heartbeat thread first flushes
 /// the partial epoch and then ships heartbeat epochs so the backups'
 /// global_cmt_ts keeps advancing (paper Section V-B, 50 ms default).
-class LogShipper {
+///
+/// Fault tolerance: every delivered epoch (heartbeats included) is kept in a
+/// bounded retention buffer, and the shipper serves EpochSource so replayers
+/// can NACK-fetch epochs the link dropped or corrupted. Epochs rejected by
+/// every channel (closed link) are counted as dropped, not shipped —
+/// `send_failures()` / `epochs_dropped()` and the `shipper.send_failures` /
+/// `shipper.epochs_dropped` metrics expose the loss instead of hiding it.
+class LogShipper : public EpochSource {
  public:
-  explicit LogShipper(size_t epoch_size);
-  ~LogShipper();
+  /// `retention_capacity` bounds the NACK window: a backup that falls more
+  /// than this many epochs behind can no longer recover a loss and must
+  /// re-bootstrap from a checkpoint.
+  explicit LogShipper(size_t epoch_size, size_t retention_capacity = 128);
+  ~LogShipper() override;
 
   LogShipper(const LogShipper&) = delete;
   LogShipper& operator=(const LogShipper&) = delete;
@@ -41,6 +54,9 @@ class LogShipper {
   /// Starts the idle-detection heartbeat thread. `ts_source` must return a
   /// timestamp below every future commit and above every already-sunk commit
   /// (PrimaryDb::AcquireHeartbeatTs). Called without the shipper lock held.
+  /// Idempotent: only the first call starts a thread (a second call used to
+  /// overwrite `heartbeat_thread_` without joining, i.e. std::terminate);
+  /// calls after Finish() are ignored.
   void StartHeartbeats(std::function<Timestamp()> ts_source,
                        int64_t interval_us = 50'000);
 
@@ -48,11 +64,25 @@ class LogShipper {
   /// all channels. Idempotent.
   void Finish();
 
+  /// EpochSource: the replayers' NACK path, served from the retention
+  /// buffer. Successful fetches count as retransmits.
+  std::optional<ShippedEpoch> FetchEpoch(EpochId id) override;
+  EpochId NextEpochId() const override;
+
   EpochId epochs_shipped() const;
   uint64_t heartbeats_shipped() const;
+  /// Channel-level Send() rejections (closed channel), per channel.
+  uint64_t send_failures() const;
+  /// Epochs that reached zero attached channels — lost at the send side.
+  uint64_t epochs_dropped() const;
+  /// Epochs re-served through FetchEpoch.
+  uint64_t retransmits() const;
 
  private:
   void ShipLocked(Epoch epoch);
+  /// Retains `encoded` and fans it out; returns true when at least one
+  /// channel accepted it (vacuously true with no channels attached).
+  bool DeliverLocked(const ShippedEpoch& encoded);
   void HeartbeatLoop();
 
   mutable std::mutex mu_;
@@ -60,7 +90,16 @@ class LogShipper {
   std::vector<EpochChannel*> channels_;
   EpochId shipped_ = 0;
   uint64_t heartbeats_ = 0;
+  uint64_t send_failures_ = 0;
+  uint64_t epochs_dropped_ = 0;
+  uint64_t retransmits_ = 0;
   bool finished_ = false;
+
+  /// Recently delivered epochs, contiguous ids, newest at the back. Sized
+  /// by `retention_capacity_`; payloads are shared so retention costs one
+  /// ShippedEpoch header per entry, not a payload copy.
+  std::deque<ShippedEpoch> retained_;
+  size_t retention_capacity_;
 
   /// Observability (resolved once; see obs::MetricsRegistry). Batch latency
   /// is first-commit-in-epoch to ship.
@@ -68,11 +107,15 @@ class LogShipper {
   obs::Counter* heartbeats_shipped_metric_;
   obs::Counter* bytes_shipped_metric_;
   obs::Counter* txns_shipped_metric_;
+  obs::Counter* send_failures_metric_;
+  obs::Counter* epochs_dropped_metric_;
+  obs::Counter* retransmits_metric_;
   Histogram* batch_latency_us_metric_;
   int64_t epoch_open_us_ = 0;  // first OnCommit of the open epoch; 0 = none
 
   std::atomic<int64_t> last_activity_us_{0};
   std::atomic<bool> stop_heartbeats_{false};
+  bool heartbeats_started_ = false;  // guarded by mu_
   int64_t heartbeat_interval_us_ = 50'000;
   std::function<Timestamp()> heartbeat_ts_source_;
   std::thread heartbeat_thread_;

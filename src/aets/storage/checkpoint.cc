@@ -13,7 +13,11 @@ namespace aets {
 namespace {
 
 constexpr char kMagic[8] = {'A', 'E', 'T', 'S', 'C', 'K', 'P', 'T'};
-constexpr uint32_t kVersion = 1;
+// v2 adds a whole-body CRC32C. The per-record frame checksums only protect
+// individual records: v1 could not tell a truncated tail inside a frame
+// boundary from corruption that rewrites a frame consistently, and restored
+// whatever still parsed. v2 rejects any body damage up front.
+constexpr uint32_t kVersion = 2;
 
 struct Header {
   char magic[8];
@@ -23,11 +27,26 @@ struct Header {
   uint64_t next_epoch_id;
   uint64_t num_rows;
   uint64_t num_tables;
+  uint32_t body_crc;  // v2+: CRC32C over every byte after the header
+  uint32_t reserved;  // keeps the struct 8-byte aligned; always 0
 };
 
-uint32_t HeaderCrc(const Header& h) {
+// The v1 header: identical prefix, no body checksum. Old images restore
+// through the per-record checksums alone.
+struct HeaderV1 {
+  char magic[8];
+  uint32_t version;
+  uint32_t crc;
+  uint64_t snapshot_ts;
+  uint64_t next_epoch_id;
+  uint64_t num_rows;
+  uint64_t num_tables;
+};
+
+template <typename H>
+uint32_t HeaderCrc(const H& h) {
   // CRC over the payload fields (everything after the crc member).
-  return Crc32c(&h.snapshot_ts, sizeof(Header) - offsetof(Header, snapshot_ts));
+  return Crc32c(&h.snapshot_ts, sizeof(H) - offsetof(H, snapshot_ts));
 }
 
 }  // namespace
@@ -71,6 +90,8 @@ Status Checkpointer::Write(const TableStore& store, Timestamp snapshot_ts,
   header.next_epoch_id = next_epoch_id;
   header.num_rows = num_rows;
   header.num_tables = store.num_tables();
+  header.body_crc = Crc32c(body.data(), body.size());
+  header.reserved = 0;
   header.crc = HeaderCrc(header);
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -92,15 +113,39 @@ Result<CheckpointInfo> Checkpointer::Restore(const std::string& path,
   if (!in) return Status::NotFound("cannot open checkpoint file: " + path);
 
   Header header;
-  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  in.read(reinterpret_cast<char*>(&header.magic), sizeof(header.magic));
+  in.read(reinterpret_cast<char*>(&header.version), sizeof(header.version));
   if (!in || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("bad checkpoint magic");
   }
-  if (header.version != kVersion) {
+  if (header.version != 1 && header.version != kVersion) {
     return Status::NotSupported("unknown checkpoint version");
   }
-  if (header.crc != HeaderCrc(header)) {
-    return Status::Corruption("checkpoint header checksum mismatch");
+  bool has_body_crc = header.version >= 2;
+  if (has_body_crc) {
+    in.read(reinterpret_cast<char*>(&header.crc),
+            sizeof(Header) - offsetof(Header, crc));
+    if (!in) return Status::Corruption("truncated checkpoint header");
+    if (header.crc != HeaderCrc(header)) {
+      return Status::Corruption("checkpoint header checksum mismatch");
+    }
+  } else {
+    HeaderV1 v1;
+    std::memcpy(v1.magic, header.magic, sizeof(v1.magic));
+    v1.version = header.version;
+    in.read(reinterpret_cast<char*>(&v1.crc),
+            sizeof(HeaderV1) - offsetof(HeaderV1, crc));
+    if (!in) return Status::Corruption("truncated checkpoint header");
+    if (v1.crc != HeaderCrc(v1)) {
+      return Status::Corruption("checkpoint header checksum mismatch");
+    }
+    header.crc = v1.crc;
+    header.snapshot_ts = v1.snapshot_ts;
+    header.next_epoch_id = v1.next_epoch_id;
+    header.num_rows = v1.num_rows;
+    header.num_tables = v1.num_tables;
+    header.body_crc = 0;
+    header.reserved = 0;
   }
   if (header.num_tables != store->num_tables()) {
     return Status::InvalidArgument("checkpoint table count mismatch");
@@ -108,11 +153,20 @@ Result<CheckpointInfo> Checkpointer::Restore(const std::string& path,
 
   std::string body((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
+  if (has_body_crc && Crc32c(body.data(), body.size()) != header.body_crc) {
+    return Status::Corruption("checkpoint body checksum mismatch");
+  }
   size_t offset = 0;
   uint64_t rows = 0;
   while (offset < body.size()) {
     auto rec = LogCodec::DecodeView(body, &offset);
-    if (!rec.ok()) return rec.status();
+    if (!rec.ok()) {
+      // v1 images have no body checksum; surface the record-level failure
+      // as an unambiguous body-corruption verdict instead of restoring a
+      // prefix silently.
+      return Status::Corruption("checkpoint body record corrupt: " +
+                                std::string(rec.status().message()));
+    }
     if (rec->type != LogRecordType::kInsert ||
         rec->timestamp != header.snapshot_ts) {
       return Status::Corruption("unexpected record in checkpoint body");

@@ -25,8 +25,13 @@ struct CheckpointInfo {
 /// new backup can bootstrap without replaying the full history — the
 /// operational complement to version GC and log truncation.
 ///
-/// Format: a fixed header (magic, version, snapshot ts, next epoch id, row
-/// count, header CRC) followed by one encoded insert record per visible row.
+/// Format (v2): a fixed header (magic, version, snapshot ts, next epoch id,
+/// row count, header CRC, body CRC) followed by one encoded insert record
+/// per visible row. The body CRC32C covers every byte after the header, so
+/// damage anywhere in the image — including truncation on a record boundary,
+/// which the per-record checksums cannot see — fails Restore() with a
+/// Corruption status instead of restoring silently. v1 images (header CRC
+/// only) still restore, guarded by the per-record checksums alone.
 class Checkpointer {
  public:
   /// Writes the image of `store` at `snapshot_ts` to `path`. Concurrent

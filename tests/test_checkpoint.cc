@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "aets/common/rng.h"
+#include "aets/log/codec.h"
 #include "aets/primary/primary_db.h"
 #include "aets/replay/aets_replayer.h"
 #include "aets/replication/log_shipper.h"
@@ -139,6 +142,121 @@ TEST(CheckpointTest, DetectsCorruptionAndTruncation) {
     EXPECT_TRUE(
         Checkpointer::Restore(path, &store).status().IsInvalidArgument());
   }
+}
+
+TEST(CheckpointTest, BodyCorruptionIsACorruptionStatus) {
+  // v2's whole-body CRC: damage anywhere past the header must be reported
+  // as Corruption (v1 restored silently when a frame still parsed).
+  std::unique_ptr<Catalog> catalog(MakeCatalog(1));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  FillRandom(&db, 1, 50, 6);
+  std::string path = TempPath("ckpt_bodycrc");
+  ASSERT_TRUE(
+      Checkpointer::Write(db.store(), db.last_commit_ts(), 1, path).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() - 1] ^= 0x01;  // last body byte
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  out.close();
+
+  TableStore store(*catalog);
+  Status status = Checkpointer::Restore(path, &store).status();
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  EXPECT_NE(status.ToString().find("body"), std::string::npos)
+      << status.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RestoresVersion1Images) {
+  // Hand-build a v1 image (no body CRC): old checkpoints must keep
+  // restoring through the per-record checksums alone.
+  struct V1Header {
+    char magic[8];
+    uint32_t version;
+    uint32_t crc;
+    uint64_t snapshot_ts;
+    uint64_t next_epoch_id;
+    uint64_t num_rows;
+    uint64_t num_tables;
+  };
+  std::unique_ptr<Catalog> catalog(MakeCatalog(1));
+  const Timestamp snapshot_ts = 5;
+
+  std::string body;
+  LogCodec::Encode(
+      LogRecord::Dml(LogRecordType::kInsert, /*lsn=*/1, /*txn=*/1, snapshot_ts,
+                     /*table=*/0, /*key=*/7,
+                     {{0, Value(int64_t{42})}, {1, Value(std::string("x"))}}),
+      &body);
+
+  V1Header header{};
+  std::memcpy(header.magic, "AETSCKPT", 8);
+  header.version = 1;
+  header.snapshot_ts = snapshot_ts;
+  header.next_epoch_id = 3;
+  header.num_rows = 1;
+  header.num_tables = 1;
+  header.crc = Crc32c(&header.snapshot_ts,
+                      sizeof(V1Header) - offsetof(V1Header, snapshot_ts));
+
+  std::string path = TempPath("ckpt_v1");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  }
+
+  TableStore store(*catalog);
+  auto info = Checkpointer::Restore(path, &store);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->snapshot_ts, snapshot_ts);
+  EXPECT_EQ(info->next_epoch_id, 3u);
+  EXPECT_EQ(info->num_rows, 1u);
+  EXPECT_EQ(store.GetTable(0)->VisibleRowCount(snapshot_ts), 1u);
+
+  // A damaged v1 body is still rejected — via the record checksums, with an
+  // unambiguous Corruption verdict.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[sizeof(V1Header) + body.size() / 2] ^= 0x08;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  TableStore store2(*catalog);
+  Status status = Checkpointer::Restore(path, &store2).status();
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, UnknownVersionIsNotSupported) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(1));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  FillRandom(&db, 1, 10, 7);
+  std::string path = TempPath("ckpt_version");
+  ASSERT_TRUE(
+      Checkpointer::Write(db.store(), db.last_commit_ts(), 0, path).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[8] = 9;  // version field follows the 8-byte magic
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  out.close();
+
+  TableStore store(*catalog);
+  EXPECT_TRUE(Checkpointer::Restore(path, &store).status().IsNotSupported());
+  std::remove(path.c_str());
 }
 
 TEST(CheckpointTest, MissingFileIsNotFound) {

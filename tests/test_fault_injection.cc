@@ -1,0 +1,661 @@
+// Epoch-loss recovery under a hostile link: FaultInjectingChannel
+// determinism, duplicate/drop/reorder/corruption recovery through the
+// shipper's retention buffer, send-failure accounting, and crash-restart
+// resume through a checkpoint plus retention drain.
+//
+// This binary has its own main(): `--chaos_iters=N` (or AETS_CHAOS_ITERS)
+// scales the chaos sweeps for the nightly high-iteration run; the default
+// keeps the suite CI-fast.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "aets/baselines/atr_replayer.h"
+#include "aets/baselines/c5_replayer.h"
+#include "aets/baselines/serial_replayer.h"
+#include "aets/baselines/tplr_replayer.h"
+#include "aets/obs/metrics.h"
+#include "aets/primary/primary_db.h"
+#include "aets/replay/aets_replayer.h"
+#include "aets/replication/fault_injection.h"
+#include "aets/replication/log_shipper.h"
+#include "aets/storage/checkpoint.h"
+
+static int g_chaos_iters = 2;
+
+namespace aets {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Catalog* MakeCatalog(int num_tables) {
+  auto* catalog = new Catalog();
+  for (int t = 0; t < num_tables; ++t) {
+    AETS_CHECK(catalog
+                   ->RegisterTable("t" + std::to_string(t),
+                                   Schema::Of({{"a", ColumnType::kInt64},
+                                               {"b", ColumnType::kString}}))
+                   .ok());
+  }
+  return catalog;
+}
+
+void RunRandomWorkload(PrimaryDb* db, int num_tables, int num_txns,
+                       uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < num_txns; ++i) {
+    PrimaryTxn txn = db->Begin();
+    int writes = static_cast<int>(rng.UniformInt(1, 5));
+    for (int w = 0; w < writes; ++w) {
+      TableId table = static_cast<TableId>(rng.UniformInt(0, num_tables - 1));
+      int64_t key = rng.UniformInt(0, 149);
+      int kind = static_cast<int>(rng.UniformInt(0, 9));
+      if (kind < 5) {
+        txn.Insert(table, key,
+                   {{0, Value(static_cast<int64_t>(i))},
+                    {1, Value(rng.AlphaString(4, 12))}});
+      } else if (kind < 9) {
+        txn.Update(table, key, {{0, Value(static_cast<int64_t>(i * 10))}});
+      } else {
+        txn.Delete(table, key);
+      }
+    }
+    ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  }
+}
+
+// One single-txn data epoch with the given id, for driving channels directly.
+ShippedEpoch MakeDataEpoch(EpochId id, Timestamp ts) {
+  Epoch epoch;
+  epoch.epoch_id = id;
+  TxnLog txn;
+  txn.txn_id = static_cast<TxnId>(id + 1);
+  txn.commit_ts = ts;
+  txn.records = {LogRecord::Begin(1, txn.txn_id, ts),
+                 LogRecord::Dml(LogRecordType::kInsert, 2, txn.txn_id, ts, 0,
+                                static_cast<int64_t>(id),
+                                {{0, Value(static_cast<int64_t>(id))}}),
+                 LogRecord::Commit(3, txn.txn_id, ts)};
+  epoch.txns.push_back(std::move(txn));
+  return EncodeEpoch(epoch);
+}
+
+ReplayRecoveryOptions FastRecovery() {
+  ReplayRecoveryOptions options;
+  options.reorder_window_pauses = 256;
+  options.max_retries = 16;
+  options.max_pending = 4096;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingChannel behavior.
+
+TEST(FaultChannelTest, SameSeedSameFaultSchedule) {
+  FaultProfile profile;
+  profile.drop = 0.2;
+  profile.duplicate = 0.2;
+  profile.reorder = 0.2;
+  profile.corrupt = 0.2;
+  profile.seed = 7;
+
+  auto run = [&profile]() {
+    FaultInjectingChannel channel(profile, /*capacity=*/4096);
+    for (EpochId id = 0; id < 64; ++id) {
+      EXPECT_TRUE(channel.Send(MakeDataEpoch(id, id + 1)));
+    }
+    channel.Close();
+    // The delivered sequence (ids + intact flags) is part of the schedule.
+    std::vector<std::pair<EpochId, bool>> delivered;
+    while (auto e = channel.TryReceive()) {
+      delivered.emplace_back(e->epoch_id, e->PayloadIntact());
+    }
+    return std::make_tuple(channel.drops(), channel.duplicates(),
+                           channel.reorders(), channel.corruptions(),
+                           delivered);
+  };
+
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(std::get<0>(first) + std::get<1>(first) + std::get<2>(first) +
+                std::get<3>(first),
+            0u);
+}
+
+TEST(FaultChannelTest, DropIsSilentAtTheSender) {
+  FaultProfile profile;
+  profile.drop = 1.0;
+  FaultInjectingChannel channel(profile);
+  // A lossy wire gives no feedback: Send must still report success.
+  EXPECT_TRUE(channel.Send(MakeDataEpoch(0, 1)));
+  EXPECT_TRUE(channel.Send(MakeDataEpoch(1, 2)));
+  EXPECT_EQ(channel.drops(), 2u);
+  EXPECT_EQ(channel.PendingEpochs(), 0u);
+  channel.Close();
+  EXPECT_FALSE(channel.TryReceive().has_value());
+}
+
+TEST(FaultChannelTest, CorruptionKeepsDeclaredCrcSoReceiversDetectIt) {
+  FaultProfile profile;
+  profile.corrupt = 1.0;
+  FaultInjectingChannel channel(profile);
+  ShippedEpoch sent = MakeDataEpoch(0, 1);
+  ASSERT_TRUE(sent.PayloadIntact());
+  EXPECT_TRUE(channel.Send(sent));
+  channel.Close();
+  auto received = channel.TryReceive();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->payload_crc, sent.payload_crc);
+  EXPECT_FALSE(received->PayloadIntact());
+  EXPECT_EQ(channel.corruptions(), 1u);
+  // The sender's copy shares no bytes with the damaged one.
+  EXPECT_TRUE(sent.PayloadIntact());
+}
+
+TEST(FaultChannelTest, ReorderSlotIsFlushedOnClose) {
+  FaultProfile profile;
+  profile.reorder = 1.0;
+  FaultInjectingChannel channel(profile);
+  EXPECT_TRUE(channel.Send(MakeDataEpoch(0, 1)));  // held back
+  channel.Close();                                 // must not lose it
+  auto received = channel.TryReceive();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->epoch_id, 0u);
+  EXPECT_FALSE(channel.TryReceive().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Shipper-side accounting (the silent-drop bugfixes).
+
+TEST(ShipperTest, StartHeartbeatsIsIdempotent) {
+  LogShipper shipper(/*epoch_size=*/4);
+  EpochChannel channel(0);
+  shipper.AttachChannel(&channel);
+  std::atomic<Timestamp> ts{10};
+  auto source = [&ts]() -> Timestamp { return ts.fetch_add(1) + 1; };
+  shipper.StartHeartbeats(source, /*interval_us=*/200);
+  // Used to overwrite heartbeat_thread_ without joining -> std::terminate.
+  shipper.StartHeartbeats(source, /*interval_us=*/200);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  shipper.Finish();
+  EXPECT_GE(shipper.heartbeats_shipped(), 1u);
+}
+
+TEST(ShipperTest, ClosedChannelSendsAreCountedNotShipped) {
+  // Channel outlives the shipper: ~LogShipper closes attached channels.
+  EpochChannel channel(4);
+  LogShipper shipper(/*epoch_size=*/1);
+  shipper.AttachChannel(&channel);
+  channel.Close();
+
+  TxnLog txn;
+  txn.txn_id = 1;
+  txn.commit_ts = 1;
+  txn.records = {LogRecord::Begin(1, 1, 1),
+                 LogRecord::Dml(LogRecordType::kInsert, 2, 1, 1, 0, 1,
+                                {{0, Value(int64_t{1})}}),
+                 LogRecord::Commit(3, 1, 1)};
+  shipper.OnCommit(std::move(txn));  // seals epoch 0, fan-out fails
+
+  EXPECT_EQ(shipper.epochs_shipped(), 0u);
+  EXPECT_EQ(shipper.send_failures(), 1u);
+  EXPECT_EQ(shipper.epochs_dropped(), 1u);
+  // The epoch is still retained: a late NACK can recover what the dead
+  // channel never carried.
+  EXPECT_TRUE(shipper.FetchEpoch(0).has_value());
+  EXPECT_EQ(shipper.retransmits(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery protocol, one fault class at a time.
+
+TEST(RecoveryTest, DuplicatedEpochsAreSkippedWithoutError) {
+  constexpr int kTables = 3;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  LogShipper shipper(/*epoch_size=*/8);
+  FaultProfile profile;
+  profile.duplicate = 1.0;  // every epoch arrives twice
+  FaultInjectingChannel channel(profile, /*capacity=*/4096);
+  shipper.AttachChannel(&channel);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+  SerialReplayer replayer(catalog.get(), &channel);
+  ASSERT_TRUE(replayer.Start().ok());
+  RunRandomWorkload(&db, kTables, 200, /*seed=*/11);
+  shipper.Finish();
+  replayer.Stop();
+
+  EXPECT_TRUE(replayer.error().ok()) << replayer.error().ToString();
+  Timestamp final_ts = db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->DigestAt(final_ts),
+            db.store().DigestAt(final_ts));
+  EXPECT_GT(replayer.stats().duplicates_dropped.load(), 0u);
+  EXPECT_GT(channel.duplicates(), 0u);
+}
+
+// Records the full epoch stream of a workload, so tests can replay it into a
+// channel with surgical losses.
+std::vector<ShippedEpoch> RecordWorkload(PrimaryDb* db, LogShipper* shipper,
+                                         int num_tables, int num_txns,
+                                         uint64_t seed) {
+  EpochChannel recorder(0);
+  shipper->AttachChannel(&recorder);
+  RunRandomWorkload(db, num_tables, num_txns, seed);
+  shipper->Finish();
+  std::vector<ShippedEpoch> epochs;
+  while (auto e = recorder.TryReceive()) epochs.push_back(std::move(*e));
+  return epochs;
+}
+
+TEST(RecoveryTest, DroppedEpochIsRecoveredViaRetransmit) {
+  constexpr int kTables = 3;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  LogShipper shipper(/*epoch_size=*/16, /*retention_capacity=*/1024);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+  auto epochs = RecordWorkload(&db, &shipper, kTables, 400, /*seed=*/21);
+  ASSERT_GT(epochs.size(), 4u);
+
+  // Drop epoch 2 on the floor; everything else arrives in order.
+  EpochChannel channel(0);
+  for (size_t i = 0; i < epochs.size(); ++i) {
+    if (i != 2) {
+      ASSERT_TRUE(channel.Send(epochs[i]));
+    }
+  }
+  channel.Close();
+
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+  AetsReplayer replayer(catalog.get(), &channel, options);
+  replayer.SetEpochSource(&shipper);
+  replayer.SetRecoveryOptions(FastRecovery());
+  ASSERT_TRUE(replayer.Start().ok());
+  replayer.Stop();
+
+  EXPECT_TRUE(replayer.error().ok()) << replayer.error().ToString();
+  Timestamp final_ts = db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->DigestAt(final_ts),
+            db.store().DigestAt(final_ts));
+  EXPECT_GE(replayer.stats().epochs_retried.load(), 1u);
+  EXPECT_GE(shipper.retransmits(), 1u);
+}
+
+TEST(RecoveryTest, TailLossIsRecoveredAfterChannelClose) {
+  // The last epoch vanishes and nothing after it ever reveals the gap; the
+  // final drain against the source's NextEpochId must still find it.
+  constexpr int kTables = 2;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  LogShipper shipper(/*epoch_size=*/16, /*retention_capacity=*/1024);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+  auto epochs = RecordWorkload(&db, &shipper, kTables, 300, /*seed=*/31);
+  ASSERT_GT(epochs.size(), 2u);
+
+  EpochChannel channel(0);
+  for (size_t i = 0; i + 1 < epochs.size(); ++i) {
+    ASSERT_TRUE(channel.Send(epochs[i]));
+  }
+  channel.Close();
+
+  SerialReplayer replayer(catalog.get(), &channel);
+  replayer.SetEpochSource(&shipper);
+  replayer.SetRecoveryOptions(FastRecovery());
+  ASSERT_TRUE(replayer.Start().ok());
+  replayer.Stop();
+
+  EXPECT_TRUE(replayer.error().ok()) << replayer.error().ToString();
+  Timestamp final_ts = db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->DigestAt(final_ts),
+            db.store().DigestAt(final_ts));
+  EXPECT_GE(replayer.stats().epochs_retried.load(), 1u);
+}
+
+TEST(RecoveryTest, CorruptedEpochIsRefetchedClean) {
+  constexpr int kTables = 2;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  LogShipper shipper(/*epoch_size=*/16, /*retention_capacity=*/1024);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+  auto epochs = RecordWorkload(&db, &shipper, kTables, 300, /*seed=*/41);
+  ASSERT_GT(epochs.size(), 3u);
+
+  EpochChannel channel(0);
+  for (size_t i = 0; i < epochs.size(); ++i) {
+    ShippedEpoch e = epochs[i];
+    if (i == 1) {
+      auto damaged = std::make_shared<std::string>(*e.payload);
+      (*damaged)[damaged->size() / 3] ^= 0x40;
+      e.payload = std::move(damaged);
+    }
+    ASSERT_TRUE(channel.Send(std::move(e)));
+  }
+  channel.Close();
+
+  SerialReplayer replayer(catalog.get(), &channel);
+  replayer.SetEpochSource(&shipper);
+  replayer.SetRecoveryOptions(FastRecovery());
+  ASSERT_TRUE(replayer.Start().ok());
+  replayer.Stop();
+
+  EXPECT_TRUE(replayer.error().ok()) << replayer.error().ToString();
+  Timestamp final_ts = db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->DigestAt(final_ts),
+            db.store().DigestAt(final_ts));
+  EXPECT_GE(replayer.stats().corrupt_dropped.load(), 1u);
+  EXPECT_GE(replayer.stats().epochs_retried.load(), 1u);
+}
+
+TEST(RecoveryTest, EvictedEpochIsACleanTerminalError) {
+  // The loss is older than the retention window: recovery must fail loudly
+  // (re-bootstrap guidance), never silently skip.
+  constexpr int kTables = 2;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  LogShipper shipper(/*epoch_size=*/4, /*retention_capacity=*/2);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+  auto epochs = RecordWorkload(&db, &shipper, kTables, 200, /*seed=*/51);
+  ASSERT_GT(epochs.size(), 8u);
+
+  EpochChannel channel(0);
+  for (size_t i = 1; i < epochs.size(); ++i) {  // epoch 0 lost forever
+    ASSERT_TRUE(channel.Send(epochs[i]));
+  }
+  channel.Close();
+
+  SerialReplayer replayer(catalog.get(), &channel);
+  replayer.SetEpochSource(&shipper);
+  replayer.SetRecoveryOptions(FastRecovery());
+  ASSERT_TRUE(replayer.Start().ok());
+  replayer.Stop();
+
+  EXPECT_TRUE(replayer.error().IsCorruption()) << replayer.error().ToString();
+  EXPECT_NE(replayer.error().ToString().find("evicted"), std::string::npos)
+      << replayer.error().ToString();
+}
+
+TEST(RecoveryTest, GapWithoutSourceStaysTerminal) {
+  // Pre-recovery contract: no EpochSource attached means any gap latches.
+  std::unique_ptr<Catalog> catalog(MakeCatalog(1));
+  EpochChannel channel(0);
+  SerialReplayer replayer(catalog.get(), &channel);
+  ASSERT_TRUE(replayer.Start().ok());
+  channel.Send(MakeDataEpoch(0, 1));
+  channel.Send(MakeDataEpoch(2, 3));  // gap at 1
+  channel.Close();
+  replayer.Stop();
+  EXPECT_TRUE(replayer.error().IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// Crash-restart: checkpoint, miss epochs while down, resume through the
+// shipper's retention buffer.
+
+TEST(CrashRestartTest, ResumesFromCheckpointThroughRetention) {
+  constexpr int kTables = 3;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  LogShipper shipper(/*epoch_size=*/16, /*retention_capacity=*/4096);
+  EpochChannel channel1(0);
+  shipper.AttachChannel(&channel1);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+
+  // Phase 1: a live backup replays the first burst, then "crashes": its
+  // channel dies, it checkpoints its last consistent state and goes away.
+  std::string path = TempPath("ckpt_crash_restart");
+  EpochId resume_epoch = 0;
+  {
+    AetsReplayer first(catalog.get(), &channel1, options);
+    ASSERT_TRUE(first.Start().ok());
+    RunRandomWorkload(&db, kTables, 300, /*seed=*/61);
+    channel1.Close();
+    first.Stop();
+    ASSERT_TRUE(first.error().ok()) << first.error().ToString();
+    ASSERT_TRUE(first.WriteCheckpoint(path).ok());
+    resume_epoch = first.next_expected_epoch();
+    ASSERT_GT(resume_epoch, 0u);
+  }
+
+  // Phase 2: the primary keeps committing while the backup is down. Sends
+  // hit the dead channel and are counted dropped — but stay retained.
+  RunRandomWorkload(&db, kTables, 300, /*seed=*/62);
+  shipper.Finish();
+  EXPECT_GT(shipper.epochs_dropped(), 0u);
+  EXPECT_GT(shipper.send_failures(), 0u);
+
+  // Phase 3: restart. Bootstrap from the checkpoint, attach the retention
+  // source, and drain everything missed while down.
+  EpochChannel channel2(0);
+  channel2.Close();
+  AetsReplayer resumed(catalog.get(), &channel2, options);
+  ASSERT_TRUE(resumed.Bootstrap(path).ok());
+  EXPECT_EQ(resumed.next_expected_epoch(), resume_epoch);
+  resumed.SetEpochSource(&shipper);
+  resumed.SetRecoveryOptions(FastRecovery());
+  ASSERT_TRUE(resumed.Start().ok());
+  resumed.Stop();
+
+  EXPECT_TRUE(resumed.error().ok()) << resumed.error().ToString();
+  Timestamp final_ts = db.last_commit_ts();
+  EXPECT_EQ(resumed.store()->DigestAt(final_ts),
+            db.store().DigestAt(final_ts));
+  EXPECT_EQ(resumed.GlobalVisibleTs(), final_ts);
+  EXPECT_GT(resumed.stats().epochs_retried.load(), 0u);
+  EXPECT_GT(shipper.retransmits(), 0u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Chaos acceptance: every replayer, all fault classes at once, fixed seeds.
+
+struct ChaosReplayerSpec {
+  const char* label;
+  std::function<std::unique_ptr<Replayer>(const Catalog*, EpochChannel*)>
+      make;
+};
+
+std::vector<ChaosReplayerSpec> ChaosReplayerSpecs(int num_tables) {
+  std::vector<double> rates(static_cast<size_t>(num_tables), 0.0);
+  for (int t = 0; t < num_tables / 2; ++t) {
+    rates[static_cast<size_t>(t)] = 10.0 * (t + 1) * (t + 1);
+  }
+  std::vector<ChaosReplayerSpec> specs;
+  specs.push_back({"aets-per-table",
+                   [rates](const Catalog* c, EpochChannel* ch) {
+                     AetsOptions o;
+                     o.replay_threads = 3;
+                     o.commit_threads = 2;
+                     o.grouping = GroupingMode::kPerTable;
+                     o.initial_rates = rates;
+                     return std::make_unique<AetsReplayer>(c, ch, o);
+                   }});
+  specs.push_back({"aets-by-rate",
+                   [rates](const Catalog* c, EpochChannel* ch) {
+                     AetsOptions o;
+                     o.replay_threads = 3;
+                     o.commit_threads = 2;
+                     o.grouping = GroupingMode::kByAccessRate;
+                     o.initial_rates = rates;
+                     return std::make_unique<AetsReplayer>(c, ch, o);
+                   }});
+  specs.push_back({"tplr", [](const Catalog* c, EpochChannel* ch) {
+                     return MakeTplrReplayer(c, ch, /*threads=*/3);
+                   }});
+  specs.push_back({"atr", [](const Catalog* c, EpochChannel* ch) {
+                     return std::make_unique<AtrReplayer>(
+                         c, ch, AtrOptions{/*workers=*/3});
+                   }});
+  specs.push_back({"c5", [](const Catalog* c, EpochChannel* ch) {
+                     return std::make_unique<C5Replayer>(
+                         c, ch,
+                         C5Options{/*workers=*/3,
+                                   /*watermark_period_us=*/500});
+                   }});
+  specs.push_back({"serial", [](const Catalog* c, EpochChannel* ch) {
+                     return std::make_unique<SerialReplayer>(c, ch);
+                   }});
+  return specs;
+}
+
+TEST(ChaosTest, AllReplayersConvergeUnderChaos) {
+  constexpr int kTables = 5;
+  for (int round = 0; round < g_chaos_iters; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    obs::MetricsRegistry::Instance().ResetAll();
+
+    std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+    LogicalClock clock;
+    PrimaryDb db(catalog.get(), &clock);
+    LogShipper shipper(/*epoch_size=*/8, /*retention_capacity=*/8192);
+    db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+    // The acceptance profile: 5% drop, 5% duplicate, 1% corruption, plus a
+    // dash of reordering. Seeds are fixed per (round, replayer), so a
+    // failure reproduces exactly.
+    FaultProfile profile;
+    profile.drop = 0.05;
+    profile.duplicate = 0.05;
+    profile.corrupt = 0.01;
+    profile.reorder = 0.03;
+
+    auto specs = ChaosReplayerSpecs(kTables);
+    std::vector<std::unique_ptr<FaultInjectingChannel>> channels;
+    std::vector<std::unique_ptr<Replayer>> replayers;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      FaultProfile p = profile;
+      p.seed = 1000u * static_cast<uint64_t>(round + 1) + i;
+      channels.push_back(
+          std::make_unique<FaultInjectingChannel>(p, /*capacity=*/4096));
+      shipper.AttachChannel(channels.back().get());
+      replayers.push_back(specs[i].make(catalog.get(), channels.back().get()));
+      replayers.back()->SetEpochSource(&shipper);
+      if (auto* base = dynamic_cast<ReplayerBase*>(replayers.back().get())) {
+        base->SetRecoveryOptions(FastRecovery());
+      }
+    }
+    for (auto& r : replayers) ASSERT_TRUE(r->Start().ok());
+
+    RunRandomWorkload(&db, kTables, 600,
+                      /*seed=*/100u * static_cast<uint64_t>(round) + 9);
+    shipper.Finish();
+    for (auto& r : replayers) r->Stop();
+
+    uint64_t faults = 0;
+    for (auto& ch : channels) faults += ch->faults_injected();
+    EXPECT_GT(faults, 0u);
+
+    // Zero silent loss: every replayer is digest-equal to the primary.
+    Timestamp final_ts = db.last_commit_ts();
+    uint64_t expected = db.store().DigestAt(final_ts);
+    size_t expected_rows = db.store().VisibleRowCount(final_ts);
+    for (size_t i = 0; i < replayers.size(); ++i) {
+      auto* base = dynamic_cast<ReplayerBase*>(replayers[i].get());
+      ASSERT_NE(base, nullptr) << specs[i].label;
+      EXPECT_TRUE(base->error().ok())
+          << specs[i].label << ": " << base->error().ToString();
+      EXPECT_EQ(replayers[i]->store()->DigestAt(final_ts), expected)
+          << specs[i].label;
+      EXPECT_EQ(replayers[i]->store()->VisibleRowCount(final_ts),
+                expected_rows)
+          << specs[i].label;
+      EXPECT_EQ(replayers[i]->stats().txns.load(), 600u) << specs[i].label;
+    }
+
+    // The recovery machinery demonstrably ran.
+    EXPECT_GT(shipper.retransmits(), 0u);
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::Instance().Snapshot();
+    EXPECT_GT(snap.counters.at("shipper.retransmits"), 0u);
+    EXPECT_GT(snap.counters.at("replay.epochs_duplicate_dropped"), 0u);
+    EXPECT_GT(snap.counters.at("replay.epochs_retried"), 0u);
+  }
+}
+
+TEST(ChaosTest, HeartbeatsSurviveChaos) {
+  constexpr int kTables = 4;
+  for (int round = 0; round < g_chaos_iters; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+    LogicalClock clock;
+    PrimaryDb db(catalog.get(), &clock);
+    LogShipper shipper(/*epoch_size=*/32, /*retention_capacity=*/8192);
+    FaultProfile profile;
+    profile.drop = 0.05;
+    profile.duplicate = 0.05;
+    profile.reorder = 0.03;
+    profile.corrupt = 0.01;
+    profile.seed = 77u + static_cast<uint64_t>(round);
+    FaultInjectingChannel channel(profile, /*capacity=*/4096);
+    shipper.AttachChannel(&channel);
+    db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+    shipper.StartHeartbeats([&db] { return db.AcquireHeartbeatTs(); },
+                            /*interval_us=*/1'000);
+
+    AetsOptions options;
+    options.replay_threads = 2;
+    options.grouping = GroupingMode::kPerTable;
+    AetsReplayer replayer(catalog.get(), &channel, options);
+    replayer.SetEpochSource(&shipper);
+    replayer.SetRecoveryOptions(FastRecovery());
+    ASSERT_TRUE(replayer.Start().ok());
+
+    for (int burst = 0; burst < 3; ++burst) {
+      RunRandomWorkload(&db, kTables, 100,
+                        /*seed=*/200u * static_cast<uint64_t>(round) + burst);
+      // Idle gap: heartbeats (also subject to the faulty link) must keep
+      // advancing visibility, with losses repaired through retention.
+      Timestamp qts = clock.Now();
+      EXPECT_GE(WaitVisible(replayer, {0, 1, 2, 3}, qts), 0);
+    }
+    shipper.Finish();
+    replayer.Stop();
+
+    EXPECT_TRUE(replayer.error().ok()) << replayer.error().ToString();
+    Timestamp final_ts = db.last_commit_ts();
+    EXPECT_EQ(replayer.store()->DigestAt(final_ts),
+              db.store().DigestAt(final_ts));
+  }
+}
+
+}  // namespace
+}  // namespace aets
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (const char* env = std::getenv("AETS_CHAOS_ITERS")) {
+    g_chaos_iters = std::max(1, std::atoi(env));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--chaos_iters=";
+    if (arg.rfind(prefix, 0) == 0) {
+      g_chaos_iters = std::max(1, std::atoi(arg.c_str() + prefix.size()));
+    }
+  }
+  return RUN_ALL_TESTS();
+}
