@@ -401,7 +401,7 @@ void AetsReplayer::CommitGroup(GroupEpochState* gs, const TableGroup& group) {
       }
     }
     for (TableId t : group.tables) {
-      StoreMax(table_ts_[t], frag->commit_ts);
+      StoreMax(table_ts_[t], frag->commit_ts + options_.test_tg_publish_skew);
     }
   }
 }

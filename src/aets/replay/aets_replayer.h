@@ -62,6 +62,12 @@ struct AetsOptions {
   bool regroup_on_rate_change = true;
   /// Display name (baselines built on this engine override it).
   std::string name = "AETS";
+
+  /// TEST-ONLY fault hook: added to the commit timestamp when the commit
+  /// path publishes tg_cmt_ts. Any non-zero value announces visibility the
+  /// group has not earned — the off-by-one the simulation oracle must catch
+  /// (and shrink to a minimal scenario). Never set outside tests.
+  Timestamp test_tg_publish_skew = 0;
 };
 
 /// The AETS framework (paper Fig. 3): log parser + dispatcher, fine-grained
@@ -93,9 +99,6 @@ class AetsReplayer : public ReplayerBase {
   /// watermark. Only valid while stopped (quiesced) — checkpoint a backup
   /// after Stop(), or bootstrap-chain across process restarts.
   Status WriteCheckpoint(const std::string& path) const;
-
-  /// The next epoch id this replayer expects from its channel.
-  EpochId next_expected_epoch() const { return expected_epoch_; }
 
  protected:
   Status StartWorkers() override;

@@ -87,6 +87,7 @@ void ReplayerBase::ApplyNext(const ShippedEpoch& epoch, bool retransmitted) {
   }
   if (epoch.is_heartbeat()) {
     ProcessHeartbeat(epoch);
+    stats_.heartbeats.fetch_add(1, std::memory_order_relaxed);
     heartbeats_applied_metric_->Add(1);
   } else {
     ProcessEpoch(epoch);

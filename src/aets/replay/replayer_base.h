@@ -77,6 +77,13 @@ class ReplayerBase : public Replayer {
   /// overflow). OK while healthy or fully recovered.
   Status error() const;
 
+  /// The next epoch id the main loop expects — i.e. every id below it has
+  /// been handed to ProcessEpoch/ProcessHeartbeat. Safe to poll from other
+  /// threads (the simulation harness steps epochs one at a time against it).
+  EpochId next_expected_epoch() const {
+    return expected_epoch_.load(std::memory_order_acquire);
+  }
+
  protected:
   /// Validates options and spawns worker pools; a failure aborts Start()
   /// without marking the replayer started. Called under the lifecycle lock.
@@ -106,8 +113,9 @@ class ReplayerBase : public Replayer {
   TableStore store_;
   ReplayStats stats_;
   /// The next epoch id expected from the channel. Only the main loop writes
-  /// it while running; Bootstrap arms it before Start().
-  EpochId expected_epoch_ = 0;
+  /// it while running; Bootstrap arms it before Start(). Atomic so external
+  /// observers (next_expected_epoch) can poll replay progress.
+  std::atomic<EpochId> expected_epoch_{0};
 
  private:
   /// Early arrivals parked while a gap is open, keyed by epoch id.

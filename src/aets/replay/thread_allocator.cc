@@ -38,10 +38,22 @@ std::vector<int> AllocateThreads(const std::vector<GroupDemand>& demands,
     alloc[i] = static_cast<int>(ideal[i]);
     assigned += alloc[i];
   }
+  // Remainder ties are broken by group content (weight, then raw demand),
+  // never by input position, so permuting the demand vector permutes the
+  // allocation identically.
+  auto remainder = [&](size_t i) { return ideal[i] - std::floor(ideal[i]); };
+  auto more_urgent = [&](size_t a, size_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    if (demands[a].bytes != demands[b].bytes) {
+      return demands[a].bytes > demands[b].bytes;
+    }
+    return demands[a].access_rate > demands[b].access_rate;
+  };
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return ideal[a] - std::floor(ideal[a]) > ideal[b] - std::floor(ideal[b]);
+    if (remainder(a) != remainder(b)) return remainder(a) > remainder(b);
+    return more_urgent(a, b);
   });
   for (size_t k = 0; assigned < total; k = (k + 1) % n) {
     size_t i = order[k];
@@ -51,12 +63,25 @@ std::vector<int> AllocateThreads(const std::vector<GroupDemand>& demands,
   }
 
   // Every group with pending work should make progress this epoch: move
-  // threads from the largest allocations to demand-bearing zero groups.
+  // threads from the largest allocations to demand-bearing zero groups,
+  // most urgent recipients first, donating from the least urgent group
+  // among the richest.
+  std::vector<size_t> starved;
   for (size_t i = 0; i < n; ++i) {
-    if (weights[i] <= 0 || alloc[i] > 0) continue;
-    auto richest = std::max_element(alloc.begin(), alloc.end());
-    if (*richest <= 1) break;  // nothing left to take
-    --*richest;
+    if (weights[i] > 0 && alloc[i] == 0) starved.push_back(i);
+  }
+  std::sort(starved.begin(), starved.end(), more_urgent);
+  for (size_t i : starved) {
+    size_t donor = n;
+    for (size_t j = 0; j < n; ++j) {
+      if (alloc[j] <= 1) continue;
+      if (donor == n || alloc[j] > alloc[donor] ||
+          (alloc[j] == alloc[donor] && more_urgent(donor, j))) {
+        donor = j;
+      }
+    }
+    if (donor == n) break;  // nothing left to take
+    --alloc[donor];
     alloc[i] = 1;
   }
   return alloc;

@@ -81,6 +81,27 @@ void LogShipper::HeartbeatLoop() {
   }
 }
 
+void LogShipper::FlushEpoch() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (finished_) return;
+  auto sealed = builder_.Flush();
+  if (sealed) ShipLocked(std::move(*sealed));
+}
+
+void LogShipper::ShipHeartbeat(Timestamp ts) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (finished_ || ts == kInvalidTimestamp) return;
+  auto sealed = builder_.Flush();
+  if (sealed) ShipLocked(std::move(*sealed));
+  ShippedEpoch hb = MakeHeartbeatEpoch(builder_.ConsumeEpochId(), ts);
+  if (DeliverLocked(hb)) {
+    ++heartbeats_;
+    ++shipped_;
+    heartbeats_shipped_metric_->Add(1);
+  }
+  last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
+}
+
 void LogShipper::Finish() {
   if (heartbeat_thread_.joinable()) {
     stop_heartbeats_.store(true, std::memory_order_relaxed);

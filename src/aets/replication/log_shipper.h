@@ -60,6 +60,18 @@ class LogShipper : public EpochSource {
   void StartHeartbeats(std::function<Timestamp()> ts_source,
                        int64_t interval_us = 50'000);
 
+  /// Seals and ships the currently open partial epoch, if any. The
+  /// deterministic simulation harness uses this to place epoch boundaries
+  /// exactly where a scenario script says, instead of on the size trigger.
+  void FlushEpoch();
+
+  /// Flushes the open epoch, then ships one heartbeat epoch carrying `ts`.
+  /// `ts` must satisfy the StartHeartbeats contract (above every sunk
+  /// commit, below every future one); kInvalidTimestamp is ignored. The
+  /// simulation harness calls this in place of the wall-clock heartbeat
+  /// thread.
+  void ShipHeartbeat(Timestamp ts);
+
   /// Seals and ships the final partial epoch, stops heartbeats, and closes
   /// all channels. Idempotent.
   void Finish();

@@ -1,0 +1,126 @@
+#ifndef AETS_SIM_ORACLE_H_
+#define AETS_SIM_ORACLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "aets/replay/replayer.h"
+#include "aets/sim/reference_model.h"
+
+namespace aets {
+namespace sim {
+
+/// One invariant violation. `invariant` is a stable machine-matchable name
+/// (the shrinker matches on it); `detail` is the human-readable evidence.
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// Invariant names reported by the oracle.
+inline constexpr char kInvariantSnapshotExact[] = "snapshot-exactness";
+inline constexpr char kInvariantMonotonicity[] = "watermark-monotonicity";
+inline constexpr char kInvariantTornTxn[] = "torn-transaction";
+inline constexpr char kInvariantGcSafety[] = "gc-reclaimed-visible-version";
+inline constexpr char kInvariantConvergence[] = "final-convergence";
+inline constexpr char kInvariantReplayerError[] = "replayer-error";
+
+/// Thread-safe bounded collector shared by the oracle and its probe
+/// threads. Keeps the first `cap` violations (the interesting one is almost
+/// always the first).
+class ViolationLog {
+ public:
+  explicit ViolationLog(size_t cap = 16) : cap_(cap) {}
+
+  void Report(std::string invariant, std::string detail);
+
+  bool empty() const;
+  size_t total() const { return total_.load(std::memory_order_acquire); }
+  std::vector<Violation> TakeSnapshot() const;
+  /// The first violation's invariant name, or "" when clean.
+  std::string FirstInvariant() const;
+  std::string Describe() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Violation> violations_;
+  std::atomic<uint64_t> total_{0};
+  size_t cap_;
+};
+
+/// The snapshot-consistency oracle: checks a live replayer against the
+/// fully-built ReferenceModel. All checks are sound under concurrency —
+/// they only rely on state the published watermarks promise is immutable —
+/// so probe threads may call them while replay, heartbeats, and GC race
+/// underneath. `gc_floor` is the largest GC watermark ever passed to the
+/// store: snapshots below it are legitimately folded, so value probes stay
+/// at or above it.
+class ConsistencyOracle {
+ public:
+  ConsistencyOracle(const ReferenceModel* model, Replayer* replayer,
+                    ViolationLog* log);
+
+  /// Raises the floor below which snapshot probes are invalid (call from
+  /// the GC pass hook with the truncation watermark).
+  void RaiseGcFloor(Timestamp watermark);
+  Timestamp gc_floor() const {
+    return gc_floor_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot exactness: `table`'s full visible row set at `qts` equals the
+  /// model's. Precondition: qts <= TableVisibleTs(table) (or the global
+  /// watermark) at some point before the call, and qts >= gc_floor.
+  bool CheckTableSnapshot(TableId table, Timestamp qts);
+
+  /// Per-table and global watermark self-consistency: reads each published
+  /// watermark w and verifies the state the watermark promises (every
+  /// transaction <= w applied on that table) against the model at w. This
+  /// is the probe that catches a watermark published ahead of the data.
+  bool CheckWatermarks();
+
+  /// Algorithm-3 probe: if the replayer claims `qts` visible on `tables`,
+  /// their snapshot row sets must match the model exactly.
+  bool CheckVisibleProbe(const std::vector<TableId>& tables, Timestamp qts);
+
+  /// No-torn-transaction probe for one recorded footprint: once visible,
+  /// all of the transaction's writes are reflected at qts >= commit_ts;
+  /// at qts == commit_ts - 1 none of them are (reads still match the model,
+  /// which excludes the transaction).
+  bool CheckTxnAtomicity(const TxnFootprint& txn);
+
+  /// Watermark monotonicity: per-table and global watermarks never move
+  /// backwards across calls. Call repeatedly (probe threads poll it).
+  bool ObserveMonotonicity();
+
+  /// GC-never-reclaims-visible-versions: after a GC pass truncated below
+  /// `horizon`, every snapshot at or above it that the watermarks promise
+  /// must still read exactly (call from the GC post-pass hook).
+  bool CheckGcSafety(Timestamp horizon);
+
+  /// Terminal check after the stream is fully replayed: the global
+  /// watermark reached the model's max visible timestamp and every table's
+  /// final row set is exact.
+  bool CheckConverged();
+
+ private:
+  /// Compares replayer vs model rows of `table` at `qts`; reports with
+  /// `invariant` on mismatch. Skips (returns true) when GC raced past qts.
+  bool CompareTable(TableId table, Timestamp qts, const char* invariant);
+
+  const ReferenceModel* model_;
+  Replayer* replayer_;
+  ViolationLog* log_;
+  std::atomic<Timestamp> gc_floor_{0};
+
+  std::mutex mono_mu_;
+  std::vector<Timestamp> last_table_ts_;
+  Timestamp last_global_ts_ = 0;
+};
+
+}  // namespace sim
+}  // namespace aets
+
+#endif  // AETS_SIM_ORACLE_H_

@@ -1,0 +1,124 @@
+#include "aets/sim/reference_model.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+namespace sim {
+
+ReferenceModel::ReferenceModel(size_t num_tables) : tables_(num_tables) {}
+
+Status ReferenceModel::Apply(const ShippedEpoch& shipped) {
+  if (shipped.epoch_id != next_epoch_) {
+    return Status::InvalidArgument(
+        "model epochs must be applied in order: expected " +
+        std::to_string(next_epoch_) + ", got " +
+        std::to_string(shipped.epoch_id));
+  }
+  ++next_epoch_;
+  if (shipped.is_heartbeat()) {
+    max_heartbeat_ts_ = std::max(max_heartbeat_ts_, shipped.heartbeat_ts);
+    return Status::OK();
+  }
+  auto epoch = DecodeEpoch(shipped);
+  if (!epoch.ok()) return epoch.status();
+
+  for (const TxnLog& txn : epoch->txns) {
+    TxnFootprint footprint;
+    footprint.txn_id = txn.txn_id;
+    footprint.commit_ts = txn.commit_ts;
+    footprint.epoch_id = shipped.epoch_id;
+    for (const LogRecord& record : txn.records) {
+      if (!record.is_dml()) continue;
+      if (record.table_id >= tables_.size()) {
+        return Status::Corruption("model: DML for unknown table " +
+                                  std::to_string(record.table_id));
+      }
+      footprint.writes.emplace_back(record.table_id, record.row_key);
+      RowHistory& history = tables_[record.table_id][record.row_key];
+      // The image after this operation: start from the row as the previous
+      // version left it (matching MemNode's fold-from-the-chain-start read).
+      ModelVersion version;
+      version.commit_ts = txn.commit_ts;
+      if (!history.empty() && history.back().exists) {
+        version.image = history.back().image;
+      }
+      if (record.type == LogRecordType::kDelete) {
+        version.exists = false;
+        version.image.clear();
+      } else {
+        // Insert and update share upsert semantics: the delta's columns land
+        // on whatever the row held (updates to absent rows create them, the
+        // replay path has no before-image to consult).
+        version.exists = true;
+        for (const ColumnValue& cv : record.values) {
+          version.image.Set(cv.column_id, cv.value);
+        }
+      }
+      // A transaction may write the same row several times; each record is
+      // one version in chain order, all sharing the commit timestamp.
+      history.push_back(std::move(version));
+    }
+    if (max_commit_ts_ == kInvalidTimestamp ||
+        txn.commit_ts > max_commit_ts_) {
+      commit_timestamps_.push_back(txn.commit_ts);
+    }
+    max_commit_ts_ = std::max(max_commit_ts_, txn.commit_ts);
+    footprints_.push_back(std::move(footprint));
+  }
+  return Status::OK();
+}
+
+Timestamp ReferenceModel::MaxVisibleTs() const {
+  return std::max(max_commit_ts_, max_heartbeat_ts_);
+}
+
+const ReferenceModel::RowHistory* ReferenceModel::FindHistory(
+    TableId table, int64_t key) const {
+  AETS_CHECK(table < tables_.size());
+  auto it = tables_[table].find(key);
+  if (it == tables_[table].end()) return nullptr;
+  return &it->second;
+}
+
+std::optional<Row> ReferenceModel::VisibleRow(TableId table, int64_t key,
+                                              Timestamp ts) const {
+  const RowHistory* history = FindHistory(table, key);
+  if (history == nullptr) return std::nullopt;
+  // Last version with commit_ts <= ts.
+  auto it = std::upper_bound(
+      history->begin(), history->end(), ts,
+      [](Timestamp t, const ModelVersion& v) { return t < v.commit_ts; });
+  if (it == history->begin()) return std::nullopt;
+  --it;
+  if (!it->exists) return std::nullopt;
+  return it->image;
+}
+
+std::map<int64_t, Row> ReferenceModel::RowsAt(TableId table,
+                                              Timestamp ts) const {
+  AETS_CHECK(table < tables_.size());
+  std::map<int64_t, Row> rows;
+  for (const auto& [key, history] : tables_[table]) {
+    (void)history;
+    if (auto row = VisibleRow(table, key, ts)) {
+      rows.emplace(key, std::move(*row));
+    }
+  }
+  return rows;
+}
+
+size_t ReferenceModel::VisibleRowCount(TableId table, Timestamp ts) const {
+  AETS_CHECK(table < tables_.size());
+  size_t n = 0;
+  for (const auto& [key, history] : tables_[table]) {
+    (void)history;
+    if (VisibleRow(table, key, ts)) ++n;
+  }
+  return n;
+}
+
+}  // namespace sim
+}  // namespace aets

@@ -1,0 +1,101 @@
+#ifndef AETS_SIM_REFERENCE_MODEL_H_
+#define AETS_SIM_REFERENCE_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aets/catalog/schema.h"
+#include "aets/common/clock.h"
+#include "aets/common/status.h"
+#include "aets/log/shipped_epoch.h"
+#include "aets/storage/version_chain.h"
+
+namespace aets {
+namespace sim {
+
+/// One transaction's write footprint, recorded while the model consumes the
+/// epoch stream. The oracle uses it for the no-torn-transaction probe: at
+/// any snapshot where the transaction is visible, every one of its writes
+/// must be reflected (and at any earlier snapshot, none).
+struct TxnFootprint {
+  TxnId txn_id = kInvalidTxnId;
+  Timestamp commit_ts = kInvalidTimestamp;
+  EpochId epoch_id = 0;
+  /// (table, row key) pairs the transaction wrote, in log order.
+  std::vector<std::pair<TableId, int64_t>> writes;
+};
+
+/// The model-based oracle's reference executor: a single-threaded MVCC
+/// interpreter that consumes the same ShippedEpoch stream a replayer does
+/// and can answer, for any (qts, table, key), the exact row a correct
+/// snapshot read must return.
+///
+/// It is deliberately a SECOND implementation of the storage semantics:
+/// where Memtable keeps deltas and folds them lazily at read time (and GC
+/// folds prefixes), the model materializes the full row image eagerly at
+/// apply time into a plain std::map. A fold bug in either implementation
+/// surfaces as a divergence instead of cancelling out.
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(size_t num_tables);
+
+  /// Consumes one epoch (decoded with the owning DecodeEpoch path). Epochs
+  /// must arrive in epoch-id order, exactly once. Heartbeats only advance
+  /// the liveness timestamp.
+  Status Apply(const ShippedEpoch& epoch);
+
+  /// The row visible at snapshot `ts`, or nullopt (never existed, or
+  /// deleted at `ts`).
+  std::optional<Row> VisibleRow(TableId table, int64_t key, Timestamp ts) const;
+
+  /// All rows of `table` visible at `ts`, keyed by row key.
+  std::map<int64_t, Row> RowsAt(TableId table, Timestamp ts) const;
+
+  size_t VisibleRowCount(TableId table, Timestamp ts) const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+  /// The largest commit timestamp applied so far (kInvalidTimestamp before
+  /// the first data epoch).
+  Timestamp MaxCommitTs() const { return max_commit_ts_; }
+
+  /// Max of MaxCommitTs and every heartbeat timestamp seen — the timestamp
+  /// a fully caught-up backup's global watermark converges to.
+  Timestamp MaxVisibleTs() const;
+
+  /// Every distinct commit timestamp, ascending — probe generators sample
+  /// snapshot points (and boundaries +/- 1) from it.
+  const std::vector<Timestamp>& CommitTimestamps() const {
+    return commit_timestamps_;
+  }
+
+  const std::vector<TxnFootprint>& Footprints() const { return footprints_; }
+
+ private:
+  /// Full-image version: the row as it exists right after `commit_ts`.
+  struct ModelVersion {
+    Timestamp commit_ts;
+    bool exists;
+    Row image;
+  };
+  /// Per-row history, ascending commit_ts. Snapshot read = last version
+  /// with commit_ts <= ts.
+  using RowHistory = std::vector<ModelVersion>;
+
+  const RowHistory* FindHistory(TableId table, int64_t key) const;
+
+  std::vector<std::map<int64_t, RowHistory>> tables_;
+  Timestamp max_commit_ts_ = kInvalidTimestamp;
+  Timestamp max_heartbeat_ts_ = kInvalidTimestamp;
+  EpochId next_epoch_ = 0;
+  std::vector<Timestamp> commit_timestamps_;
+  std::vector<TxnFootprint> footprints_;
+};
+
+}  // namespace sim
+}  // namespace aets
+
+#endif  // AETS_SIM_REFERENCE_MODEL_H_

@@ -1,0 +1,70 @@
+#include "aets/sim/sim_clock.h"
+
+#include <utility>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+namespace sim {
+
+void SimSchedule::AddTimer(std::string name, int64_t period_us, double jitter,
+                           std::function<void()> fn) {
+  AETS_CHECK(period_us > 0);
+  AETS_CHECK(jitter >= 0.0 && jitter < 1.0);
+  Timer timer;
+  timer.name = std::move(name);
+  timer.period_us = period_us;
+  timer.jitter = jitter;
+  timer.fn = std::move(fn);
+  timers_.push_back(std::move(timer));
+  timers_.back().next_due_us = clock_->NowMicros() + JitteredPeriod(timers_.back());
+}
+
+int64_t SimSchedule::JitteredPeriod(const Timer& timer) {
+  if (timer.jitter == 0.0) return timer.period_us;
+  double factor = 1.0 + timer.jitter * (2.0 * rng_.UniformDouble() - 1.0);
+  int64_t period = static_cast<int64_t>(
+      static_cast<double>(timer.period_us) * factor);
+  return period > 0 ? period : 1;
+}
+
+int SimSchedule::NextDue() const {
+  int best = -1;
+  for (size_t i = 0; i < timers_.size(); ++i) {
+    if (best < 0 ||
+        timers_[i].next_due_us < timers_[static_cast<size_t>(best)].next_due_us) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void SimSchedule::Fire(Timer* timer) {
+  clock_->AdvanceToNanos(timer->next_due_us * 1000);
+  transcript_.push_back(timer->name);
+  ++fires_;
+  timer->fn();
+  timer->next_due_us = clock_->NowMicros() + JitteredPeriod(*timer);
+}
+
+void SimSchedule::RunUntilMicros(int64_t deadline_us) {
+  for (;;) {
+    int idx = NextDue();
+    if (idx < 0 || timers_[static_cast<size_t>(idx)].next_due_us > deadline_us) {
+      break;
+    }
+    Fire(&timers_[static_cast<size_t>(idx)]);
+  }
+  clock_->AdvanceToNanos(deadline_us * 1000);
+}
+
+void SimSchedule::Step(int n) {
+  for (int i = 0; i < n; ++i) {
+    int idx = NextDue();
+    if (idx < 0) return;
+    Fire(&timers_[static_cast<size_t>(idx)]);
+  }
+}
+
+}  // namespace sim
+}  // namespace aets

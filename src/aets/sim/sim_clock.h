@@ -1,0 +1,120 @@
+#ifndef AETS_SIM_SIM_CLOCK_H_
+#define AETS_SIM_SIM_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "aets/common/clock.h"
+#include "aets/common/rng.h"
+
+namespace aets {
+namespace sim {
+
+/// Virtual monotonic clock for deterministic simulation. Time only moves
+/// when the harness advances it, so every MonotonicMicros/MonotonicNanos
+/// reading taken while a SimClock is installed is a pure function of the
+/// simulated schedule, not of host scheduling.
+class SimClock : public ClockSource {
+ public:
+  explicit SimClock(int64_t start_ns = 1'000'000'000) : now_ns_(start_ns) {}
+
+  int64_t NowNanos() const override {
+    return now_ns_.load(std::memory_order_acquire);
+  }
+  int64_t NowMicros() const { return NowNanos() / 1000; }
+
+  void AdvanceNanos(int64_t ns) {
+    now_ns_.fetch_add(ns, std::memory_order_acq_rel);
+  }
+  void AdvanceMicros(int64_t us) { AdvanceNanos(us * 1000); }
+
+  /// Moves the clock forward to `ns` (never backwards).
+  void AdvanceToNanos(int64_t ns) {
+    int64_t cur = now_ns_.load(std::memory_order_relaxed);
+    while (cur < ns && !now_ns_.compare_exchange_weak(
+                           cur, ns, std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<int64_t> now_ns_;
+};
+
+/// Installs a SimClock as the process-wide monotonic clock for the scope's
+/// lifetime and restores the previous source on destruction.
+class ScopedSimClock {
+ public:
+  explicit ScopedSimClock(SimClock* clock)
+      : previous_(InstallClockSource(clock)) {}
+  ~ScopedSimClock() { InstallClockSource(previous_); }
+
+  ScopedSimClock(const ScopedSimClock&) = delete;
+  ScopedSimClock& operator=(const ScopedSimClock&) = delete;
+
+ private:
+  const ClockSource* previous_;
+};
+
+/// Seeded, single-threaded timer wheel: the deterministic stand-in for the
+/// background heartbeat/GC/watermark threads of the real system. Timers fire
+/// on the caller's thread inside RunUntil/Step, in an order fully determined
+/// by (seed, periods, registration order) — the per-fire jitter draws from
+/// one Rng, so the interleaving of, say, GC passes against heartbeat
+/// emissions replays byte-identically from the seed.
+class SimSchedule {
+ public:
+  explicit SimSchedule(SimClock* clock, uint64_t seed)
+      : clock_(clock), rng_(seed) {}
+
+  SimSchedule(const SimSchedule&) = delete;
+  SimSchedule& operator=(const SimSchedule&) = delete;
+
+  /// Registers a periodic timer. `jitter` in [0, 1) perturbs each interval
+  /// by a seeded factor in [1-jitter, 1+jitter]; the first due time is one
+  /// (jittered) period from the current virtual time.
+  void AddTimer(std::string name, int64_t period_us, double jitter,
+                std::function<void()> fn);
+
+  /// Fires every timer due at or before `deadline_us` (virtual time), in
+  /// due-time order with registration order breaking ties, advancing the
+  /// SimClock to each fire point and finally to the deadline.
+  void RunUntilMicros(int64_t deadline_us);
+
+  /// Fires the next `n` due timers (advancing virtual time to each).
+  void Step(int n);
+
+  /// Names of fired events in order — the schedule transcript tests compare
+  /// for determinism.
+  const std::vector<std::string>& transcript() const { return transcript_; }
+
+  uint64_t fires() const { return fires_; }
+
+ private:
+  struct Timer {
+    std::string name;
+    int64_t period_us;
+    double jitter;
+    std::function<void()> fn;
+    int64_t next_due_us;
+  };
+
+  /// Index of the earliest-due timer, ties broken by registration order;
+  /// -1 when no timers exist.
+  int NextDue() const;
+  void Fire(Timer* timer);
+  int64_t JitteredPeriod(const Timer& timer);
+
+  SimClock* clock_;
+  Rng rng_;
+  std::vector<Timer> timers_;
+  std::vector<std::string> transcript_;
+  uint64_t fires_ = 0;
+};
+
+}  // namespace sim
+}  // namespace aets
+
+#endif  // AETS_SIM_SIM_CLOCK_H_

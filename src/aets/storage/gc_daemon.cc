@@ -35,13 +35,16 @@ size_t GcDaemon::RunOnce() {
   static Histogram* pause_us_metric = obs::GetHistogram("gc.pause_us");
   Timestamp watermark = watermark_source_();
   if (watermark <= retention_) return 0;
+  Timestamp horizon = watermark - retention_;
+  if (pre_pass_hook_) pre_pass_hook_(horizon);
   int64_t start_us = MonotonicMicros();
-  size_t reclaimed = store_->GarbageCollect(watermark - retention_);
+  size_t reclaimed = store_->GarbageCollect(horizon);
   pause_us_metric->Record(MonotonicMicros() - start_us);
   passes_metric->Add(1);
   reclaimed_metric->Add(reclaimed);
   total_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
   passes_.fetch_add(1, std::memory_order_relaxed);
+  if (post_pass_hook_) post_pass_hook_(horizon, reclaimed);
   return reclaimed;
 }
 

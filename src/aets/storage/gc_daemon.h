@@ -30,6 +30,18 @@ class GcDaemon {
   void Start();
   void Stop();
 
+  /// Test/observer hooks around each pass. The pre-pass hook fires with the
+  /// truncation watermark BEFORE any version is folded (the simulation
+  /// oracle raises its GC horizon here, so it never probes a snapshot the
+  /// pass is about to invalidate); the post-pass hook fires after the pass
+  /// with (watermark, versions reclaimed). Set before Start().
+  void SetPrePassHook(std::function<void(Timestamp)> hook) {
+    pre_pass_hook_ = std::move(hook);
+  }
+  void SetPostPassHook(std::function<void(Timestamp, size_t)> hook) {
+    post_pass_hook_ = std::move(hook);
+  }
+
   /// One synchronous pass (also used by Start's loop). Returns versions
   /// reclaimed.
   size_t RunOnce();
@@ -44,6 +56,8 @@ class GcDaemon {
 
   TableStore* store_;
   std::function<Timestamp()> watermark_source_;
+  std::function<void(Timestamp)> pre_pass_hook_;
+  std::function<void(Timestamp, size_t)> post_pass_hook_;
   Timestamp retention_;
   int64_t interval_us_;
   std::atomic<bool> stop_{false};

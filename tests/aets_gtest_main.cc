@@ -1,0 +1,14 @@
+// Shared test main: standard gtest startup plus the repo-wide seed protocol
+// (`--seed=N` / AETS_TEST_SEED, seed printed on failure). Linked instead of
+// GTest::gtest_main by every suite that does not need its own main.
+
+#include <gtest/gtest.h>
+
+#include "test_seed.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  aets::test::InitSeedFromArgs(&argc, argv);
+  aets::test::InstallSeedBanner();
+  return RUN_ALL_TESTS();
+}

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <set>
+#include <utility>
 
 #include "aets/common/rng.h"
 #include "aets/predictor/dbscan.h"
 #include "aets/replay/table_group.h"
 #include "aets/replay/thread_allocator.h"
+#include "test_seed.h"
 
 namespace aets {
 namespace {
@@ -115,6 +118,79 @@ TEST_P(AllocatorPropertyTest, Invariants) {
 INSTANTIATE_TEST_SUITE_P(Sweep, AllocatorPropertyTest,
                          ::testing::Combine(::testing::Values(1u, 2u, 3u),
                                             ::testing::Values(1, 4, 16, 32)));
+
+// Heavy property sweep: 1000 random demand vectors. Checks that
+// largest-remainder apportionment conserves the total exactly, that every
+// non-empty group gets at least one thread whenever the pool is big enough,
+// and that the allocation is permutation-equivariant (relabeling the groups
+// relabels the allocation identically — no hidden index-order tie-breaks).
+TEST(AllocatorPropertyTest, ThousandRandomVectors) {
+  Rng rng(test::DeriveSeed(0xA110C));
+  for (int iter = 0; iter < 1000; ++iter) {
+    const int n = static_cast<int>(rng.UniformInt(1, 16));
+    const int total = static_cast<int>(rng.UniformInt(0, 48));
+    const bool use_rate = rng.Bernoulli(0.5);
+    // Distinct (bytes, rate) pairs: groups with identical content are
+    // interchangeable, which would make strict equivariance ill-posed.
+    std::vector<GroupDemand> demands;
+    std::set<std::pair<double, double>> used;
+    for (int i = 0; i < n; ++i) {
+      GroupDemand d;
+      do {
+        d.bytes = rng.Bernoulli(0.2)
+                      ? 0
+                      : static_cast<double>(rng.UniformInt(1, 1'000'000));
+        d.access_rate =
+            rng.Bernoulli(0.3)
+                ? 0
+                : static_cast<double>(rng.UniformInt(1, 100'000));
+      } while (!used.insert({d.bytes, d.access_rate}).second);
+      demands.push_back(d);
+    }
+
+    const auto alloc = AllocateThreads(demands, total, use_rate);
+    ASSERT_EQ(alloc.size(), demands.size());
+
+    int non_empty = 0;
+    for (const auto& d : demands) non_empty += d.bytes > 0 ? 1 : 0;
+
+    // Conservation: all of `total` is handed out iff any group has work.
+    const int sum = std::accumulate(alloc.begin(), alloc.end(), 0);
+    EXPECT_EQ(sum, non_empty > 0 ? total : 0)
+        << "iter " << iter << " n=" << n << " total=" << total;
+
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<size_t>(i);
+      EXPECT_GE(alloc[ui], 0);
+      if (demands[ui].bytes == 0) {
+        EXPECT_EQ(alloc[ui], 0) << "empty group got threads, iter " << iter;
+      } else if (total >= non_empty) {
+        EXPECT_GE(alloc[ui], 1)
+            << "non-empty group starved with total=" << total
+            << " non_empty=" << non_empty << ", iter " << iter;
+      }
+    }
+
+    // Permutation equivariance: permuted[j] = demands[perm[j]] must yield
+    // permuted_alloc[j] == alloc[perm[j]].
+    std::vector<size_t> perm(static_cast<size_t>(n));
+    std::iota(perm.begin(), perm.end(), size_t{0});
+    for (size_t j = perm.size(); j > 1; --j) {
+      std::swap(perm[j - 1],
+                perm[static_cast<size_t>(rng.UniformInt(
+                    0, static_cast<int64_t>(j) - 1))]);
+    }
+    std::vector<GroupDemand> permuted;
+    for (size_t j = 0; j < perm.size(); ++j) {
+      permuted.push_back(demands[perm[j]]);
+    }
+    const auto permuted_alloc = AllocateThreads(permuted, total, use_rate);
+    for (size_t j = 0; j < perm.size(); ++j) {
+      ASSERT_EQ(permuted_alloc[j], alloc[perm[j]])
+          << "allocation depends on group order, iter " << iter << " j=" << j;
+    }
+  }
+}
 
 TEST(DbscanTest, SeparatedClusters) {
   std::vector<double> values = {1.0, 1.1, 1.2, 10.0, 10.1, 10.2};

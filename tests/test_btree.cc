@@ -4,12 +4,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <map>
 #include <thread>
 #include <vector>
 
 #include "aets/common/rng.h"
+#include "aets/log/record.h"
 #include "aets/storage/btree.h"
+#include "aets/storage/memtable.h"
+#include "test_seed.h"
 
 namespace aets {
 namespace {
@@ -211,6 +217,240 @@ TEST_P(BTreeOracleTest, MatchesStdMap) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BTreeOracleTest,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---------------------------------------------------------------------------
+// Concurrent stress tests (run under TSan in CI): racing structural inserts,
+// lazy erases, point reads, and full scans on the raw tree; then the full
+// Memtable path — version-chain appends, snapshot reads, and GC truncation.
+// ---------------------------------------------------------------------------
+
+TEST(BPlusTreeStressTest, ConcurrentInsertEraseFindScan) {
+  // Writers own interleaved key stripes (key = i * kWriters + w) so leaf
+  // splits constantly interleave across threads; each writer deterministically
+  // erases every 17th key right after inserting it, before publishing, so
+  // readers have an exact expectation for every published key.
+  BPlusTree<Payload> tree;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 4000;
+  std::array<std::atomic<int>, kWriters> published{};
+  std::atomic<bool> done{false};
+
+  auto expected_value = [](int w, int i) { return w * 1'000'000 + i; };
+  auto erased = [](int i) { return i % 17 == 3; };
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        int64_t key = static_cast<int64_t>(i) * kWriters + w;
+        bool created = false;
+        Payload* p = tree.GetOrCreate(key, &created, expected_value(w, i));
+        ASSERT_TRUE(created);
+        ASSERT_NE(p, nullptr);
+        if (erased(i)) {
+          ASSERT_TRUE(tree.Erase(key));
+        }
+        published[static_cast<size_t>(w)].store(i + 1,
+                                                std::memory_order_release);
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(test::DeriveSeed(0xB7EE0u + static_cast<uint64_t>(r)));
+      while (!done.load(std::memory_order_acquire)) {
+        int w = static_cast<int>(rng.UniformInt(0, kWriters - 1));
+        int n = published[static_cast<size_t>(w)].load(
+            std::memory_order_acquire);
+        if (n == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        int i = static_cast<int>(rng.UniformInt(0, n - 1));
+        int64_t key = static_cast<int64_t>(i) * kWriters + w;
+        Payload* p = tree.Find(key);
+        if (erased(i)) {
+          EXPECT_EQ(p, nullptr) << "key " << key << " was erased pre-publish";
+        } else {
+          ASSERT_NE(p, nullptr) << "published key " << key << " missing";
+          EXPECT_EQ(p->value, expected_value(w, i));
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    // Scans under the shared latch race with structural splits: keys must
+    // always come back strictly ascending.
+    while (!done.load(std::memory_order_acquire)) {
+      int64_t prev = INT64_MIN;
+      tree.Scan(INT64_MIN, INT64_MAX, [&](int64_t k, Payload*) {
+        EXPECT_GT(k, prev);
+        prev = k;
+        return true;
+      });
+      std::this_thread::yield();
+    }
+  });
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  done.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  tree.CheckInvariants();
+  size_t expected_size = 0;
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kPerWriter; ++i) {
+      int64_t key = static_cast<int64_t>(i) * kWriters + w;
+      Payload* p = tree.Find(key);
+      if (erased(i)) {
+        EXPECT_EQ(p, nullptr);
+      } else {
+        ++expected_size;
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->value, expected_value(w, i));
+      }
+    }
+  }
+  EXPECT_EQ(tree.size(), expected_size);
+}
+
+TEST(VersionChainStressTest, ConcurrentAppendsSnapshotReadsAndGc) {
+  // The full Memtable path under contention: partitioned writers append
+  // commit-ordered versions through the shared index, readers reconstruct
+  // snapshots at the published safe timestamp (min over writer progress),
+  // and a GC thread truncates version chains below a lagging watermark.
+  // Checks gated on the GC watermark stay sound: GC only folds history no
+  // reader at or above the watermark can distinguish.
+  Memtable mt(/*table_id=*/0);
+  constexpr int kWriters = 4;
+  constexpr int kKeysPerWriter = 48;
+  constexpr int kWritesPerWriter = 3000;
+  constexpr Timestamp kRetention = 64;
+  std::atomic<Timestamp> clock{0};
+  std::array<std::atomic<Timestamp>, kWriters> published{};
+  std::atomic<Timestamp> gc_watermark{0};
+  std::atomic<bool> done{false};
+  // Owner-writer-only oracle of the last surviving write per key, compared
+  // serially after the threads join (0 = absent/deleted).
+  std::vector<std::vector<Timestamp>> last_write(
+      kWriters, std::vector<Timestamp>(kKeysPerWriter, 0));
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(test::DeriveSeed(0xC4A10u ^ static_cast<uint64_t>(w)));
+      std::vector<bool> exists(kKeysPerWriter, false);
+      for (int i = 0; i < kWritesPerWriter; ++i) {
+        Timestamp ts = clock.fetch_add(1, std::memory_order_relaxed) + 1;
+        int k = static_cast<int>(rng.UniformInt(0, kKeysPerWriter - 1));
+        int64_t key = static_cast<int64_t>(w) * kKeysPerWriter + k;
+        LogRecord rec;
+        if (!exists[static_cast<size_t>(k)]) {
+          rec = LogRecord::Dml(
+              LogRecordType::kInsert, ts, ts, ts, 0, key,
+              {{0, Value(static_cast<int64_t>(ts))}, {1, Value(key)}});
+          exists[static_cast<size_t>(k)] = true;
+          last_write[static_cast<size_t>(w)][static_cast<size_t>(k)] = ts;
+        } else if (rng.Bernoulli(0.15)) {
+          rec = LogRecord::Dml(LogRecordType::kDelete, ts, ts, ts, 0, key, {});
+          exists[static_cast<size_t>(k)] = false;
+          last_write[static_cast<size_t>(w)][static_cast<size_t>(k)] = 0;
+        } else {
+          rec = LogRecord::Dml(LogRecordType::kUpdate, ts, ts, ts, 0, key,
+                               {{0, Value(static_cast<int64_t>(ts))}});
+          last_write[static_cast<size_t>(w)][static_cast<size_t>(k)] = ts;
+        }
+        mt.ApplyCommitted(rec, ts);
+        published[static_cast<size_t>(w)].store(ts, std::memory_order_release);
+      }
+    });
+  }
+  auto safe_ts = [&] {
+    Timestamp safe = UINT64_MAX;
+    for (const auto& p : published) {
+      safe = std::min(safe, p.load(std::memory_order_acquire));
+    }
+    return safe;
+  };
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(test::DeriveSeed(0x5EADE4u + static_cast<uint64_t>(r)));
+      while (!done.load(std::memory_order_acquire)) {
+        Timestamp safe = safe_ts();
+        if (safe == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        Timestamp back = static_cast<Timestamp>(rng.UniformInt(0, 32));
+        Timestamp ts = safe > back ? safe - back : 1;
+        int64_t key = rng.UniformInt(0, kWriters * kKeysPerWriter - 1);
+        auto row = mt.ReadRow(key, ts);
+        uint64_t d1 = mt.DigestAt(ts);
+        uint64_t d2 = mt.DigestAt(ts);
+        // Only validate if GC never started a pass above our snapshot: below
+        // the watermark, folded history may legitimately differ.
+        if (gc_watermark.load(std::memory_order_acquire) <= ts) {
+          EXPECT_EQ(d1, d2) << "snapshot at frozen ts " << ts << " not stable";
+          if (row.has_value()) {
+            const Value* v = row->Find(0);
+            ASSERT_NE(v, nullptr);
+            EXPECT_GE(v->as_int64(), 1);
+            EXPECT_LE(static_cast<Timestamp>(v->as_int64()), ts);
+          }
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    // Visible scans must always yield strictly ascending keys.
+    while (!done.load(std::memory_order_acquire)) {
+      Timestamp safe = safe_ts();
+      if (safe == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      int64_t prev = INT64_MIN;
+      mt.ScanVisible(safe, [&](int64_t k, const Row&) {
+        EXPECT_GT(k, prev);
+        prev = k;
+        return true;
+      });
+      std::this_thread::yield();
+    }
+  });
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      Timestamp safe = safe_ts();
+      if (safe > kRetention) {
+        Timestamp wm = safe - kRetention;
+        // Publish before truncating so readers can tell whether their
+        // snapshot might see folded history.
+        gc_watermark.store(wm, std::memory_order_release);
+        mt.GarbageCollect(wm);
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  done.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  // Serial epilogue: the store at the final timestamp matches the
+  // owner-writer oracles exactly.
+  Timestamp final_ts = clock.load();
+  for (int w = 0; w < kWriters; ++w) {
+    for (int k = 0; k < kKeysPerWriter; ++k) {
+      int64_t key = static_cast<int64_t>(w) * kKeysPerWriter + k;
+      Timestamp want = last_write[static_cast<size_t>(w)][static_cast<size_t>(k)];
+      auto row = mt.ReadRow(key, final_ts);
+      if (want == 0) {
+        EXPECT_FALSE(row.has_value()) << "key " << key << " should be absent";
+      } else {
+        ASSERT_TRUE(row.has_value()) << "key " << key << " missing";
+        EXPECT_EQ(row->at(0).as_int64(), static_cast<int64_t>(want));
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace aets

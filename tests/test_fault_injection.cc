@@ -31,6 +31,7 @@
 #include "aets/replication/fault_injection.h"
 #include "aets/replication/log_shipper.h"
 #include "aets/storage/checkpoint.h"
+#include "test_seed.h"
 
 static int g_chaos_iters = 2;
 
@@ -110,7 +111,7 @@ TEST(FaultChannelTest, SameSeedSameFaultSchedule) {
   profile.duplicate = 0.2;
   profile.reorder = 0.2;
   profile.corrupt = 0.2;
-  profile.seed = 7;
+  profile.seed = test::DeriveSeed(7);
 
   auto run = [&profile]() {
     FaultInjectingChannel channel(profile, /*capacity=*/4096);
@@ -237,7 +238,7 @@ TEST(RecoveryTest, DuplicatedEpochsAreSkippedWithoutError) {
 
   SerialReplayer replayer(catalog.get(), &channel);
   ASSERT_TRUE(replayer.Start().ok());
-  RunRandomWorkload(&db, kTables, 200, /*seed=*/11);
+  RunRandomWorkload(&db, kTables, 200, test::DeriveSeed(11));
   shipper.Finish();
   replayer.Stop();
 
@@ -270,7 +271,7 @@ TEST(RecoveryTest, DroppedEpochIsRecoveredViaRetransmit) {
   PrimaryDb db(catalog.get(), &clock);
   LogShipper shipper(/*epoch_size=*/16, /*retention_capacity=*/1024);
   db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
-  auto epochs = RecordWorkload(&db, &shipper, kTables, 400, /*seed=*/21);
+  auto epochs = RecordWorkload(&db, &shipper, kTables, 400, test::DeriveSeed(21));
   ASSERT_GT(epochs.size(), 4u);
 
   // Drop epoch 2 on the floor; everything else arrives in order.
@@ -308,7 +309,7 @@ TEST(RecoveryTest, TailLossIsRecoveredAfterChannelClose) {
   PrimaryDb db(catalog.get(), &clock);
   LogShipper shipper(/*epoch_size=*/16, /*retention_capacity=*/1024);
   db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
-  auto epochs = RecordWorkload(&db, &shipper, kTables, 300, /*seed=*/31);
+  auto epochs = RecordWorkload(&db, &shipper, kTables, 300, test::DeriveSeed(31));
   ASSERT_GT(epochs.size(), 2u);
 
   EpochChannel channel(0);
@@ -337,7 +338,7 @@ TEST(RecoveryTest, CorruptedEpochIsRefetchedClean) {
   PrimaryDb db(catalog.get(), &clock);
   LogShipper shipper(/*epoch_size=*/16, /*retention_capacity=*/1024);
   db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
-  auto epochs = RecordWorkload(&db, &shipper, kTables, 300, /*seed=*/41);
+  auto epochs = RecordWorkload(&db, &shipper, kTables, 300, test::DeriveSeed(41));
   ASSERT_GT(epochs.size(), 3u);
 
   EpochChannel channel(0);
@@ -375,7 +376,7 @@ TEST(RecoveryTest, EvictedEpochIsACleanTerminalError) {
   PrimaryDb db(catalog.get(), &clock);
   LogShipper shipper(/*epoch_size=*/4, /*retention_capacity=*/2);
   db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
-  auto epochs = RecordWorkload(&db, &shipper, kTables, 200, /*seed=*/51);
+  auto epochs = RecordWorkload(&db, &shipper, kTables, 200, test::DeriveSeed(51));
   ASSERT_GT(epochs.size(), 8u);
 
   EpochChannel channel(0);
@@ -433,7 +434,7 @@ TEST(CrashRestartTest, ResumesFromCheckpointThroughRetention) {
   {
     AetsReplayer first(catalog.get(), &channel1, options);
     ASSERT_TRUE(first.Start().ok());
-    RunRandomWorkload(&db, kTables, 300, /*seed=*/61);
+    RunRandomWorkload(&db, kTables, 300, test::DeriveSeed(61));
     channel1.Close();
     first.Stop();
     ASSERT_TRUE(first.error().ok()) << first.error().ToString();
@@ -444,7 +445,7 @@ TEST(CrashRestartTest, ResumesFromCheckpointThroughRetention) {
 
   // Phase 2: the primary keeps committing while the backup is down. Sends
   // hit the dead channel and are counted dropped — but stay retained.
-  RunRandomWorkload(&db, kTables, 300, /*seed=*/62);
+  RunRandomWorkload(&db, kTables, 300, test::DeriveSeed(62));
   shipper.Finish();
   EXPECT_GT(shipper.epochs_dropped(), 0u);
   EXPECT_GT(shipper.send_failures(), 0u);
@@ -549,7 +550,7 @@ TEST(ChaosTest, AllReplayersConvergeUnderChaos) {
     std::vector<std::unique_ptr<Replayer>> replayers;
     for (size_t i = 0; i < specs.size(); ++i) {
       FaultProfile p = profile;
-      p.seed = 1000u * static_cast<uint64_t>(round + 1) + i;
+      p.seed = test::DeriveSeed(1000u * static_cast<uint64_t>(round + 1) + i);
       channels.push_back(
           std::make_unique<FaultInjectingChannel>(p, /*capacity=*/4096));
       shipper.AttachChannel(channels.back().get());
@@ -562,7 +563,7 @@ TEST(ChaosTest, AllReplayersConvergeUnderChaos) {
     for (auto& r : replayers) ASSERT_TRUE(r->Start().ok());
 
     RunRandomWorkload(&db, kTables, 600,
-                      /*seed=*/100u * static_cast<uint64_t>(round) + 9);
+                      test::DeriveSeed(100u * static_cast<uint64_t>(round) + 9));
     shipper.Finish();
     for (auto& r : replayers) r->Stop();
 
@@ -609,7 +610,7 @@ TEST(ChaosTest, HeartbeatsSurviveChaos) {
     profile.duplicate = 0.05;
     profile.reorder = 0.03;
     profile.corrupt = 0.01;
-    profile.seed = 77u + static_cast<uint64_t>(round);
+    profile.seed = test::DeriveSeed(77u + static_cast<uint64_t>(round));
     FaultInjectingChannel channel(profile, /*capacity=*/4096);
     shipper.AttachChannel(&channel);
     db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
@@ -626,7 +627,7 @@ TEST(ChaosTest, HeartbeatsSurviveChaos) {
 
     for (int burst = 0; burst < 3; ++burst) {
       RunRandomWorkload(&db, kTables, 100,
-                        /*seed=*/200u * static_cast<uint64_t>(round) + burst);
+                        test::DeriveSeed(200u * static_cast<uint64_t>(round) + burst));
       // Idle gap: heartbeats (also subject to the faulty link) must keep
       // advancing visibility, with losses repaired through retention.
       Timestamp qts = clock.Now();
@@ -647,6 +648,8 @@ TEST(ChaosTest, HeartbeatsSurviveChaos) {
 
 int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
+  aets::test::InitSeedFromArgs(&argc, argv);
+  aets::test::InstallSeedBanner();
   if (const char* env = std::getenv("AETS_CHAOS_ITERS")) {
     g_chaos_iters = std::max(1, std::atoi(env));
   }

@@ -6,6 +6,7 @@
 
 #include "aets/bench/harness.h"
 #include "aets/workload/tpcc.h"
+#include "test_seed.h"
 
 namespace aets {
 namespace {
@@ -22,7 +23,7 @@ TpccConfig TinyTpcc() {
 TEST(HarnessTest, RecordWorkloadProducesOrderedEpochs) {
   TpccWorkload tpcc(TinyTpcc());
   RecordedLog log = RecordWorkload(&tpcc, /*num_txns=*/100, /*epoch_size=*/16,
-                                   /*seed=*/3);
+                                   test::DeriveSeed(3));
   EXPECT_EQ(log.mix_txns, 100u);
   EXPECT_GT(log.load_txns, 0u);
   EXPECT_GT(log.final_ts, log.load_end_ts);

@@ -18,6 +18,7 @@
 #include "aets/storage/gc_daemon.h"
 #include "aets/workload/driver.h"
 #include "aets/workload/tpcc.h"
+#include "test_seed.h"
 
 namespace aets {
 namespace {
@@ -144,7 +145,8 @@ TEST(ReplayerEquivalenceTest, AllReplayersMatchPrimaryOnRandomWorkload) {
   auto replayers = MakeAllReplayers(catalog.get(), &pipeline, kTables);
   for (auto& r : replayers) ASSERT_TRUE(r->Start().ok());
 
-  RunRandomWorkload(&pipeline.db, kTables, /*num_txns=*/800, /*seed=*/42);
+  RunRandomWorkload(&pipeline.db, kTables, /*num_txns=*/800,
+                    test::DeriveSeed(42));
   pipeline.shipper.Finish();
   for (auto& r : replayers) r->Stop();
 

@@ -1,0 +1,76 @@
+// Shared seed plumbing for every randomized suite: one base seed, resolved
+// from `--seed=N` (highest precedence) or the AETS_TEST_SEED environment
+// variable, with a fixed default so plain CI runs are reproducible. Suites
+// derive per-test streams with DeriveSeed; a failure prints the base seed so
+// the exact run can be replayed with `--seed=<printed>`.
+#ifndef AETS_TESTS_TEST_SEED_H_
+#define AETS_TESTS_TEST_SEED_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace aets {
+namespace test {
+
+inline uint64_t& MutableBaseSeed() {
+  static uint64_t seed = 0xAE75C0DEull;
+  return seed;
+}
+
+inline uint64_t BaseSeed() { return MutableBaseSeed(); }
+
+/// splitmix64 over (base seed, salt): fans the base seed into independent
+/// per-test / per-iteration streams that stay stable across suites.
+inline uint64_t DeriveSeed(uint64_t salt) {
+  uint64_t z = MutableBaseSeed() + 0x9E3779B97F4A7C15ull * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Resolves the base seed and strips `--seed=N` from argv. Call from main
+/// after InitGoogleTest (which removes gtest's own flags).
+inline void InitSeedFromArgs(int* argc, char** argv) {
+  if (const char* env = std::getenv("AETS_TEST_SEED")) {
+    MutableBaseSeed() = std::strtoull(env, nullptr, 0);
+  }
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      MutableBaseSeed() = std::strtoull(argv[i] + 7, nullptr, 0);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Prints the reproduction seed next to every test failure.
+class SeedBanner : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestPartResult(const ::testing::TestPartResult& result) override {
+    if (result.failed()) {
+      std::fprintf(
+          stderr,
+          "[seed] reproduce with --seed=%llu (or AETS_TEST_SEED=%llu)\n",
+          static_cast<unsigned long long>(BaseSeed()),
+          static_cast<unsigned long long>(BaseSeed()));
+    }
+  }
+};
+
+inline void InstallSeedBanner() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  ::testing::UnitTest::GetInstance()->listeners().Append(new SeedBanner);
+}
+
+}  // namespace test
+}  // namespace aets
+
+#endif  // AETS_TESTS_TEST_SEED_H_

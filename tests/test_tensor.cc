@@ -3,11 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
+#include <vector>
 
 #include "aets/common/rng.h"
 #include "aets/predictor/tensor.h"
+#include "test_seed.h"
 
 namespace aets {
 namespace {
@@ -30,6 +33,32 @@ void CheckGradient(Tensor param,
     data[i] = saved;
     double numeric = (up - down) / (2 * eps);
     EXPECT_NEAR(analytic[i], numeric, tol)
+        << "param element " << i << " analytic=" << analytic[i]
+        << " numeric=" << numeric;
+  }
+}
+
+// Relative-error gradient check: like CheckGradient but the acceptance
+// criterion is |analytic - numeric| / max(|analytic|, |numeric|, floor)
+// < rel_tol, which stays meaningful across the wide gradient magnitudes a
+// deep stack produces.
+void CheckGradientRel(Tensor param,
+                      const std::function<double()>& forward_value,
+                      const std::function<std::vector<double>()>& autograd,
+                      double eps = 1e-5, double rel_tol = 1e-4) {
+  std::vector<double> analytic = autograd();
+  auto& data = param.data();
+  for (size_t i = 0; i < data.size(); ++i) {
+    double saved = data[i];
+    data[i] = saved + eps;
+    double up = forward_value();
+    data[i] = saved - eps;
+    double down = forward_value();
+    data[i] = saved;
+    double numeric = (up - down) / (2 * eps);
+    double denom =
+        std::max({std::abs(analytic[i]), std::abs(numeric), 1e-4});
+    EXPECT_LE(std::abs(analytic[i] - numeric) / denom, rel_tol)
         << "param element " << i << " analytic=" << analytic[i]
         << " numeric=" << numeric;
   }
@@ -295,6 +324,232 @@ TEST(AdamTest, LrDecaySchedule) {
     opt.Step();
   }
   EXPECT_NEAR(opt.current_lr(), 1e-5, 1e-13);
+}
+
+// ---------------------------------------------------------------------------
+// DTGM layer gradient checks (paper Section IV-A): finite differences vs
+// reverse-mode for the gated TCN, the GCN pooling, and the full stacked
+// forward, at seeded random points.
+// ---------------------------------------------------------------------------
+
+// Row-stochastic adjacency (self loops + random symmetric edges), plus its
+// square — the C^1, C^2 powers DTGM feeds to NodeMix.
+std::pair<Tensor, Tensor> RandomAdjacencyPowers(int n, Rng* rng) {
+  std::vector<double> adj(static_cast<size_t>(n * n), 0.0);
+  for (int a = 0; a < n; ++a) {
+    adj[static_cast<size_t>(a * n + a)] = 1.0;
+    for (int b = a + 1; b < n; ++b) {
+      if (rng->Bernoulli(0.6)) {
+        double w = rng->UniformDouble();
+        adj[static_cast<size_t>(a * n + b)] = w;
+        adj[static_cast<size_t>(b * n + a)] = w;
+      }
+    }
+  }
+  for (int a = 0; a < n; ++a) {
+    double sum = 0;
+    for (int b = 0; b < n; ++b) sum += adj[static_cast<size_t>(a * n + b)];
+    for (int b = 0; b < n; ++b) adj[static_cast<size_t>(a * n + b)] /= sum;
+  }
+  std::vector<double> sq(static_cast<size_t>(n * n), 0.0);
+  for (int a = 0; a < n; ++a) {
+    for (int c = 0; c < n; ++c) {
+      for (int b = 0; b < n; ++b) {
+        sq[static_cast<size_t>(a * n + b)] +=
+            adj[static_cast<size_t>(a * n + c)] *
+            adj[static_cast<size_t>(c * n + b)];
+      }
+    }
+  }
+  return {Tensor::FromData({n, n}, std::move(adj)),
+          Tensor::FromData({n, n}, std::move(sq))};
+}
+
+TEST(DtgmLayerGradTest, GatedTcn) {
+  // tanh(conv_f * H) ⊙ sigmoid(conv_g * H) with dropout active: the mask is
+  // replayed identically on every forward (fresh Rng per call), so finite
+  // differences see the same subnetwork the backward pass differentiated.
+  Rng rng(test::DeriveSeed(0x7C1));
+  const int kT = 5, kN = 3, kF = 4, kK = 2;
+  Tensor x = Tensor::Xavier({kT, kN, kF}, &rng);
+  Tensor conv_filter = Tensor::Xavier({kK, kF, kF}, &rng);
+  Tensor conv_gate = Tensor::Xavier({kK, kF, kF}, &rng);
+  Tensor target = Tensor::Full({kT, kN, kF}, 0.1);
+  const uint64_t mask_seed = test::DeriveSeed(0x7C2);
+  auto make_loss = [&] {
+    Tensor filt = Tensor::Tanh(Tensor::Conv1dTime(x, conv_filter, 2));
+    Tensor gate = Tensor::Sigmoid(Tensor::Conv1dTime(x, conv_gate, 2));
+    Tensor zt = Tensor::Mul(filt, gate);
+    Rng mask_rng(mask_seed);
+    zt = Tensor::Dropout(zt, 0.3, &mask_rng, /*training=*/true);
+    return Tensor::MaeLoss(zt, target);
+  };
+  auto autograd = [&](Tensor param) {
+    return [&, param]() mutable {
+      x.ZeroGrad();
+      conv_filter.ZeroGrad();
+      conv_gate.ZeroGrad();
+      make_loss().Backward();
+      return param.grad();
+    };
+  };
+  auto value = [&] { return make_loss().item(); };
+  CheckGradientRel(conv_filter, value, autograd(conv_filter));
+  CheckGradientRel(conv_gate, value, autograd(conv_gate));
+  CheckGradientRel(x, value, autograd(x));
+}
+
+TEST(DtgmLayerGradTest, GcnPooling) {
+  // Z = Zt W_0 + sum_k C^k Zt W_k over two adjacency powers.
+  Rng rng(test::DeriveSeed(0x6C2));
+  const int kT = 4, kN = 3, kF = 3;
+  Tensor zt = Tensor::Xavier({kT, kN, kF}, &rng);
+  auto [c1, c2] = RandomAdjacencyPowers(kN, &rng);
+  Tensor w0 = Tensor::Xavier({kF, kF}, &rng);
+  Tensor w1 = Tensor::Xavier({kF, kF}, &rng);
+  Tensor w2 = Tensor::Xavier({kF, kF}, &rng);
+  Tensor target = Tensor::Full({kT, kN, kF}, 0.2);
+  auto make_loss = [&] {
+    Tensor zg = Tensor::Linear(zt, w0);
+    zg = Tensor::Add(zg, Tensor::NodeMix(zt, c1, w1));
+    zg = Tensor::Add(zg, Tensor::NodeMix(zt, c2, w2));
+    return Tensor::MaeLoss(Tensor::Relu(zg), target);
+  };
+  auto autograd = [&](Tensor param) {
+    return [&, param]() mutable {
+      zt.ZeroGrad();
+      w0.ZeroGrad();
+      w1.ZeroGrad();
+      w2.ZeroGrad();
+      make_loss().Backward();
+      return param.grad();
+    };
+  };
+  auto value = [&] { return make_loss().item(); };
+  CheckGradientRel(w0, value, autograd(w0));
+  CheckGradientRel(w1, value, autograd(w1));
+  CheckGradientRel(w2, value, autograd(w2));
+  CheckGradientRel(zt, value, autograd(zt));
+}
+
+// Miniature DTGM with the exact Forward structure of DtgmPredictor: input
+// projection, two gated-TCN + GCN blocks with residual and skip connections,
+// ReLU readout. Shared by the end-to-end gradient check and the leak test.
+struct MiniDtgm {
+  static constexpr int kT = 6, kN = 3, kF = 3, kK = 2, kH = 4;
+  Tensor input_proj, out_w1, out_w2;
+  struct Layer {
+    Tensor conv_filter, conv_gate, skip_w;
+    std::vector<Tensor> gcn_w;
+  };
+  std::vector<Layer> layers;
+  Tensor c1, c2;
+
+  explicit MiniDtgm(Rng* rng) {
+    input_proj = Tensor::Xavier({1, kF}, rng);
+    for (int l = 0; l < 2; ++l) {
+      Layer layer;
+      layer.conv_filter = Tensor::Xavier({kK, kF, kF}, rng);
+      layer.conv_gate = Tensor::Xavier({kK, kF, kF}, rng);
+      layer.skip_w = Tensor::Xavier({kF, kF}, rng);
+      for (int k = 0; k < 3; ++k) {
+        layer.gcn_w.push_back(Tensor::Xavier({kF, kF}, rng));
+      }
+      layers.push_back(std::move(layer));
+    }
+    out_w1 = Tensor::Xavier({kF, kF}, rng);
+    out_w2 = Tensor::Xavier({kF, kH}, rng);
+    auto powers = RandomAdjacencyPowers(kN, rng);
+    c1 = powers.first;
+    c2 = powers.second;
+  }
+
+  std::vector<Tensor> Parameters() const {
+    std::vector<Tensor> params = {input_proj, out_w1, out_w2};
+    for (const auto& layer : layers) {
+      params.push_back(layer.conv_filter);
+      params.push_back(layer.conv_gate);
+      params.push_back(layer.skip_w);
+      for (const auto& w : layer.gcn_w) params.push_back(w);
+    }
+    return params;
+  }
+
+  void ZeroGrads() {
+    for (auto& p : Parameters()) p.ZeroGrad();
+  }
+
+  Tensor Forward(const Tensor& input, bool training, Rng* dropout_rng) const {
+    Tensor h = Tensor::Linear(input, input_proj);
+    Tensor skip;
+    for (int l = 0; l < static_cast<int>(layers.size()); ++l) {
+      const Layer& layer = layers[static_cast<size_t>(l)];
+      int dilation = 1 << l;
+      Tensor filt =
+          Tensor::Tanh(Tensor::Conv1dTime(h, layer.conv_filter, dilation));
+      Tensor gate =
+          Tensor::Sigmoid(Tensor::Conv1dTime(h, layer.conv_gate, dilation));
+      Tensor zt = Tensor::Mul(filt, gate);
+      zt = Tensor::Dropout(zt, 0.3, dropout_rng, training);
+      Tensor s = Tensor::Linear(zt, layer.skip_w);
+      skip = skip.defined() ? Tensor::Add(skip, s) : s;
+      Tensor zg = Tensor::Linear(zt, layer.gcn_w[0]);
+      zg = Tensor::Add(zg, Tensor::NodeMix(zt, c1, layer.gcn_w[1]));
+      zg = Tensor::Add(zg, Tensor::NodeMix(zt, c2, layer.gcn_w[2]));
+      h = Tensor::Add(zg, h);
+    }
+    Tensor last = Tensor::SelectTime(Tensor::Relu(skip), skip.dim(0) - 1);
+    Tensor hidden = Tensor::Relu(Tensor::Linear(last, out_w1));
+    return Tensor::Linear(hidden, out_w2);  // [N, horizon]
+  }
+};
+
+TEST(DtgmLayerGradTest, StackedForwardEndToEnd) {
+  Rng rng(test::DeriveSeed(0xD763));
+  MiniDtgm model(&rng);
+  Tensor input = Tensor::Xavier({MiniDtgm::kT, MiniDtgm::kN, 1}, &rng);
+  Tensor target = Tensor::Full({MiniDtgm::kN, MiniDtgm::kH}, 0.3);
+  auto make_loss = [&] {
+    Rng eval_rng(0);  // training=false: dropout is the identity
+    Tensor pred = model.Forward(input, /*training=*/false, &eval_rng);
+    return Tensor::MaeLoss(pred, target);
+  };
+  auto autograd = [&](Tensor param) {
+    return [&, param]() mutable {
+      model.ZeroGrads();
+      input.ZeroGrad();
+      make_loss().Backward();
+      return param.grad();
+    };
+  };
+  auto value = [&] { return make_loss().item(); };
+  for (Tensor param : model.Parameters()) {
+    CheckGradientRel(param, value, autograd(param));
+  }
+  CheckGradientRel(input, value, autograd(input));
+}
+
+TEST(DtgmLayerGradTest, NoLiveNodeLeakAfterTrainingSteps) {
+  // Adam training steps over the full stacked graph (dropout active) must
+  // free every intermediate node: only the parameters may survive.
+  Rng rng(test::DeriveSeed(0x1EA4));
+  MiniDtgm model(&rng);
+  AdamOptimizer::Options options;
+  options.lr = 1e-3;
+  AdamOptimizer opt(model.Parameters(), options);
+  Rng dropout_rng(test::DeriveSeed(0xD0));
+  int64_t baseline = Tensor::LiveNodeCount();
+  for (int step = 0; step < 5; ++step) {
+    Tensor input =
+        Tensor::FromData({MiniDtgm::kT, MiniDtgm::kN, 1},
+                         std::vector<double>(MiniDtgm::kT * MiniDtgm::kN, 0.5));
+    Tensor pred = model.Forward(input, /*training=*/true, &dropout_rng);
+    Tensor loss = Tensor::MaeLoss(
+        pred, Tensor::Zeros({MiniDtgm::kN, MiniDtgm::kH}));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_EQ(Tensor::LiveNodeCount(), baseline);
 }
 
 }  // namespace

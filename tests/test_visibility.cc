@@ -80,25 +80,34 @@ TEST(VisibilityRuleTest, WaitVisibleReturnsZeroWhenAlreadyVisible) {
 TEST(VisibilityRuleTest, WaitVisibleBlocksUntilPublished) {
   FakeReplayer r(2);
   r.SetTable(0, 1);
+  // Scheduling-independent blocking check: WaitVisible may only return after
+  // the publisher flipped `published` (asserting a wall-clock lower bound on
+  // `waited` would flake whenever this thread gets descheduled first).
+  std::atomic<bool> published{false};
   std::thread publisher([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    published.store(true, std::memory_order_release);
     r.SetTable(0, 100);
   });
   int64_t waited = WaitVisible(r, {0}, 100);
+  EXPECT_TRUE(published.load(std::memory_order_acquire));
   publisher.join();
-  EXPECT_GE(waited, 10'000);  // at least ~10ms of the 20ms publish delay
+  EXPECT_GE(waited, 0);
   EXPECT_TRUE(IsVisible(r, {0}, 100));
 }
 
 TEST(VisibilityRuleTest, WaitVisibleUnblocksViaGlobal) {
   FakeReplayer r(1);
+  std::atomic<bool> published{false};
   std::thread publisher([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    published.store(true, std::memory_order_release);
     r.SetGlobal(77);  // heartbeat-style bump, table ts never moves
   });
   int64_t waited = WaitVisible(r, {0}, 77);
+  EXPECT_TRUE(published.load(std::memory_order_acquire));
   publisher.join();
-  EXPECT_GT(waited, 0);
+  EXPECT_GE(waited, 0);
 }
 
 TEST(VisibilityRuleTest, ConcurrentWaiters) {
