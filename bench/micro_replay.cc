@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <thread>
+
 #include "aets/common/macros.h"
 #include "aets/log/codec.h"
 #include "aets/log/shipped_epoch.h"
@@ -189,6 +192,109 @@ void BM_AetsSingleEpochReplay(benchmark::State& state) {
                           static_cast<int64_t>(Fixture().shipped.num_txns));
 }
 BENCHMARK(BM_AetsSingleEpochReplay)->Arg(1)->Arg(2)->Arg(4);
+
+// A recorded multi-epoch TPC-C stream, built once. Single-epoch replay can
+// never overlap stages across epochs, so the cross-epoch pipeline
+// (DESIGN.md §9) only shows up here.
+struct MultiEpochFixture {
+  static constexpr size_t kEpochTxns = 64;
+  static constexpr int kNumEpochs = 32;
+
+  MultiEpochFixture() : tpcc(EpochFixture::SmallConfig()) {
+    LogicalClock clock;
+    PrimaryDb db(&tpcc.catalog(), &clock);
+    Rng rng(7);
+    tpcc.Load(&db, &rng);
+    std::vector<TxnLog> txns;
+    db.SetCommitSink([&](TxnLog t) { txns.push_back(std::move(t)); });
+    for (int e = 0; e < kNumEpochs; ++e) {
+      txns.clear();
+      for (size_t i = 0; i < kEpochTxns; ++i) {
+        AETS_CHECK(tpcc.RunOltpTransaction(&db, &rng).ok());
+      }
+      Epoch epoch;
+      epoch.epoch_id = static_cast<uint64_t>(e);
+      epoch.txns = std::move(txns);
+      txns = {};
+      total_txns += epoch.txns.size();
+      epochs.push_back(EncodeEpoch(epoch));
+    }
+  }
+
+  TpccWorkload tpcc;
+  std::vector<ShippedEpoch> epochs;
+  uint64_t total_txns = 0;
+};
+
+MultiEpochFixture& MultiFixture() {
+  static MultiEpochFixture* fixture = new MultiEpochFixture();
+  return *fixture;
+}
+
+void BM_AetsMultiEpochReplay(benchmark::State& state) {
+  // range(0) = replay threads, range(1) = pipeline depth. Depth 1 is the
+  // unpipelined baseline; the CI bench job compares depth 1 vs 3.
+  const MultiEpochFixture& fx = MultiFixture();
+  for (auto _ : state) {
+    EpochChannel channel(fx.epochs.size() + 1);
+    for (const auto& shipped : fx.epochs) channel.Send(shipped);
+    channel.Close();
+    AetsOptions options;
+    options.replay_threads = static_cast<int>(state.range(0));
+    options.pipeline_depth = static_cast<int>(state.range(1));
+    options.grouping = GroupingMode::kStatic;
+    options.static_hot_groups = fx.tpcc.DefaultHotGroups();
+    AetsReplayer replayer(&fx.tpcc.catalog(), &channel, options);
+    AETS_CHECK(replayer.Start().ok());
+    replayer.Stop();
+    AETS_CHECK(replayer.error().ok());
+    benchmark::DoNotOptimize(replayer.stats().records.load());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.total_txns));
+}
+BENCHMARK(BM_AetsMultiEpochReplay)
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 3})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AetsMultiEpochReplayCommitLatency(benchmark::State& state) {
+  // Same stream, but the commit stage carries 200us of non-CPU latency per
+  // epoch (modeling a durable-commit fsync or a remote acknowledgement).
+  // At depth 1 that latency serializes with dispatch + translation; at
+  // depth >= 2 the pipeline hides prepare work behind it, so the win shows
+  // even on a single core. range(0) = threads, range(1) = pipeline depth.
+  const MultiEpochFixture& fx = MultiFixture();
+  for (auto _ : state) {
+    EpochChannel channel(fx.epochs.size() + 1);
+    for (const auto& shipped : fx.epochs) channel.Send(shipped);
+    channel.Close();
+    AetsOptions options;
+    options.replay_threads = static_cast<int>(state.range(0));
+    options.pipeline_depth = static_cast<int>(state.range(1));
+    options.grouping = GroupingMode::kStatic;
+    options.static_hot_groups = fx.tpcc.DefaultHotGroups();
+    AetsReplayer replayer(&fx.tpcc.catalog(), &channel, options);
+    replayer.SetCommitHookForTest([](const ShippedEpoch& epoch) {
+      if (!epoch.is_heartbeat()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+    AETS_CHECK(replayer.Start().ok());
+    replayer.Stop();
+    AETS_CHECK(replayer.error().ok());
+    benchmark::DoNotOptimize(replayer.stats().records.load());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.total_txns));
+}
+BENCHMARK(BM_AetsMultiEpochReplayCommitLatency)
+    ->Args({4, 1})
+    ->Args({4, 3})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace aets

@@ -1,13 +1,18 @@
 #include "aets/baselines/serial_replayer.h"
 
+#include <utility>
+
 #include "aets/common/macros.h"
 #include "aets/log/shipped_epoch.h"
 #include "aets/obs/trace.h"
 
 namespace aets {
 
-SerialReplayer::SerialReplayer(const Catalog* catalog, EpochChannel* channel)
-    : ReplayerBase(catalog, channel, "Serial") {}
+SerialReplayer::SerialReplayer(const Catalog* catalog, EpochChannel* channel,
+                               int pipeline_depth)
+    : ReplayerBase(catalog, channel, "Serial") {
+  SetPipelineDepth(pipeline_depth);
+}
 
 SerialReplayer::~SerialReplayer() { Stop(); }
 
@@ -23,15 +28,26 @@ void SerialReplayer::ProcessHeartbeat(const ShippedEpoch& epoch) {
   watermark_.store(epoch.heartbeat_ts, std::memory_order_release);
 }
 
-void SerialReplayer::ProcessEpoch(const ShippedEpoch& shipped) {
+std::unique_ptr<ReplayerBase::PreparedEpoch> SerialReplayer::PrepareEpoch(
+    const ShippedEpoch& shipped) {
+  AETS_TRACE_SPAN("replay.prepare");
+  auto prep = std::make_unique<PreparedSerial>();
+  ScopedTimerNs timer(&stats_.dispatch_ns);
   auto epoch = DecodeEpoch(shipped);
   if (!epoch.ok()) {
     SetError(epoch.status());
-    return;
+    return prep;
   }
+  prep->epoch = std::move(*epoch);
+  return prep;
+}
+
+void SerialReplayer::CommitEpoch(const ShippedEpoch& /*shipped*/,
+                                 std::unique_ptr<PreparedEpoch> prepared) {
+  auto* prep = static_cast<PreparedSerial*>(prepared.get());
   AETS_TRACE_SPAN("replay.epoch");
   ScopedTimerNs timer(&stats_.replay_ns);
-  for (const auto& txn : epoch->txns) {
+  for (const auto& txn : prep->epoch.txns) {
     for (const auto& rec : txn.records) {
       if (!rec.is_dml()) continue;
       store_.GetTable(rec.table_id)->ApplyCommitted(rec, txn.commit_ts);

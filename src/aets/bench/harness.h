@@ -69,6 +69,8 @@ struct ReplayerSpec {
   /// Rebuild the grouping when provided rates change (see AetsOptions).
   bool regroup_on_rate_change = true;
   double dbscan_eps = 0.3;
+  /// Cross-epoch pipeline depth (DESIGN.md §9). 1 disables the pipeline.
+  int pipeline_depth = 2;
 };
 
 std::unique_ptr<Replayer> MakeReplayer(const ReplayerSpec& spec,

@@ -1,10 +1,13 @@
 #include "aets/common/thread_pool.h"
 
+#include <chrono>
+
 #include "aets/common/macros.h"
 
 namespace aets {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, size_t max_queue)
+    : max_queue_(max_queue) {
   AETS_CHECK(num_threads > 0);
   threads_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
@@ -12,22 +15,63 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   task_ready_.notify_all();
-  for (auto& t : threads_) t.join();
+  space_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::EnqueueLocked(std::function<void()>&& task) {
+  tasks_.push_back(std::move(task));
+}
+
+bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    AETS_CHECK_MSG(!shutdown_, "Submit after shutdown");
-    tasks_.push_back(std::move(task));
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!shutdown_ && !HasSpaceLocked()) {
+      submit_stalls_.fetch_add(1, std::memory_order_relaxed);
+      space_.wait(lk, [&] { return shutdown_ || HasSpaceLocked(); });
+    }
+    if (shutdown_) return false;
+    EnqueueLocked(std::move(task));
   }
   task_ready_.notify_one();
+  return true;
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_ || !HasSpaceLocked()) return false;
+    EnqueueLocked(std::move(task));
+  }
+  task_ready_.notify_one();
+  return true;
+}
+
+bool ThreadPool::SubmitFor(std::function<void()> task, int64_t timeout_us) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!shutdown_ && !HasSpaceLocked()) {
+      submit_stalls_.fetch_add(1, std::memory_order_relaxed);
+      bool ok = space_.wait_for(lk, std::chrono::microseconds(timeout_us),
+                                [&] { return shutdown_ || HasSpaceLocked(); });
+      if (!ok) return false;  // timed out with a full queue
+    }
+    if (shutdown_) return false;
+    EnqueueLocked(std::move(task));
+  }
+  task_ready_.notify_one();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {
@@ -46,6 +90,7 @@ void ThreadPool::WorkerLoop() {
       tasks_.pop_front();
       ++in_flight_;
     }
+    space_.notify_one();
     task();
     {
       std::lock_guard<std::mutex> lk(mu_);

@@ -1,6 +1,7 @@
 #include "aets/replay/aets_replayer.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "aets/common/backoff.h"
 #include "aets/common/macros.h"
@@ -20,6 +21,15 @@ void StoreMax(std::atomic<Timestamp>& slot, Timestamp ts) {
 
 }  // namespace
 
+AetsReplayer::PreparedAets::~PreparedAets() { WaitTranslationDrained(); }
+
+void AetsReplayer::PreparedAets::WaitTranslationDrained() {
+  SpinBackoff backoff;
+  while (outstanding_translate.load(std::memory_order_acquire) != 0) {
+    backoff.Pause();
+  }
+}
+
 AetsReplayer::AetsReplayer(const Catalog* catalog, EpochChannel* channel,
                            AetsOptions options)
     : ReplayerBase(catalog, channel, options.name),
@@ -35,6 +45,7 @@ AetsReplayer::AetsReplayer(const Catalog* catalog, EpochChannel* channel,
   current_rates_ = options_.initial_rates;
   current_rates_.resize(catalog_->num_tables(), 0.0);
   RebuildGroups(current_rates_);
+  SetPipelineDepth(options_.pipeline_depth);
 }
 
 AetsReplayer::~AetsReplayer() { Stop(); }
@@ -43,8 +54,16 @@ Status AetsReplayer::StartWorkers() {
   if (options_.replay_threads <= 0 || options_.commit_threads <= 0) {
     return Status::InvalidArgument("thread counts must be positive");
   }
-  replay_pool_ = std::make_unique<ThreadPool>(options_.replay_threads);
-  commit_pool_ = std::make_unique<ThreadPool>(options_.commit_threads);
+  // Bounded queues: the pipeline depth already caps how many epochs feed the
+  // pools, so these bounds are a backstop sized to the worst-case task count
+  // per in-flight epoch — hitting one blocks the producer (backpressure)
+  // instead of growing an unbounded deque.
+  size_t depth = static_cast<size_t>(std::max(1, pipeline_depth()));
+  size_t replay_cap = depth * static_cast<size_t>(options_.replay_threads + 1);
+  replay_pool_ =
+      std::make_unique<ThreadPool>(options_.replay_threads, replay_cap);
+  commit_pool_ = std::make_unique<ThreadPool>(options_.commit_threads,
+                                              /*max_queue=*/1024);
   return Status::OK();
 }
 
@@ -64,7 +83,13 @@ Timestamp AetsReplayer::GlobalVisibleTs() const {
 
 std::vector<TableGroup> AetsReplayer::groups() const {
   std::lock_guard<std::mutex> lk(groups_mu_);
-  return groups_;
+  return grouping_->groups;
+}
+
+std::shared_ptr<const AetsReplayer::GroupingSnapshot>
+AetsReplayer::grouping_snapshot() const {
+  std::lock_guard<std::mutex> lk(groups_mu_);
+  return grouping_;
 }
 
 Status AetsReplayer::Bootstrap(const std::string& checkpoint_path) {
@@ -88,9 +113,9 @@ Status AetsReplayer::WriteCheckpoint(const std::string& path) const {
 }
 
 void AetsReplayer::ProcessHeartbeat(const ShippedEpoch& epoch) {
-  // The heartbeat is enqueued after everything the primary ever shipped and
-  // epochs are processed in order, so all data older than heartbeat_ts is
-  // already replayed; the whole backup may publish it.
+  // Heartbeats ride the pipeline queue behind every data epoch shipped
+  // before them, and the commit context is single, so all data older than
+  // heartbeat_ts is already replayed; the whole backup may publish it.
   for (auto& ts : table_ts_) StoreMax(ts, epoch.heartbeat_ts);
   StoreMax(global_ts_, epoch.heartbeat_ts);
   watermark_metric_->Set(
@@ -110,8 +135,10 @@ void AetsReplayer::RefreshRates() {
     RebuildGroups(current_rates_);
   } else {
     // Keep the group shapes; refresh their access rates for the allocator.
-    std::lock_guard<std::mutex> lk(groups_mu_);
-    for (auto& g : groups_) {
+    // Installed as a fresh snapshot — epochs already in the pipeline keep
+    // reading the generation they were dispatched under.
+    auto next = std::make_shared<GroupingSnapshot>(*grouping_snapshot());
+    for (auto& g : next->groups) {
       g.access_rate = 0;
       for (TableId t : g.tables) g.access_rate += current_rates_[t];
       if (options_.grouping != GroupingMode::kStatic &&
@@ -119,97 +146,124 @@ void AetsReplayer::RefreshRates() {
         g.hot = g.access_rate >= options_.hot_rate_threshold;
       }
     }
+    std::lock_guard<std::mutex> lk(groups_mu_);
+    grouping_ = std::move(next);
   }
 }
 
 void AetsReplayer::RebuildGroups(const std::vector<double>& rates) {
-  std::vector<TableGroup> groups;
+  auto next = std::make_shared<GroupingSnapshot>();
   switch (options_.grouping) {
     case GroupingMode::kPerTable:
-      groups = TableGrouping::PerTable(rates, options_.hot_rate_threshold);
+      next->groups = TableGrouping::PerTable(rates, options_.hot_rate_threshold);
       break;
     case GroupingMode::kByAccessRate:
-      groups = TableGrouping::ByAccessRate(rates, options_.dbscan_eps,
-                                           options_.hot_rate_threshold);
+      next->groups = TableGrouping::ByAccessRate(rates, options_.dbscan_eps,
+                                                 options_.hot_rate_threshold);
       break;
     case GroupingMode::kStatic:
-      groups = TableGrouping::Static(options_.static_hot_groups, rates,
-                                     catalog_->num_tables());
+      next->groups = TableGrouping::Static(options_.static_hot_groups, rates,
+                                           catalog_->num_tables());
       break;
     case GroupingMode::kSingle:
-      groups = TableGrouping::Single(catalog_->num_tables(), rates);
+      next->groups = TableGrouping::Single(catalog_->num_tables(), rates);
       break;
   }
-  std::vector<int> map = TableGrouping::TableToGroup(groups, catalog_->num_tables());
+  next->table_to_group =
+      TableGrouping::TableToGroup(next->groups, catalog_->num_tables());
+  size_t num_groups = next->groups.size();
   {
     std::lock_guard<std::mutex> lk(groups_mu_);
-    groups_ = std::move(groups);
-    table_to_group_ = std::move(map);
+    grouping_ = std::move(next);
   }
   regroup_metric_->Add(1);
-  num_groups_metric_->Set(static_cast<int64_t>(groups_.size()));
-  group_thread_gauges_.resize(groups_.size());
-  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+  num_groups_metric_->Set(static_cast<int64_t>(num_groups));
+  group_thread_gauges_.resize(num_groups);
+  for (size_t gi = 0; gi < num_groups; ++gi) {
     group_thread_gauges_[gi] = obs::GetGauge("allocator.group_threads.g" +
                                              std::to_string(gi));
   }
-  last_alloc_.assign(groups_.size(), -1);
+  last_alloc_.assign(num_groups, -1);
 }
 
-void AetsReplayer::ProcessEpoch(const ShippedEpoch& epoch) {
-  AETS_TRACE_SPAN("replay.epoch");
-  int64_t apply_start_us = MonotonicMicros();
+std::unique_ptr<ReplayerBase::PreparedEpoch> AetsReplayer::PrepareEpoch(
+    const ShippedEpoch& epoch) {
+  AETS_TRACE_SPAN("replay.prepare");
+  auto prep = std::make_unique<PreparedAets>();
+  prep->apply_start_us = MonotonicMicros();
   RefreshRates();
-
-  std::vector<GroupEpochState> gstate(groups_.size());
+  prep->grouping = grouping_snapshot();
+  prep->payload = epoch.payload;
+  const GroupingSnapshot& grouping = *prep->grouping;
+  prep->gstate = std::vector<GroupEpochState>(grouping.groups.size());
   {
     AETS_TRACE_SPAN("replay.dispatch");
     ScopedTimerNs timer(&stats_.dispatch_ns);
-    if (!DispatchEpoch(epoch, &gstate)) return;
+    if (!DispatchEpoch(epoch, grouping, &prep->gstate)) return prep;
   }
 
   // Partition groups into the two stages. Without two-stage replay every
-  // group runs in one stage. Groups that received no log entries in this
-  // epoch have nothing pending, so their tables publish the epoch's maximum
-  // commit timestamp immediately — queries touching only quiet tables
-  // (e.g. read-only dimension tables) never wait on the global watermark.
-  std::vector<int> hot_groups;
-  std::vector<int> cold_groups;
-  for (size_t gi = 0; gi < groups_.size(); ++gi) {
-    if (gstate[gi].fragments.empty()) {
-      for (TableId t : groups_[gi].tables) {
-        StoreMax(table_ts_[t], epoch.max_commit_ts);
-      }
-      continue;
-    }
-    if (options_.two_stage && !groups_[gi].hot) {
-      cold_groups.push_back(static_cast<int>(gi));
+  // group runs in one stage. Groups that received no log entries this epoch
+  // have nothing pending, but their tables may publish the epoch's maximum
+  // commit timestamp only after the whole epoch commits cleanly (see
+  // CommitEpoch) — publishing here would let a later stage failure leave a
+  // quiet table's watermark past the failure point.
+  for (size_t gi = 0; gi < grouping.groups.size(); ++gi) {
+    if (prep->gstate[gi].fragments.empty()) {
+      prep->quiet_groups.push_back(static_cast<int>(gi));
+    } else if (options_.two_stage && !grouping.groups[gi].hot) {
+      prep->cold_groups.push_back(static_cast<int>(gi));
     } else {
-      hot_groups.push_back(static_cast<int>(gi));
+      prep->hot_groups.push_back(static_cast<int>(gi));
     }
   }
+  // Phase-1 translation starts now, possibly epochs ahead of its commit:
+  // translate only pins Memtable nodes and builds pending cells, so it is
+  // safe to overlap with the commit of earlier epochs. Hot groups enqueue
+  // first so stage 1 is never starved behind cold work.
+  LaunchTranslate(prep.get(), prep->hot_groups);
+  LaunchTranslate(prep.get(), prep->cold_groups);
+  return prep;
+}
+
+void AetsReplayer::CommitEpoch(const ShippedEpoch& epoch,
+                               std::unique_ptr<PreparedEpoch> prepared) {
+  AETS_TRACE_SPAN("replay.epoch");
+  auto* prep = static_cast<PreparedAets*>(prepared.get());
   {
     AETS_TRACE_SPAN("replay.stage1_hot");
     ScopedTimerNs timer(&stats_.stage1_wall_ns);
-    RunStage(epoch, &gstate, hot_groups);
+    CommitStage(prep, prep->hot_groups);
   }
   {
     AETS_TRACE_SPAN("replay.stage2_cold");
     ScopedTimerNs timer(&stats_.stage2_wall_ns);
-    RunStage(epoch, &gstate, cold_groups);
+    CommitStage(prep, prep->cold_groups);
   }
+  // Quiesce this epoch's translate tasks before reading the latch: a
+  // poisoned fragment's SetError must not be outrun by the check below.
+  prep->WaitTranslationDrained();
 
-  // A failed epoch must not move any watermark past the failure point.
+  // A failed epoch must not move any watermark past the failure point —
+  // including the quiet groups, whose tables saw no log entries this epoch
+  // but would otherwise announce visibility the epoch never earned.
   if (HasError()) return;
 
+  const GroupingSnapshot& grouping = *prep->grouping;
+  for (int gi : prep->quiet_groups) {
+    for (TableId t : grouping.groups[static_cast<size_t>(gi)].tables) {
+      StoreMax(table_ts_[t], epoch.max_commit_ts);
+    }
+  }
   StoreMax(global_ts_, epoch.max_commit_ts);
   stats_.txns.fetch_add(epoch.num_txns, std::memory_order_relaxed);
   watermark_metric_->Set(
       static_cast<int64_t>(global_ts_.load(std::memory_order_relaxed)));
-  epoch_apply_us_metric_->Record(MonotonicMicros() - apply_start_us);
+  epoch_apply_us_metric_->Record(MonotonicMicros() - prep->apply_start_us);
 }
 
 bool AetsReplayer::DispatchEpoch(const ShippedEpoch& epoch,
+                                 const GroupingSnapshot& grouping,
                                  std::vector<GroupEpochState>* gstate) {
   // The log parser + dispatcher (component 1 of Fig. 3): a single pass over
   // the metadata prefixes finds transaction boundaries and routes each DML
@@ -219,7 +273,7 @@ bool AetsReplayer::DispatchEpoch(const ShippedEpoch& epoch,
   size_t offset = 0;
   TxnId cur_txn = kInvalidTxnId;
   Timestamp cur_ts = kInvalidTimestamp;
-  std::vector<Fragment*> open(groups_.size(), nullptr);
+  std::vector<Fragment*> open(grouping.groups.size(), nullptr);
   std::vector<int> touched;
   while (offset < data.size()) {
     size_t rec_start = offset;
@@ -245,11 +299,11 @@ bool AetsReplayer::DispatchEpoch(const ShippedEpoch& epoch,
           SetError(Status::Corruption("DML outside transaction"));
           return false;
         }
-        if (rec->table_id >= table_to_group_.size()) {
+        if (rec->table_id >= grouping.table_to_group.size()) {
           SetError(Status::Corruption("DML for unknown table"));
           return false;
         }
-        size_t gi = static_cast<size_t>(table_to_group_[rec->table_id]);
+        size_t gi = static_cast<size_t>(grouping.table_to_group[rec->table_id]);
         GroupEpochState& gs = (*gstate)[gi];
         if (open[gi] == nullptr) {
           auto frag = std::make_unique<Fragment>();
@@ -268,17 +322,17 @@ bool AetsReplayer::DispatchEpoch(const ShippedEpoch& epoch,
   return true;
 }
 
-void AetsReplayer::RunStage(const ShippedEpoch& epoch,
-                            std::vector<GroupEpochState>* gstate,
-                            const std::vector<int>& member_groups) {
+void AetsReplayer::LaunchTranslate(PreparedAets* prep,
+                                   const std::vector<int>& member_groups) {
   if (member_groups.empty()) return;
+  const GroupingSnapshot& grouping = *prep->grouping;
 
   std::vector<GroupDemand> demands;
   demands.reserve(member_groups.size());
   for (int gi : member_groups) {
     demands.push_back(GroupDemand{
-        static_cast<double>((*gstate)[static_cast<size_t>(gi)].bytes),
-        groups_[static_cast<size_t>(gi)].access_rate});
+        static_cast<double>(prep->gstate[static_cast<size_t>(gi)].bytes),
+        grouping.groups[static_cast<size_t>(gi)].access_rate});
   }
   std::vector<int> alloc =
       AllocateThreads(demands, options_.replay_threads, options_.adaptive_alloc);
@@ -315,24 +369,45 @@ void AetsReplayer::RunStage(const ShippedEpoch& epoch,
     worker_groups[i % worker_groups.size()].push_back(leftovers[i]);
   }
 
-  // Phase 2 committers start first (they block on the translated flags),
-  // then the phase-1 translate workers. The commit pool bounds how many
-  // groups commit in parallel; 1 reproduces a single-commit-thread design.
-  for (int gi : member_groups) {
-    commit_pool_->Submit([this, gstate, gi] {
-      CommitGroup(&(*gstate)[static_cast<size_t>(gi)],
-                  groups_[static_cast<size_t>(gi)]);
-    });
-  }
-  const std::string* payload = epoch.payload.get();
+  // Submit phase-1 translate tasks. The committers — which may only run
+  // epochs later — synchronize on the per-fragment translated flags, and
+  // the prepared state's outstanding_translate counter keeps the gstate
+  // alive until every task returned. A full replay queue blocks right here,
+  // throttling the prepare stage (bounded-queue backpressure).
+  const std::string* payload = prep->payload.get();
   for (auto& assignment : worker_groups) {
-    replay_pool_->Submit([this, payload, gstate, assignment] {
+    prep->outstanding_translate.fetch_add(1, std::memory_order_relaxed);
+    bool accepted = replay_pool_->Submit([this, prep, payload, assignment] {
       for (int gi : assignment) {
-        TranslateGroup(*payload, &(*gstate)[static_cast<size_t>(gi)]);
+        TranslateGroup(*payload, &prep->gstate[static_cast<size_t>(gi)]);
       }
+      prep->outstanding_translate.fetch_sub(1, std::memory_order_release);
     });
+    if (!accepted) {
+      prep->outstanding_translate.fetch_sub(1, std::memory_order_relaxed);
+      SetError(Status::Internal("replay pool rejected a translate task"));
+      return;
+    }
   }
-  replay_pool_->WaitIdle();
+}
+
+void AetsReplayer::CommitStage(PreparedAets* prep,
+                               const std::vector<int>& member_groups) {
+  if (member_groups.empty()) return;
+  // Phase 2 (Algorithms 1-2): one task per group; the commit pool bounds how
+  // many groups commit in parallel (1 reproduces a single-commit-thread
+  // design). Only the single commit context submits here, so WaitIdle is a
+  // barrier over exactly this epoch's stage.
+  for (int gi : member_groups) {
+    bool accepted = commit_pool_->Submit([this, prep, gi] {
+      CommitGroup(&prep->gstate[static_cast<size_t>(gi)],
+                  prep->grouping->groups[static_cast<size_t>(gi)]);
+    });
+    if (!accepted) {
+      SetError(Status::Internal("commit pool rejected a commit task"));
+      break;
+    }
+  }
   commit_pool_->WaitIdle();
 }
 

@@ -42,6 +42,12 @@ struct AetsOptions {
   bool two_stage = true;
   /// Weigh the thread allocation by access rate (false = AETS-NOAC).
   bool adaptive_alloc = true;
+  /// Cross-epoch pipeline depth (DESIGN.md §9): how many epochs may sit
+  /// between dispatch/translation and commit at once. 1 reproduces the fully
+  /// serial main loop; 2–4 overlap epoch N+1's dispatch + phase-1
+  /// translation with epoch N's phase-2 commit. Watermark publication stays
+  /// strictly epoch-ordered at any depth.
+  int pipeline_depth = 2;
 
   GroupingMode grouping = GroupingMode::kPerTable;
   /// Hot groups for GroupingMode::kStatic.
@@ -76,7 +82,10 @@ struct AetsOptions {
 /// visibility timestamps of Algorithm 3.
 ///
 /// One AetsReplayer drives one backup node: it pulls encoded epochs from its
-/// channel in order and replays each epoch in (up to) two stages.
+/// channel in order, dispatches + phase-1-translates each epoch on the main
+/// loop thread (PrepareEpoch), and installs + publishes it on the commit
+/// context (CommitEpoch) — with pipeline_depth > 1 the two phases of
+/// adjacent epochs overlap (DESIGN.md §9).
 class AetsReplayer : public ReplayerBase {
  public:
   AetsReplayer(const Catalog* catalog, EpochChannel* channel,
@@ -103,7 +112,10 @@ class AetsReplayer : public ReplayerBase {
  protected:
   Status StartWorkers() override;
   void StopWorkers() override;
-  void ProcessEpoch(const ShippedEpoch& epoch) override;
+  std::unique_ptr<PreparedEpoch> PrepareEpoch(
+      const ShippedEpoch& epoch) override;
+  void CommitEpoch(const ShippedEpoch& epoch,
+                   std::unique_ptr<PreparedEpoch> prepared) override;
   void ProcessHeartbeat(const ShippedEpoch& epoch) override;
 
  private:
@@ -138,12 +150,49 @@ class AetsReplayer : public ReplayerBase {
     size_t bytes = 0;
   };
 
+  /// An immutable grouping generation. Each prepared epoch pins the
+  /// generation it was dispatched under, so a regroup triggered while later
+  /// epochs prepare can never invalidate the group/table lists a commit (or
+  /// an in-flight translate task) still reads.
+  struct GroupingSnapshot {
+    std::vector<TableGroup> groups;
+    std::vector<int> table_to_group;
+  };
+
+  /// Everything PrepareEpoch hands across the pipeline to CommitEpoch. Its
+  /// destructor quiesces this epoch's translate tasks, so a dropped
+  /// (post-error-latch) item can never leave a worker touching freed state.
+  struct PreparedAets : PreparedEpoch {
+    ~PreparedAets() override;
+    /// Spins until every translate task launched for this epoch returned.
+    void WaitTranslationDrained();
+
+    std::shared_ptr<const GroupingSnapshot> grouping;
+    /// Pins the wire bytes the fragments' offsets point into.
+    std::shared_ptr<const std::string> payload;
+    std::vector<GroupEpochState> gstate;
+    std::vector<int> hot_groups;
+    std::vector<int> cold_groups;
+    /// Groups that received no log entries this epoch; their tables publish
+    /// max_commit_ts only after the epoch commits cleanly.
+    std::vector<int> quiet_groups;
+    std::atomic<int> outstanding_translate{0};
+    int64_t apply_start_us = 0;
+  };
+
   void RefreshRates();
   void RebuildGroups(const std::vector<double>& rates);
+  std::shared_ptr<const GroupingSnapshot> grouping_snapshot() const;
   bool DispatchEpoch(const ShippedEpoch& epoch,
+                     const GroupingSnapshot& grouping,
                      std::vector<GroupEpochState>* gstate);
-  void RunStage(const ShippedEpoch& epoch, std::vector<GroupEpochState>* gstate,
-                const std::vector<int>& member_groups);
+  /// Plans the stage's thread allocation and submits its phase-1 translate
+  /// tasks to the replay pool (asynchronously — the commit stage, possibly
+  /// epochs later, synchronizes on the per-fragment translated flags).
+  void LaunchTranslate(PreparedAets* prep,
+                       const std::vector<int>& member_groups);
+  /// Runs the stage's phase-2 group commits and waits for them to finish.
+  void CommitStage(PreparedAets* prep, const std::vector<int>& member_groups);
   void TranslateGroup(const std::string& payload, GroupEpochState* gs);
   void CommitGroup(GroupEpochState* gs, const TableGroup& group);
 
@@ -153,8 +202,7 @@ class AetsReplayer : public ReplayerBase {
   std::atomic<Timestamp> global_ts_{kInvalidTimestamp};
 
   mutable std::mutex groups_mu_;
-  std::vector<TableGroup> groups_;
-  std::vector<int> table_to_group_;
+  std::shared_ptr<const GroupingSnapshot> grouping_;
   std::vector<double> current_rates_;
 
   /// Observability (resolved once per instrument; aggregated process-wide).

@@ -44,9 +44,16 @@ struct ReplayStats {
   /// `epochs` this tells an external stepper when a shipped epoch has been
   /// fully consumed (the simulation harness waits on it).
   std::atomic<uint64_t> heartbeats{0};
+  /// Times the main loop blocked handing a prepared epoch to a full commit
+  /// pipeline (pipeline_depth epochs already in flight) — the backpressure
+  /// events of the cross-epoch pipeline, DESIGN.md §9.
+  std::atomic<uint64_t> pipeline_stalls{0};
 
   int64_t WallMicros() const {
-    return wall_end_us.load() - wall_start_us.load();
+    // An error latched before the first epoch leaves both marks at zero; a
+    // clamped difference keeps downstream throughput math out of inf/NaN.
+    int64_t us = wall_end_us.load() - wall_start_us.load();
+    return us < 0 ? 0 : us;
   }
   /// Replayed transactions per second of wall time.
   double TxnsPerSec() const {

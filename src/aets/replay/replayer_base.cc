@@ -24,13 +24,17 @@ ReplayerBase::ReplayerBase(const Catalog* catalog, EpochChannel* channel,
       duplicates_dropped_metric_(
           obs::GetCounter("replay.epochs_duplicate_dropped")),
       corrupt_dropped_metric_(
-          obs::GetCounter("replay.epochs_corrupt_dropped")) {}
+          obs::GetCounter("replay.epochs_corrupt_dropped")),
+      pipeline_stalls_metric_(obs::GetCounter("pipeline.stalls")),
+      pipeline_depth_metric_(obs::GetGauge("pipeline.depth")),
+      pipeline_occupancy_metric_(obs::GetGauge("pipeline.occupancy")) {}
 
 ReplayerBase::~ReplayerBase() {
   // Backstop only: by now the derived part is gone, so StopWorkers() would
   // not dispatch — derived destructors must call Stop() themselves.
   std::lock_guard<std::mutex> lk(lifecycle_mu_);
   if (main_thread_.joinable()) main_thread_.join();
+  if (commit_thread_.joinable()) commit_thread_.join();
 }
 
 void ReplayerBase::SetEpochSource(EpochSource* source) {
@@ -45,14 +49,38 @@ void ReplayerBase::SetRecoveryOptions(const ReplayRecoveryOptions& options) {
   recovery_ = options;
 }
 
+void ReplayerBase::SetPipelineDepth(int depth) {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (started_.load(std::memory_order_relaxed)) return;
+  pipeline_depth_ = depth;
+}
+
+void ReplayerBase::SetCommitHookForTest(
+    std::function<void(const ShippedEpoch&)> hook) {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (started_.load(std::memory_order_relaxed)) return;
+  commit_hook_ = std::move(hook);
+}
+
 Status ReplayerBase::Start() {
   std::lock_guard<std::mutex> lk(lifecycle_mu_);
   if (started_.load(std::memory_order_relaxed)) {
     return Status::InvalidArgument("already started");
   }
+  if (pipeline_depth_ < 1) {
+    return Status::InvalidArgument("pipeline_depth must be >= 1, got " +
+                                   std::to_string(pipeline_depth_));
+  }
   Status s = StartWorkers();
   if (!s.ok()) return s;
+  pipe_.clear();
+  pipe_closed_ = false;
+  in_commit_ = 0;
+  pipeline_depth_metric_->Set(pipeline_depth_);
   started_.store(true, std::memory_order_release);
+  if (pipeline_depth_ > 1) {
+    commit_thread_ = std::thread([this] { CommitLoop(); });
+  }
   main_thread_ = std::thread([this] { MainLoop(); });
   return Status::OK();
 }
@@ -60,7 +88,10 @@ Status ReplayerBase::Start() {
 void ReplayerBase::Stop() {
   std::lock_guard<std::mutex> lk(lifecycle_mu_);
   if (!started_.load(std::memory_order_relaxed)) return;
+  // The main loop closes the pipeline after its final drain, so joining in
+  // this order leaves the commit queue fully consumed.
   if (main_thread_.joinable()) main_thread_.join();
+  if (commit_thread_.joinable()) commit_thread_.join();
   StopWorkers();
   started_.store(false, std::memory_order_release);
 }
@@ -76,7 +107,7 @@ void ReplayerBase::SetError(Status status) {
   error_flag_.store(true, std::memory_order_release);
 }
 
-void ReplayerBase::ApplyNext(const ShippedEpoch& epoch, bool retransmitted) {
+void ReplayerBase::ApplyNext(ShippedEpoch epoch, bool retransmitted) {
   ++expected_epoch_;
   if (retransmitted) {
     stats_.epochs_retried.fetch_add(1, std::memory_order_relaxed);
@@ -85,23 +116,84 @@ void ReplayerBase::ApplyNext(const ShippedEpoch& epoch, bool retransmitted) {
   if (stats_.wall_start_us.load() == 0) {
     stats_.wall_start_us.store(MonotonicMicros());
   }
-  if (epoch.is_heartbeat()) {
-    ProcessHeartbeat(epoch);
-    stats_.heartbeats.fetch_add(1, std::memory_order_relaxed);
-    heartbeats_applied_metric_->Add(1);
-  } else {
-    ProcessEpoch(epoch);
-    if (!HasError()) {
-      stats_.epochs.fetch_add(1, std::memory_order_relaxed);
-      stats_.records.fetch_add(epoch.num_records, std::memory_order_relaxed);
-      stats_.bytes.fetch_add(epoch.ByteSize(), std::memory_order_relaxed);
-      epochs_applied_metric_->Add(1);
-      txns_applied_metric_->Add(epoch.num_txns);
-      records_applied_metric_->Add(epoch.num_records);
-      bytes_applied_metric_->Add(epoch.ByteSize());
+  PipelineItem item;
+  // The latch can trip from the commit context mid-ingest; a post-latch
+  // epoch skips prepare and drains through the queue as a no-op.
+  if (!epoch.is_heartbeat() && !HasError()) {
+    item.prepared = PrepareEpoch(epoch);
+  }
+  item.epoch = std::move(epoch);
+  if (pipeline_depth_ <= 1) {
+    CommitItem(std::move(item));
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lk(pipe_mu_);
+    const size_t depth = static_cast<size_t>(pipeline_depth_);
+    if (pipe_.size() + static_cast<size_t>(in_commit_) >= depth) {
+      // Backpressure: the commit stage is the bottleneck — block instead of
+      // letting prepared epochs (and their pinned payloads) pile up.
+      stats_.pipeline_stalls.fetch_add(1, std::memory_order_relaxed);
+      pipeline_stalls_metric_->Add(1);
+      pipe_space_cv_.wait(lk, [&] {
+        return pipe_.size() + static_cast<size_t>(in_commit_) < depth;
+      });
+    }
+    pipe_.push_back(std::move(item));
+    pipeline_occupancy_metric_->Set(
+        static_cast<int64_t>(pipe_.size()) + in_commit_);
+  }
+  pipe_ready_cv_.notify_one();
+}
+
+void ReplayerBase::CommitItem(PipelineItem item) {
+  if (!HasError()) {
+    if (commit_hook_) commit_hook_(item.epoch);
+    if (item.epoch.is_heartbeat()) {
+      ProcessHeartbeat(item.epoch);
+      stats_.heartbeats.fetch_add(1, std::memory_order_relaxed);
+      heartbeats_applied_metric_->Add(1);
+    } else {
+      CommitEpoch(item.epoch, std::move(item.prepared));
+      if (!HasError()) {
+        stats_.epochs.fetch_add(1, std::memory_order_relaxed);
+        stats_.records.fetch_add(item.epoch.num_records,
+                                 std::memory_order_relaxed);
+        stats_.bytes.fetch_add(item.epoch.ByteSize(),
+                               std::memory_order_relaxed);
+        epochs_applied_metric_->Add(1);
+        txns_applied_metric_->Add(item.epoch.num_txns);
+        records_applied_metric_->Add(item.epoch.num_records);
+        bytes_applied_metric_->Add(item.epoch.ByteSize());
+      }
     }
   }
+  // A dropped (post-latch) item unwinds here: destroying `prepared` quiesces
+  // any translation the prepare phase left in flight, and nothing publishes.
   stats_.wall_end_us.store(MonotonicMicros());
+}
+
+void ReplayerBase::CommitLoop() {
+  for (;;) {
+    PipelineItem item;
+    {
+      std::unique_lock<std::mutex> lk(pipe_mu_);
+      pipe_ready_cv_.wait(lk, [&] { return pipe_closed_ || !pipe_.empty(); });
+      if (pipe_.empty()) return;  // closed and drained
+      item = std::move(pipe_.front());
+      pipe_.pop_front();
+      ++in_commit_;
+    }
+    pipe_space_cv_.notify_one();
+    CommitItem(std::move(item));
+    {
+      std::lock_guard<std::mutex> lk(pipe_mu_);
+      --in_commit_;
+      pipeline_occupancy_metric_->Set(
+          static_cast<int64_t>(pipe_.size()) + in_commit_);
+    }
+    pipe_space_cv_.notify_one();
+  }
 }
 
 void ReplayerBase::Ingest(ShippedEpoch epoch, PendingMap* pending,
@@ -145,7 +237,7 @@ void ReplayerBase::Ingest(ShippedEpoch epoch, PendingMap* pending,
     }
     return;
   }
-  ApplyNext(epoch, retransmitted);
+  ApplyNext(std::move(epoch), retransmitted);
   // The arrival may have been the gap head — drain every parked successor
   // that is now contiguous.
   while (!HasError()) {
@@ -153,7 +245,7 @@ void ReplayerBase::Ingest(ShippedEpoch epoch, PendingMap* pending,
     if (it == pending->end()) break;
     ShippedEpoch next = std::move(it->second);
     pending->erase(it);
-    ApplyNext(next, false);
+    ApplyNext(std::move(next), false);
   }
 }
 
@@ -250,6 +342,13 @@ void ReplayerBase::MainLoop() {
     if (!pending.empty() && !HasError()) RecoverGaps(&pending);
   }
   if (!HasError()) FinalDrain(&pending);
+  if (pipeline_depth_ > 1) {
+    {
+      std::lock_guard<std::mutex> lk(pipe_mu_);
+      pipe_closed_ = true;
+    }
+    pipe_ready_cv_.notify_all();
+  }
 }
 
 }  // namespace aets

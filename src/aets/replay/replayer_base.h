@@ -2,7 +2,11 @@
 #define AETS_REPLAY_REPLAYER_BASE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -37,6 +41,17 @@ struct ReplayRecoveryOptions {
 ///  - the epoch-ordered main loop: payload-CRC verification on receive,
 ///    epoch-id sequencing, wall-clock stats, heartbeat routing, and the
 ///    per-epoch volume counters and metrics;
+///  - the cross-epoch pipeline (DESIGN.md §9): each in-order epoch is split
+///    into a prepare phase (PrepareEpoch — dispatch/decode/translate launch,
+///    runs on the main loop thread) and a commit phase (CommitEpoch — version
+///    install + watermark publication). With pipeline_depth > 1 a dedicated
+///    commit thread consumes a bounded in-order queue of prepared epochs, so
+///    receive/CRC/dispatch/translation of epoch N+1 overlaps the commit of
+///    epoch N. The queue bound is the backpressure: when depth epochs are in
+///    flight the main loop blocks in ApplyNext (counted in
+///    ReplayStats::pipeline_stalls / pipeline.stalls). Commit order — and
+///    therefore every watermark publication — stays strictly epoch-ordered
+///    because the single commit context pops the queue FIFO;
 ///  - the loss-recovery protocol. The channel may drop, duplicate, reorder,
 ///    or corrupt epochs; the loop skips already-applied ids (duplicates),
 ///    buffers early arrivals, and fills gaps by first waiting a bounded
@@ -49,14 +64,19 @@ struct ReplayRecoveryOptions {
 ///  - the sticky error latch, with a lock-free HasError() fast check the
 ///    hot loops poll — once it trips, the main loop stops applying and
 ///    drains the channel without installing anything (the channel is
-///    bounded, so halting receives outright could deadlock the producer);
+///    bounded, so halting receives outright could deadlock the producer).
+///    Epochs already in the pipeline drain through the commit thread without
+///    committing or publishing, and their prepared state unwinds cleanly
+///    (subclasses quiesce in-flight translation in their PreparedEpoch
+///    destructor);
 ///  - race-safe Start()/Stop(): lifecycle transitions are serialized by a
 ///    mutex, Stop() is idempotent, and a failed StartWorkers() leaves the
 ///    replayer cleanly un-started.
 ///
-/// Subclasses implement ProcessEpoch/ProcessHeartbeat, and optionally
-/// StartWorkers/StopWorkers for their thread pools. Their destructors must
-/// call Stop() (so the virtual StopWorkers still dispatches).
+/// Subclasses implement PrepareEpoch/CommitEpoch/ProcessHeartbeat, and
+/// optionally StartWorkers/StopWorkers for their thread pools. Their
+/// destructors must call Stop() (so the virtual StopWorkers still
+/// dispatches).
 class ReplayerBase : public Replayer {
  public:
   ReplayerBase(const Catalog* catalog, EpochChannel* channel, std::string name);
@@ -65,6 +85,18 @@ class ReplayerBase : public Replayer {
   void SetEpochSource(EpochSource* source) override;
   /// Shrinks/extends the recovery windows (tests). Before Start() only.
   void SetRecoveryOptions(const ReplayRecoveryOptions& options);
+
+  /// Bounds the number of epochs in flight between prepare and commit
+  /// (1 = fully serial, i.e. the pre-pipeline behavior). Before Start()
+  /// only; Start() rejects values < 1.
+  void SetPipelineDepth(int depth);
+  int pipeline_depth() const { return pipeline_depth_; }
+
+  /// Test-only: invoked on the commit context right before each pipeline
+  /// item (data epoch or heartbeat) commits. A blocking hook models a slow
+  /// committer, letting tests freeze the commit stage while the prepare
+  /// stage runs ahead. Before Start() only.
+  void SetCommitHookForTest(std::function<void(const ShippedEpoch&)> hook);
 
   Status Start() final;
   void Stop() final;
@@ -78,13 +110,22 @@ class ReplayerBase : public Replayer {
   Status error() const;
 
   /// The next epoch id the main loop expects — i.e. every id below it has
-  /// been handed to ProcessEpoch/ProcessHeartbeat. Safe to poll from other
-  /// threads (the simulation harness steps epochs one at a time against it).
+  /// been admitted into the replay pipeline (prepared, though with
+  /// pipeline_depth > 1 not necessarily committed yet; poll stats().epochs
+  /// for commit progress). Safe to poll from other threads.
   EpochId next_expected_epoch() const {
     return expected_epoch_.load(std::memory_order_acquire);
   }
 
  protected:
+  /// Opaque per-epoch state carried from PrepareEpoch to CommitEpoch.
+  /// Destroying it must quiesce anything the prepare phase left in flight
+  /// (e.g. translation tasks still claiming fragments) — a dropped pipeline
+  /// item after an error latch is destroyed without CommitEpoch running.
+  struct PreparedEpoch {
+    virtual ~PreparedEpoch() = default;
+  };
+
   /// Validates options and spawns worker pools; a failure aborts Start()
   /// without marking the replayer started. Called under the lifecycle lock.
   virtual Status StartWorkers() { return Status::OK(); }
@@ -92,11 +133,25 @@ class ReplayerBase : public Replayer {
   /// Tears down worker pools after the main loop joined.
   virtual void StopWorkers() {}
 
-  /// Applies one data epoch. On failure, latch with SetError() — the base
-  /// then skips the per-epoch stats/metrics and stops applying.
-  virtual void ProcessEpoch(const ShippedEpoch& epoch) = 0;
+  /// Phase A of one data epoch: metadata dispatch, decode, and launching
+  /// any phase-1 translation. Runs on the main loop thread, possibly while
+  /// an earlier epoch is still committing — it must not install versions or
+  /// publish watermarks. On failure, latch with SetError(); the returned
+  /// state is then discarded without CommitEpoch.
+  virtual std::unique_ptr<PreparedEpoch> PrepareEpoch(
+      const ShippedEpoch& epoch) = 0;
 
-  /// Publishes a heartbeat timestamp to the visibility watermark(s).
+  /// Phase B of one data epoch: version install and watermark publication.
+  /// Runs on the commit context (the commit thread when pipeline_depth > 1,
+  /// inline otherwise), strictly in epoch order, one epoch at a time. On
+  /// failure, latch with SetError() — the base then skips the per-epoch
+  /// stats/metrics and stops applying.
+  virtual void CommitEpoch(const ShippedEpoch& epoch,
+                           std::unique_ptr<PreparedEpoch> prepared) = 0;
+
+  /// Publishes a heartbeat timestamp to the visibility watermark(s). Runs on
+  /// the commit context, ordered with CommitEpoch — a heartbeat never
+  /// overtakes the data epoch shipped before it.
   virtual void ProcessHeartbeat(const ShippedEpoch& epoch) = 0;
 
   void SetError(Status status);
@@ -121,14 +176,31 @@ class ReplayerBase : public Replayer {
   /// Early arrivals parked while a gap is open, keyed by epoch id.
   using PendingMap = std::map<EpochId, ShippedEpoch>;
 
+  /// One in-order unit of the prepare→commit hand-off. Heartbeats flow
+  /// through the same queue (prepared == nullptr) so their publication
+  /// cannot overtake a data epoch still committing.
+  struct PipelineItem {
+    ShippedEpoch epoch;
+    std::unique_ptr<PreparedEpoch> prepared;
+  };
+
   void MainLoop();
   /// Classifies one received epoch: corrupt payloads are dropped (a loss the
   /// NACK path repairs), stale ids are counted as duplicates, early ids are
   /// parked in `pending`, and the expected id is applied — followed by every
   /// now-contiguous parked successor.
   void Ingest(ShippedEpoch epoch, PendingMap* pending, bool retransmitted);
-  /// Applies the epoch at expected_epoch_ and advances the sequence.
-  void ApplyNext(const ShippedEpoch& epoch, bool retransmitted);
+  /// Prepares the epoch at expected_epoch_, advances the sequence, and hands
+  /// the prepared item to the commit context — inline at depth 1, otherwise
+  /// via the bounded pipeline queue (blocking when depth epochs are already
+  /// in flight).
+  void ApplyNext(ShippedEpoch epoch, bool retransmitted);
+  /// Commits (or, post-latch, drains) one pipeline item and maintains the
+  /// per-epoch stats/metrics. Runs on the commit context.
+  void CommitItem(PipelineItem item);
+  /// Commit-thread body at pipeline_depth > 1: pops the queue FIFO until it
+  /// is closed and drained.
+  void CommitLoop();
   /// Closes the gap at expected_epoch_ while the channel is live: bounded
   /// reorder wait, then NACK via the EpochSource, then the error latch.
   void RecoverGaps(PendingMap* pending);
@@ -140,6 +212,8 @@ class ReplayerBase : public Replayer {
 
   EpochSource* source_ = nullptr;
   ReplayRecoveryOptions recovery_;
+  int pipeline_depth_ = 1;
+  std::function<void(const ShippedEpoch&)> commit_hook_;
 
   /// Observability (resolved once per instrument; aggregated process-wide).
   obs::Counter* epochs_applied_metric_;
@@ -150,8 +224,21 @@ class ReplayerBase : public Replayer {
   obs::Counter* epochs_retried_metric_;
   obs::Counter* duplicates_dropped_metric_;
   obs::Counter* corrupt_dropped_metric_;
+  obs::Counter* pipeline_stalls_metric_;
+  obs::Gauge* pipeline_depth_metric_;
+  obs::Gauge* pipeline_occupancy_metric_;
+
+  /// Prepare→commit hand-off (pipeline_depth > 1 only). Occupancy is
+  /// pipe_.size() + in_commit_; ApplyNext blocks while it equals the depth.
+  std::mutex pipe_mu_;
+  std::condition_variable pipe_ready_cv_;
+  std::condition_variable pipe_space_cv_;
+  std::deque<PipelineItem> pipe_;
+  int in_commit_ = 0;
+  bool pipe_closed_ = false;
 
   std::thread main_thread_;
+  std::thread commit_thread_;
   std::mutex lifecycle_mu_;
   std::atomic<bool> started_{false};
 

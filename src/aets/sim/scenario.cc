@@ -39,8 +39,10 @@ RecordedStream RecordScenario(const ScenarioSpec& spec) {
   RecordedStream out;
   out.catalog = std::make_unique<Catalog>();
   for (size_t t = 0; t < spec.num_tables; ++t) {
+    std::string table_name = "t";
+    table_name += std::to_string(t);
     AETS_CHECK(out.catalog
-                   ->RegisterTable("t" + std::to_string(t),
+                   ->RegisterTable(table_name,
                                    Schema::Of({{"a", ColumnType::kInt64},
                                                {"b", ColumnType::kString}}))
                    .ok());
@@ -63,10 +65,13 @@ RecordedStream RecordScenario(const ScenarioSpec& spec) {
       for (const WritePlan& w : tp.writes) {
         ++seq;
         switch (w.kind) {
-          case WritePlan::kInsert:
+          case WritePlan::kInsert: {
+            std::string sval = "v";
+            sval += std::to_string(seq);
             txn.Insert(w.table, w.key,
-                       {{0, Value(seq)}, {1, Value("v" + std::to_string(seq))}});
+                       {{0, Value(seq)}, {1, Value(std::move(sval))}});
             break;
+          }
           case WritePlan::kUpdate:
             txn.Update(w.table, w.key, {{0, Value(seq * 1000)}});
             break;

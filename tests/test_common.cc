@@ -275,6 +275,111 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
   }
 }
 
+// Occupies the single worker of `pool` (blocking on `gate`, already held by
+// the caller) and fills the one queue slot, so the queue is deterministically
+// full when this returns. The started-flag handshake closes the race where
+// the worker has not yet dequeued the blocker and would free the slot
+// mid-test.
+void SaturateSingleSlotPool(ThreadPool* pool, std::mutex* gate) {
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(pool->Submit([gate, &started] {
+    started.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> hold(*gate);
+  }));
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(pool->TrySubmit([] {}));  // the worker is busy: fills the slot
+}
+
+TEST(ThreadPoolTest, TrySubmitFailsOnFullQueue) {
+  ThreadPool pool(1, /*max_queue=*/1);
+  std::mutex gate;
+  gate.lock();
+  SaturateSingleSlotPool(&pool, &gate);
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(pool.TrySubmit([&] { ran.store(true); }));
+  gate.unlock();
+  pool.WaitIdle();
+  EXPECT_FALSE(ran.load());  // a rejected task must never run
+}
+
+TEST(ThreadPoolTest, SubmitBlocksUntilSpaceFrees) {
+  ThreadPool pool(1, /*max_queue=*/1);
+  std::mutex gate;
+  gate.lock();
+  SaturateSingleSlotPool(&pool, &gate);
+  // This Submit has no free slot: it must block, then succeed once the gated
+  // task finishes. Ordering (not timing) is the assertion: the submitter
+  // thread can only observe `accepted == true` after the gate opens.
+  std::atomic<bool> accepted{false};
+  std::thread submitter([&] {
+    accepted.store(pool.Submit([] {}), std::memory_order_release);
+  });
+  // The queue stays full until the gate opens, so the submitter must register
+  // a backpressure stall; waiting for it here proves Submit actually blocked.
+  while (pool.submit_stalls() == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(accepted.load());
+  gate.unlock();
+  submitter.join();
+  EXPECT_TRUE(accepted.load());
+  pool.WaitIdle();
+}
+
+TEST(ThreadPoolTest, SubmitForTimesOutOnFullQueue) {
+  ThreadPool pool(1, /*max_queue=*/1);
+  std::mutex gate;
+  gate.lock();
+  SaturateSingleSlotPool(&pool, &gate);
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(pool.SubmitFor([&] { ran.store(true); }, /*timeout_us=*/2'000));
+  gate.unlock();
+  pool.WaitIdle();
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejectedNoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&] { counter.fetch_add(1); });
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 10);  // accepted tasks drained before stopping
+  EXPECT_FALSE(pool.Submit([&] { counter.fetch_add(1); }));
+  EXPECT_FALSE(pool.TrySubmit([&] { counter.fetch_add(1); }));
+  EXPECT_FALSE(pool.SubmitFor([&] { counter.fetch_add(1); }, 1'000));
+  pool.Shutdown();  // idempotent
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, SubmitShutdownRaceNeverLosesAcceptedTasks) {
+  // TSan-exercised: producers hammer Submit while another thread shuts the
+  // pool down. Every accepted task must run exactly once; every rejected
+  // task must never run. accepted == executed is the whole invariant.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3, /*max_queue=*/4);
+    std::atomic<int> accepted{0};
+    std::atomic<int> executed{0};
+    std::vector<std::thread> producers;
+    producers.reserve(4);
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&] {
+        for (int i = 0; i < 50; ++i) {
+          if (pool.TrySubmit([&] { executed.fetch_add(1); })) {
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    std::thread killer([&] { pool.Shutdown(); });
+    for (auto& t : producers) t.join();
+    killer.join();
+    pool.Shutdown();
+    EXPECT_EQ(accepted.load(), executed.load());
+  }
+}
+
 TEST(ParallelForTest, CoversAllIndices) {
   std::vector<std::atomic<int>> hits(64);
   ParallelFor(4, 64, [&](int i) { hits[static_cast<size_t>(i)].fetch_add(1); });

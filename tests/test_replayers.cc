@@ -6,9 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 
 #include "aets/baselines/atr_replayer.h"
+#include "aets/log/codec.h"
 #include "aets/baselines/c5_replayer.h"
 #include "aets/baselines/serial_replayer.h"
 #include "aets/baselines/tplr_replayer.h"
@@ -104,6 +111,7 @@ std::vector<std::unique_ptr<Replayer>> MakeAllReplayers(
     options.commit_threads = 2;
     options.grouping = GroupingMode::kPerTable;
     options.initial_rates = rates;
+    options.pipeline_depth = 1;  // unpipelined reference configuration
     replayers.push_back(std::make_unique<AetsReplayer>(
         catalog, pipeline->AddChannel(), options));
   }
@@ -113,6 +121,7 @@ std::vector<std::unique_ptr<Replayer>> MakeAllReplayers(
     options.commit_threads = 2;
     options.grouping = GroupingMode::kByAccessRate;
     options.initial_rates = rates;
+    options.pipeline_depth = 3;  // deep cross-epoch pipeline (DESIGN.md §9)
     replayers.push_back(std::make_unique<AetsReplayer>(
         catalog, pipeline->AddChannel(), options));
   }
@@ -407,6 +416,206 @@ TEST_P(LivePipelineSweep, HeartbeatsAndGcPreserveEquivalence) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LivePipelineSweep,
                          ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---------------------------------------------------------------------------
+// Cross-epoch pipeline (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+// A commit hook that blocks the commit context on the first data epoch until
+// the test releases it, freezing the commit stage while the prepare stage
+// runs ahead.
+struct BlockingCommitHook {
+  std::function<void(const ShippedEpoch&)> AsHook() {
+    return [this](const ShippedEpoch& epoch) {
+      if (epoch.is_heartbeat() || epoch.epoch_id != 0) return;
+      std::unique_lock<std::mutex> lk(mu);
+      blocked.store(true, std::memory_order_release);
+      cv.wait(lk, [this] { return released; });
+    };
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lk(mu);
+    released = true;
+    cv.notify_all();
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+  std::atomic<bool> blocked{false};
+};
+
+// One hand-crafted data epoch: a single transaction inserting `marker` into
+// table 0's string column at `commit_ts`. The marker makes the string's
+// value bytes findable in the encoded payload, so tests can corrupt exactly
+// the region the metadata dispatch skips.
+ShippedEpoch MakeStringInsertEpoch(EpochId id, Timestamp commit_ts,
+                                   const std::string& marker) {
+  Epoch epoch;
+  epoch.epoch_id = id;
+  TxnLog txn;
+  txn.txn_id = commit_ts;
+  txn.commit_ts = commit_ts;
+  uint64_t lsn = commit_ts * 10;
+  txn.records = {
+      LogRecord::Begin(lsn, txn.txn_id, commit_ts),
+      LogRecord::Dml(LogRecordType::kInsert, lsn + 1, txn.txn_id, commit_ts,
+                     /*table=*/0, /*key=*/static_cast<int64_t>(commit_ts),
+                     {{0, Value(static_cast<int64_t>(commit_ts))},
+                      {1, Value(marker)}}),
+      LogRecord::Commit(lsn + 2, txn.txn_id, commit_ts)};
+  epoch.txns.push_back(std::move(txn));
+  return EncodeEpoch(epoch);
+}
+
+// Flips one byte inside the epoch's copy of `marker` — i.e. inside a DML
+// record's value bytes — and recomputes the epoch-level payload CRC. The
+// epoch then passes the receive-side integrity check and the metadata
+// dispatch (which skips value bytes and per-record checksums), and fails
+// only in phase-1 translation, where DecodeView verifies the record frame.
+void CorruptValueBytes(ShippedEpoch* shipped, const std::string& marker) {
+  auto tampered = std::make_shared<std::string>(*shipped->payload);
+  size_t pos = tampered->find(marker);
+  ASSERT_NE(pos, std::string::npos);
+  (*tampered)[pos] ^= 0x01;
+  shipped->payload = tampered;
+  shipped->payload_crc = Crc32c(tampered->data(), tampered->size());
+  ASSERT_TRUE(shipped->PayloadIntact());
+}
+
+TEST(PipelineTest, PublicationStaysInOrderUnderBackpressure) {
+  // Freeze the committer on epoch 0 with depth 3: the prepare stage may run
+  // ahead by exactly `depth` epochs (plus the one blocked in ApplyNext), and
+  // nothing may become visible until the committer resumes — publication is
+  // epoch-ordered even though translation of later epochs already finished.
+  constexpr int kTables = 2;
+  constexpr int kDepth = 3;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  Pipeline pipeline(catalog.get(), /*epoch_size=*/4);
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+  options.pipeline_depth = kDepth;
+  AetsReplayer replayer(catalog.get(), pipeline.AddChannel(), options);
+  BlockingCommitHook hook;
+  replayer.SetCommitHookForTest(hook.AsHook());
+  ASSERT_TRUE(replayer.Start().ok());
+
+  RunRandomWorkload(&pipeline.db, kTables, /*num_txns=*/100,
+                    test::DeriveSeed(71));
+  pipeline.shipper.Finish();  // ~25 epochs, far more than the pipeline holds
+
+  // The admission sequence must advance to depth + 1 (epochs 1..depth-1
+  // queued behind the blocked epoch 0, one more blocked inside ApplyNext)
+  // and then stall there.
+  while (replayer.next_expected_epoch() < kDepth + 1) {
+    std::this_thread::yield();
+  }
+  while (replayer.stats().pipeline_stalls.load() == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(replayer.next_expected_epoch(), static_cast<EpochId>(kDepth + 1));
+  // Nothing committed: no watermark moved, however far translation ran.
+  EXPECT_EQ(replayer.GlobalVisibleTs(), kInvalidTimestamp);
+  for (TableId t = 0; t < kTables; ++t) {
+    EXPECT_EQ(replayer.TableVisibleTs(t), kInvalidTimestamp);
+  }
+  EXPECT_EQ(replayer.stats().epochs.load(), 0u);
+
+  hook.Release();
+  replayer.Stop();
+
+  Timestamp final_ts = pipeline.db.last_commit_ts();
+  EXPECT_TRUE(replayer.error().ok()) << replayer.error().ToString();
+  EXPECT_EQ(replayer.GlobalVisibleTs(), final_ts);
+  EXPECT_EQ(replayer.store()->DigestAt(final_ts),
+            pipeline.db.store().DigestAt(final_ts));
+  EXPECT_EQ(replayer.stats().txns.load(), 100u);
+  EXPECT_GE(replayer.stats().pipeline_stalls.load(), 1u);
+}
+
+TEST(PipelineTest, ErrorLatchMidPipelineDrainsWithoutPublishing) {
+  // Epoch 0 is frozen in the committer while epochs 1..4 flow into the
+  // pipeline; epoch 2 carries value-byte corruption that only phase-1
+  // translation detects. The latch must trip while earlier epochs are still
+  // uncommitted, and once it does, NO watermark may advance — not even for
+  // the healthy epochs admitted before the corrupt one — and the pipeline
+  // must drain cleanly on Stop().
+  constexpr int kTables = 2;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  EpochChannel channel(64);
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+  options.pipeline_depth = 3;
+  AetsReplayer replayer(catalog.get(), &channel, options);
+  BlockingCommitHook hook;
+  replayer.SetCommitHookForTest(hook.AsHook());
+  ASSERT_TRUE(replayer.Start().ok());
+
+  const std::string marker = "pipelatchmarker";
+  for (EpochId id = 0; id < 5; ++id) {
+    ShippedEpoch shipped = MakeStringInsertEpoch(id, /*commit_ts=*/id + 1,
+                                                 marker);
+    if (id == 2) CorruptValueBytes(&shipped, marker);
+    channel.Send(shipped);
+  }
+
+  // The corrupt epoch's translation latches the error while epoch 0 is
+  // still blocked in the commit hook.
+  while (replayer.error().ok()) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(replayer.GlobalVisibleTs(), kInvalidTimestamp);
+  for (TableId t = 0; t < kTables; ++t) {
+    EXPECT_EQ(replayer.TableVisibleTs(t), kInvalidTimestamp);
+  }
+
+  hook.Release();
+  channel.Close();
+  replayer.Stop();  // in-flight items drain without committing
+
+  EXPECT_TRUE(replayer.error().IsCorruption()) << replayer.error().ToString();
+  EXPECT_EQ(replayer.GlobalVisibleTs(), kInvalidTimestamp);
+  for (TableId t = 0; t < kTables; ++t) {
+    EXPECT_EQ(replayer.TableVisibleTs(t), kInvalidTimestamp);
+  }
+  EXPECT_EQ(replayer.stats().epochs.load(), 0u);
+}
+
+TEST(PipelineTest, QuietTableWatermarkFrozenByStageFailure) {
+  // Regression for the quiet-table watermark leak: with per-table groups,
+  // a dimension table untouched by the epoch ("quiet") used to get its
+  // tg_cmt_ts published unconditionally at epoch end, BEFORE the error
+  // latch was consulted — so a stage failure in the same epoch left the
+  // quiet table's watermark past the failure point, and Algorithm 3 would
+  // serve a query a snapshot the epoch never earned. The publish now sits
+  // after the HasError() check; this test fails against the old order.
+  std::unique_ptr<Catalog> catalog(MakeCatalog(2));
+  EpochChannel channel(8);
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;  // table 1 gets a quiet group
+  AetsReplayer replayer(catalog.get(), &channel, options);
+  ASSERT_TRUE(replayer.Start().ok());
+
+  // The only transaction touches table 0; table 1 stays quiet this epoch.
+  const std::string marker = "quietleakmarker";
+  ShippedEpoch shipped = MakeStringInsertEpoch(/*id=*/0, /*commit_ts=*/7,
+                                               marker);
+  CorruptValueBytes(&shipped, marker);
+  channel.Send(shipped);
+  channel.Close();
+  replayer.Stop();
+
+  EXPECT_TRUE(replayer.error().IsCorruption()) << replayer.error().ToString();
+  // The failed group's table froze...
+  EXPECT_EQ(replayer.TableVisibleTs(0), kInvalidTimestamp);
+  // ...and the quiet table must NOT have been announced visible at the
+  // epoch's max commit timestamp (the leak this PR fixes).
+  EXPECT_EQ(replayer.TableVisibleTs(1), kInvalidTimestamp);
+  EXPECT_EQ(replayer.GlobalVisibleTs(), kInvalidTimestamp);
+}
 
 TEST(ReplayerStatsTest, PhaseBreakdownAccumulates) {
   std::unique_ptr<Catalog> catalog(MakeCatalog(4));

@@ -31,6 +31,10 @@
 #include "test_seed.h"
 
 static int g_sim_iters = 50;
+// Cross-epoch pipeline depth (DESIGN.md §9) applied to every replayer under
+// test; 0 keeps each factory's built-in default. Set via --pipeline_depth=N
+// or AETS_PIPELINE_DEPTH. CI runs the oracle at depth 1 and depth 3.
+static int g_pipeline_depth = 0;
 
 namespace aets {
 namespace {
@@ -105,13 +109,30 @@ struct SimReplayerSpec {
   sim::ReplayerFactory make;
 };
 
+// The global --pipeline_depth override, or each factory's `fallback` when
+// the flag is unset.
+int DepthOr(int fallback) {
+  return g_pipeline_depth > 0 ? g_pipeline_depth : fallback;
+}
+
 std::vector<SimReplayerSpec> AllReplayerSpecs() {
   std::vector<SimReplayerSpec> specs;
-  specs.push_back({"aets-per-table", [](const Catalog* c, EpochChannel* ch) {
+  // Two AETS grouping configurations at the extreme pipeline depths (unless
+  // --pipeline_depth pins everything): serial hand-off vs a deep pipeline.
+  specs.push_back({"aets-per-table-d1", [](const Catalog* c, EpochChannel* ch) {
                      AetsOptions o;
                      o.replay_threads = 3;
                      o.commit_threads = 2;
                      o.grouping = GroupingMode::kPerTable;
+                     o.pipeline_depth = DepthOr(1);
+                     return std::make_unique<AetsReplayer>(c, ch, o);
+                   }});
+  specs.push_back({"aets-per-table-d3", [](const Catalog* c, EpochChannel* ch) {
+                     AetsOptions o;
+                     o.replay_threads = 3;
+                     o.commit_threads = 2;
+                     o.grouping = GroupingMode::kPerTable;
+                     o.pipeline_depth = DepthOr(3);
                      return std::make_unique<AetsReplayer>(c, ch, o);
                    }});
   specs.push_back({"aets-by-rate", [](const Catalog* c, EpochChannel* ch) {
@@ -121,22 +142,30 @@ std::vector<SimReplayerSpec> AllReplayerSpecs() {
                      o.grouping = GroupingMode::kByAccessRate;
                      o.initial_rates =
                          std::vector<double>(c->num_tables(), 5.0);
+                     o.pipeline_depth = DepthOr(o.pipeline_depth);
                      return std::make_unique<AetsReplayer>(c, ch, o);
                    }});
   specs.push_back({"tplr", [](const Catalog* c, EpochChannel* ch) {
-                     return MakeTplrReplayer(c, ch, /*threads=*/3);
+                     AetsOptions o = TplrBaselineOptions(/*replay_threads=*/3);
+                     o.pipeline_depth = DepthOr(o.pipeline_depth);
+                     return std::make_unique<AetsReplayer>(c, ch, o);
                    }});
   specs.push_back({"atr", [](const Catalog* c, EpochChannel* ch) {
-                     return std::make_unique<AtrReplayer>(
-                         c, ch, AtrOptions{/*workers=*/3});
+                     AtrOptions o;
+                     o.workers = 3;
+                     o.pipeline_depth = DepthOr(o.pipeline_depth);
+                     return std::make_unique<AtrReplayer>(c, ch, o);
                    }});
   specs.push_back({"c5", [](const Catalog* c, EpochChannel* ch) {
-                     return std::make_unique<C5Replayer>(
-                         c, ch,
-                         C5Options{/*workers=*/3, /*watermark_period_us=*/500});
+                     C5Options o;
+                     o.workers = 3;
+                     o.watermark_period_us = 500;
+                     o.pipeline_depth = DepthOr(o.pipeline_depth);
+                     return std::make_unique<C5Replayer>(c, ch, o);
                    }});
   specs.push_back({"serial", [](const Catalog* c, EpochChannel* ch) {
-                     return std::make_unique<SerialReplayer>(c, ch);
+                     return std::make_unique<SerialReplayer>(c, ch,
+                                                             DepthOr(2));
                    }});
   return specs;
 }
@@ -282,15 +311,21 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("AETS_SIM_ITERS")) {
     g_sim_iters = std::atoi(env);
   }
+  if (const char* env = std::getenv("AETS_PIPELINE_DEPTH")) {
+    g_pipeline_depth = std::atoi(env);
+  }
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--sim_iters=", 12) == 0) {
       g_sim_iters = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--pipeline_depth=", 17) == 0) {
+      g_pipeline_depth = std::atoi(argv[i] + 17);
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
   if (g_sim_iters < 1) g_sim_iters = 1;
+  if (g_pipeline_depth < 0) g_pipeline_depth = 0;
   return RUN_ALL_TESTS();
 }
