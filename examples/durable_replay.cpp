@@ -1,0 +1,384 @@
+// Durable replay driver: the crash-restart gauntlet's workhorse
+// (DESIGN.md §10, scripts/crash_restart_gauntlet.sh).
+//
+// Three modes over one seeded, fully deterministic workload (no wall-clock
+// heartbeats — epoch ids and commit timestamps depend only on --seed):
+//
+//   run      Streams the workload through primary -> LogShipper (durable
+//            segment tier attached, small RAM retention) -> AetsReplayer,
+//            pacing itself so a kill -9 lands mid-stream, and writing live
+//            checkpoints into the segment directory between epochs. The
+//            gauntlet kills this process at a seeded random point.
+//
+//   digest   The uninterrupted reference: same pipeline run to completion,
+//            then one line per data epoch
+//                EPOCH <id> <max_commit_ts> <digest>
+//            and a FINAL line. Digests are TableStore::DigestAt at each
+//            epoch's max commit timestamp (valid historically: no GC here).
+//
+//   recover  Reopens the segment directory after a crash: SegmentStore::Open
+//            truncates any torn tail, the newest restorable checkpoint
+//            bootstraps a fresh replayer, and the segment tail replays
+//            through the normal main loop via DurableEpochSource. Verifies
+//            the recovered store against the sim oracle's ReferenceModel
+//            (exact rows, not just a digest) and prints
+//                RECOVERED next_epoch=<n> ts=<ts> digest=<d> fetches=<f>
+//                          tail=<n> torn=<n>
+//            for the gauntlet to match against the reference EPOCH table.
+//
+//   $ ./durable_replay run --dir /tmp/aets-seg --seed 11
+//   $ ./durable_replay recover --dir /tmp/aets-seg --seed 11
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aets/obs/metrics.h"
+#include "aets/primary/primary_db.h"
+#include "aets/replay/aets_replayer.h"
+#include "aets/replication/durable_source.h"
+#include "aets/replication/log_shipper.h"
+#include "aets/sim/reference_model.h"
+#include "aets/storage/segment_store.h"
+
+using namespace aets;
+
+namespace {
+
+struct Config {
+  std::string mode;
+  std::string dir;
+  uint64_t seed = 1;
+  int num_tables = 4;
+  int num_txns = 20000;
+  int epoch_size = 32;
+  int batch = 50;          // txns per pacing step (run mode)
+  int pause_us = 2000;     // sleep per pacing step (run mode)
+  int ckpt_every = 3000;   // txns between live checkpoints (run mode)
+  size_t retention = 16;   // RAM retention epochs: small, to force spills
+  size_t segment_max_bytes = 256u << 10;  // small, to force rollovers
+};
+
+// Deterministic splitmix64 — the driver must replay identically on every
+// invocation with the same seed, across processes.
+struct Rng {
+  uint64_t state;
+  uint64_t Next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  uint64_t Below(uint64_t n) { return Next() % n; }
+};
+
+void FillCatalog(Catalog* catalog, int num_tables) {
+  for (int t = 0; t < num_tables; ++t) {
+    TableId id = catalog
+                     ->RegisterTable("t" + std::to_string(t),
+                                     Schema::Of({{"count", ColumnType::kInt64},
+                                                 {"payload", ColumnType::kString}}))
+                     .value();
+    (void)id;
+  }
+}
+
+// One deterministic transaction: 1-3 ops over 150 keys per table, with the
+// insert/update/delete choice keyed to what is currently live.
+void ApplyOneTxn(PrimaryDb* db, Rng* rng, int num_tables,
+                 std::vector<std::set<int64_t>>* live, int64_t i) {
+  PrimaryTxn txn = db->Begin();
+  int ops = 1 + static_cast<int>(rng->Below(3));
+  for (int o = 0; o < ops; ++o) {
+    TableId t = static_cast<TableId>(rng->Below(num_tables));
+    int64_t key = static_cast<int64_t>(rng->Below(150));
+    uint64_t roll = rng->Below(100);
+    auto& alive = (*live)[t];
+    if (alive.count(key) == 0) {
+      txn.Insert(t, key,
+                 {{0, Value(i)}, {1, Value("ins-" + std::to_string(i))}});
+      alive.insert(key);
+    } else if (roll < 75) {
+      txn.Update(t, key,
+                 {{0, Value(i)}, {1, Value("upd-" + std::to_string(i))}});
+    } else {
+      txn.Delete(t, key);
+      alive.erase(key);
+    }
+  }
+  if (!db->Commit(std::move(txn)).ok()) {
+    std::fprintf(stderr, "commit %lld failed\n", static_cast<long long>(i));
+    std::exit(2);
+  }
+}
+
+AetsOptions ReplayOptions(int num_tables) {
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.commit_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+  options.initial_rates = std::vector<double>(num_tables, 1.0);
+  return options;
+}
+
+uint64_t CounterValue(const char* name) {
+  auto snap = obs::MetricsRegistry::Instance().Snapshot();
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+int RunMode(const Config& cfg, bool paced) {
+  Catalog catalog;
+  FillCatalog(&catalog, cfg.num_tables);
+  LogicalClock clock;
+  PrimaryDb primary(&catalog, &clock);
+
+  auto store_or = SegmentStore::Open(
+      {cfg.dir, cfg.segment_max_bytes, FsyncPolicy::kSegment, nullptr});
+  if (!store_or.ok()) {
+    std::fprintf(stderr, "segment store: %s\n",
+                 store_or.status().ToString().c_str());
+    return 2;
+  }
+  SegmentStore& store = **store_or;
+
+  LogShipper shipper(cfg.epoch_size, cfg.retention);
+  shipper.AttachSegmentStore(&store);
+  EpochChannel channel;
+  shipper.AttachChannel(&channel);
+  primary.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+  AetsReplayer backup(&catalog, &channel, ReplayOptions(cfg.num_tables));
+  backup.SetEpochSource(&shipper);
+  if (!backup.Start().ok()) return 2;
+
+  Rng rng{cfg.seed};
+  std::vector<std::set<int64_t>> live(cfg.num_tables);
+  for (int i = 1; i <= cfg.num_txns; ++i) {
+    ApplyOneTxn(&primary, &rng, cfg.num_tables, &live, i);
+    if (paced && i % cfg.batch == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(cfg.pause_us));
+    }
+    if (i % cfg.ckpt_every == 0) {
+      // Flush in BOTH modes: epoch boundaries are part of the deterministic
+      // stream, and the reference digest table must place them exactly where
+      // the killed run did.
+      shipper.FlushEpoch();
+    }
+    if (paced && i % cfg.ckpt_every == 0) {
+      // Quiesce: the epoch is sealed, wait for the backup to catch up, then
+      // snapshot the live backup. The single-threaded driver guarantees no
+      // epoch ships between the watermark check and the checkpoint write.
+      while (backup.error().ok() &&
+             backup.GlobalVisibleTs() < primary.last_commit_ts()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      if (!backup.error().ok()) break;
+      std::string path =
+          CheckpointPathFor(cfg.dir, backup.next_expected_epoch());
+      Status s = backup.WriteLiveCheckpoint(path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "checkpoint: %s\n", s.ToString().c_str());
+        return 2;
+      }
+      PruneCheckpoints(cfg.dir, 3);
+      std::printf("CKPT %" PRIu64 " txns=%d\n",
+                  static_cast<uint64_t>(backup.next_expected_epoch()), i);
+      std::fflush(stdout);
+    }
+  }
+  shipper.Finish();
+  backup.Stop();
+  if (!backup.error().ok()) {
+    std::fprintf(stderr, "replay error: %s\n",
+                 backup.error().ToString().c_str());
+    return 2;
+  }
+
+  // The epoch table (digest mode prints it; run mode prints FINAL only,
+  // used when the gauntlet's kill misses and the run completes).
+  EpochId next = store.next_epoch();
+  EpochId last_data = 0;
+  Timestamp last_ts = kInvalidTimestamp;
+  for (EpochId id = store.first_epoch(); id < next; ++id) {
+    auto epoch = store.Read(id);
+    if (!epoch || epoch->is_heartbeat()) continue;
+    uint64_t digest = backup.store()->DigestAt(epoch->max_commit_ts);
+    if (cfg.mode == "digest") {
+      std::printf("EPOCH %" PRIu64 " %" PRIu64 " %016" PRIx64 "\n",
+                  static_cast<uint64_t>(id),
+                  static_cast<uint64_t>(epoch->max_commit_ts), digest);
+    }
+    last_data = id;
+    last_ts = epoch->max_commit_ts;
+  }
+  std::printf("FINAL %" PRIu64 " %" PRIu64 " %016" PRIx64 " spills=%" PRIu64
+              " produced=%" PRIu64 "\n",
+              static_cast<uint64_t>(last_data),
+              static_cast<uint64_t>(last_ts),
+              backup.store()->DigestAt(last_ts), shipper.epochs_spilled(),
+              shipper.epochs_produced());
+  std::fflush(stdout);
+  return 0;
+}
+
+int RecoverMode(const Config& cfg) {
+  Catalog catalog;
+  FillCatalog(&catalog, cfg.num_tables);
+
+  auto store_or = SegmentStore::Open(
+      {cfg.dir, cfg.segment_max_bytes, FsyncPolicy::kSegment, nullptr});
+  if (!store_or.ok()) {
+    std::fprintf(stderr, "segment store: %s\n",
+                 store_or.status().ToString().c_str());
+    return 2;
+  }
+  SegmentStore& store = **store_or;
+
+  // Newest restorable checkpoint wins; a corrupt image falls back to the
+  // next older one, and no image at all means a cold replay from epoch 0.
+  DurableEpochSource source(&store);
+  std::unique_ptr<AetsReplayer> backup;
+  EpochChannel closed_channel;
+  closed_channel.Close();
+  EpochId bootstrapped_at = 0;
+  for (const std::string& ckpt : ListCheckpointFiles(cfg.dir)) {
+    auto candidate = std::make_unique<AetsReplayer>(
+        &catalog, &closed_channel, ReplayOptions(cfg.num_tables));
+    Status s = candidate->Bootstrap(ckpt);
+    if (!s.ok()) {
+      std::fprintf(stderr, "checkpoint %s rejected: %s\n", ckpt.c_str(),
+                   s.ToString().c_str());
+      continue;
+    }
+    if (candidate->next_expected_epoch() > store.next_epoch()) {
+      // The image is ahead of the durable log (a chaos-truncated segment
+      // tail): restoring it would fake epochs the log cannot replay. Fall
+      // back to an older image that the log covers.
+      std::fprintf(stderr, "checkpoint %s ahead of durable log, skipping\n",
+                   ckpt.c_str());
+      continue;
+    }
+    backup = std::move(candidate);
+    bootstrapped_at = backup->next_expected_epoch();
+    std::printf("BOOTSTRAP %s epoch=%" PRIu64 "\n", ckpt.c_str(),
+                static_cast<uint64_t>(bootstrapped_at));
+    break;
+  }
+  if (!backup) {
+    backup = std::make_unique<AetsReplayer>(&catalog, &closed_channel,
+                                            ReplayOptions(cfg.num_tables));
+  }
+
+  // The channel is already closed, so Start() + Stop() drives the normal
+  // FinalDrain: every epoch in [bootstrapped_at, store.next_epoch()) is
+  // fetched from disk and replayed through the regular two-stage loop.
+  backup->SetEpochSource(&source);
+  if (!backup->Start().ok()) return 2;
+  backup->Stop();
+  if (!backup->error().ok()) {
+    std::fprintf(stderr, "recovery replay error: %s\n",
+                 backup->error().ToString().c_str());
+    return 2;
+  }
+
+  // Exactness probe: rebuild the reference history from the durable log
+  // (the model is a second implementation of the storage semantics) and
+  // demand the recovered store match it row for row at the watermark.
+  sim::ReferenceModel model(cfg.num_tables);
+  Timestamp last_ts = kInvalidTimestamp;
+  EpochId last_data = 0;
+  for (EpochId id = store.first_epoch(); id < store.next_epoch(); ++id) {
+    auto epoch = store.Read(id);
+    if (!epoch) {
+      std::fprintf(stderr, "durable epoch %llu unreadable\n",
+                   static_cast<unsigned long long>(id));
+      return 2;
+    }
+    Status s = model.Apply(*epoch);
+    if (!s.ok()) {
+      std::fprintf(stderr, "model apply: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    if (!epoch->is_heartbeat()) {
+      last_data = id;
+      last_ts = epoch->max_commit_ts;
+    }
+  }
+  Timestamp watermark = backup->GlobalVisibleTs();
+  if (last_ts != kInvalidTimestamp) {
+    if (watermark != model.MaxVisibleTs()) {
+      std::fprintf(stderr,
+                   "watermark %llu short of durable history %llu\n",
+                   static_cast<unsigned long long>(watermark),
+                   static_cast<unsigned long long>(model.MaxVisibleTs()));
+      return 2;
+    }
+    Status s = model.ExpectStoreExact(*backup->store(), watermark);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 2;
+    }
+    std::printf("ORACLE exact rows=%zu\n",
+                backup->store()->VisibleRowCount(watermark));
+  }
+
+  std::printf("RECOVERED next_epoch=%" PRIu64 " last_data=%" PRIu64
+              " ts=%" PRIu64 " digest=%016" PRIx64 " fetches=%" PRIu64
+              " tail=%" PRIu64 " torn=%" PRIu64 "\n",
+              static_cast<uint64_t>(store.next_epoch()),
+              static_cast<uint64_t>(last_data),
+              static_cast<uint64_t>(last_ts),
+              backup->store()->DigestAt(last_ts),
+              CounterValue("segment.fetches_from_disk"),
+              static_cast<uint64_t>(store.next_epoch() - bootstrapped_at),
+              store.torn_frames_truncated());
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s run|digest|recover --dir D [--seed N] [--txns N] "
+                 "[--tables N] [--epoch_size N] [--batch N] [--pause_us N] "
+                 "[--ckpt_every N] [--retention N]\n",
+                 argv[0]);
+    return 2;
+  }
+  cfg.mode = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    const char* val = argv[i + 1];
+    if (flag == "--dir") cfg.dir = val;
+    else if (flag == "--seed") cfg.seed = std::strtoull(val, nullptr, 10);
+    else if (flag == "--txns") cfg.num_txns = std::atoi(val);
+    else if (flag == "--tables") cfg.num_tables = std::atoi(val);
+    else if (flag == "--epoch_size") cfg.epoch_size = std::atoi(val);
+    else if (flag == "--batch") cfg.batch = std::atoi(val);
+    else if (flag == "--pause_us") cfg.pause_us = std::atoi(val);
+    else if (flag == "--ckpt_every") cfg.ckpt_every = std::atoi(val);
+    else if (flag == "--retention") cfg.retention = std::strtoull(val, nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (cfg.dir.empty()) {
+    std::fprintf(stderr, "--dir is required\n");
+    return 2;
+  }
+  if (cfg.mode == "run") return RunMode(cfg, /*paced=*/true);
+  if (cfg.mode == "digest") return RunMode(cfg, /*paced=*/false);
+  if (cfg.mode == "recover") return RecoverMode(cfg);
+  std::fprintf(stderr, "unknown mode %s\n", cfg.mode.c_str());
+  return 2;
+}

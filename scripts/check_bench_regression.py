@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a google-benchmark JSON result file
+against the checked-in floor in bench/baseline.json.
+
+  scripts/check_bench_regression.py results.json               # gate
+  scripts/check_bench_regression.py results.json --update      # rewrite floor
+
+The baseline stores items_per_second floors per benchmark name. A run fails
+when any benchmark named in the baseline drops more than the allowed margin
+below its floor (default 15%, override with AETS_BENCH_MARGIN, e.g. 0.25).
+Benchmarks in the results but absent from the baseline are reported, not
+gated, so adding a benchmark never breaks CI retroactively.
+
+With repetitions (--benchmark_repetitions=N) the median aggregate row is
+used; otherwise the single run is. `--update` writes the observed medians
+scaled by AETS_BENCH_UPDATE_SCALE (default 0.5) so the recorded floor sits
+well under normal machine jitter.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE = os.path.join(os.path.dirname(__file__), "..", "bench",
+                        "baseline.json")
+
+
+def load_medians(results_path):
+    """Return {benchmark_name: median items_per_second}."""
+    with open(results_path) as f:
+        data = json.load(f)
+    runs = data.get("benchmarks", [])
+    medians = {}
+    singles = {}
+    for bench in runs:
+        rate = bench.get("items_per_second")
+        if rate is None:
+            continue
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") == "median":
+                medians[bench["run_name"]] = rate
+        else:
+            singles.setdefault(bench.get("run_name", bench["name"]),
+                               []).append(rate)
+    # Fall back to the median of iteration rows when no aggregates exist.
+    for name, rates in singles.items():
+        if name not in medians:
+            rates.sort()
+            medians[name] = rates[len(rates) // 2]
+    return medians
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="google-benchmark JSON output file")
+    parser.add_argument("--baseline", default=os.path.normpath(BASELINE))
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from these results")
+    args = parser.parse_args()
+
+    margin = float(os.environ.get("AETS_BENCH_MARGIN", "0.15"))
+    medians = load_medians(args.results)
+    if not medians:
+        print("FAIL: no items_per_second entries in", args.results)
+        return 1
+
+    if args.update:
+        scale = float(os.environ.get("AETS_BENCH_UPDATE_SCALE", "0.5"))
+        floors = {name: round(rate * scale, 1)
+                  for name, rate in sorted(medians.items())}
+        with open(args.baseline, "w") as f:
+            json.dump({"comment":
+                       "items_per_second floors; see "
+                       "scripts/check_bench_regression.py",
+                       "floors": floors}, f, indent=2)
+            f.write("\n")
+        print("updated %s with %d floors (scale %.2f)"
+              % (args.baseline, len(floors), scale))
+        return 0
+
+    with open(args.baseline) as f:
+        floors = json.load(f)["floors"]
+
+    failed = []
+    for name, floor in sorted(floors.items()):
+        got = medians.get(name)
+        if got is None:
+            print("MISSING %-48s floor %.0f/s but not in results" %
+                  (name, floor))
+            failed.append(name)
+            continue
+        allowed = floor * (1.0 - margin)
+        verdict = "ok" if got >= allowed else "REGRESSED"
+        print("%-9s %-48s %12.0f/s  floor %12.0f/s (margin %d%%)"
+              % (verdict, name, got, floor, margin * 100))
+        if got < allowed:
+            failed.append(name)
+    for name in sorted(set(medians) - set(floors)):
+        print("ungated   %-48s %12.0f/s  (not in baseline)"
+              % (name, medians[name]))
+
+    if failed:
+        print("FAIL: %d benchmark(s) regressed past the %.0f%% margin: %s"
+              % (len(failed), margin * 100, ", ".join(failed)))
+        return 1
+    print("OK: %d gated benchmark(s) within margin" % len(floors))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Crash-restart gauntlet: kill -9 a paced replay run at a seeded random
+# point, restart, and demand the recovered snapshot digest equal the
+# uninterrupted reference run's digest at the same epoch (plus the sim
+# oracle's row-exactness probe, which `recover` mode runs internally).
+#
+#   scripts/crash_restart_gauntlet.sh          # kill/recover, seeds $SEEDS
+#   scripts/crash_restart_gauntlet.sh --chaos  # + torn-write / truncated-
+#                                              #   segment / bit-flipped-
+#                                              #   manifest damage cases
+#
+# Env knobs: BIN (durable_replay binary), SEEDS, TXNS, WORK (scratch dir).
+set -uo pipefail
+
+BIN=${BIN:-build/examples/durable_replay}
+SEEDS=${SEEDS:-"11 23 47"}
+TXNS=${TXNS:-20000}
+WORK=${WORK:-$(mktemp -d /tmp/aets-gauntlet.XXXXXX)}
+CHAOS=${1:-}
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+[ -x "$BIN" ] || fail "binary not found: $BIN (set BIN or build durable_replay)"
+
+# Runs `run` mode, kills it after $2 ms, recovers, and checks the recovered
+# digest against the reference table in $3. Echoes the recovered fetch count.
+kill_and_recover() {
+  local seed=$1 delay_ms=$2 ref=$3 dir=$4
+  rm -rf "$dir"
+  "$BIN" run --dir "$dir" --seed "$seed" --txns "$TXNS" \
+      > "$WORK/run-$seed.txt" 2>&1 &
+  local pid=$!
+  sleep "$(awk "BEGIN{print $delay_ms/1000}")"
+  if kill -9 "$pid" 2>/dev/null; then
+    echo "seed $seed: killed after ${delay_ms}ms" >&2
+  else
+    echo "seed $seed: run completed before the kill (still a valid case)" >&2
+  fi
+  wait "$pid" 2>/dev/null
+
+  local out
+  out=$("$BIN" recover --dir "$dir" --seed "$seed" 2>"$WORK/recover-$seed.err") \
+      || fail "seed $seed: recover exited $? ($(cat "$WORK/recover-$seed.err"))"
+  echo "$out" | grep -q '^ORACLE exact' \
+      || fail "seed $seed: sim-oracle exactness probe did not run"
+  local rec
+  rec=$(echo "$out" | grep '^RECOVERED') || fail "seed $seed: no RECOVERED line"
+  local next_epoch last_data ts digest fetches tail
+  next_epoch=$(echo "$rec" | sed -n 's/.*next_epoch=\([0-9]*\).*/\1/p')
+  last_data=$(echo "$rec" | sed -n 's/.*last_data=\([0-9]*\).*/\1/p')
+  ts=$(echo "$rec" | sed -n 's/.*ts=\([0-9]*\).*/\1/p')
+  digest=$(echo "$rec" | sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p')
+  fetches=$(echo "$rec" | sed -n 's/.*fetches=\([0-9]*\).*/\1/p')
+  tail=$(echo "$rec" | sed -n 's/.*tail=\([0-9]*\).*/\1/p')
+
+  [ "$next_epoch" -gt 0 ] || fail "seed $seed: nothing durable survived the kill"
+  local want
+  want=$(grep "^EPOCH $last_data $ts " "$ref" | awk '{print $4}')
+  [ -n "$want" ] || fail "seed $seed: no reference digest for epoch $last_data ts $ts"
+  [ "$digest" = "$want" ] || fail \
+      "seed $seed: digest mismatch at epoch $last_data: got $digest want $want"
+  [ "$fetches" -gt 0 ] || [ "$tail" -eq 0 ] || fail \
+      "seed $seed: replayed a tail of $tail epochs with zero disk fetches"
+  echo "seed $seed: recovered to epoch $last_data, digest match, $fetches disk fetches" >&2
+  echo "$fetches"
+}
+
+total_fetches=0
+for seed in $SEEDS; do
+  ref="$WORK/ref-$seed.txt"
+  "$BIN" digest --dir "$WORK/ref-$seed" --seed "$seed" --txns "$TXNS" > "$ref" \
+      || fail "seed $seed: reference run failed"
+  delay_ms=$(( 400 + (seed * 7919) % 1600 ))
+  fetches=$(kill_and_recover "$seed" "$delay_ms" "$ref" "$WORK/crash-$seed")
+  total_fetches=$(( total_fetches + fetches ))
+done
+[ "$total_fetches" -gt 0 ] || fail "no recovery fetched a single epoch from disk"
+echo "gauntlet: all seeds recovered, $total_fetches total disk fetches" >&2
+
+if [ "$CHAOS" = "--chaos" ]; then
+  seed=101
+  ref="$WORK/ref-$seed.txt"
+  "$BIN" digest --dir "$WORK/ref-$seed" --seed "$seed" --txns "$TXNS" > "$ref" \
+      || fail "chaos: reference run failed"
+
+  damage_setup() {  # fresh killed run to damage; echoes the newest segment
+    local dir=$1
+    rm -rf "$dir"
+    "$BIN" run --dir "$dir" --seed "$seed" --txns "$TXNS" >/dev/null 2>&1 &
+    local pid=$!
+    sleep 0.8
+    kill -9 "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+    ls "$dir"/seg-*.log | sort | tail -1
+  }
+
+  # Torn write: garbage appended past the last durable frame must be
+  # truncated away and recovery must still match the reference.
+  dir="$WORK/chaos-torn"
+  seg=$(damage_setup "$dir")
+  head -c 37 /dev/urandom >> "$seg"
+  out=$("$BIN" recover --dir "$dir" --seed "$seed") \
+      || fail "chaos torn-write: recover failed"
+  rec=$(echo "$out" | grep '^RECOVERED')
+  last_data=$(echo "$rec" | sed -n 's/.*last_data=\([0-9]*\).*/\1/p')
+  ts=$(echo "$rec" | sed -n 's/.*ts=\([0-9]*\).*/\1/p')
+  digest=$(echo "$rec" | sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p')
+  torn=$(echo "$rec" | sed -n 's/.*torn=\([0-9]*\).*/\1/p')
+  [ "$torn" -gt 0 ] || fail "chaos torn-write: no torn frame was truncated"
+  want=$(grep "^EPOCH $last_data $ts " "$ref" | awk '{print $4}')
+  [ "$digest" = "$want" ] || fail "chaos torn-write: digest mismatch after truncation"
+  echo "chaos torn-write: truncated $torn frame(s), digest match" >&2
+
+  # Truncated segment: cutting into the newest segment mid-frame loses the
+  # tail but recovery must converge on the surviving durable prefix.
+  dir="$WORK/chaos-trunc"
+  seg=$(damage_setup "$dir")
+  truncate -s -13 "$seg"
+  out=$("$BIN" recover --dir "$dir" --seed "$seed") \
+      || fail "chaos truncated-segment: recover failed"
+  rec=$(echo "$out" | grep '^RECOVERED')
+  last_data=$(echo "$rec" | sed -n 's/.*last_data=\([0-9]*\).*/\1/p')
+  ts=$(echo "$rec" | sed -n 's/.*ts=\([0-9]*\).*/\1/p')
+  digest=$(echo "$rec" | sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p')
+  want=$(grep "^EPOCH $last_data $ts " "$ref" | awk '{print $4}')
+  [ "$digest" = "$want" ] || fail "chaos truncated-segment: digest mismatch"
+  echo "chaos truncated-segment: recovered shorter prefix, digest match" >&2
+
+  # Bit-flipped manifest: durable metadata damage must be a loud Corruption
+  # error, never a silent partial recovery.
+  dir="$WORK/chaos-manifest"
+  damage_setup "$dir" >/dev/null
+  python3 - "$dir/MANIFEST" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, 'rb').read())
+data[12] ^= 0xFF  # inside the manifest CRC field
+open(path, 'wb').write(data)
+EOF
+  if "$BIN" recover --dir "$dir" --seed "$seed" 2>"$WORK/manifest.err"; then
+    fail "chaos bit-flipped-manifest: recover succeeded on corrupt metadata"
+  fi
+  grep -qi "corruption\|checksum" "$WORK/manifest.err" \
+      || fail "chaos bit-flipped-manifest: error was not a Corruption verdict"
+  echo "chaos bit-flipped-manifest: clean Corruption error" >&2
+
+  echo "gauntlet: chaos damage cases passed" >&2
+fi
+
+echo "OK"

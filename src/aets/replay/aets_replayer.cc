@@ -112,6 +112,20 @@ Status AetsReplayer::WriteCheckpoint(const std::string& path) const {
   return Checkpointer::Write(store_, global_ts_.load(), expected_epoch_, path);
 }
 
+Status AetsReplayer::WriteLiveCheckpoint(const std::string& path) const {
+  // Read the epoch cursor before the watermark: if an epoch slips in
+  // between the two loads, the image claims an older next-epoch than the
+  // rows it holds could support — and re-replaying an epoch is idempotent
+  // here (full-image inserts/deletes at fixed commit timestamps), while
+  // skipping one never is.
+  EpochId next_epoch = next_expected_epoch();
+  Timestamp watermark = global_ts_.load(std::memory_order_acquire);
+  if (watermark == kInvalidTimestamp) {
+    return Status::InvalidArgument("live checkpoint before any watermark");
+  }
+  return Checkpointer::Write(store_, watermark, next_epoch, path);
+}
+
 void AetsReplayer::ProcessHeartbeat(const ShippedEpoch& epoch) {
   // Heartbeats ride the pipeline queue behind every data epoch shipped
   // before them, and the commit context is single, so all data older than

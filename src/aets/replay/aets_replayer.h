@@ -109,6 +109,16 @@ class AetsReplayer : public ReplayerBase {
   /// after Stop(), or bootstrap-chain across process restarts.
   Status WriteCheckpoint(const std::string& path) const;
 
+  /// Same image, but callable while the replayer is running. The CALLER
+  /// must guarantee quiescence at the moment of the call: the channel
+  /// drained and the watermark caught up to the primary (flush an epoch,
+  /// then poll GlobalVisibleTs()). The MVCC scan at the published watermark
+  /// is always consistent — the risk of calling this mid-apply is only that
+  /// the image lands at an older watermark than intended, never that it is
+  /// torn. The durable-replay tool uses this for periodic checkpoints
+  /// between epochs.
+  Status WriteLiveCheckpoint(const std::string& path) const;
+
  protected:
   Status StartWorkers() override;
   void StopWorkers() override;

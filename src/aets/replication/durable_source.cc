@@ -1,0 +1,50 @@
+#include "aets/replication/durable_source.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+namespace fs = std::filesystem;
+
+namespace aets {
+
+namespace {
+constexpr char kCheckpointPrefix[] = "ckpt-";
+constexpr char kCheckpointSuffix[] = ".img";
+}  // namespace
+
+std::string CheckpointPathFor(const std::string& dir, EpochId next_epoch_id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%016llx.img",
+                static_cast<unsigned long long>(next_epoch_id));
+  return dir + "/" + name;
+}
+
+std::vector<std::string> ListCheckpointFiles(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return out;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kCheckpointPrefix, 0) == 0 &&
+        name.size() > sizeof(kCheckpointSuffix) &&
+        name.compare(name.size() - 4, 4, kCheckpointSuffix) == 0) {
+      out.push_back(entry.path().string());
+    }
+  }
+  // The 16-hex-digit zero-padded epoch id makes lexicographic order epoch
+  // order; reverse for newest-first.
+  std::sort(out.begin(), out.end(), std::greater<std::string>());
+  return out;
+}
+
+void PruneCheckpoints(const std::string& dir, size_t keep) {
+  auto files = ListCheckpointFiles(dir);
+  for (size_t i = keep; i < files.size(); ++i) {
+    std::error_code ec;
+    fs::remove(files[i], ec);
+  }
+}
+
+}  // namespace aets

@@ -1,0 +1,53 @@
+#ifndef AETS_REPLICATION_DURABLE_SOURCE_H_
+#define AETS_REPLICATION_DURABLE_SOURCE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "aets/replication/epoch_source.h"
+#include "aets/storage/segment_store.h"
+
+namespace aets {
+
+/// EpochSource view of a SegmentStore: the restart-recovery path. After a
+/// crash, a fresh replayer bootstraps from the newest valid checkpoint and
+/// then replays the durable segment tail through its normal main loop —
+/// Start() against an already-closed channel drives FinalDrain, which pulls
+/// every epoch in [expected, NextEpochId()) from this source exactly as if
+/// they were NACK retransmits. No recovery-only replay code path exists.
+///
+/// Also usable as a live shipper's fallback: see
+/// LogShipper::AttachSegmentStore, which folds the same disk fetch into its
+/// own FetchEpoch instead.
+class DurableEpochSource : public EpochSource {
+ public:
+  /// `store` must outlive this source.
+  explicit DurableEpochSource(SegmentStore* store) : store_(store) {}
+
+  std::optional<ShippedEpoch> FetchEpoch(EpochId id) override {
+    return store_->Read(id);
+  }
+
+  EpochId NextEpochId() const override { return store_->next_epoch(); }
+
+ private:
+  SegmentStore* store_;
+};
+
+/// Checkpoint images live beside the segments as `ckpt-<16hex next-epoch>.img`
+/// so recovery can order them by how much of the epoch sequence they already
+/// contain. Commit is atomic (tmp + rename inside Checkpointer::Write), so
+/// any file matching the pattern is complete — though possibly corrupt, which
+/// is why recovery walks the list newest-first until one restores cleanly.
+std::string CheckpointPathFor(const std::string& dir, EpochId next_epoch_id);
+
+/// All checkpoint images in `dir`, newest (highest next-epoch id) first.
+std::vector<std::string> ListCheckpointFiles(const std::string& dir);
+
+/// Deletes all but the newest `keep` checkpoint images.
+void PruneCheckpoints(const std::string& dir, size_t keep);
+
+}  // namespace aets
+
+#endif  // AETS_REPLICATION_DURABLE_SOURCE_H_

@@ -16,6 +16,9 @@ LogShipper::LogShipper(size_t epoch_size, size_t retention_capacity)
       send_failures_metric_(obs::GetCounter("shipper.send_failures")),
       epochs_dropped_metric_(obs::GetCounter("shipper.epochs_dropped")),
       retransmits_metric_(obs::GetCounter("shipper.retransmits")),
+      epochs_produced_metric_(obs::GetCounter("shipper.epochs_produced")),
+      spills_metric_(obs::GetCounter("segment.spills")),
+      spill_failures_metric_(obs::GetCounter("segment.spill_failures")),
       batch_latency_us_metric_(obs::GetHistogram("shipper.batch_latency_us")) {
   AETS_CHECK(retention_capacity_ > 0);
 }
@@ -25,6 +28,15 @@ LogShipper::~LogShipper() { Finish(); }
 void LogShipper::AttachChannel(EpochChannel* channel) {
   std::lock_guard<std::mutex> lk(mu_);
   channels_.push_back(channel);
+}
+
+void LogShipper::AttachSegmentStore(SegmentStore* store, bool retention_spill) {
+  std::lock_guard<std::mutex> lk(mu_);
+  AETS_CHECK_MSG(store == nullptr || store->empty() ||
+                     store->next_epoch() == builder_.next_epoch_id(),
+                 "segment store out of step with the epoch sequence");
+  segment_store_ = store;
+  retention_spill_ = retention_spill;
 }
 
 void LogShipper::OnCommit(TxnLog txn) {
@@ -113,13 +125,41 @@ void LogShipper::Finish() {
   auto sealed = builder_.Flush();
   if (sealed) ShipLocked(std::move(*sealed));
   for (auto* ch : channels_) ch->Close();
+  // Clean-shutdown durability: force the active segment out regardless of
+  // the per-epoch fsync policy (one fsync at the end is always affordable).
+  if (segment_store_ != nullptr) segment_store_->Sync();
 }
 
 bool LogShipper::DeliverLocked(const ShippedEpoch& encoded) {
+  ++produced_;
+  epochs_produced_metric_->Add(1);
+  // The durable append happens at deliver time, before fan-out: the segment
+  // log is the log of record, and an epoch must be on disk before a backup
+  // can have seen it. The payload is shared, so this costs one sequential
+  // write, not a copy held in RAM.
+  bool durable = false;
+  if (segment_store_ != nullptr) {
+    Status s = segment_store_->Append(encoded);
+    if (s.ok()) {
+      durable = true;
+    } else {
+      ++spill_failures_;
+      spill_failures_metric_->Add(1);
+    }
+  }
   // Retain before fan-out: a replayer may NACK the very epoch whose Send it
   // raced with (duplicate fetch is harmless, a missed fetch is not).
-  retained_.push_back(encoded);
-  if (retained_.size() > retention_capacity_) retained_.pop_front();
+  retained_.push_back(Retained{encoded, durable});
+  if (retained_.size() > retention_capacity_) {
+    // Eviction of a durable entry is a spill — the epoch moves to disk-only
+    // and stays fetchable. Evicting a non-durable entry (no store attached,
+    // or its append failed) is the legacy loss of NACK coverage.
+    if (retained_.front().durable) {
+      ++spilled_;
+      spills_metric_->Add(1);
+    }
+    retained_.pop_front();
+  }
   size_t delivered = 0;
   for (auto* ch : channels_) {
     if (ch->Send(encoded)) {
@@ -152,13 +192,24 @@ void LogShipper::ShipLocked(Epoch epoch) {
 
 std::optional<ShippedEpoch> LogShipper::FetchEpoch(EpochId id) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (retained_.empty() || id < retained_.front().epoch_id ||
-      id > retained_.back().epoch_id) {
-    return std::nullopt;
+  if (!retained_.empty() && id >= retained_.front().epoch.epoch_id &&
+      id <= retained_.back().epoch.epoch_id) {
+    ++retransmits_;
+    retransmits_metric_->Add(1);
+    return retained_[id - retained_.front().epoch.epoch_id].epoch;
   }
-  ++retransmits_;
-  retransmits_metric_->Add(1);
-  return retained_[id - retained_.front().epoch_id];
+  // Evicted from RAM: with the durable tier spilling, the NACK path falls
+  // through to a disk fetch (counted in segment.fetches_from_disk) and the
+  // old terminal eviction error never fires for durable epochs.
+  if (segment_store_ != nullptr && retention_spill_) {
+    auto from_disk = segment_store_->Read(id);
+    if (from_disk) {
+      ++retransmits_;
+      retransmits_metric_->Add(1);
+      return from_disk;
+    }
+  }
+  return std::nullopt;
 }
 
 EpochId LogShipper::NextEpochId() const {
@@ -189,6 +240,21 @@ uint64_t LogShipper::epochs_dropped() const {
 uint64_t LogShipper::retransmits() const {
   std::lock_guard<std::mutex> lk(mu_);
   return retransmits_;
+}
+
+uint64_t LogShipper::epochs_produced() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return produced_;
+}
+
+uint64_t LogShipper::epochs_spilled() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spilled_;
+}
+
+uint64_t LogShipper::spill_failures() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spill_failures_;
 }
 
 }  // namespace aets

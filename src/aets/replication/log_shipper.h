@@ -16,6 +16,7 @@
 #include "aets/obs/metrics.h"
 #include "aets/replication/channel.h"
 #include "aets/replication/epoch_source.h"
+#include "aets/storage/segment_store.h"
 
 namespace aets {
 
@@ -47,6 +48,24 @@ class LogShipper : public EpochSource {
 
   /// Attaches a backup channel. All channels receive every epoch.
   void AttachChannel(EpochChannel* channel);
+
+  /// Attaches the durable tier (DESIGN.md §10). Every delivered epoch —
+  /// heartbeats included — is appended to `store` at deliver time, so the
+  /// sequential segment log always holds the full epoch sequence. The RAM
+  /// retention buffer then *spills* on overflow instead of losing: evicting
+  /// a durable entry is a RAM→disk-only transition, and when
+  /// `retention_spill` is true FetchEpoch falls through to the store for
+  /// evicted ids, turning the old terminal eviction error into a disk fetch.
+  /// (`retention_spill = false` keeps the legacy eviction semantics while
+  /// still recording the durable log for restart recovery.)
+  ///
+  /// An append failure (full disk) marks that epoch non-durable and counts
+  /// `spill_failures`; evicting a non-durable entry is the legacy terminal
+  /// loss — graceful degradation, not an abort.
+  ///
+  /// Call before the first epoch ships; `store` must be empty or positioned
+  /// at this shipper's next epoch id, and must outlive the shipper.
+  void AttachSegmentStore(SegmentStore* store, bool retention_spill = true);
 
   /// Commit-sink entry point: call in primary commit order.
   void OnCommit(TxnLog txn);
@@ -87,8 +106,18 @@ class LogShipper : public EpochSource {
   uint64_t send_failures() const;
   /// Epochs that reached zero attached channels — lost at the send side.
   uint64_t epochs_dropped() const;
-  /// Epochs re-served through FetchEpoch.
+  /// Epochs re-served through FetchEpoch (RAM or disk).
   uint64_t retransmits() const;
+  /// Every epoch that entered DeliverLocked, heartbeats included. The
+  /// conservation invariant `produced == shipped + dropped` always holds;
+  /// spills are a disjoint dimension (where a produced epoch lives), never
+  /// double-counted against shipped.
+  uint64_t epochs_produced() const;
+  /// Durable epochs evicted from the RAM retention buffer (now disk-only).
+  uint64_t epochs_spilled() const;
+  /// Segment-store appends that failed (disk full); those epochs are
+  /// RAM-only and evicting them is the legacy terminal loss.
+  uint64_t spill_failures() const;
 
  private:
   void ShipLocked(Epoch epoch);
@@ -105,13 +134,25 @@ class LogShipper : public EpochSource {
   uint64_t send_failures_ = 0;
   uint64_t epochs_dropped_ = 0;
   uint64_t retransmits_ = 0;
+  uint64_t produced_ = 0;
+  uint64_t spilled_ = 0;
+  uint64_t spill_failures_ = 0;
   bool finished_ = false;
 
   /// Recently delivered epochs, contiguous ids, newest at the back. Sized
   /// by `retention_capacity_`; payloads are shared so retention costs one
-  /// ShippedEpoch header per entry, not a payload copy.
-  std::deque<ShippedEpoch> retained_;
+  /// ShippedEpoch header per entry, not a payload copy. `durable` records
+  /// whether the segment-store append succeeded at deliver time.
+  struct Retained {
+    ShippedEpoch epoch;
+    bool durable;
+  };
+  std::deque<Retained> retained_;
   size_t retention_capacity_;
+
+  /// Durable tier; null = RAM-only (legacy) retention.
+  SegmentStore* segment_store_ = nullptr;
+  bool retention_spill_ = true;
 
   /// Observability (resolved once; see obs::MetricsRegistry). Batch latency
   /// is first-commit-in-epoch to ship.
@@ -122,6 +163,9 @@ class LogShipper : public EpochSource {
   obs::Counter* send_failures_metric_;
   obs::Counter* epochs_dropped_metric_;
   obs::Counter* retransmits_metric_;
+  obs::Counter* epochs_produced_metric_;
+  obs::Counter* spills_metric_;
+  obs::Counter* spill_failures_metric_;
   Histogram* batch_latency_us_metric_;
   int64_t epoch_open_us_ = 0;  // first OnCommit of the open epoch; 0 = none
 

@@ -120,5 +120,50 @@ size_t ReferenceModel::VisibleRowCount(TableId table, Timestamp ts) const {
   return n;
 }
 
+Status ReferenceModel::ExpectStoreExact(const TableStore& store,
+                                        Timestamp ts) const {
+  if (store.num_tables() != tables_.size()) {
+    return Status::InvalidArgument("exactness probe: table count mismatch");
+  }
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    std::map<int64_t, Row> got;
+    store.GetTable(static_cast<TableId>(t))
+        ->ScanVisible(ts, [&got](int64_t key, const Row& row) {
+          got.emplace(key, row);
+          return true;
+        });
+    std::map<int64_t, Row> want = RowsAt(static_cast<TableId>(t), ts);
+    if (got == want) continue;
+    // Name the first divergent key so a failed recovery run is debuggable
+    // from the error alone.
+    for (const auto& [key, row] : want) {
+      auto it = got.find(key);
+      if (it == got.end()) {
+        return Status::Internal(
+            "exactness probe: table " + std::to_string(t) + " key " +
+            std::to_string(key) + " missing from store at ts " +
+            std::to_string(ts));
+      }
+      if (!(it->second == row)) {
+        return Status::Internal("exactness probe: table " + std::to_string(t) +
+                                " key " + std::to_string(key) +
+                                " differs at ts " + std::to_string(ts));
+      }
+    }
+    for (const auto& [key, row] : got) {
+      (void)row;
+      if (want.find(key) == want.end()) {
+        return Status::Internal(
+            "exactness probe: table " + std::to_string(t) + " key " +
+            std::to_string(key) + " present in store but not in model at ts " +
+            std::to_string(ts));
+      }
+    }
+    return Status::Internal("exactness probe: table " + std::to_string(t) +
+                            " diverges at ts " + std::to_string(ts));
+  }
+  return Status::OK();
+}
+
 }  // namespace sim
 }  // namespace aets

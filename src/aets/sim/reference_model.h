@@ -11,6 +11,7 @@
 #include "aets/common/clock.h"
 #include "aets/common/status.h"
 #include "aets/log/shipped_epoch.h"
+#include "aets/storage/table_store.h"
 #include "aets/storage/version_chain.h"
 
 namespace aets {
@@ -73,6 +74,13 @@ class ReferenceModel {
   }
 
   const std::vector<TxnFootprint>& Footprints() const { return footprints_; }
+
+  /// Exactness probe: every table of `store`, scanned at snapshot `ts`, must
+  /// hold exactly the rows this model holds at `ts` — same keys, same column
+  /// values, nothing extra. Crash-restart recovery uses it to prove the
+  /// recovered backup is byte-equivalent to the reference history, not
+  /// merely digest-colliding. Returns Internal with the first divergence.
+  Status ExpectStoreExact(const TableStore& store, Timestamp ts) const;
 
  private:
   /// Full-image version: the row as it exists right after `commit_ts`.

@@ -1,7 +1,11 @@
 #include "aets/storage/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "aets/common/macros.h"
@@ -94,12 +98,46 @@ Status Checkpointer::Write(const TableStore& store, Timestamp snapshot_ts,
   header.reserved = 0;
   header.crc = HeaderCrc(header);
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::Internal("cannot open checkpoint file: " + path);
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  out.write(body.data(), static_cast<std::streamsize>(body.size()));
-  out.flush();
-  if (!out) return Status::Internal("checkpoint write failed: " + path);
+  // Atomic rename commit: a reader (or a recovery scan after a crash) either
+  // sees the complete previous image or the complete new one, never a
+  // half-written file under the final name.
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Internal("cannot open checkpoint file: " + tmp);
+  bool ok = true;
+  const char* chunks[2] = {reinterpret_cast<const char*>(&header),
+                           body.data()};
+  size_t sizes[2] = {sizeof(header), body.size()};
+  for (int c = 0; c < 2 && ok; ++c) {
+    size_t done = 0;
+    while (done < sizes[c]) {
+      ssize_t w = ::write(fd, chunks[c] + done, sizes[c] - done);
+      if (w <= 0) {
+        ok = false;
+        break;
+      }
+      done += static_cast<size_t>(w);
+    }
+  }
+  if (ok && ::fsync(fd) != 0) ok = false;
+  ::close(fd);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("checkpoint write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("checkpoint rename failed: " + path);
+  }
+  // Make the directory entry durable too (rename is only atomic, not
+  // durable, until the directory itself reaches the disk).
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  int dfd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
   writes_metric->Add(1);
   bytes_metric->Add(sizeof(header) + body.size());
   write_us_metric->Record(MonotonicMicros() - start_us);

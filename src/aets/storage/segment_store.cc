@@ -1,0 +1,532 @@
+#include "aets/storage/segment_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "aets/common/clock.h"
+#include "aets/common/macros.h"
+#include "aets/log/codec.h"
+
+namespace fs = std::filesystem;
+
+namespace aets {
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'A', 'E', 'T', 'S', 'S', 'E', 'G', 'M'};
+constexpr uint32_t kManifestVersion = 1;
+constexpr char kManifestName[] = "MANIFEST";
+
+// Frame body: epoch_id, heartbeat_ts, max_commit_ts, num_txns, num_records,
+// first_txn, last_txn (u64 each), payload_crc, payload_len (u32 each).
+constexpr size_t kBodyFixedBytes = 7 * sizeof(uint64_t) + 2 * sizeof(uint32_t);
+constexpr size_t kFrameHeaderBytes = 2 * sizeof(uint32_t);  // crc, len
+// Sanity bound on a declared body length: a corrupted length field must not
+// drive a multi-gigabyte allocation before the CRC gets a chance to veto it.
+constexpr size_t kMaxBodyBytes = size_t{1} << 30;
+
+template <typename T>
+void PutRaw(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T GetRaw(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Writes the whole buffer through write(2), retrying short writes.
+Status WriteFully(int fd, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::write(fd, data + done, n - done);
+    if (w <= 0) {
+      return Status::Internal("segment write failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+// Fsyncs the directory itself so a freshly renamed file's directory entry
+// is durable (the classic create-then-rename commit protocol).
+void FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+std::string EncodeFrame(const ShippedEpoch& epoch) {
+  const size_t payload_len = epoch.ByteSize();
+  std::string body;
+  body.reserve(kBodyFixedBytes + payload_len);
+  PutRaw<uint64_t>(&body, epoch.epoch_id);
+  PutRaw<uint64_t>(&body, static_cast<uint64_t>(epoch.heartbeat_ts));
+  PutRaw<uint64_t>(&body, static_cast<uint64_t>(epoch.max_commit_ts));
+  PutRaw<uint64_t>(&body, epoch.num_txns);
+  PutRaw<uint64_t>(&body, epoch.num_records);
+  PutRaw<uint64_t>(&body, static_cast<uint64_t>(epoch.first_txn));
+  PutRaw<uint64_t>(&body, static_cast<uint64_t>(epoch.last_txn));
+  PutRaw<uint32_t>(&body, epoch.payload_crc);
+  PutRaw<uint32_t>(&body, static_cast<uint32_t>(payload_len));
+  if (payload_len > 0) body.append(*epoch.payload);
+
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + body.size());
+  PutRaw<uint32_t>(&frame, Crc32c(body.data(), body.size()));
+  PutRaw<uint32_t>(&frame, static_cast<uint32_t>(body.size()));
+  frame.append(body);
+  return frame;
+}
+
+// Decodes a verified frame body back into a ShippedEpoch. The caller has
+// already checked the frame CRC and that `body` spans the declared length.
+ShippedEpoch DecodeBody(const char* body, size_t len) {
+  ShippedEpoch out;
+  const char* p = body;
+  out.epoch_id = GetRaw<uint64_t>(p);
+  p += 8;
+  out.heartbeat_ts = static_cast<Timestamp>(GetRaw<uint64_t>(p));
+  p += 8;
+  out.max_commit_ts = static_cast<Timestamp>(GetRaw<uint64_t>(p));
+  p += 8;
+  out.num_txns = GetRaw<uint64_t>(p);
+  p += 8;
+  out.num_records = GetRaw<uint64_t>(p);
+  p += 8;
+  out.first_txn = static_cast<TxnId>(GetRaw<uint64_t>(p));
+  p += 8;
+  out.last_txn = static_cast<TxnId>(GetRaw<uint64_t>(p));
+  p += 8;
+  out.payload_crc = GetRaw<uint32_t>(p);
+  p += 4;
+  const uint32_t payload_len = GetRaw<uint32_t>(p);
+  p += 4;
+  AETS_CHECK(kBodyFixedBytes + payload_len == len);
+  out.payload = std::make_shared<const std::string>(p, payload_len);
+  return out;
+}
+
+// A declared body length the frame machinery will even consider.
+bool PlausibleLen(uint64_t len) {
+  return len >= kBodyFixedBytes && len <= kMaxBodyBytes;
+}
+
+}  // namespace
+
+SegmentStore::SegmentStore(SegmentStoreOptions options)
+    : options_(std::move(options)),
+      bytes_written_metric_(obs::GetCounter("segment.bytes_written")),
+      fetches_metric_(obs::GetCounter("segment.fetches_from_disk")),
+      fsyncs_metric_(obs::GetCounter("segment.fsyncs")),
+      torn_metric_(obs::GetCounter("segment.torn_frames_truncated")),
+      segments_metric_(obs::GetGauge("segment.segments")),
+      recovery_ms_metric_(obs::GetGauge("segment.recovery_ms")) {}
+
+SegmentStore::~SegmentStore() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (append_fd_ >= 0) {
+    if (options_.fsync_policy != FsyncPolicy::kNone) {
+      ::fsync(append_fd_);
+      ++fsyncs_;
+      fsyncs_metric_->Add(1);
+    }
+    ::close(append_fd_);
+  }
+  for (auto& seg : segments_) {
+    if (seg.read_fd >= 0) ::close(seg.read_fd);
+  }
+}
+
+std::string SegmentStore::SegmentPath(EpochId first_epoch) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%016llx.log",
+                static_cast<unsigned long long>(first_epoch));
+  return options_.dir + "/" + name;
+}
+
+std::string SegmentStore::ManifestPath() const {
+  return options_.dir + "/" + kManifestName;
+}
+
+Result<std::unique_ptr<SegmentStore>> SegmentStore::Open(
+    SegmentStoreOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("segment store needs a directory");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create segment dir " + options.dir + ": " +
+                            ec.message());
+  }
+  std::unique_ptr<SegmentStore> store(new SegmentStore(std::move(options)));
+  std::lock_guard<std::mutex> lk(store->mu_);
+  const int64_t start_us = MonotonicMicros();
+
+  const std::string manifest_path = store->ManifestPath();
+  if (!fs::exists(manifest_path)) {
+    // A fresh directory is fine; segment files without a manifest are not —
+    // the manifest is the commit record of what this store ever sealed.
+    for (const auto& entry : fs::directory_iterator(store->options_.dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("seg-", 0) == 0) {
+        return Status::Corruption("segment files present without a manifest: " +
+                                  store->options_.dir);
+      }
+    }
+    store->segments_metric_->Set(0);
+    store->recovery_ms_metric_->Set(0);
+    return store;
+  }
+
+  std::ifstream in(manifest_path, std::ios::binary);
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  constexpr size_t kManifestHeader = sizeof(kManifestMagic) + 2 * sizeof(uint32_t) +
+                                     sizeof(uint64_t);
+  if (raw.size() < kManifestHeader ||
+      std::memcmp(raw.data(), kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    return Status::Corruption("bad segment manifest magic");
+  }
+  const char* p = raw.data() + sizeof(kManifestMagic);
+  const uint32_t version = GetRaw<uint32_t>(p);
+  if (version != kManifestVersion) {
+    return Status::NotSupported("unknown segment manifest version");
+  }
+  const uint32_t crc = GetRaw<uint32_t>(p + sizeof(uint32_t));
+  const char* body = p + 2 * sizeof(uint32_t);
+  const size_t body_len = raw.size() - (body - raw.data());
+  if (Crc32c(body, body_len) != crc) {
+    return Status::Corruption("segment manifest checksum mismatch");
+  }
+  const uint64_t num_segments = GetRaw<uint64_t>(body);
+  if (body_len != sizeof(uint64_t) + num_segments * sizeof(uint64_t)) {
+    return Status::Corruption("segment manifest length mismatch");
+  }
+  for (uint64_t i = 0; i < num_segments; ++i) {
+    SegmentMeta meta;
+    meta.first_epoch =
+        GetRaw<uint64_t>(body + sizeof(uint64_t) + i * sizeof(uint64_t));
+    store->segments_.push_back(meta);
+  }
+  if (store->segments_.empty()) {
+    store->segments_metric_->Set(0);
+    store->recovery_ms_metric_->Set(0);
+    return store;
+  }
+
+  store->first_epoch_ = store->segments_.front().first_epoch;
+  EpochId expected = store->first_epoch_;
+  for (size_t i = 0; i < store->segments_.size(); ++i) {
+    if (store->segments_[i].first_epoch != expected) {
+      return Status::Corruption(
+          "segment manifest epoch gap: segment declares " +
+          std::to_string(store->segments_[i].first_epoch) + ", expected " +
+          std::to_string(expected));
+    }
+    Status s =
+        store->ScanSegmentLocked(i, expected, i + 1 == store->segments_.size());
+    if (!s.ok()) return s;
+    expected = store->first_epoch_ + store->index_.size();
+  }
+  Status s = store->OpenActiveForAppendLocked();
+  if (!s.ok()) return s;
+
+  store->segments_metric_->Set(static_cast<int64_t>(store->segments_.size()));
+  store->recovery_ms_metric_->Set((MonotonicMicros() - start_us) / 1000);
+  return store;
+}
+
+Status SegmentStore::ScanSegmentLocked(size_t seg_idx, EpochId expected,
+                                       bool newest) {
+  SegmentMeta& meta = segments_[seg_idx];
+  const std::string path = SegmentPath(meta.first_epoch);
+  if (!fs::exists(path)) {
+    // The crash window between the manifest rename and the segment-file
+    // creation: legal only for the newest (empty) segment.
+    if (newest) return Status::OK();
+    return Status::Corruption("sealed segment missing: " + path);
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  size_t offset = 0;
+  std::string torn_reason;
+  while (offset < raw.size()) {
+    if (offset + kFrameHeaderBytes > raw.size()) {
+      torn_reason = "partial frame header";
+      break;
+    }
+    const uint32_t crc = GetRaw<uint32_t>(raw.data() + offset);
+    const uint64_t len = GetRaw<uint32_t>(raw.data() + offset + 4);
+    if (!PlausibleLen(len) || offset + kFrameHeaderBytes + len > raw.size()) {
+      torn_reason = "partial or implausible frame body";
+      break;
+    }
+    const char* frame_body = raw.data() + offset + kFrameHeaderBytes;
+    if (Crc32c(frame_body, len) != crc) {
+      torn_reason = "frame checksum mismatch";
+      break;
+    }
+    const uint64_t epoch_id = GetRaw<uint64_t>(frame_body);
+    if (epoch_id != expected) {
+      // A valid frame carrying the wrong id is not a torn write — the store
+      // never produces it, so the file has been tampered with or mixed up.
+      return Status::Corruption(
+          "segment " + path + " frame carries epoch " +
+          std::to_string(epoch_id) + ", expected " + std::to_string(expected));
+    }
+    index_.push_back(FrameLoc{
+        static_cast<uint32_t>(seg_idx), offset,
+        static_cast<uint32_t>(kFrameHeaderBytes + len)});
+    ++meta.frames;
+    offset += kFrameHeaderBytes + len;
+    ++expected;
+  }
+  if (offset < raw.size()) {
+    if (!newest) {
+      // Sealed segments were fsynced whole; damage here is real corruption,
+      // and truncating it would silently rewrite durable history.
+      return Status::Corruption("corrupt frame in sealed segment " + path +
+                                " (" + torn_reason + ")");
+    }
+    std::error_code ec;
+    fs::resize_file(path, offset, ec);
+    if (ec) {
+      return Status::Internal("cannot truncate torn tail of " + path + ": " +
+                              ec.message());
+    }
+    ++torn_truncated_;
+    torn_metric_->Add(1);
+  }
+  meta.bytes = offset;
+  return Status::OK();
+}
+
+Status SegmentStore::WriteManifestLocked(int64_t new_first) {
+  std::string body;
+  const uint64_t count = segments_.size() + (new_first >= 0 ? 1 : 0);
+  PutRaw<uint64_t>(&body, count);
+  for (const auto& seg : segments_) PutRaw<uint64_t>(&body, seg.first_epoch);
+  if (new_first >= 0) PutRaw<uint64_t>(&body, static_cast<uint64_t>(new_first));
+
+  std::string buf;
+  buf.append(kManifestMagic, sizeof(kManifestMagic));
+  PutRaw<uint32_t>(&buf, kManifestVersion);
+  PutRaw<uint32_t>(&buf, Crc32c(body.data(), body.size()));
+  buf.append(body);
+
+  if (options_.write_fault_hook) {
+    Status s = options_.write_fault_hook(buf.size());
+    if (!s.ok()) return s;
+  }
+  const std::string tmp = ManifestPath() + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open manifest tmp: " + tmp);
+  }
+  Status s = WriteFully(fd, buf.data(), buf.size());
+  if (s.ok() && ::fsync(fd) != 0) {
+    s = Status::Internal("manifest fsync failed");
+  }
+  ::close(fd);
+  if (!s.ok()) {
+    std::remove(tmp.c_str());
+    return s;
+  }
+  ++fsyncs_;
+  fsyncs_metric_->Add(1);
+  if (std::rename(tmp.c_str(), ManifestPath().c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("manifest rename failed");
+  }
+  FsyncDir(options_.dir);
+  return Status::OK();
+}
+
+Status SegmentStore::OpenActiveForAppendLocked() {
+  AETS_CHECK(!segments_.empty());
+  if (append_fd_ >= 0) return Status::OK();
+  const std::string path = SegmentPath(segments_.back().first_epoch);
+  append_fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (append_fd_ < 0) {
+    return Status::Internal("cannot open segment for append: " + path);
+  }
+  return Status::OK();
+}
+
+Status SegmentStore::FsyncActiveLocked() {
+  if (append_fd_ < 0) return Status::OK();
+  if (::fsync(append_fd_) != 0) {
+    return Status::Internal("segment fsync failed");
+  }
+  ++fsyncs_;
+  fsyncs_metric_->Add(1);
+  return Status::OK();
+}
+
+Status SegmentStore::RolloverLocked(EpochId first_epoch) {
+  // Order matters for failure atomicity: the manifest commits the new
+  // segment before the old descriptor closes, so a failed rewrite (disk
+  // full) leaves the old segment active and appendable — the store degrades
+  // to oversized segments instead of wedging.
+  if (options_.fsync_policy != FsyncPolicy::kNone) {
+    Status s = FsyncActiveLocked();
+    if (!s.ok()) return s;
+  }
+  Status s = WriteManifestLocked(static_cast<int64_t>(first_epoch));
+  if (!s.ok()) return s;
+  ::close(append_fd_);
+  append_fd_ = -1;
+  SegmentMeta meta;
+  meta.first_epoch = first_epoch;
+  segments_.push_back(meta);
+  segments_metric_->Set(static_cast<int64_t>(segments_.size()));
+  return OpenActiveForAppendLocked();
+}
+
+Status SegmentStore::Append(const ShippedEpoch& epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (segments_.empty()) {
+    first_epoch_ = epoch.epoch_id;
+  } else if (epoch.epoch_id != first_epoch_ + index_.size()) {
+    return Status::InvalidArgument(
+        "segment append out of order: got epoch " +
+        std::to_string(epoch.epoch_id) + ", next is " +
+        std::to_string(first_epoch_ + index_.size()));
+  }
+  const std::string frame = EncodeFrame(epoch);
+  if (options_.write_fault_hook) {
+    Status s = options_.write_fault_hook(frame.size());
+    if (!s.ok()) return s;
+  }
+  if (segments_.empty()) {
+    Status s = WriteManifestLocked(static_cast<int64_t>(epoch.epoch_id));
+    if (!s.ok()) return s;
+    SegmentMeta meta;
+    meta.first_epoch = epoch.epoch_id;
+    segments_.push_back(meta);
+    segments_metric_->Set(1);
+    Status o = OpenActiveForAppendLocked();
+    if (!o.ok()) return o;
+  } else if (segments_.back().bytes > 0 &&
+             segments_.back().bytes + frame.size() >
+                 options_.segment_max_bytes) {
+    Status s = RolloverLocked(epoch.epoch_id);
+    if (!s.ok()) return s;
+  } else {
+    Status s = OpenActiveForAppendLocked();
+    if (!s.ok()) return s;
+  }
+
+  SegmentMeta& meta = segments_.back();
+  Status s = WriteFully(append_fd_, frame.data(), frame.size());
+  if (!s.ok()) {
+    // Drop any partial frame so the durable prefix stays scannable.
+    if (::ftruncate(append_fd_, static_cast<off_t>(meta.bytes)) != 0) {
+      // The truncate failing too leaves a torn tail; Open() repairs it.
+    }
+    return s;
+  }
+  index_.push_back(FrameLoc{static_cast<uint32_t>(segments_.size() - 1),
+                            meta.bytes,
+                            static_cast<uint32_t>(frame.size())});
+  meta.bytes += frame.size();
+  ++meta.frames;
+  bytes_written_ += frame.size();
+  bytes_written_metric_->Add(frame.size());
+  if (options_.fsync_policy == FsyncPolicy::kAlways) {
+    return FsyncActiveLocked();
+  }
+  return Status::OK();
+}
+
+int SegmentStore::ReadFdLocked(size_t seg_idx) {
+  SegmentMeta& meta = segments_[seg_idx];
+  if (meta.read_fd < 0) {
+    meta.read_fd =
+        ::open(SegmentPath(meta.first_epoch).c_str(), O_RDONLY);
+  }
+  return meta.read_fd;
+}
+
+std::optional<ShippedEpoch> SegmentStore::Read(EpochId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (index_.empty() || id < first_epoch_ ||
+      id >= first_epoch_ + index_.size()) {
+    return std::nullopt;
+  }
+  const FrameLoc& loc = index_[id - first_epoch_];
+  int fd = ReadFdLocked(loc.segment);
+  if (fd < 0) return std::nullopt;
+  std::string buf(loc.size, '\0');
+  ssize_t r = ::pread(fd, buf.data(), buf.size(),
+                      static_cast<off_t>(loc.offset));
+  if (r != static_cast<ssize_t>(buf.size())) return std::nullopt;
+  const uint32_t crc = GetRaw<uint32_t>(buf.data());
+  const uint32_t len = GetRaw<uint32_t>(buf.data() + 4);
+  if (kFrameHeaderBytes + len != buf.size() ||
+      Crc32c(buf.data() + kFrameHeaderBytes, len) != crc) {
+    // Bit rot after the append-time scan: indistinguishable from an evicted
+    // epoch for the caller, which escalates to re-bootstrap.
+    return std::nullopt;
+  }
+  ShippedEpoch epoch = DecodeBody(buf.data() + kFrameHeaderBytes, len);
+  if (epoch.epoch_id != id) return std::nullopt;
+  fetches_metric_->Add(1);
+  return epoch;
+}
+
+Status SegmentStore::Sync() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return FsyncActiveLocked();
+}
+
+EpochId SegmentStore::first_epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return first_epoch_;
+}
+
+EpochId SegmentStore::next_epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return first_epoch_ + index_.size();
+}
+
+bool SegmentStore::empty() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return index_.empty();
+}
+
+size_t SegmentStore::num_segments() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return segments_.size();
+}
+
+uint64_t SegmentStore::bytes_written() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_written_;
+}
+
+uint64_t SegmentStore::fsyncs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fsyncs_;
+}
+
+uint64_t SegmentStore::torn_frames_truncated() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return torn_truncated_;
+}
+
+}  // namespace aets

@@ -1,0 +1,169 @@
+#ifndef AETS_STORAGE_SEGMENT_STORE_H_
+#define AETS_STORAGE_SEGMENT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aets/common/result.h"
+#include "aets/common/status.h"
+#include "aets/log/shipped_epoch.h"
+#include "aets/obs/metrics.h"
+
+namespace aets {
+
+/// When the durable tier forces epochs to stable storage (the classic
+/// durability/throughput trade, DESIGN.md §10). A kill -9 never loses
+/// page-cache data on any policy — fsync only matters for power loss —
+/// so the crash-restart gauntlet runs fine at kSegment.
+enum class FsyncPolicy {
+  kNone,     // never fsync; the OS flushes on its own schedule
+  kSegment,  // fsync when a segment seals (bounded loss: one open segment)
+  kAlways,   // fsync after every appended epoch
+};
+
+struct SegmentStoreOptions {
+  /// Directory holding MANIFEST, seg-*.log segment files, and (by
+  /// convention, see durable_source.h) ckpt-*.img checkpoint images.
+  std::string dir;
+  /// Rollover threshold: a segment seals once its size would exceed this.
+  /// Every segment still holds at least one epoch, so a single oversized
+  /// epoch occupies a segment of its own rather than failing.
+  size_t segment_max_bytes = 8u << 20;
+  FsyncPolicy fsync_policy = FsyncPolicy::kSegment;
+  /// TEST-ONLY fault hook, called with the frame size before every segment
+  /// write (frames and manifest rewrites). A non-OK return fails the append
+  /// exactly like a full disk; the caller must degrade, not abort. Never set
+  /// outside tests.
+  std::function<Status(size_t)> write_fault_hook;
+};
+
+/// Append-only on-disk tier for shipped epochs (ROADMAP item 2): the
+/// LogShipper appends every delivered epoch here so the bounded RAM
+/// retention buffer can evict ("spill") cold epochs without losing them,
+/// and a crashed backup can replay its way back to freshness from disk.
+///
+/// Layout (all little-endian, CRC32C reusing the wire codec's Crc32c):
+///
+///   <dir>/MANIFEST          magic "AETSSEGM", version, crc, ordered list of
+///                           segment first-epoch ids; rewritten via tmp +
+///                           atomic rename whenever a segment is created.
+///   <dir>/seg-<16hex>.log   frames appended in epoch-id order, named by the
+///                           first epoch id the segment holds. Frame:
+///                             u32 crc     (CRC32C over the body)
+///                             u32 len     (body length in bytes)
+///                             body: u64 epoch_id, u64 heartbeat_ts,
+///                                   u64 max_commit_ts, u64 num_txns,
+///                                   u64 num_records, u64 first_txn,
+///                                   u64 last_txn, u32 payload_crc,
+///                                   u32 payload_len, payload bytes
+///
+/// Epoch ids are contiguous: Append requires exactly next_epoch(). Open()
+/// replays the manifest, scans every segment to rebuild the frame index,
+/// and handles damage by provenance: a bad or partial frame at the tail of
+/// the NEWEST segment is a torn write from a crash — the tail is truncated
+/// at the first bad frame and the store continues from there — while any
+/// damage in a sealed segment or in the manifest is a hard Corruption error
+/// (those bytes were durable; losing them silently would fake freshness).
+///
+/// Thread-safe. Reads use pread on cached per-segment descriptors, so
+/// NACK-path fetches do not disturb the append head.
+///
+/// Metrics: segment.bytes_written, segment.fetches_from_disk,
+/// segment.fsyncs, segment.torn_frames_truncated, segment.segments (gauge),
+/// segment.recovery_ms (gauge, last Open's scan time).
+class SegmentStore {
+ public:
+  /// Creates `options.dir` if needed, validates the manifest, scans and
+  /// indexes every segment, and truncates a torn tail. Damage outside the
+  /// torn-tail case returns Corruption.
+  static Result<std::unique_ptr<SegmentStore>> Open(SegmentStoreOptions options);
+
+  ~SegmentStore();
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// Appends one epoch. `epoch.epoch_id` must equal next_epoch() (the first
+  /// append of an empty store sets the base id). Failures (hook-injected
+  /// disk-full, write errors) leave the store consistent at its previous
+  /// durable prefix and are retryable.
+  Status Append(const ShippedEpoch& epoch);
+
+  /// Reads epoch `id` back, or nullopt when it is outside [first_epoch,
+  /// next_epoch). A frame that fails its CRC on read returns nullopt as
+  /// well — callers treat it like an evicted epoch and escalate.
+  std::optional<ShippedEpoch> Read(EpochId id);
+
+  /// Forces the active segment to stable storage regardless of policy.
+  Status Sync();
+
+  /// Durable id range: [first_epoch(), next_epoch()). Empty when equal.
+  EpochId first_epoch() const;
+  EpochId next_epoch() const;
+  bool empty() const;
+
+  size_t num_segments() const;
+  uint64_t bytes_written() const;
+  uint64_t fsyncs() const;
+  /// Torn frames discarded by Open() across the store's lifetime on disk.
+  uint64_t torn_frames_truncated() const;
+
+ private:
+  struct SegmentMeta {
+    EpochId first_epoch = 0;
+    uint64_t frames = 0;
+    uint64_t bytes = 0;  // current file size
+    int read_fd = -1;    // lazily opened pread descriptor
+  };
+  struct FrameLoc {
+    uint32_t segment;
+    uint64_t offset;  // of the frame header within the segment file
+    uint32_t size;    // whole frame: header + body
+  };
+
+  explicit SegmentStore(SegmentStoreOptions options);
+
+  std::string SegmentPath(EpochId first_epoch) const;
+  std::string ManifestPath() const;
+  /// Rewrites MANIFEST (tmp + rename + directory fsync) listing every
+  /// segment in segments_ plus, when >= 0, `new_first` as the new tail.
+  Status WriteManifestLocked(int64_t new_first);
+  /// Opens (creating if absent) the active segment for appending.
+  Status OpenActiveForAppendLocked();
+  /// Seals the active segment and starts a new one at `first_epoch`.
+  Status RolloverLocked(EpochId first_epoch);
+  /// Scans one segment file, appending to index_; `newest` selects the
+  /// torn-tail truncation rule. `expected` is the first epoch id the scan
+  /// must find.
+  Status ScanSegmentLocked(size_t seg_idx, EpochId expected, bool newest);
+  Status FsyncActiveLocked();
+  int ReadFdLocked(size_t seg_idx);
+
+  SegmentStoreOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<SegmentMeta> segments_;
+  /// index_[i] locates epoch first_epoch_ + i.
+  std::vector<FrameLoc> index_;
+  EpochId first_epoch_ = 0;
+  int append_fd_ = -1;
+
+  uint64_t bytes_written_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t torn_truncated_ = 0;
+
+  obs::Counter* bytes_written_metric_;
+  obs::Counter* fetches_metric_;
+  obs::Counter* fsyncs_metric_;
+  obs::Counter* torn_metric_;
+  obs::Gauge* segments_metric_;
+  obs::Gauge* recovery_ms_metric_;
+};
+
+}  // namespace aets
+
+#endif  // AETS_STORAGE_SEGMENT_STORE_H_

@@ -6,12 +6,14 @@
 #include <cstddef>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "aets/common/rng.h"
 #include "aets/log/codec.h"
 #include "aets/primary/primary_db.h"
 #include "aets/replay/aets_replayer.h"
+#include "aets/replication/durable_source.h"
 #include "aets/replication/log_shipper.h"
 #include "aets/storage/checkpoint.h"
 
@@ -320,6 +322,79 @@ TEST(CheckpointTest, ReplayerResumeFromCheckpoint) {
             db.store().DigestAt(final_ts));
   EXPECT_EQ(resumed.GlobalVisibleTs(), final_ts);
   std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, WriteCommitsAtomicallyViaRename) {
+  // The image appears under its final name only; no .tmp staging file may
+  // survive a successful Write, and rewriting an existing image replaces it
+  // whole (a reader never sees a half-written file at the committed path).
+  std::unique_ptr<Catalog> catalog(MakeCatalog(2));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  FillRandom(&db, 2, 200, 8);
+
+  std::string dir = TempPath("ckpt_atomic_dir");
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  std::string path = dir + "/image";
+  Timestamp mid = db.last_commit_ts();
+  ASSERT_TRUE(Checkpointer::Write(db.store(), mid, 1, path).ok());
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().filename().string(), "image")
+        << "staging file left behind: " << entry.path();
+  }
+
+  // Overwrite with a later snapshot: the committed file must read back as
+  // exactly the new image.
+  FillRandom(&db, 2, 200, 9);
+  Timestamp late = db.last_commit_ts();
+  ASSERT_TRUE(Checkpointer::Write(db.store(), late, 2, path).ok());
+  TableStore restored(*catalog);
+  auto info = Checkpointer::Restore(path, &restored);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->snapshot_ts, late);
+  EXPECT_EQ(info->next_epoch_id, 2u);
+  EXPECT_EQ(restored.DigestAt(late), db.store().DigestAt(late));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointTest, WriteToUnreachableDirectoryFailsCleanly) {
+  std::unique_ptr<Catalog> catalog(MakeCatalog(1));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+  FillRandom(&db, 1, 10, 10);
+  Status status = Checkpointer::Write(db.store(), db.last_commit_ts(), 0,
+                                      TempPath("no_such_dir") + "/image");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(CheckpointTest, CheckpointFileHelpersOrderNewestFirst) {
+  // ListCheckpointFiles drives recovery's "newest image first" candidate
+  // loop; the zero-padded hex names must sort by epoch, not string length.
+  std::string dir = TempPath("ckpt_helpers_dir");
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  for (EpochId id : {3u, 300u, 27u}) {
+    std::ofstream out(CheckpointPathFor(dir, id));
+    out << "stub";
+  }
+  std::ofstream(dir + "/seg-0000000000000000.log") << "not a checkpoint";
+
+  auto files = ListCheckpointFiles(dir);
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0], CheckpointPathFor(dir, 300));
+  EXPECT_EQ(files[1], CheckpointPathFor(dir, 27));
+  EXPECT_EQ(files[2], CheckpointPathFor(dir, 3));
+
+  // Pruning keeps the newest images and tolerates keep > count.
+  PruneCheckpoints(dir, 2);
+  files = ListCheckpointFiles(dir);
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], CheckpointPathFor(dir, 300));
+  EXPECT_EQ(files[1], CheckpointPathFor(dir, 27));
+  PruneCheckpoints(dir, 10);
+  EXPECT_EQ(ListCheckpointFiles(dir).size(), 2u);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(CheckpointTest, BootstrapRejectsUsedReplayer) {

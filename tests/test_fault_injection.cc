@@ -25,12 +25,17 @@
 #include "aets/baselines/c5_replayer.h"
 #include "aets/baselines/serial_replayer.h"
 #include "aets/baselines/tplr_replayer.h"
+#include <filesystem>
+
 #include "aets/obs/metrics.h"
 #include "aets/primary/primary_db.h"
 #include "aets/replay/aets_replayer.h"
+#include "aets/replication/durable_source.h"
 #include "aets/replication/fault_injection.h"
 #include "aets/replication/log_shipper.h"
+#include "aets/sim/reference_model.h"
 #include "aets/storage/checkpoint.h"
+#include "aets/storage/segment_store.h"
 #include "test_seed.h"
 
 static int g_chaos_iters = 2;
@@ -367,9 +372,57 @@ TEST(RecoveryTest, CorruptedEpochIsRefetchedClean) {
   EXPECT_GE(replayer.stats().epochs_retried.load(), 1u);
 }
 
+TEST(ShipperTest, ConservationProducedEqualsShippedPlusDropped) {
+  // Every produced epoch is either shipped or dropped, exactly once; spills
+  // are a disjoint dimension (where the epoch lives, not whether it made it
+  // out) and must never leak into either count.
+  constexpr int kTables = 2;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+
+  std::string dir = TempPath("shipper_conservation_seg");
+  std::filesystem::remove_all(dir);
+  SegmentStoreOptions seg_options;
+  seg_options.dir = dir;
+  auto store = SegmentStore::Open(seg_options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  LogShipper shipper(/*epoch_size=*/4, /*retention_capacity=*/3);
+  shipper.AttachSegmentStore(store->get());
+  EpochChannel channel(0);
+  shipper.AttachChannel(&channel);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+  // Phase 1: live channel — everything ships; the tiny retention spills.
+  RunRandomWorkload(&db, kTables, 120, test::DeriveSeed(55));
+  shipper.FlushEpoch();
+  shipper.ShipHeartbeat(db.AcquireHeartbeatTs());
+  EXPECT_GT(shipper.epochs_spilled(), 0u);
+  EXPECT_EQ(shipper.epochs_dropped(), 0u);
+  EXPECT_EQ(shipper.epochs_produced(),
+            shipper.epochs_shipped() + shipper.epochs_dropped());
+
+  // Phase 2: the channel dies — epochs now count dropped, never shipped,
+  // and still exactly once each even though every one of them also spills
+  // through the retention buffer eventually.
+  channel.Close();
+  RunRandomWorkload(&db, kTables, 120, test::DeriveSeed(56));
+  shipper.Finish();
+  EXPECT_GT(shipper.epochs_dropped(), 0u);
+  EXPECT_EQ(shipper.epochs_produced(),
+            shipper.epochs_shipped() + shipper.epochs_dropped());
+  EXPECT_EQ(shipper.spill_failures(), 0u);
+  // Eager appends mean the durable log holds the full sequence regardless
+  // of channel fate.
+  EXPECT_EQ((*store)->next_epoch(), shipper.NextEpochId());
+  std::filesystem::remove_all(dir);
+}
+
 TEST(RecoveryTest, EvictedEpochIsACleanTerminalError) {
-  // The loss is older than the retention window: recovery must fail loudly
-  // (re-bootstrap guidance), never silently skip.
+  // The loss is older than the retention window and no durable tier is
+  // attached: recovery must fail loudly (re-bootstrap guidance), never
+  // silently skip.
   constexpr int kTables = 2;
   std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
   LogicalClock clock;
@@ -394,6 +447,99 @@ TEST(RecoveryTest, EvictedEpochIsACleanTerminalError) {
   EXPECT_TRUE(replayer.error().IsCorruption()) << replayer.error().ToString();
   EXPECT_NE(replayer.error().ToString().find("evicted"), std::string::npos)
       << replayer.error().ToString();
+}
+
+TEST(RecoveryTest, EvictedEpochIsServedFromDiskWithDurableTier) {
+  // Same loss, but the durable tier is attached: eviction became a spill,
+  // and the NACK for the long-evicted epoch is served by a disk fetch
+  // instead of latching the terminal error.
+  constexpr int kTables = 2;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+
+  std::string dir = TempPath("evicted_from_disk_seg");
+  std::filesystem::remove_all(dir);
+  SegmentStoreOptions seg_options;
+  seg_options.dir = dir;
+  auto store = SegmentStore::Open(seg_options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  LogShipper shipper(/*epoch_size=*/4, /*retention_capacity=*/2);
+  shipper.AttachSegmentStore(store->get());
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+  auto epochs = RecordWorkload(&db, &shipper, kTables, 200, test::DeriveSeed(51));
+  ASSERT_GT(epochs.size(), 8u);
+  ASSERT_GT(shipper.epochs_spilled(), 0u);
+
+  EpochChannel channel(0);
+  for (size_t i = 1; i < epochs.size(); ++i) {  // epoch 0 never arrives
+    ASSERT_TRUE(channel.Send(epochs[i]));
+  }
+  channel.Close();
+
+  SerialReplayer replayer(catalog.get(), &channel);
+  replayer.SetEpochSource(&shipper);
+  replayer.SetRecoveryOptions(FastRecovery());
+  ASSERT_TRUE(replayer.Start().ok());
+  replayer.Stop();
+
+  EXPECT_TRUE(replayer.error().ok()) << replayer.error().ToString();
+  Timestamp final_ts = db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->DigestAt(final_ts),
+            db.store().DigestAt(final_ts));
+  EXPECT_GT(shipper.retransmits(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RecoveryTest, DiskFullDegradesToTheLegacyEvictionError) {
+  // The durable tier is attached but the disk filled up immediately: every
+  // append fails (spill_failures), epochs stay RAM-only, and eviction is
+  // the legacy terminal loss again — degraded, not aborted.
+  constexpr int kTables = 2;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+
+  std::string dir = TempPath("disk_full_seg");
+  std::filesystem::remove_all(dir);
+  SegmentStoreOptions seg_options;
+  seg_options.dir = dir;
+  seg_options.segment_max_bytes = 1024;
+  seg_options.write_fault_hook = [](size_t) {
+    return Status::Internal("injected: disk full");
+  };
+  auto store = SegmentStore::Open(seg_options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  LogShipper shipper(/*epoch_size=*/4, /*retention_capacity=*/2);
+  shipper.AttachSegmentStore(store->get());
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+  auto epochs = RecordWorkload(&db, &shipper, kTables, 200, test::DeriveSeed(51));
+  ASSERT_GT(epochs.size(), 8u);
+  EXPECT_GT(shipper.spill_failures(), 0u);
+  EXPECT_EQ(shipper.epochs_spilled(), 0u);  // nothing durable ever spilled
+  EXPECT_TRUE((*store)->empty());
+  // Conservation holds under full-disk degradation too.
+  EXPECT_EQ(shipper.epochs_produced(),
+            shipper.epochs_shipped() + shipper.epochs_dropped());
+
+  EpochChannel channel(0);
+  for (size_t i = 1; i < epochs.size(); ++i) {  // epoch 0 lost forever
+    ASSERT_TRUE(channel.Send(epochs[i]));
+  }
+  channel.Close();
+
+  SerialReplayer replayer(catalog.get(), &channel);
+  replayer.SetEpochSource(&shipper);
+  replayer.SetRecoveryOptions(FastRecovery());
+  ASSERT_TRUE(replayer.Start().ok());
+  replayer.Stop();
+
+  EXPECT_TRUE(replayer.error().IsCorruption()) << replayer.error().ToString();
+  EXPECT_NE(replayer.error().ToString().find("evicted"), std::string::npos)
+      << replayer.error().ToString();
+  std::filesystem::remove_all(dir);
 }
 
 TEST(RecoveryTest, GapWithoutSourceStaysTerminal) {
@@ -470,6 +616,102 @@ TEST(CrashRestartTest, ResumesFromCheckpointThroughRetention) {
   EXPECT_GT(resumed.stats().epochs_retried.load(), 0u);
   EXPECT_GT(shipper.retransmits(), 0u);
   std::remove(path.c_str());
+}
+
+TEST(CrashRestartTest, DurableRecoveryFromSegmentTailIsExact) {
+  // The full restart path (DESIGN.md §10): checkpoint into the segment
+  // directory mid-run, lose the process, reopen the store, bootstrap from
+  // the newest image, and replay the segment tail through the normal loop
+  // via DurableEpochSource. The sim oracle's ReferenceModel then verifies
+  // the recovered snapshot row for row, not just by digest.
+  constexpr int kTables = 3;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+
+  std::string dir = TempPath("durable_crash_restart_seg");
+  std::filesystem::remove_all(dir);
+  SegmentStoreOptions seg_options;
+  seg_options.dir = dir;
+  seg_options.segment_max_bytes = 16 << 10;  // force a few rollovers
+
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+
+  // Phase 1: live replication with the durable tier attached. The backup
+  // checkpoints into the segment directory, then the process "dies" — the
+  // primary keeps committing into the durable log with no one listening.
+  {
+    auto store = SegmentStore::Open(seg_options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    LogShipper shipper(/*epoch_size=*/8, /*retention_capacity=*/4);
+    shipper.AttachSegmentStore(store->get());
+    EpochChannel channel(0);
+    shipper.AttachChannel(&channel);
+    db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+    AetsReplayer live(catalog.get(), &channel, options);
+    ASSERT_TRUE(live.Start().ok());
+    RunRandomWorkload(&db, kTables, 300, test::DeriveSeed(71));
+    shipper.FlushEpoch();
+    while (live.error().ok() &&
+           live.GlobalVisibleTs() < db.last_commit_ts()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    ASSERT_TRUE(live.error().ok()) << live.error().ToString();
+    ASSERT_TRUE(live.WriteLiveCheckpoint(
+                        CheckpointPathFor(dir, live.next_expected_epoch()))
+                    .ok());
+
+    // More commits after the checkpoint: this is the tail recovery must
+    // replay from the segments. The backup is gone (channel closed).
+    channel.Close();
+    live.Stop();
+    RunRandomWorkload(&db, kTables, 300, test::DeriveSeed(72));
+    shipper.Finish();
+    EXPECT_GT(shipper.epochs_dropped(), 0u);
+    EXPECT_EQ(shipper.epochs_produced(),
+              shipper.epochs_shipped() + shipper.epochs_dropped());
+  }
+
+  // Phase 2: restart from disk alone.
+  auto reopened = SegmentStore::Open(seg_options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  DurableEpochSource source(reopened->get());
+
+  auto checkpoints = ListCheckpointFiles(dir);
+  ASSERT_EQ(checkpoints.size(), 1u);
+  EpochChannel closed(0);
+  closed.Close();
+  AetsReplayer recovered(catalog.get(), &closed, options);
+  ASSERT_TRUE(recovered.Bootstrap(checkpoints.front()).ok());
+  EpochId bootstrapped_at = recovered.next_expected_epoch();
+  ASSERT_GT(bootstrapped_at, 0u);
+  ASSERT_LT(bootstrapped_at, (*reopened)->next_epoch());  // a real tail
+  recovered.SetEpochSource(&source);
+  recovered.SetRecoveryOptions(FastRecovery());
+  ASSERT_TRUE(recovered.Start().ok());
+  recovered.Stop();
+  ASSERT_TRUE(recovered.error().ok()) << recovered.error().ToString();
+
+  // Digest equality with the primary at its final commit...
+  Timestamp final_ts = db.last_commit_ts();
+  EXPECT_EQ(recovered.GlobalVisibleTs(), final_ts);
+  EXPECT_EQ(recovered.store()->DigestAt(final_ts),
+            db.store().DigestAt(final_ts));
+
+  // ...and the oracle's exactness probe: rebuild the reference history from
+  // the durable log and compare row for row.
+  sim::ReferenceModel model(kTables);
+  for (EpochId id = 0; id < (*reopened)->next_epoch(); ++id) {
+    auto epoch = (*reopened)->Read(id);
+    ASSERT_TRUE(epoch.has_value()) << id;
+    ASSERT_TRUE(model.Apply(*epoch).ok());
+  }
+  Status exact = model.ExpectStoreExact(*recovered.store(), final_ts);
+  EXPECT_TRUE(exact.ok()) << exact.ToString();
+  std::filesystem::remove_all(dir);
 }
 
 // ---------------------------------------------------------------------------
