@@ -29,6 +29,7 @@
 //   $ ./durable_replay run --dir /tmp/aets-seg --seed 11
 //   $ ./durable_replay recover --dir /tmp/aets-seg --seed 11
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -38,9 +39,13 @@
 #include <thread>
 #include <vector>
 
+#include "aets/bench/harness.h"
+#include "aets/catalog/shard_map.h"
 #include "aets/obs/metrics.h"
 #include "aets/primary/primary_db.h"
 #include "aets/replay/aets_replayer.h"
+#include "aets/replay/replayer_base.h"
+#include "aets/replay/sharded_backup.h"
 #include "aets/replication/durable_source.h"
 #include "aets/replication/log_shipper.h"
 #include "aets/sim/reference_model.h"
@@ -62,7 +67,17 @@ struct Config {
   int ckpt_every = 3000;   // txns between live checkpoints (run mode)
   size_t retention = 16;   // RAM retention epochs: small, to force spills
   size_t segment_max_bytes = 256u << 10;  // small, to force rollovers
+  // Backup shard count (DESIGN.md §11). 1 is the classic single-replayer
+  // pipeline the crash gauntlet drives; N > 1 runs N in-process shards, each
+  // with its own sub-epoch lane, segment directory (<dir>/shard<k>), and
+  // NACK source, behind a ShardedBackup. Sharded runs skip live checkpoints
+  // (recovery is a cold per-shard replay of each lane's durable log).
+  int shard_count = 1;
 };
+
+std::string ShardDir(const std::string& dir, int shard) {
+  return dir + "/shard" + std::to_string(shard);
+}
 
 // Deterministic splitmix64 — the driver must replay identically on every
 // invocation with the same seed, across processes.
@@ -138,24 +153,70 @@ int RunMode(const Config& cfg, bool paced) {
   LogicalClock clock;
   PrimaryDb primary(&catalog, &clock);
 
-  auto store_or = SegmentStore::Open(
-      {cfg.dir, cfg.segment_max_bytes, FsyncPolicy::kSegment, nullptr});
-  if (!store_or.ok()) {
-    std::fprintf(stderr, "segment store: %s\n",
-                 store_or.status().ToString().c_str());
-    return 2;
-  }
-  SegmentStore& store = **store_or;
-
+  const int n = cfg.shard_count > 1 ? cfg.shard_count : 1;
+  ShardMap map = ShardMap::Hash(static_cast<size_t>(cfg.num_tables), n);
   LogShipper shipper(cfg.epoch_size, cfg.retention);
-  shipper.AttachSegmentStore(&store);
-  EpochChannel channel;
-  shipper.AttachChannel(&channel);
+  if (n > 1) shipper.SetShardMap(&map);
+
+  std::vector<std::unique_ptr<SegmentStore>> stores;
+  for (int s = 0; s < n; ++s) {
+    auto store_or = SegmentStore::Open({n == 1 ? cfg.dir : ShardDir(cfg.dir, s),
+                                        cfg.segment_max_bytes,
+                                        FsyncPolicy::kSegment, nullptr});
+    if (!store_or.ok()) {
+      std::fprintf(stderr, "segment store: %s\n",
+                   store_or.status().ToString().c_str());
+      return 2;
+    }
+    stores.push_back(std::move(*store_or));
+    if (n == 1) {
+      shipper.AttachSegmentStore(stores.back().get());
+    } else {
+      shipper.AttachShardSegmentStore(s, stores.back().get());
+    }
+  }
+  SegmentStore& store = *stores[0];
+
+  std::vector<std::unique_ptr<EpochChannel>> channels;
+  std::vector<EpochChannel*> raw;
+  for (int s = 0; s < n; ++s) {
+    channels.push_back(std::make_unique<EpochChannel>());
+    raw.push_back(channels.back().get());
+    if (n == 1) {
+      shipper.AttachChannel(raw.back());
+    } else {
+      shipper.AttachShardChannel(s, raw.back());
+    }
+  }
   primary.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
 
-  AetsReplayer backup(&catalog, &channel, ReplayOptions(cfg.num_tables));
-  backup.SetEpochSource(&shipper);
-  if (!backup.Start().ok()) return 2;
+  std::unique_ptr<AetsReplayer> single;
+  std::unique_ptr<ShardedBackup> sharded;
+  if (n == 1) {
+    single = std::make_unique<AetsReplayer>(&catalog, raw[0],
+                                            ReplayOptions(cfg.num_tables));
+    single->SetEpochSource(&shipper);
+    if (!single->Start().ok()) return 2;
+  } else {
+    AetsOptions base = ReplayOptions(cfg.num_tables);
+    base.replay_threads = std::max(base.replay_threads, n);
+    base.commit_threads = std::max(base.commit_threads, n);
+    sharded = MakeShardedAetsBackup(&catalog, &map, raw, base);
+    for (int s = 0; s < n; ++s) {
+      sharded->SetShardEpochSource(s, shipper.shard_source(s));
+    }
+    if (!sharded->Start().ok()) return 2;
+  }
+  Replayer* backup =
+      n == 1 ? static_cast<Replayer*>(single.get()) : sharded.get();
+  auto replay_error = [&]() -> Status {
+    if (n == 1) return single->error();
+    for (int s = 0; s < n; ++s) {
+      Status st = dynamic_cast<ReplayerBase*>(sharded->shard(s))->error();
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  };
 
   Rng rng{cfg.seed};
   std::vector<std::set<int64_t>> live(cfg.num_tables);
@@ -170,64 +231,185 @@ int RunMode(const Config& cfg, bool paced) {
       // the killed run did.
       shipper.FlushEpoch();
     }
-    if (paced && i % cfg.ckpt_every == 0) {
+    if (paced && i % cfg.ckpt_every == 0 && n == 1) {
       // Quiesce: the epoch is sealed, wait for the backup to catch up, then
       // snapshot the live backup. The single-threaded driver guarantees no
       // epoch ships between the watermark check and the checkpoint write.
-      while (backup.error().ok() &&
-             backup.GlobalVisibleTs() < primary.last_commit_ts()) {
+      // Sharded runs skip live checkpoints: recovery cold-replays each lane.
+      while (replay_error().ok() &&
+             backup->GlobalVisibleTs() < primary.last_commit_ts()) {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
-      if (!backup.error().ok()) break;
+      if (!replay_error().ok()) break;
       std::string path =
-          CheckpointPathFor(cfg.dir, backup.next_expected_epoch());
-      Status s = backup.WriteLiveCheckpoint(path);
+          CheckpointPathFor(cfg.dir, single->next_expected_epoch());
+      Status s = single->WriteLiveCheckpoint(path);
       if (!s.ok()) {
         std::fprintf(stderr, "checkpoint: %s\n", s.ToString().c_str());
         return 2;
       }
       PruneCheckpoints(cfg.dir, 3);
       std::printf("CKPT %" PRIu64 " txns=%d\n",
-                  static_cast<uint64_t>(backup.next_expected_epoch()), i);
+                  static_cast<uint64_t>(single->next_expected_epoch()), i);
       std::fflush(stdout);
     }
   }
   shipper.Finish();
-  backup.Stop();
-  if (!backup.error().ok()) {
+  backup->Stop();
+  if (!replay_error().ok()) {
     std::fprintf(stderr, "replay error: %s\n",
-                 backup.error().ToString().c_str());
+                 replay_error().ToString().c_str());
     return 2;
   }
 
   // The epoch table (digest mode prints it; run mode prints FINAL only,
-  // used when the gauntlet's kill misses and the run completes).
+  // used when the gauntlet's kill misses and the run completes). An epoch
+  // counts as data if any lane carries transactions; the snapshot timestamp
+  // is the full-epoch max every lane header carries, and the digest combines
+  // each table's state from its owning shard (identical to the single-store
+  // digest when n == 1).
   EpochId next = store.next_epoch();
   EpochId last_data = 0;
   Timestamp last_ts = kInvalidTimestamp;
   for (EpochId id = store.first_epoch(); id < next; ++id) {
-    auto epoch = store.Read(id);
-    if (!epoch || epoch->is_heartbeat()) continue;
-    uint64_t digest = backup.store()->DigestAt(epoch->max_commit_ts);
+    bool has_data = false;
+    Timestamp ts = kInvalidTimestamp;
+    for (int s = 0; s < n; ++s) {
+      auto epoch = stores[s]->Read(id);
+      if (!epoch || epoch->is_heartbeat()) continue;
+      has_data = true;
+      ts = std::max(ts, epoch->max_commit_ts);
+    }
+    if (!has_data) continue;
+    uint64_t digest = ReplicaDigestAt(backup, &catalog, ts);
     if (cfg.mode == "digest") {
       std::printf("EPOCH %" PRIu64 " %" PRIu64 " %016" PRIx64 "\n",
-                  static_cast<uint64_t>(id),
-                  static_cast<uint64_t>(epoch->max_commit_ts), digest);
+                  static_cast<uint64_t>(id), static_cast<uint64_t>(ts),
+                  digest);
     }
     last_data = id;
-    last_ts = epoch->max_commit_ts;
+    last_ts = ts;
   }
   std::printf("FINAL %" PRIu64 " %" PRIu64 " %016" PRIx64 " spills=%" PRIu64
               " produced=%" PRIu64 "\n",
               static_cast<uint64_t>(last_data),
               static_cast<uint64_t>(last_ts),
-              backup.store()->DigestAt(last_ts), shipper.epochs_spilled(),
-              shipper.epochs_produced());
+              ReplicaDigestAt(backup, &catalog, last_ts),
+              shipper.epochs_spilled(), shipper.epochs_produced());
+  std::fflush(stdout);
+  return 0;
+}
+
+// Sharded restart: reopen each shard's segment directory, cold-replay every
+// lane through its own DurableEpochSource behind a ShardedBackup, and verify
+// each shard row-for-row against a per-lane ReferenceModel (a lane's durable
+// log is a complete history of its own tables, so the lane model and the
+// shard store must agree exactly).
+int RecoverShardedMode(const Config& cfg) {
+  Catalog catalog;
+  FillCatalog(&catalog, cfg.num_tables);
+  const int n = cfg.shard_count;
+  ShardMap map = ShardMap::Hash(static_cast<size_t>(cfg.num_tables), n);
+
+  std::vector<std::unique_ptr<SegmentStore>> stores;
+  for (int s = 0; s < n; ++s) {
+    auto store_or =
+        SegmentStore::Open({ShardDir(cfg.dir, s), cfg.segment_max_bytes,
+                            FsyncPolicy::kSegment, nullptr});
+    if (!store_or.ok()) {
+      std::fprintf(stderr, "segment store shard %d: %s\n", s,
+                   store_or.status().ToString().c_str());
+      return 2;
+    }
+    stores.push_back(std::move(*store_or));
+  }
+
+  EpochChannel closed_channel;
+  closed_channel.Close();
+  std::vector<std::unique_ptr<Replayer>> shards;
+  for (int s = 0; s < n; ++s) {
+    shards.push_back(std::make_unique<AetsReplayer>(
+        &catalog, &closed_channel, ReplayOptions(cfg.num_tables)));
+  }
+  ShardedBackup backup(&map, std::move(shards));
+  std::vector<std::unique_ptr<DurableEpochSource>> sources;
+  for (int s = 0; s < n; ++s) {
+    sources.push_back(std::make_unique<DurableEpochSource>(stores[s].get()));
+    backup.SetShardEpochSource(s, sources.back().get());
+  }
+  if (!backup.Start().ok()) return 2;
+  backup.Stop();
+
+  EpochId last_data = 0;
+  Timestamp last_ts = kInvalidTimestamp;
+  uint64_t torn = 0;
+  size_t rows = 0;
+  for (int s = 0; s < n; ++s) {
+    auto* shard = dynamic_cast<ReplayerBase*>(backup.shard(s));
+    if (!shard->error().ok()) {
+      std::fprintf(stderr, "shard %d recovery replay error: %s\n", s,
+                   shard->error().ToString().c_str());
+      return 2;
+    }
+    sim::ReferenceModel model(cfg.num_tables);
+    for (EpochId id = stores[s]->first_epoch(); id < stores[s]->next_epoch();
+         ++id) {
+      auto epoch = stores[s]->Read(id);
+      if (!epoch) {
+        std::fprintf(stderr, "durable epoch %llu unreadable (shard %d)\n",
+                     static_cast<unsigned long long>(id), s);
+        return 2;
+      }
+      Status st = model.Apply(*epoch);
+      if (!st.ok()) {
+        std::fprintf(stderr, "shard %d model apply: %s\n", s,
+                     st.ToString().c_str());
+        return 2;
+      }
+      if (!epoch->is_heartbeat()) {
+        last_data = std::max(last_data, id);
+        last_ts = std::max(last_ts, epoch->max_commit_ts);
+      }
+    }
+    // The lane model only sees the lane's own commits; the sub-epoch header
+    // carries the FULL epoch's max_commit_ts, so the shard watermark may
+    // legitimately sit past the lane's last commit (never short of it). The
+    // exactness probe reads at the lane's own history point — between it and
+    // the watermark the lane's tables have no writes by construction.
+    Timestamp watermark = shard->GlobalVisibleTs();
+    if (model.MaxVisibleTs() != kInvalidTimestamp) {
+      if (watermark < model.MaxVisibleTs()) {
+        std::fprintf(stderr,
+                     "shard %d watermark %llu short of durable history %llu\n",
+                     s, static_cast<unsigned long long>(watermark),
+                     static_cast<unsigned long long>(model.MaxVisibleTs()));
+        return 2;
+      }
+      Status st = model.ExpectStoreExact(*shard->store(), model.MaxVisibleTs());
+      if (!st.ok()) {
+        std::fprintf(stderr, "shard %d: %s\n", s, st.ToString().c_str());
+        return 2;
+      }
+      rows += shard->store()->VisibleRowCount(model.MaxVisibleTs());
+    }
+    torn += stores[s]->torn_frames_truncated();
+  }
+  std::printf("ORACLE exact rows=%zu shards=%d\n", rows, n);
+  std::printf("RECOVERED next_epoch=%" PRIu64 " last_data=%" PRIu64
+              " ts=%" PRIu64 " digest=%016" PRIx64 " fetches=%" PRIu64
+              " tail=%" PRIu64 " torn=%" PRIu64 "\n",
+              static_cast<uint64_t>(stores[0]->next_epoch()),
+              static_cast<uint64_t>(last_data),
+              static_cast<uint64_t>(last_ts),
+              ReplicaDigestAt(&backup, &catalog, last_ts),
+              CounterValue("segment.fetches_from_disk"),
+              static_cast<uint64_t>(stores[0]->next_epoch()), torn);
   std::fflush(stdout);
   return 0;
 }
 
 int RecoverMode(const Config& cfg) {
+  if (cfg.shard_count > 1) return RecoverShardedMode(cfg);
   Catalog catalog;
   FillCatalog(&catalog, cfg.num_tables);
 
@@ -350,11 +532,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s run|digest|recover --dir D [--seed N] [--txns N] "
                  "[--tables N] [--epoch_size N] [--batch N] [--pause_us N] "
-                 "[--ckpt_every N] [--retention N]\n",
+                 "[--ckpt_every N] [--retention N] [--shard_count N]\n",
                  argv[0]);
     return 2;
   }
   cfg.mode = argv[1];
+  // Flags win over the env knob (same precedence as the sim harness).
+  if (const char* env = std::getenv("AETS_SHARD_COUNT")) {
+    cfg.shard_count = std::atoi(env);
+  }
   for (int i = 2; i + 1 < argc; i += 2) {
     std::string flag = argv[i];
     const char* val = argv[i + 1];
@@ -367,6 +553,7 @@ int main(int argc, char** argv) {
     else if (flag == "--pause_us") cfg.pause_us = std::atoi(val);
     else if (flag == "--ckpt_every") cfg.ckpt_every = std::atoi(val);
     else if (flag == "--retention") cfg.retention = std::strtoull(val, nullptr, 10);
+    else if (flag == "--shard_count") cfg.shard_count = std::atoi(val);
     else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return 2;

@@ -35,7 +35,7 @@ Timestamp AtrReplayer::GlobalVisibleTs() const {
 }
 
 void AtrReplayer::ProcessHeartbeat(const ShippedEpoch& epoch) {
-  watermark_.store(epoch.heartbeat_ts, std::memory_order_release);
+  StoreMaxTimestamp(watermark_, epoch.heartbeat_ts);
 }
 
 std::unique_ptr<ReplayerBase::PreparedEpoch> AtrReplayer::PrepareEpoch(
@@ -110,10 +110,17 @@ void AtrReplayer::CommitEpoch(const ShippedEpoch& epoch,
     }
     if (HasError()) break;
     ScopedTimerNs timer(&stats_.commit_ns);
-    watermark_.store(task.commit_ts, std::memory_order_release);
+    // Max-guarded for the same reason as the epoch-end advance below: the
+    // previous sub-epoch's patched header max may exceed this commit.
+    StoreMaxTimestamp(watermark_, task.commit_ts);
     stats_.txns.fetch_add(1, std::memory_order_relaxed);
   }
   pool_->WaitIdle();
+  // Sharded sub-epochs carry the FULL epoch's max_commit_ts in the header;
+  // advance to it after a clean epoch so this shard keeps pace with the
+  // primary even when its own last transaction commits earlier (no-op
+  // unsharded).
+  if (!HasError()) StoreMaxTimestamp(watermark_, epoch.max_commit_ts);
 }
 
 void AtrReplayer::WorkerRun(const std::string& payload,

@@ -49,7 +49,7 @@ Timestamp C5Replayer::GlobalVisibleTs() const {
 }
 
 void C5Replayer::ProcessHeartbeat(const ShippedEpoch& epoch) {
-  watermark_.store(epoch.heartbeat_ts, std::memory_order_release);
+  StoreMaxTimestamp(watermark_, epoch.heartbeat_ts);
 }
 
 std::unique_ptr<ReplayerBase::PreparedEpoch> C5Replayer::PrepareEpoch(
@@ -117,7 +117,6 @@ std::unique_ptr<ReplayerBase::PreparedEpoch> C5Replayer::PrepareEpoch(
 void C5Replayer::CommitEpoch(const ShippedEpoch& epoch,
                              std::unique_ptr<PreparedEpoch> prepared) {
   AETS_TRACE_SPAN("replay.epoch");
-  (void)epoch;
   auto* prep = static_cast<PreparedC5*>(prepared.get());
   std::vector<std::vector<RowOp>>* queues = &prep->queues;
   std::vector<std::atomic<uint32_t>>* txn_remaining = &prep->txn_remaining;
@@ -159,7 +158,10 @@ void C5Replayer::CommitEpoch(const ShippedEpoch& epoch,
         ScopedTimerNs timer(&stats_.commit_ns);
         while (next < prep->txn_ts.size() &&
                prep->txn_remaining[next].load(std::memory_order_acquire) == 0) {
-          watermark_.store(prep->txn_ts[next], std::memory_order_release);
+          // Max-guarded: a sharded sub-epoch's patched header max may have
+          // already advanced the watermark past this sub-stream's own
+          // timestamps; a plain store would move it backwards.
+          StoreMaxTimestamp(watermark_, prep->txn_ts[next]);
           stats_.txns.fetch_add(1, std::memory_order_relaxed);
           ++next;
         }
@@ -173,6 +175,11 @@ void C5Replayer::CommitEpoch(const ShippedEpoch& epoch,
   pool_->WaitIdle();
   workers_done.store(true, std::memory_order_release);
   watermark_thread.join();
+  // Sharded sub-epochs carry the FULL epoch's max_commit_ts in the header;
+  // advance to it after a clean epoch so this shard keeps pace with the
+  // primary even when its own last transaction commits earlier (no-op
+  // unsharded).
+  if (!HasError()) StoreMaxTimestamp(watermark_, epoch.max_commit_ts);
 }
 
 }  // namespace aets

@@ -1,5 +1,6 @@
 #include "aets/bench/harness.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <chrono>
@@ -9,6 +10,7 @@
 
 #include "aets/common/macros.h"
 #include "aets/obs/export.h"
+#include "aets/replay/thread_allocator.h"
 #include "aets/replication/log_shipper.h"
 
 namespace aets {
@@ -137,6 +139,77 @@ std::unique_ptr<Replayer> MakeReplayer(const ReplayerSpec& spec,
   return nullptr;
 }
 
+std::unique_ptr<ShardedBackup> MakeShardedReplayer(
+    const ReplayerSpec& spec, const Catalog* catalog, const ShardMap* map,
+    const std::vector<EpochChannel*>& shard_channels) {
+  const int n = map->num_shards();
+  AETS_CHECK(static_cast<int>(shard_channels.size()) == n);
+  // Predicted per-shard load: each shard's share of the per-table access
+  // rates. No rates means no signal — SplitThreadBudget falls back to an
+  // even split.
+  std::vector<double> loads(static_cast<size_t>(n), 0.0);
+  for (size_t t = 0; t < spec.rates.size(); ++t) {
+    loads[static_cast<size_t>(map->shard_of(static_cast<TableId>(t)))] +=
+        spec.rates[t];
+  }
+  std::vector<int> replay_split =
+      SplitThreadBudget(loads, std::max(spec.threads, n));
+  std::vector<int> commit_split =
+      SplitThreadBudget(loads, std::max(spec.commit_threads, n));
+  std::vector<std::unique_ptr<Replayer>> shards;
+  shards.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    ReplayerSpec sub = spec;
+    sub.shard_count = 1;
+    sub.threads = replay_split[static_cast<size_t>(s)];
+    sub.commit_threads = commit_split[static_cast<size_t>(s)];
+    shards.push_back(MakeReplayer(sub, catalog, shard_channels[static_cast<size_t>(s)]));
+  }
+  return std::make_unique<ShardedBackup>(map, std::move(shards));
+}
+
+std::vector<std::vector<ShippedEpoch>> ShardRecordedLog(const RecordedLog& log,
+                                                        const ShardMap& map) {
+  const int n = map.num_shards();
+  // Seal only on FlushEpoch so the re-shipped epoch boundaries land exactly
+  // where the recorded ones did.
+  LogShipper shipper(/*epoch_size=*/SIZE_MAX);
+  shipper.SetShardMap(&map);
+  std::vector<std::unique_ptr<EpochChannel>> recorders;
+  for (int s = 0; s < n; ++s) {
+    recorders.push_back(std::make_unique<EpochChannel>(0));
+    shipper.AttachShardChannel(s, recorders.back().get());
+  }
+  for (const ShippedEpoch& shipped : log.epochs) {
+    if (shipped.is_heartbeat()) {
+      shipper.ShipHeartbeat(shipped.heartbeat_ts);
+      continue;
+    }
+    auto epoch = DecodeEpoch(shipped);
+    AETS_CHECK(epoch.ok());
+    for (auto& txn : epoch->txns) shipper.OnCommit(std::move(txn));
+    shipper.FlushEpoch();
+  }
+  shipper.Finish();
+  std::vector<std::vector<ShippedEpoch>> streams(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    while (auto sub = recorders[static_cast<size_t>(s)]->TryReceive()) {
+      streams[static_cast<size_t>(s)].push_back(std::move(*sub));
+    }
+  }
+  return streams;
+}
+
+uint64_t ReplicaDigestAt(Replayer* replayer, const Catalog* catalog,
+                         Timestamp ts) {
+  uint64_t digest = 0;
+  for (TableId t = 0; t < static_cast<TableId>(catalog->num_tables()); ++t) {
+    digest ^= TableStore::Mix(
+        t, replayer->StoreForTable(t)->GetTable(t)->DigestAt(ts));
+  }
+  return digest;
+}
+
 RecordedLog RecordWorkload(Workload* workload, uint64_t num_txns,
                            size_t epoch_size, uint64_t seed) {
   RecordedLog log;
@@ -172,8 +245,62 @@ RecordedLog RecordWorkload(Workload* workload, uint64_t num_txns,
   return log;
 }
 
+namespace {
+
+void FillBatchResult(const Replayer& replayer, BatchReplayResult* result) {
+  const ReplayStats& stats = replayer.stats();
+  result->wall_us = stats.WallMicros();
+  result->txns_per_sec = stats.TxnsPerSec();
+  result->stage1_wall_us = stats.stage1_wall_ns.load() / 1000;
+  result->stage2_wall_us = stats.stage2_wall_ns.load() / 1000;
+  result->dispatch_frac = stats.DispatchFraction();
+  result->replay_frac = stats.ReplayFraction();
+  result->commit_frac = stats.CommitFraction();
+  int64_t busy = stats.dispatch_ns.load() + stats.replay_ns.load() +
+                 stats.commit_ns.load();
+  result->sync_frac = busy > 0
+                          ? static_cast<double>(stats.sync_wait_ns.load()) /
+                                static_cast<double>(busy)
+                          : 0;
+}
+
+}  // namespace
+
 BatchReplayResult ReplayRecorded(const RecordedLog& log, const Catalog* catalog,
                                  const ReplayerSpec& spec) {
+  BatchReplayResult result;
+  result.name = KindName(spec.kind);
+
+  if (spec.shard_count > 1) {
+    // Sharded path (DESIGN.md §11): split the recorded stream into per-shard
+    // lanes and fill the per-shard channels BEFORE building the backup, so
+    // the measured wall covers replay only, exactly like the single-shard
+    // path below.
+    ShardMap map = ShardMap::Hash(catalog->num_tables(), spec.shard_count);
+    std::vector<std::vector<ShippedEpoch>> streams = ShardRecordedLog(log, map);
+    std::vector<std::unique_ptr<EpochChannel>> channels;
+    std::vector<EpochChannel*> raw;
+    for (auto& stream : streams) {
+      channels.push_back(std::make_unique<EpochChannel>(0));
+      for (const ShippedEpoch& sub : stream) {
+        ShippedEpoch copy = sub;  // payload shared; metadata copied
+        AETS_CHECK(channels.back()->Send(std::move(copy)));
+      }
+      channels.back()->Close();
+      raw.push_back(channels.back().get());
+    }
+    std::unique_ptr<ShardedBackup> backup =
+        MakeShardedReplayer(spec, catalog, &map, raw);
+    AETS_CHECK(backup->Start().ok());
+    backup->Stop();
+    FillBatchResult(*backup, &result);
+    result.name += "x" + std::to_string(spec.shard_count);
+    result.state_matches_primary =
+        ReplicaDigestAt(backup.get(), catalog, log.final_ts) ==
+        log.primary_digest;
+    return result;
+  }
+
   EpochChannel channel(0);
   for (const auto& epoch : log.epochs) {
     ShippedEpoch copy = epoch;  // payload shared; metadata copied
@@ -185,21 +312,7 @@ BatchReplayResult ReplayRecorded(const RecordedLog& log, const Catalog* catalog,
   AETS_CHECK(replayer->Start().ok());
   replayer->Stop();
 
-  const ReplayStats& stats = replayer->stats();
-  BatchReplayResult result;
-  result.name = KindName(spec.kind);
-  result.wall_us = stats.WallMicros();
-  result.txns_per_sec = stats.TxnsPerSec();
-  result.stage1_wall_us = stats.stage1_wall_ns.load() / 1000;
-  result.stage2_wall_us = stats.stage2_wall_ns.load() / 1000;
-  result.dispatch_frac = stats.DispatchFraction();
-  result.replay_frac = stats.ReplayFraction();
-  result.commit_frac = stats.CommitFraction();
-  int64_t busy = stats.dispatch_ns.load() + stats.replay_ns.load() +
-                 stats.commit_ns.load();
-  result.sync_frac = busy > 0 ? static_cast<double>(stats.sync_wait_ns.load()) /
-                                    static_cast<double>(busy)
-                              : 0;
+  FillBatchResult(*replayer, &result);
   result.state_matches_primary =
       replayer->store()->DigestAt(log.final_ts) == log.primary_digest;
   return result;

@@ -12,6 +12,7 @@
 #include "aets/baselines/tplr_replayer.h"
 #include "aets/common/histogram.h"
 #include "aets/replay/aets_replayer.h"
+#include "aets/replay/sharded_backup.h"
 #include "aets/workload/driver.h"
 #include "aets/workload/workload.h"
 
@@ -71,11 +72,27 @@ struct ReplayerSpec {
   double dbscan_eps = 0.3;
   /// Cross-epoch pipeline depth (DESIGN.md §9). 1 disables the pipeline.
   int pipeline_depth = 2;
+  /// Backup shard count (DESIGN.md §11). 1 runs the classic single-replayer
+  /// path; N > 1 splits the recorded stream into per-shard sub-epoch lanes
+  /// (ShardMap::Hash over the catalog) and replays them through N replayers
+  /// of `kind` behind a ShardedBackup, with `threads`/`commit_threads`
+  /// treated as TOTAL budgets divided across shards by SplitThreadBudget.
+  int shard_count = 1;
 };
 
 std::unique_ptr<Replayer> MakeReplayer(const ReplayerSpec& spec,
                                        const Catalog* catalog,
                                        EpochChannel* channel);
+
+/// Builds `map->num_shards()` replayers of spec.kind — shard i reading from
+/// `shard_channels[i]` — behind a ShardedBackup. spec.threads and
+/// spec.commit_threads are total budgets, divided across shards by
+/// SplitThreadBudget proportionally to each shard's share of spec.rates
+/// (even split when no rates are given). `map` must outlive the returned
+/// backup.
+std::unique_ptr<ShardedBackup> MakeShardedReplayer(
+    const ReplayerSpec& spec, const Catalog* catalog, const ShardMap* map,
+    const std::vector<EpochChannel*>& shard_channels);
 
 /// A pre-generated log: the paper's RQ2 methodology ("once the log entries
 /// were generated, we replicated them into the main memory of the replica in
@@ -94,6 +111,20 @@ struct RecordedLog {
 /// shipped epoch.
 RecordedLog RecordWorkload(Workload* workload, uint64_t num_txns,
                            size_t epoch_size, uint64_t seed);
+
+/// Re-ships a recorded log through a sharded LogShipper and returns the N
+/// per-shard sub-epoch streams (result[s] is shard s's lane, epoch ids
+/// aligned with log.epochs). Done once up front so the split cost never
+/// lands inside a replay measurement.
+std::vector<std::vector<ShippedEpoch>> ShardRecordedLog(const RecordedLog& log,
+                                                        const ShardMap& map);
+
+/// XOR of TableStore::Mix(t, digest of table t read through StoreForTable)
+/// over the whole catalog: equals TableStore::DigestAt on a single-store
+/// replayer, and the cross-shard equivalent under a ShardedBackup (each
+/// table's versions live in its owning shard's store).
+uint64_t ReplicaDigestAt(Replayer* replayer, const Catalog* catalog,
+                         Timestamp ts);
 
 /// Result of draining a recorded log through one replayer.
 struct BatchReplayResult {

@@ -1,0 +1,48 @@
+#include "aets/catalog/shard_map.h"
+
+#include <utility>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+ShardMap::ShardMap(std::vector<int> table_to_shard, int num_shards)
+    : table_to_shard_(std::move(table_to_shard)), num_shards_(num_shards) {}
+
+ShardMap ShardMap::Hash(size_t num_tables, int num_shards) {
+  AETS_CHECK(num_shards >= 1);
+  std::vector<int> map(num_tables);
+  for (size_t t = 0; t < num_tables; ++t) {
+    map[t] = static_cast<int>(t % static_cast<size_t>(num_shards));
+  }
+  return ShardMap(std::move(map), num_shards);
+}
+
+Result<ShardMap> ShardMap::Explicit(std::vector<int> table_to_shard,
+                                    int num_shards) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("shard map needs at least one shard");
+  }
+  if (table_to_shard.empty()) {
+    return Status::InvalidArgument("explicit shard map has no tables");
+  }
+  for (size_t t = 0; t < table_to_shard.size(); ++t) {
+    if (table_to_shard[t] < 0 || table_to_shard[t] >= num_shards) {
+      return Status::InvalidArgument(
+          "table " + std::to_string(t) + " assigned to shard " +
+          std::to_string(table_to_shard[t]) + " outside [0, " +
+          std::to_string(num_shards) + ")");
+    }
+  }
+  return ShardMap(std::move(table_to_shard), num_shards);
+}
+
+std::vector<TableId> ShardMap::TablesOnShard(int shard) const {
+  std::vector<TableId> tables;
+  for (size_t t = 0; t < table_to_shard_.size(); ++t) {
+    if (table_to_shard_[t] == shard) tables.push_back(static_cast<TableId>(t));
+  }
+  return tables;
+}
+
+}  // namespace aets

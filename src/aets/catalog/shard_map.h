@@ -1,0 +1,52 @@
+#ifndef AETS_CATALOG_SHARD_MAP_H_
+#define AETS_CATALOG_SHARD_MAP_H_
+
+#include <vector>
+
+#include "aets/catalog/schema.h"
+#include "aets/common/result.h"
+
+namespace aets {
+
+/// Partitions the table catalog across N in-process backup shards (ROADMAP
+/// item 1, DESIGN.md §11). The map is immutable once built and shared
+/// read-only by the shipper (sub-epoch routing), the ShardedBackup facade
+/// (visibility routing), and the snapshot coordinator — table→shard is the
+/// one fact all three layers must agree on, so it lives in the catalog layer
+/// they already share.
+///
+/// Two construction policies mirror the grouping policies of AetsOptions:
+/// `Hash` (round-robin over dense table ids — deterministic, balanced for
+/// the dense catalogs this repo builds) and `Explicit` (caller-assigned, for
+/// workloads whose hot tables must be spread deliberately).
+class ShardMap {
+ public:
+  /// Round-robin assignment: table t lives on shard t % num_shards.
+  static ShardMap Hash(size_t num_tables, int num_shards);
+
+  /// Explicit assignment: `table_to_shard[t]` is table t's shard. Fails if
+  /// any entry is outside [0, num_shards) or the vector is empty.
+  static Result<ShardMap> Explicit(std::vector<int> table_to_shard,
+                                   int num_shards);
+
+  int shard_of(TableId table) const {
+    return table < table_to_shard_.size()
+               ? table_to_shard_[table]
+               : static_cast<int>(table % static_cast<TableId>(num_shards_));
+  }
+  int num_shards() const { return num_shards_; }
+  size_t num_tables() const { return table_to_shard_.size(); }
+
+  /// Tables owned by `shard`, in table-id order.
+  std::vector<TableId> TablesOnShard(int shard) const;
+
+ private:
+  ShardMap(std::vector<int> table_to_shard, int num_shards);
+
+  std::vector<int> table_to_shard_;
+  int num_shards_;
+};
+
+}  // namespace aets
+
+#endif  // AETS_CATALOG_SHARD_MAP_H_

@@ -42,6 +42,18 @@ class LogicalClock {
   std::atomic<Timestamp> next_;
 };
 
+/// Monotone atomic-max publication of a watermark: advances `slot` to `ts`
+/// unless it is already past it. The canonical way every replayer publishes
+/// tg_cmt_ts / global_cmt_ts — a plain store could move a watermark backwards
+/// when an epoch's own commits race a heartbeat or a sub-epoch's
+/// max-commit-ts advance (see LogShipper's sharded split).
+inline void StoreMaxTimestamp(std::atomic<Timestamp>& slot, Timestamp ts) {
+  Timestamp cur = slot.load(std::memory_order_relaxed);
+  while (cur < ts &&
+         !slot.compare_exchange_weak(cur, ts, std::memory_order_release)) {
+  }
+}
+
 /// Seam for the monotonic wall clock. Production code never sees this: the
 /// default source reads std::chrono::steady_clock. The deterministic
 /// simulation harness (aets/sim) installs a virtual source so every

@@ -10,17 +10,6 @@
 
 namespace aets {
 
-namespace {
-
-void StoreMax(std::atomic<Timestamp>& slot, Timestamp ts) {
-  Timestamp cur = slot.load(std::memory_order_relaxed);
-  while (cur < ts &&
-         !slot.compare_exchange_weak(cur, ts, std::memory_order_release)) {
-  }
-}
-
-}  // namespace
-
 AetsReplayer::PreparedAets::~PreparedAets() { WaitTranslationDrained(); }
 
 void AetsReplayer::PreparedAets::WaitTranslationDrained() {
@@ -130,8 +119,8 @@ void AetsReplayer::ProcessHeartbeat(const ShippedEpoch& epoch) {
   // Heartbeats ride the pipeline queue behind every data epoch shipped
   // before them, and the commit context is single, so all data older than
   // heartbeat_ts is already replayed; the whole backup may publish it.
-  for (auto& ts : table_ts_) StoreMax(ts, epoch.heartbeat_ts);
-  StoreMax(global_ts_, epoch.heartbeat_ts);
+  for (auto& ts : table_ts_) StoreMaxTimestamp(ts, epoch.heartbeat_ts);
+  StoreMaxTimestamp(global_ts_, epoch.heartbeat_ts);
   watermark_metric_->Set(
       static_cast<int64_t>(global_ts_.load(std::memory_order_relaxed)));
 }
@@ -266,10 +255,10 @@ void AetsReplayer::CommitEpoch(const ShippedEpoch& epoch,
   const GroupingSnapshot& grouping = *prep->grouping;
   for (int gi : prep->quiet_groups) {
     for (TableId t : grouping.groups[static_cast<size_t>(gi)].tables) {
-      StoreMax(table_ts_[t], epoch.max_commit_ts);
+      StoreMaxTimestamp(table_ts_[t], epoch.max_commit_ts);
     }
   }
-  StoreMax(global_ts_, epoch.max_commit_ts);
+  StoreMaxTimestamp(global_ts_, epoch.max_commit_ts);
   stats_.txns.fetch_add(epoch.num_txns, std::memory_order_relaxed);
   watermark_metric_->Set(
       static_cast<int64_t>(global_ts_.load(std::memory_order_relaxed)));
@@ -490,7 +479,7 @@ void AetsReplayer::CommitGroup(GroupEpochState* gs, const TableGroup& group) {
       }
     }
     for (TableId t : group.tables) {
-      StoreMax(table_ts_[t], frag->commit_ts + options_.test_tg_publish_skew);
+      StoreMaxTimestamp(table_ts_[t], frag->commit_ts + options_.test_tg_publish_skew);
     }
   }
 }

@@ -33,21 +33,35 @@ enum class GroupingMode {
 /// `adaptive_alloc`, `commit_threads = 1`) degrade AETS into the paper's
 /// comparison points.
 struct AetsOptions {
+  // ---- Parallelism: threads, pipeline, shards (DESIGN.md §9, §11) -------
+  // One replayer's concurrency is replay_threads × commit_threads ×
+  // pipeline_depth. The third axis, shard_count, lives OUTSIDE this struct:
+  // MakeShardedAetsBackup (replay/sharded_backup.h) builds N replayers from
+  // one AetsOptions, treating replay_threads and commit_threads as TOTAL
+  // budgets divided across shards by SplitThreadBudget — so a sharded and an
+  // unsharded backup configured from the same options consume the same
+  // thread resources.
+
   /// Total replay worker threads (T in Section IV-B).
   int replay_threads = 4;
   /// Committer pool size; each group's commit runs on one thread, groups
   /// commit in parallel up to this bound. 1 models a single commit thread.
   int commit_threads = 4;
-  /// Replay hot groups in stage one, cold groups in stage two.
-  bool two_stage = true;
-  /// Weigh the thread allocation by access rate (false = AETS-NOAC).
-  bool adaptive_alloc = true;
   /// Cross-epoch pipeline depth (DESIGN.md §9): how many epochs may sit
   /// between dispatch/translation and commit at once. 1 reproduces the fully
   /// serial main loop; 2–4 overlap epoch N+1's dispatch + phase-1
   /// translation with epoch N's phase-2 commit. Watermark publication stays
   /// strictly epoch-ordered at any depth.
   int pipeline_depth = 2;
+
+  // ---- Two-stage replay & allocation (Section IV-B ablations) -----------
+
+  /// Replay hot groups in stage one, cold groups in stage two.
+  bool two_stage = true;
+  /// Weigh the thread allocation by access rate (false = AETS-NOAC).
+  bool adaptive_alloc = true;
+
+  // ---- Grouping ---------------------------------------------------------
 
   GroupingMode grouping = GroupingMode::kPerTable;
   /// Hot groups for GroupingMode::kStatic.

@@ -113,6 +113,13 @@ class Replayer {
   virtual Timestamp GlobalVisibleTs() const = 0;
 
   virtual TableStore* store() = 0;
+
+  /// The store holding `table`'s versions. Single-backup replayers keep every
+  /// table in one store (the default); the ShardedBackup facade routes to the
+  /// owning shard's store. Snapshot readers (OLAP scans, the sim oracle) must
+  /// use this instead of store() so their reads stay correct under sharding.
+  virtual TableStore* StoreForTable(TableId /*table*/) { return store(); }
+
   virtual const ReplayStats& stats() const = 0;
   virtual std::string name() const = 0;
 };

@@ -1,0 +1,91 @@
+#ifndef AETS_REPLAY_SHARDED_BACKUP_H_
+#define AETS_REPLAY_SHARDED_BACKUP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aets/catalog/shard_map.h"
+#include "aets/replay/aets_replayer.h"
+#include "aets/replay/replayer.h"
+#include "aets/replay/snapshot_coordinator.h"
+
+namespace aets {
+
+/// N in-process backup shards behind the single-replayer interface (ISSUE 7
+/// tentpole, DESIGN.md §11). Each shard is a full ReplayerBase-derived
+/// replayer — its own channel, pipeline depth, sticky error latch, and
+/// TableStore — consuming its sub-epoch stream from the sharded LogShipper.
+/// The facade routes per-table reads to the owning shard and answers global
+/// visibility through a GlobalSnapshotCoordinator, so existing callers
+/// (WaitVisible, the sim oracle, the bench harness) see one Replayer whose
+/// parallelism is pipeline_depth × shard_count.
+///
+/// Failure semantics: a shard that latches a sticky error freezes its
+/// watermark; GlobalVisibleTs() (the coordinator minimum) freezes with it.
+/// Healthy shards keep replaying — per-table reads on their tables stay
+/// fresh — but no cross-shard snapshot past the failure point is ever
+/// promised.
+class ShardedBackup : public Replayer {
+ public:
+  /// `map` must outlive the backup; `shards[i]` replays the tables
+  /// `map->TablesOnShard(i)` (each shard is built over the full catalog —
+  /// tables it does not own simply stay empty in its store).
+  ShardedBackup(const ShardMap* map,
+                std::vector<std::unique_ptr<Replayer>> shards);
+  ~ShardedBackup() override;
+
+  /// Applies one NACK source to every shard. With a sharded LogShipper use
+  /// SetShardEpochSource(i, shipper.shard_source(i)) instead, so each shard
+  /// recovers its own sub-epoch stream.
+  void SetEpochSource(EpochSource* source) override;
+  void SetShardEpochSource(int shard, EpochSource* source);
+
+  Status Start() override;
+  void Stop() override;
+
+  /// Routed to the shard owning `table` (exact per-table freshness; may run
+  /// ahead of the global snapshot frontier).
+  Timestamp TableVisibleTs(TableId table) const override;
+
+  /// The cross-shard safe frontier: GlobalSnapshotCoordinator minimum over
+  /// every shard's own global watermark.
+  Timestamp GlobalVisibleTs() const override;
+
+  /// Shard 0's store — only meaningful for single-store callers that predate
+  /// sharding. Snapshot readers must use StoreForTable().
+  TableStore* store() override;
+  TableStore* StoreForTable(TableId table) override;
+
+  /// Aggregated over all shards: counters sum; wall_start is the earliest
+  /// shard start, wall_end the latest shard end (so TxnsPerSec reflects the
+  /// parallel aggregate).
+  const ReplayStats& stats() const override;
+  std::string name() const override;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  Replayer* shard(int i) { return shards_[static_cast<size_t>(i)].get(); }
+  const ShardMap& shard_map() const { return *map_; }
+  GlobalSnapshotCoordinator& coordinator() { return coordinator_; }
+  const GlobalSnapshotCoordinator& coordinator() const { return coordinator_; }
+
+ private:
+  const ShardMap* map_;
+  std::vector<std::unique_ptr<Replayer>> shards_;
+  GlobalSnapshotCoordinator coordinator_;
+  mutable ReplayStats agg_;
+};
+
+/// Builds one AetsReplayer per shard over `catalog`, reading from
+/// `shard_channels[i]`, with `base`'s thread budget split across shards by
+/// SplitThreadBudget — proportional to each shard's predicted load (the sum
+/// of base.initial_rates over its tables), even when no rates are given.
+/// Requires base.replay_threads >= num_shards and base.commit_threads >=
+/// num_shards (every shard needs both a replay and a commit context).
+std::unique_ptr<ShardedBackup> MakeShardedAetsBackup(
+    const Catalog* catalog, const ShardMap* map,
+    const std::vector<EpochChannel*>& shard_channels, const AetsOptions& base);
+
+}  // namespace aets
+
+#endif  // AETS_REPLAY_SHARDED_BACKUP_H_

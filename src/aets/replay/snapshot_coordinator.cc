@@ -1,0 +1,83 @@
+#include "aets/replay/snapshot_coordinator.h"
+
+#include <string>
+#include <utility>
+
+#include "aets/common/macros.h"
+
+namespace aets {
+
+void SnapshotHandle::Release() {
+  if (coordinator_ != nullptr) {
+    coordinator_->ReleasePin(ts_);
+    coordinator_ = nullptr;
+    ts_ = kInvalidTimestamp;
+  }
+}
+
+int GlobalSnapshotCoordinator::AttachShard(
+    std::function<Timestamp()> watermark_probe) {
+  AETS_CHECK(watermark_probe != nullptr);
+  int shard = static_cast<int>(probes_.size());
+  probes_.push_back(std::move(watermark_probe));
+  lag_gauges_.push_back(
+      obs::GetGauge("shard." + std::to_string(shard) + ".watermark_lag"));
+  return shard;
+}
+
+Timestamp GlobalSnapshotCoordinator::GlobalSafeTimestamp() const {
+  if (probes_.empty()) return kInvalidTimestamp;
+  // One pass reads every shard's watermark; min is the safe frontier, max is
+  // the lag reference (the fastest shard defines "no lag").
+  const size_t n = probes_.size();
+  std::vector<Timestamp> local(n);
+  Timestamp min_ts = local[0] = probes_[0]();
+  Timestamp max_ts = min_ts;
+  for (size_t s = 1; s < n; ++s) {
+    Timestamp ts = local[s] = probes_[s]();
+    if (ts < min_ts) min_ts = ts;
+    if (ts > max_ts) max_ts = ts;
+  }
+  for (size_t s = 0; s < n; ++s) {
+    lag_gauges_[s]->Set(static_cast<int64_t>(max_ts - local[s]));
+  }
+  StoreMaxTimestamp(last_safe_ts_, min_ts);
+  return last_safe_ts_.load(std::memory_order_acquire);
+}
+
+Timestamp GlobalSnapshotCoordinator::ShardWatermark(int shard) const {
+  AETS_CHECK(shard >= 0 && shard < static_cast<int>(probes_.size()));
+  return probes_[static_cast<size_t>(shard)]();
+}
+
+SnapshotHandle GlobalSnapshotCoordinator::AcquireSnapshot() {
+  // Pin under the lock AFTER reading the safe timestamp: the pin can only be
+  // at or below the current horizon, so GcHorizon() (which also reads under
+  // this lock) can never have released versions the pin needs.
+  std::lock_guard<std::mutex> lk(pins_mu_);
+  Timestamp ts = GlobalSafeTimestamp();
+  ++pins_[ts];
+  return SnapshotHandle(this, ts);
+}
+
+void GlobalSnapshotCoordinator::ReleasePin(Timestamp ts) {
+  std::lock_guard<std::mutex> lk(pins_mu_);
+  auto it = pins_.find(ts);
+  AETS_CHECK(it != pins_.end() && it->second > 0);
+  if (--it->second == 0) pins_.erase(it);
+}
+
+Timestamp GlobalSnapshotCoordinator::MinPinnedTs() const {
+  std::lock_guard<std::mutex> lk(pins_mu_);
+  return pins_.empty() ? kInvalidTimestamp : pins_.begin()->first;
+}
+
+Timestamp GlobalSnapshotCoordinator::GcHorizon() const {
+  std::lock_guard<std::mutex> lk(pins_mu_);
+  Timestamp safe = GlobalSafeTimestamp();
+  if (pins_.empty()) return safe;
+  Timestamp pinned = pins_.begin()->first;
+  return pinned < safe ? pinned : safe;
+}
+
+}  // namespace aets

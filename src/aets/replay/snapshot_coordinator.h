@@ -1,0 +1,136 @@
+#ifndef AETS_REPLAY_SNAPSHOT_COORDINATOR_H_
+#define AETS_REPLAY_SNAPSHOT_COORDINATOR_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "aets/common/clock.h"
+#include "aets/obs/metrics.h"
+
+namespace aets {
+
+class GlobalSnapshotCoordinator;
+
+/// RAII pin of an exact cross-shard read view (DESIGN.md §11). While a handle
+/// is alive its timestamp is excluded from the coordinator's GC horizon, so a
+/// long cross-shard scan can read every shard at one timestamp without a
+/// per-shard GC daemon pruning the versions out from under it. Move-only;
+/// destruction (or Release) unpins.
+class SnapshotHandle {
+ public:
+  SnapshotHandle() = default;
+  ~SnapshotHandle() { Release(); }
+
+  SnapshotHandle(SnapshotHandle&& other) noexcept
+      : coordinator_(other.coordinator_), ts_(other.ts_) {
+    other.coordinator_ = nullptr;
+    other.ts_ = kInvalidTimestamp;
+  }
+  SnapshotHandle& operator=(SnapshotHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      coordinator_ = other.coordinator_;
+      ts_ = other.ts_;
+      other.coordinator_ = nullptr;
+      other.ts_ = kInvalidTimestamp;
+    }
+    return *this;
+  }
+  SnapshotHandle(const SnapshotHandle&) = delete;
+  SnapshotHandle& operator=(const SnapshotHandle&) = delete;
+
+  /// The pinned snapshot timestamp: every transaction with commit_ts <= ts()
+  /// was fully replayed on every shard when the handle was acquired.
+  Timestamp ts() const { return ts_; }
+  bool valid() const { return coordinator_ != nullptr; }
+
+  void Release();
+
+ private:
+  friend class GlobalSnapshotCoordinator;
+  SnapshotHandle(GlobalSnapshotCoordinator* coordinator, Timestamp ts)
+      : coordinator_(coordinator), ts_(ts) {}
+
+  GlobalSnapshotCoordinator* coordinator_ = nullptr;
+  Timestamp ts_ = kInvalidTimestamp;
+};
+
+/// The cross-shard watermark protocol (ISSUE 7 tentpole, DESIGN.md §11).
+/// Each backup shard publishes its own global_cmt_ts; the coordinator's
+/// GlobalSafeTimestamp() is the minimum over all shards — the largest T such
+/// that EVERY shard has fully replayed every transaction with commit_ts <= T.
+/// A query at qts spanning tables on multiple shards is exact iff
+/// qts <= GlobalSafeTimestamp() (per-shard watermarks alone would admit a
+/// torn read: shard A at ts 100, shard B at ts 80, a qts=90 query would see
+/// a transaction's A-rows but not its B-rows).
+///
+/// The coordinator never blocks replay: it only reads the shards' already
+/// published atomics through registered probes. Probes must be individually
+/// monotone (every replayer's watermark is), which makes the safe timestamp
+/// monotone. A shard that latches a sticky replay error freezes its
+/// watermark, and the safe timestamp freezes with it — failed shards degrade
+/// global snapshot freshness to the failure point instead of serving torn
+/// reads.
+///
+/// Observability: every GlobalSafeTimestamp() call refreshes the per-shard
+/// `shard.<i>.watermark_lag` gauges (fastest shard's watermark minus this
+/// shard's), making a skewed or stalled shard visible at a glance.
+class GlobalSnapshotCoordinator {
+ public:
+  GlobalSnapshotCoordinator() = default;
+
+  GlobalSnapshotCoordinator(const GlobalSnapshotCoordinator&) = delete;
+  GlobalSnapshotCoordinator& operator=(const GlobalSnapshotCoordinator&) =
+      delete;
+
+  /// Registers one shard's watermark probe (typically
+  /// `[r] { return r->GlobalVisibleTs(); }`). Returns the shard's index.
+  /// Register all shards before concurrent use; probes must be monotone and
+  /// safe to call from any thread.
+  int AttachShard(std::function<Timestamp()> watermark_probe);
+
+  int num_shards() const { return static_cast<int>(probes_.size()); }
+
+  /// The largest timestamp every shard has fully replayed: min over the
+  /// per-shard watermarks (kInvalidTimestamp until every shard has published
+  /// one). Monotone across calls.
+  Timestamp GlobalSafeTimestamp() const;
+
+  /// One shard's current watermark (what the probe returns).
+  Timestamp ShardWatermark(int shard) const;
+
+  /// Pins the current GlobalSafeTimestamp() as an atomic cross-shard read
+  /// view. The pinned timestamp is held out of GcHorizon() until the handle
+  /// is released, so every version the snapshot can see survives GC for the
+  /// handle's lifetime.
+  SnapshotHandle AcquireSnapshot();
+
+  /// The oldest timestamp any live SnapshotHandle has pinned, or
+  /// kInvalidTimestamp when none is live.
+  Timestamp MinPinnedTs() const;
+
+  /// The timestamp below which no live or future snapshot can read:
+  /// min(GlobalSafeTimestamp(), MinPinnedTs()). Per-shard GC daemons must
+  /// prune against this, not their own shard's watermark.
+  Timestamp GcHorizon() const;
+
+ private:
+  friend class SnapshotHandle;
+  void ReleasePin(Timestamp ts);
+
+  std::vector<std::function<Timestamp()>> probes_;
+  std::vector<obs::Gauge*> lag_gauges_;
+  /// Monotonicity backstop over the min-of-probes (protects against a probe
+  /// briefly publishing out of order); also what ShardWatermark lags against.
+  mutable std::atomic<Timestamp> last_safe_ts_{kInvalidTimestamp};
+
+  mutable std::mutex pins_mu_;
+  std::map<Timestamp, int> pins_;  // pinned ts -> live handle count
+};
+
+}  // namespace aets
+
+#endif  // AETS_REPLAY_SNAPSHOT_COORDINATOR_H_

@@ -87,4 +87,52 @@ std::vector<int> AllocateThreads(const std::vector<GroupDemand>& demands,
   return alloc;
 }
 
+std::vector<int> SplitThreadBudget(const std::vector<double>& shard_loads,
+                                   int total) {
+  const size_t n = shard_loads.size();
+  AETS_CHECK(n >= 1);
+  AETS_CHECK_MSG(total >= static_cast<int>(n),
+                 "thread budget smaller than shard count");
+  // Floor of one thread per shard: a shard with no predicted load still has
+  // to consume its sub-epoch stream (heartbeats for untouched epochs) or the
+  // global safe timestamp would freeze at that shard's watermark.
+  std::vector<int> alloc(n, 1);
+  int spare = total - static_cast<int>(n);
+  if (spare == 0) return alloc;
+
+  double load_sum = 0;
+  for (double load : shard_loads) load_sum += std::max(load, 0.0);
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    // All-zero (or negative) loads: nothing is predicted, split evenly.
+    weights[i] = load_sum > 0 ? std::max(shard_loads[i], 0.0) : 1.0;
+  }
+  if (load_sum <= 0) load_sum = static_cast<double>(n);
+
+  // Largest-remainder apportionment of the spare threads over the loads,
+  // ties broken toward the heavier shard, then the lower index (stable for
+  // equal-load shards).
+  std::vector<double> ideal(n);
+  int assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ideal[i] = static_cast<double>(spare) * weights[i] / load_sum;
+    alloc[i] += static_cast<int>(ideal[i]);
+    assigned += static_cast<int>(ideal[i]);
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double ra = ideal[a] - std::floor(ideal[a]);
+    double rb = ideal[b] - std::floor(ideal[b]);
+    if (ra != rb) return ra > rb;
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+  for (size_t k = 0; assigned < spare; k = (k + 1) % n) {
+    ++alloc[order[k]];
+    ++assigned;
+  }
+  return alloc;
+}
+
 }  // namespace aets

@@ -28,6 +28,19 @@ std::vector<int> AllocateThreads(const std::vector<GroupDemand>& demands,
 /// The urgency factor lambda for a given access rate.
 double UrgencyFactor(double access_rate);
 
+/// Top-level budget split for sharded replay (DESIGN.md §11): divides `total`
+/// threads across shards proportionally to each shard's predicted load
+/// (typically the sum of its tables' access rates), before each shard's own
+/// AllocateThreads subdivides its share across table groups. Requires
+/// `total >= shard_loads.size()` so every shard can replay at all.
+///
+/// Properties (tested): shares sum exactly to `total`; every shard gets at
+/// least one thread regardless of load (a zero-load shard still consumes
+/// heartbeats); shares are proportional to load via largest remainder; all
+/// loads zero or negative falls back to an even split.
+std::vector<int> SplitThreadBudget(const std::vector<double>& shard_loads,
+                                   int total);
+
 }  // namespace aets
 
 #endif  // AETS_REPLAY_THREAD_ALLOCATOR_H_

@@ -1,5 +1,6 @@
 #include "aets/replication/log_shipper.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "aets/common/macros.h"
@@ -21,22 +22,58 @@ LogShipper::LogShipper(size_t epoch_size, size_t retention_capacity)
       spill_failures_metric_(obs::GetCounter("segment.spill_failures")),
       batch_latency_us_metric_(obs::GetHistogram("shipper.batch_latency_us")) {
   AETS_CHECK(retention_capacity_ > 0);
+  lanes_.resize(1);
+  sources_.push_back(std::make_unique<ShardSource>(this, 0));
 }
 
 LogShipper::~LogShipper() { Finish(); }
 
-void LogShipper::AttachChannel(EpochChannel* channel) {
+void LogShipper::SetShardMap(const ShardMap* map) {
   std::lock_guard<std::mutex> lk(mu_);
-  channels_.push_back(channel);
+  AETS_CHECK(map != nullptr && map->num_shards() >= 1);
+  AETS_CHECK_MSG(builder_.next_epoch_id() == 0 && retained_.empty() &&
+                     !finished_,
+                 "shard map must be installed before the first epoch ships");
+  for (const Lane& lane : lanes_) {
+    AETS_CHECK_MSG(lane.channels.empty() && lane.segment_store == nullptr,
+                   "shard map must be installed before channels or stores");
+  }
+  shard_map_ = map;
+  lanes_.assign(static_cast<size_t>(map->num_shards()), Lane{});
+  sources_.clear();
+  for (int s = 0; s < map->num_shards(); ++s) {
+    sources_.push_back(std::make_unique<ShardSource>(this, s));
+  }
+}
+
+int LogShipper::shard_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(lanes_.size());
+}
+
+void LogShipper::AttachChannel(EpochChannel* channel) {
+  AttachShardChannel(0, channel);
+}
+
+void LogShipper::AttachShardChannel(int shard, EpochChannel* channel) {
+  std::lock_guard<std::mutex> lk(mu_);
+  AETS_CHECK(shard >= 0 && shard < static_cast<int>(lanes_.size()));
+  lanes_[shard].channels.push_back(channel);
 }
 
 void LogShipper::AttachSegmentStore(SegmentStore* store, bool retention_spill) {
+  AttachShardSegmentStore(0, store, retention_spill);
+}
+
+void LogShipper::AttachShardSegmentStore(int shard, SegmentStore* store,
+                                         bool retention_spill) {
   std::lock_guard<std::mutex> lk(mu_);
+  AETS_CHECK(shard >= 0 && shard < static_cast<int>(lanes_.size()));
   AETS_CHECK_MSG(store == nullptr || store->empty() ||
                      store->next_epoch() == builder_.next_epoch_id(),
                  "segment store out of step with the epoch sequence");
-  segment_store_ = store;
-  retention_spill_ = retention_spill;
+  lanes_[shard].segment_store = store;
+  lanes_[shard].retention_spill = retention_spill;
 }
 
 void LogShipper::OnCommit(TxnLog txn) {
@@ -82,12 +119,10 @@ void LogShipper::HeartbeatLoop() {
     auto sealed = builder_.Flush();
     if (sealed) ShipLocked(std::move(*sealed));
     if (hb_ts != kInvalidTimestamp) {
-      ShippedEpoch hb = MakeHeartbeatEpoch(builder_.ConsumeEpochId(), hb_ts);
-      if (DeliverLocked(hb)) {
-        ++heartbeats_;
-        ++shipped_;
-        heartbeats_shipped_metric_->Add(1);
-      }
+      EpochId id = builder_.ConsumeEpochId();
+      std::vector<ShippedEpoch> subs(lanes_.size(),
+                                     MakeHeartbeatEpoch(id, hb_ts));
+      if (DeliverLocked(id, std::move(subs)) > 0) ++heartbeats_;
     }
     last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
   }
@@ -105,12 +140,9 @@ void LogShipper::ShipHeartbeat(Timestamp ts) {
   if (finished_ || ts == kInvalidTimestamp) return;
   auto sealed = builder_.Flush();
   if (sealed) ShipLocked(std::move(*sealed));
-  ShippedEpoch hb = MakeHeartbeatEpoch(builder_.ConsumeEpochId(), ts);
-  if (DeliverLocked(hb)) {
-    ++heartbeats_;
-    ++shipped_;
-    heartbeats_shipped_metric_->Add(1);
-  }
+  EpochId id = builder_.ConsumeEpochId();
+  std::vector<ShippedEpoch> subs(lanes_.size(), MakeHeartbeatEpoch(id, ts));
+  if (DeliverLocked(id, std::move(subs)) > 0) ++heartbeats_;
   last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
 }
 
@@ -124,87 +156,192 @@ void LogShipper::Finish() {
   finished_ = true;
   auto sealed = builder_.Flush();
   if (sealed) ShipLocked(std::move(*sealed));
-  for (auto* ch : channels_) ch->Close();
-  // Clean-shutdown durability: force the active segment out regardless of
-  // the per-epoch fsync policy (one fsync at the end is always affordable).
-  if (segment_store_ != nullptr) segment_store_->Sync();
+  for (Lane& lane : lanes_) {
+    for (auto* ch : lane.channels) ch->Close();
+    // Clean-shutdown durability: force the active segment out regardless of
+    // the per-epoch fsync policy (one fsync at the end is always affordable).
+    if (lane.segment_store != nullptr) lane.segment_store->Sync();
+  }
 }
 
-bool LogShipper::DeliverLocked(const ShippedEpoch& encoded) {
-  ++produced_;
-  epochs_produced_metric_->Add(1);
+std::vector<ShippedEpoch> LogShipper::SplitLocked(const Epoch& epoch) const {
+  std::vector<ShippedEpoch> subs;
+  subs.reserve(lanes_.size());
+  if (lanes_.size() == 1) {
+    subs.push_back(EncodeEpoch(epoch));
+    return subs;
+  }
+  // Route each transaction's DML records to the shards that own their
+  // tables. A transaction spanning k shards becomes k trimmed TxnLogs (same
+  // txn_id and commit_ts, bounded by copies of the original BEGIN/COMMIT
+  // markers); row_seq sequences stay valid per shard because every row lives
+  // on exactly one shard. The split is complete — every DML lands on exactly
+  // one shard — so commit order and timestamps are preserved lane-by-lane.
+  const Timestamp full_max = epoch.max_commit_ts();
+  std::vector<Epoch> per_shard(lanes_.size());
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    per_shard[s].epoch_id = epoch.epoch_id;
+  }
+  std::vector<TxnLog*> open(lanes_.size());
+  for (const TxnLog& txn : epoch.txns) {
+    std::fill(open.begin(), open.end(), nullptr);
+    const LogRecord* begin = nullptr;
+    const LogRecord* commit = nullptr;
+    if (!txn.records.empty()) {
+      if (txn.records.front().type == LogRecordType::kBegin) {
+        begin = &txn.records.front();
+      }
+      if (txn.records.back().type == LogRecordType::kCommit) {
+        commit = &txn.records.back();
+      }
+    }
+    for (const LogRecord& rec : txn.records) {
+      if (!rec.is_dml()) continue;
+      int s = shard_map_->shard_of(rec.table_id);
+      TxnLog*& sub = open[static_cast<size_t>(s)];
+      if (sub == nullptr) {
+        Epoch& pe = per_shard[static_cast<size_t>(s)];
+        pe.txns.emplace_back();
+        sub = &pe.txns.back();
+        sub->txn_id = txn.txn_id;
+        sub->commit_ts = txn.commit_ts;
+        sub->records.push_back(begin != nullptr ? *begin
+                                                : LogRecord::Begin(rec.lsn,
+                                                                   txn.txn_id,
+                                                                   txn.commit_ts));
+      }
+      sub->records.push_back(rec);
+    }
+    for (size_t s = 0; s < open.size(); ++s) {
+      if (open[s] == nullptr) continue;
+      open[s]->records.push_back(
+          commit != nullptr
+              ? *commit
+              : LogRecord::Commit(open[s]->records.back().lsn, txn.txn_id,
+                                  txn.commit_ts));
+    }
+  }
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    if (per_shard[s].txns.empty()) {
+      // Untouched shard: ship a synthetic heartbeat at the epoch's max commit
+      // timestamp so this lane's epoch sequence stays gapless and its
+      // watermarks advance with the primary.
+      subs.push_back(MakeHeartbeatEpoch(epoch.epoch_id, full_max));
+    } else {
+      ShippedEpoch sub = EncodeEpoch(per_shard[s]);
+      // A shard's last transaction may commit before the epoch's global max;
+      // publishing the full-epoch max keeps quiet tables on this shard as
+      // fresh as the unsharded stream would. Safe to patch after encoding:
+      // the CRC covers the payload only, and commit order equals timestamp
+      // order so everything at or below full_max is already in this epoch.
+      sub.max_commit_ts = full_max;
+      subs.push_back(std::move(sub));
+    }
+  }
+  return subs;
+}
+
+size_t LogShipper::DeliverLocked(EpochId id, std::vector<ShippedEpoch> subs) {
+  AETS_CHECK(subs.size() == lanes_.size());
+  Retained entry;
+  entry.id = id;
+  entry.durable.assign(lanes_.size(), 0);
   // The durable append happens at deliver time, before fan-out: the segment
   // log is the log of record, and an epoch must be on disk before a backup
   // can have seen it. The payload is shared, so this costs one sequential
-  // write, not a copy held in RAM.
-  bool durable = false;
-  if (segment_store_ != nullptr) {
-    Status s = segment_store_->Append(encoded);
-    if (s.ok()) {
-      durable = true;
-    } else {
-      ++spill_failures_;
-      spill_failures_metric_->Add(1);
+  // write per lane, not a copy held in RAM.
+  for (size_t s = 0; s < lanes_.size(); ++s) {
+    Lane& lane = lanes_[s];
+    ++lane.produced;
+    epochs_produced_metric_->Add(1);
+    if (lane.segment_store != nullptr) {
+      Status st = lane.segment_store->Append(subs[s]);
+      if (st.ok()) {
+        entry.durable[s] = 1;
+      } else {
+        ++lane.spill_failures;
+        spill_failures_metric_->Add(1);
+      }
     }
   }
   // Retain before fan-out: a replayer may NACK the very epoch whose Send it
   // raced with (duplicate fetch is harmless, a missed fetch is not).
-  retained_.push_back(Retained{encoded, durable});
+  entry.sub = std::move(subs);
+  retained_.push_back(std::move(entry));
   if (retained_.size() > retention_capacity_) {
-    // Eviction of a durable entry is a spill — the epoch moves to disk-only
-    // and stays fetchable. Evicting a non-durable entry (no store attached,
-    // or its append failed) is the legacy loss of NACK coverage.
-    if (retained_.front().durable) {
-      ++spilled_;
-      spills_metric_->Add(1);
+    // Eviction of a durable entry is a spill — the sub-epoch moves to
+    // disk-only and stays fetchable. Evicting a non-durable entry (no store
+    // attached, or its append failed) is the legacy loss of NACK coverage.
+    for (size_t s = 0; s < lanes_.size(); ++s) {
+      if (retained_.front().durable[s]) {
+        ++lanes_[s].spilled;
+        spills_metric_->Add(1);
+      }
     }
     retained_.pop_front();
   }
-  size_t delivered = 0;
-  for (auto* ch : channels_) {
-    if (ch->Send(encoded)) {
-      ++delivered;
+  size_t lanes_delivered = 0;
+  const Retained& kept = retained_.back();
+  for (size_t s = 0; s < lanes_.size(); ++s) {
+    Lane& lane = lanes_[s];
+    const ShippedEpoch& sub = kept.sub[s];
+    size_t delivered = 0;
+    for (auto* ch : lane.channels) {
+      if (ch->Send(sub)) {
+        ++delivered;
+      } else {
+        ++lane.send_failures;
+        send_failures_metric_->Add(1);
+      }
+    }
+    if (!lane.channels.empty() && delivered == 0) {
+      ++lane.dropped;
+      epochs_dropped_metric_->Add(1);
+      continue;
+    }
+    ++lane.shipped;
+    ++lanes_delivered;
+    if (sub.is_heartbeat()) {
+      heartbeats_shipped_metric_->Add(1);
     } else {
-      ++send_failures_;
-      send_failures_metric_->Add(1);
+      epochs_shipped_metric_->Add(1);
+      txns_shipped_metric_->Add(sub.num_txns);
+      bytes_shipped_metric_->Add(sub.ByteSize());
     }
   }
-  if (!channels_.empty() && delivered == 0) {
-    ++epochs_dropped_;
-    epochs_dropped_metric_->Add(1);
-    return false;
-  }
-  return true;
+  return lanes_delivered;
 }
 
 void LogShipper::ShipLocked(Epoch epoch) {
-  ShippedEpoch encoded = EncodeEpoch(epoch);
   if (epoch_open_us_ != 0) {
     batch_latency_us_metric_->Record(MonotonicMicros() - epoch_open_us_);
     epoch_open_us_ = 0;
   }
-  if (!DeliverLocked(encoded)) return;  // counted dropped, not shipped
-  ++shipped_;
-  epochs_shipped_metric_->Add(1);
-  txns_shipped_metric_->Add(encoded.num_txns);
-  bytes_shipped_metric_->Add(encoded.ByteSize());
+  EpochId id = epoch.epoch_id;
+  DeliverLocked(id, SplitLocked(epoch));
 }
 
 std::optional<ShippedEpoch> LogShipper::FetchEpoch(EpochId id) {
+  return FetchShardEpoch(0, id);
+}
+
+std::optional<ShippedEpoch> LogShipper::FetchShardEpoch(int shard, EpochId id) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (!retained_.empty() && id >= retained_.front().epoch.epoch_id &&
-      id <= retained_.back().epoch.epoch_id) {
-    ++retransmits_;
+  AETS_CHECK(shard >= 0 && shard < static_cast<int>(lanes_.size()));
+  Lane& lane = lanes_[static_cast<size_t>(shard)];
+  if (!retained_.empty() && id >= retained_.front().id &&
+      id <= retained_.back().id) {
+    ++lane.retransmits;
     retransmits_metric_->Add(1);
-    return retained_[id - retained_.front().epoch.epoch_id].epoch;
+    return retained_[id - retained_.front().id].sub[static_cast<size_t>(shard)];
   }
   // Evicted from RAM: with the durable tier spilling, the NACK path falls
   // through to a disk fetch (counted in segment.fetches_from_disk) and the
   // old terminal eviction error never fires for durable epochs.
-  if (segment_store_ != nullptr && retention_spill_) {
-    auto from_disk = segment_store_->Read(id);
+  if (lane.segment_store != nullptr && lane.retention_spill) {
+    auto from_disk = lane.segment_store->Read(id);
     if (from_disk) {
-      ++retransmits_;
+      ++lane.retransmits;
       retransmits_metric_->Add(1);
       return from_disk;
     }
@@ -217,9 +354,17 @@ EpochId LogShipper::NextEpochId() const {
   return builder_.next_epoch_id();
 }
 
+EpochSource* LogShipper::shard_source(int shard) {
+  std::lock_guard<std::mutex> lk(mu_);
+  AETS_CHECK(shard >= 0 && shard < static_cast<int>(sources_.size()));
+  return sources_[static_cast<size_t>(shard)].get();
+}
+
 EpochId LogShipper::epochs_shipped() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return shipped_;
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.shipped;
+  return total;
 }
 
 uint64_t LogShipper::heartbeats_shipped() const {
@@ -229,32 +374,68 @@ uint64_t LogShipper::heartbeats_shipped() const {
 
 uint64_t LogShipper::send_failures() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return send_failures_;
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.send_failures;
+  return total;
 }
 
 uint64_t LogShipper::epochs_dropped() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return epochs_dropped_;
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.dropped;
+  return total;
 }
 
 uint64_t LogShipper::retransmits() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return retransmits_;
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.retransmits;
+  return total;
 }
 
 uint64_t LogShipper::epochs_produced() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return produced_;
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.produced;
+  return total;
 }
 
 uint64_t LogShipper::epochs_spilled() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return spilled_;
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.spilled;
+  return total;
 }
 
 uint64_t LogShipper::spill_failures() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return spill_failures_;
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.spill_failures;
+  return total;
+}
+
+uint64_t LogShipper::shard_produced(int shard) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  AETS_CHECK(shard >= 0 && shard < static_cast<int>(lanes_.size()));
+  return lanes_[static_cast<size_t>(shard)].produced;
+}
+
+uint64_t LogShipper::shard_shipped(int shard) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  AETS_CHECK(shard >= 0 && shard < static_cast<int>(lanes_.size()));
+  return lanes_[static_cast<size_t>(shard)].shipped;
+}
+
+uint64_t LogShipper::shard_dropped(int shard) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  AETS_CHECK(shard >= 0 && shard < static_cast<int>(lanes_.size()));
+  return lanes_[static_cast<size_t>(shard)].dropped;
+}
+
+uint64_t LogShipper::shard_spilled(int shard) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  AETS_CHECK(shard >= 0 && shard < static_cast<int>(lanes_.size()));
+  return lanes_[static_cast<size_t>(shard)].spilled;
 }
 
 }  // namespace aets

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "aets/catalog/shard_map.h"
 #include "aets/common/clock.h"
 #include "aets/log/epoch.h"
 #include "aets/log/shipped_epoch.h"
@@ -29,12 +30,26 @@ namespace aets {
 /// the partial epoch and then ships heartbeat epochs so the backups'
 /// global_cmt_ts keeps advancing (paper Section V-B, 50 ms default).
 ///
+/// Sharded replication (DESIGN.md §11): with a ShardMap installed the
+/// shipper routes every sealed epoch through N per-shard lanes. Each lane
+/// carries a *sub-epoch* — the same epoch id, holding exactly the
+/// transactions (trimmed to this shard's DML records) that touch the
+/// shard's tables. A shard untouched by an epoch receives a synthetic
+/// heartbeat at the epoch's max commit timestamp instead, so every lane
+/// observes the full, gapless epoch id sequence and every shard's
+/// watermarks keep pace with the primary. Data sub-epochs carry the FULL
+/// epoch's max_commit_ts so quiet tables and the per-shard global
+/// watermark advance as far as the unsharded stream would. Without a
+/// ShardMap there is exactly one lane and the wire stream is byte-identical
+/// to the pre-sharding shipper.
+///
 /// Fault tolerance: every delivered epoch (heartbeats included) is kept in a
-/// bounded retention buffer, and the shipper serves EpochSource so replayers
-/// can NACK-fetch epochs the link dropped or corrupted. Epochs rejected by
-/// every channel (closed link) are counted as dropped, not shipped —
-/// `send_failures()` / `epochs_dropped()` and the `shipper.send_failures` /
-/// `shipper.epochs_dropped` metrics expose the loss instead of hiding it.
+/// bounded retention buffer — one buffer whose entries hold all N per-shard
+/// sub-epochs, serving N independent NACK streams through shard_source(i).
+/// Epochs rejected by every channel of a lane (closed link) are counted as
+/// dropped on that lane, not shipped; the conservation invariant is
+/// `epochs_produced() == epochs_shipped() + epochs_dropped()`, where each
+/// accessor sums its per-lane counter over all shards.
 class LogShipper : public EpochSource {
  public:
   /// `retention_capacity` bounds the NACK window: a backup that falls more
@@ -46,14 +61,27 @@ class LogShipper : public EpochSource {
   LogShipper(const LogShipper&) = delete;
   LogShipper& operator=(const LogShipper&) = delete;
 
-  /// Attaches a backup channel. All channels receive every epoch.
+  /// Installs the table→shard partition and sizes the per-shard lanes. Must
+  /// be called before any channel/segment-store attach and before the first
+  /// epoch ships; `map` must outlive the shipper. Without this call the
+  /// shipper runs unsharded (one lane, legacy wire format).
+  void SetShardMap(const ShardMap* map);
+
+  /// Number of shard lanes (1 without a ShardMap).
+  int shard_count() const;
+
+  /// Attaches a backup channel to shard 0 (the whole stream when unsharded).
   void AttachChannel(EpochChannel* channel);
 
-  /// Attaches the durable tier (DESIGN.md §10). Every delivered epoch —
-  /// heartbeats included — is appended to `store` at deliver time, so the
-  /// sequential segment log always holds the full epoch sequence. The RAM
-  /// retention buffer then *spills* on overflow instead of losing: evicting
-  /// a durable entry is a RAM→disk-only transition, and when
+  /// Attaches a backup channel to one shard's lane. Every channel of a lane
+  /// receives every sub-epoch routed to that shard.
+  void AttachShardChannel(int shard, EpochChannel* channel);
+
+  /// Attaches the durable tier (DESIGN.md §10) to shard 0. Every delivered
+  /// epoch — heartbeats included — is appended to `store` at deliver time,
+  /// so the sequential segment log always holds the full epoch sequence.
+  /// The RAM retention buffer then *spills* on overflow instead of losing:
+  /// evicting a durable entry is a RAM→disk-only transition, and when
   /// `retention_spill` is true FetchEpoch falls through to the store for
   /// evicted ids, turning the old terminal eviction error into a disk fetch.
   /// (`retention_spill = false` keeps the legacy eviction semantics while
@@ -66,6 +94,12 @@ class LogShipper : public EpochSource {
   /// Call before the first epoch ships; `store` must be empty or positioned
   /// at this shipper's next epoch id, and must outlive the shipper.
   void AttachSegmentStore(SegmentStore* store, bool retention_spill = true);
+
+  /// Per-shard durable tier: each lane can have its own segment store (its
+  /// own directory), holding that shard's sub-epoch sequence. Same contract
+  /// as AttachSegmentStore.
+  void AttachShardSegmentStore(int shard, SegmentStore* store,
+                               bool retention_spill = true);
 
   /// Commit-sink entry point: call in primary commit order.
   void OnCommit(TxnLog txn);
@@ -84,75 +118,128 @@ class LogShipper : public EpochSource {
   /// exactly where a scenario script says, instead of on the size trigger.
   void FlushEpoch();
 
-  /// Flushes the open epoch, then ships one heartbeat epoch carrying `ts`.
-  /// `ts` must satisfy the StartHeartbeats contract (above every sunk
-  /// commit, below every future one); kInvalidTimestamp is ignored. The
-  /// simulation harness calls this in place of the wall-clock heartbeat
-  /// thread.
+  /// Flushes the open epoch, then ships one heartbeat epoch carrying `ts`
+  /// (to every shard lane, same epoch id). `ts` must satisfy the
+  /// StartHeartbeats contract (above every sunk commit, below every future
+  /// one); kInvalidTimestamp is ignored. The simulation harness calls this
+  /// in place of the wall-clock heartbeat thread.
   void ShipHeartbeat(Timestamp ts);
 
   /// Seals and ships the final partial epoch, stops heartbeats, and closes
-  /// all channels. Idempotent.
+  /// all channels on all lanes. Idempotent.
   void Finish();
 
   /// EpochSource: the replayers' NACK path, served from the retention
-  /// buffer. Successful fetches count as retransmits.
+  /// buffer. Equivalent to shard_source(0) — the whole stream when
+  /// unsharded. Successful fetches count as retransmits.
   std::optional<ShippedEpoch> FetchEpoch(EpochId id) override;
   EpochId NextEpochId() const override;
 
+  /// Per-shard NACK back-channel: serves shard `shard`'s sub-epoch stream
+  /// out of the shared retention buffer (falling through to that lane's
+  /// segment store for evicted ids). The returned source is owned by the
+  /// shipper and valid for its lifetime.
+  EpochSource* shard_source(int shard);
+
+  /// Fetches shard `shard`'s sub-epoch with id `id` (what shard_source
+  /// serves). Counts as a retransmit on that lane when found.
+  std::optional<ShippedEpoch> FetchShardEpoch(int shard, EpochId id);
+
+  /// Sub-epochs delivered across all lanes (data and heartbeat frames; one
+  /// per epoch id per shard). Unsharded this is the classic "epochs shipped
+  /// plus heartbeats" count.
   EpochId epochs_shipped() const;
+  /// Heartbeat epoch *ids* shipped (idle heartbeats; synthetic per-shard
+  /// fillers inside data epochs are counted in epochs_shipped per lane, not
+  /// here).
   uint64_t heartbeats_shipped() const;
-  /// Channel-level Send() rejections (closed channel), per channel.
+  /// Channel-level Send() rejections (closed channel), across all lanes.
   uint64_t send_failures() const;
-  /// Epochs that reached zero attached channels — lost at the send side.
+  /// Sub-epochs that reached zero attached channels on their lane — lost at
+  /// the send side.
   uint64_t epochs_dropped() const;
-  /// Epochs re-served through FetchEpoch (RAM or disk).
+  /// Sub-epochs re-served through the NACK path (RAM or disk), all lanes.
   uint64_t retransmits() const;
-  /// Every epoch that entered DeliverLocked, heartbeats included. The
-  /// conservation invariant `produced == shipped + dropped` always holds;
+  /// Every sub-epoch that entered delivery, heartbeats included (one per
+  /// epoch id per lane). The conservation invariant
+  /// `produced == shipped + dropped` always holds, globally and per shard;
   /// spills are a disjoint dimension (where a produced epoch lives), never
   /// double-counted against shipped.
   uint64_t epochs_produced() const;
-  /// Durable epochs evicted from the RAM retention buffer (now disk-only).
+  /// Durable sub-epochs evicted from the RAM retention buffer (now
+  /// disk-only), all lanes.
   uint64_t epochs_spilled() const;
-  /// Segment-store appends that failed (disk full); those epochs are
+  /// Segment-store appends that failed (disk full); those sub-epochs are
   /// RAM-only and evicting them is the legacy terminal loss.
   uint64_t spill_failures() const;
 
+  /// Per-shard views of the conserved accounting (`produced == shipped +
+  /// dropped` holds for each shard independently).
+  uint64_t shard_produced(int shard) const;
+  uint64_t shard_shipped(int shard) const;
+  uint64_t shard_dropped(int shard) const;
+  uint64_t shard_spilled(int shard) const;
+
  private:
+  /// One shard's delivery lane: its channels, optional durable tier, and
+  /// the per-shard half of every conserved counter.
+  struct Lane {
+    std::vector<EpochChannel*> channels;
+    SegmentStore* segment_store = nullptr;
+    bool retention_spill = true;
+    uint64_t produced = 0;
+    uint64_t shipped = 0;
+    uint64_t dropped = 0;
+    uint64_t send_failures = 0;
+    uint64_t spilled = 0;
+    uint64_t spill_failures = 0;
+    uint64_t retransmits = 0;
+  };
+
+  /// EpochSource view of one lane.
+  class ShardSource : public EpochSource {
+   public:
+    ShardSource(LogShipper* owner, int shard) : owner_(owner), shard_(shard) {}
+    std::optional<ShippedEpoch> FetchEpoch(EpochId id) override {
+      return owner_->FetchShardEpoch(shard_, id);
+    }
+    EpochId NextEpochId() const override { return owner_->NextEpochId(); }
+
+   private:
+    LogShipper* owner_;
+    int shard_;
+  };
+
   void ShipLocked(Epoch epoch);
-  /// Retains `encoded` and fans it out; returns true when at least one
-  /// channel accepted it (vacuously true with no channels attached).
-  bool DeliverLocked(const ShippedEpoch& encoded);
+  /// Splits a sealed epoch into per-lane sub-epochs (identity when
+  /// unsharded; synthetic heartbeats for untouched shards otherwise).
+  std::vector<ShippedEpoch> SplitLocked(const Epoch& epoch) const;
+  /// Retains all `subs` under `id` and fans each out on its lane; returns
+  /// the number of lanes that accepted (a lane with no channels counts as
+  /// accepted, matching the unsharded contract).
+  size_t DeliverLocked(EpochId id, std::vector<ShippedEpoch> subs);
   void HeartbeatLoop();
 
   mutable std::mutex mu_;
   EpochBuilder builder_;
-  std::vector<EpochChannel*> channels_;
-  EpochId shipped_ = 0;
+  const ShardMap* shard_map_ = nullptr;  // null = unsharded (one lane)
+  std::vector<Lane> lanes_;
+  std::vector<std::unique_ptr<ShardSource>> sources_;
   uint64_t heartbeats_ = 0;
-  uint64_t send_failures_ = 0;
-  uint64_t epochs_dropped_ = 0;
-  uint64_t retransmits_ = 0;
-  uint64_t produced_ = 0;
-  uint64_t spilled_ = 0;
-  uint64_t spill_failures_ = 0;
   bool finished_ = false;
 
   /// Recently delivered epochs, contiguous ids, newest at the back. Sized
   /// by `retention_capacity_`; payloads are shared so retention costs one
-  /// ShippedEpoch header per entry, not a payload copy. `durable` records
-  /// whether the segment-store append succeeded at deliver time.
+  /// ShippedEpoch header per entry per lane, not a payload copy. `durable`
+  /// records, per lane, whether the segment-store append succeeded at
+  /// deliver time. One buffer serves all N NACK streams.
   struct Retained {
-    ShippedEpoch epoch;
-    bool durable;
+    EpochId id = 0;
+    std::vector<ShippedEpoch> sub;   // one per lane
+    std::vector<uint8_t> durable;    // one per lane
   };
   std::deque<Retained> retained_;
   size_t retention_capacity_;
-
-  /// Durable tier; null = RAM-only (legacy) retention.
-  SegmentStore* segment_store_ = nullptr;
-  bool retention_spill_ = true;
 
   /// Observability (resolved once; see obs::MetricsRegistry). Batch latency
   /// is first-commit-in-epoch to ship.

@@ -77,7 +77,10 @@ void ConsistencyOracle::RaiseGcFloor(Timestamp watermark) {
 bool ConsistencyOracle::CompareTable(TableId table, Timestamp qts,
                                      const char* invariant) {
   if (qts < gc_floor()) return true;  // below the GC horizon: unverifiable
-  const Memtable* mt = replayer_->store()->GetTable(table);
+  // StoreForTable, not store(): under a ShardedBackup each table's versions
+  // live in its owning shard's store, and a cross-shard probe must read each
+  // table where it actually lives.
+  const Memtable* mt = replayer_->StoreForTable(table)->GetTable(table);
   AETS_CHECK(mt != nullptr);
   std::map<int64_t, Row> got;
   mt->ScanVisible(qts, [&got](int64_t key, const Row& row) {
@@ -153,7 +156,6 @@ bool ConsistencyOracle::CheckVisibleProbe(const std::vector<TableId>& tables,
 
 bool ConsistencyOracle::CheckTxnAtomicity(const TxnFootprint& txn) {
   bool ok = true;
-  TableStore* store = replayer_->store();
   for (int side = 0; side < 2; ++side) {
     // side 0: at commit_ts every write is in. side 1: just before, none are.
     Timestamp qts = side == 0 ? txn.commit_ts : txn.commit_ts - 1;
@@ -168,7 +170,8 @@ bool ConsistencyOracle::CheckTxnAtomicity(const TxnFootprint& txn) {
       // replayed). A watermark published ahead of the data — the injected
       // bug — passes this gate and is then caught by the comparison.
       if (!IsVisible(*replayer_, {table}, qts)) continue;
-      std::optional<Row> got = store->GetTable(table)->ReadRow(key, qts);
+      std::optional<Row> got =
+          replayer_->StoreForTable(table)->GetTable(table)->ReadRow(key, qts);
       std::optional<Row> want = model_->VisibleRow(table, key, qts);
       if (got == want) continue;
       if (qts < gc_floor()) continue;  // GC raced the read
@@ -185,15 +188,17 @@ bool ConsistencyOracle::CheckTxnAtomicity(const TxnFootprint& txn) {
 }
 
 bool ConsistencyOracle::ObserveMonotonicity() {
-  // Read the published watermarks outside the lock (cheap), then compare
-  // against the per-oracle high-water record under it.
+  // Both the watermark reads and the comparison against the high-water
+  // record happen under one lock: reading outside it lets a prober that
+  // read a stale value but locked late report a false regression (another
+  // prober recorded the newer value in between). The watermarks are cheap
+  // atomic loads, so holding mono_mu_ across them costs little.
+  std::lock_guard<std::mutex> lock(mono_mu_);
   std::vector<Timestamp> table_ts(model_->num_tables());
   for (TableId t = 0; t < model_->num_tables(); ++t) {
     table_ts[t] = replayer_->TableVisibleTs(t);
   }
   Timestamp global = replayer_->GlobalVisibleTs();
-
-  std::lock_guard<std::mutex> lock(mono_mu_);
   bool ok = true;
   for (TableId t = 0; t < model_->num_tables(); ++t) {
     if (table_ts[t] < last_table_ts_[t]) {

@@ -7,10 +7,12 @@
 #include <thread>
 #include <utility>
 
+#include "aets/catalog/shard_map.h"
 #include "aets/common/macros.h"
 #include "aets/common/rng.h"
 #include "aets/primary/primary_db.h"
 #include "aets/replay/replayer_base.h"
+#include "aets/replay/sharded_backup.h"
 #include "aets/replication/epoch_source.h"
 #include "aets/replication/log_shipper.h"
 #include "aets/sim/reference_model.h"
@@ -22,46 +24,26 @@ namespace sim {
 namespace {
 
 /// The recorded log stream plus the catalog it was recorded against (the
-/// replayer under test is built on the same catalog).
+/// replayer under test is built on the same catalog). With sharding, the
+/// per-shard sub-epoch streams ride along (index-aligned with `epochs`:
+/// entry i of every stream carries the same epoch id).
 struct RecordedStream {
   std::unique_ptr<Catalog> catalog;
-  std::vector<ShippedEpoch> epochs;
+  std::unique_ptr<ShardMap> shard_map;  // set when spec.shard_count > 1
+  std::vector<ShippedEpoch> epochs;     // the unsharded (reference) stream
+  std::vector<std::vector<ShippedEpoch>> shard_epochs;  // one per shard
 };
 
-/// Executes the scenario's workload on a real PrimaryDb and captures the
-/// shipped epoch stream. Fully deterministic: a fresh LogicalClock assigns
-/// commit timestamps 1, 2, 3, ... in plan order, write values are a pure
-/// function of the write's global sequence number, and epoch boundaries sit
-/// exactly where the plan says (FlushEpoch/ShipHeartbeat, not size or time
-/// triggers). Re-recording a shrunk spec therefore yields a stream whose
-/// remaining transactions are byte-identical in content.
-RecordedStream RecordScenario(const ScenarioSpec& spec) {
-  RecordedStream out;
-  out.catalog = std::make_unique<Catalog>();
-  for (size_t t = 0; t < spec.num_tables; ++t) {
-    std::string table_name = "t";
-    table_name += std::to_string(t);
-    AETS_CHECK(out.catalog
-                   ->RegisterTable(table_name,
-                                   Schema::Of({{"a", ColumnType::kInt64},
-                                               {"b", ColumnType::kString}}))
-                   .ok());
-  }
-  LogicalClock clock;
-  PrimaryDb db(out.catalog.get(), &clock);
-  // Epoch size far above any plan so only FlushEpoch seals; retention wide
-  // enough that nothing is ever evicted.
-  LogShipper shipper(/*epoch_size=*/1u << 20,
-                     /*retention_capacity=*/2 * spec.epochs.size() + 8);
-  EpochChannel recorder(/*capacity=*/0);  // unbounded
-  shipper.AttachChannel(&recorder);
-  db.SetCommitSink([&shipper](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
-
+/// Drives the scenario's transactions and epoch boundaries into one
+/// PrimaryDb + LogShipper pair. Deterministic given fresh instances: the
+/// write values and commit timestamps depend only on plan order.
+void ExecuteWorkload(const ScenarioSpec& spec, PrimaryDb* db,
+                     LogShipper* shipper) {
   int64_t seq = 0;
   for (const EpochPlan& ep : spec.epochs) {
     for (const TxnPlan& tp : ep.txns) {
       if (tp.writes.empty()) continue;  // PrimaryDb rejects empty txns
-      PrimaryTxn txn = db.Begin();
+      PrimaryTxn txn = db->Begin();
       for (const WritePlan& w : tp.writes) {
         ++seq;
         switch (w.kind) {
@@ -80,14 +62,82 @@ RecordedStream RecordScenario(const ScenarioSpec& spec) {
             break;
         }
       }
-      AETS_CHECK(db.Commit(std::move(txn)).ok());
+      AETS_CHECK(db->Commit(std::move(txn)).ok());
     }
-    shipper.FlushEpoch();
-    if (ep.heartbeat_after) shipper.ShipHeartbeat(db.AcquireHeartbeatTs());
+    shipper->FlushEpoch();
+    if (ep.heartbeat_after) shipper->ShipHeartbeat(db->AcquireHeartbeatTs());
   }
-  shipper.Finish();
-  while (auto epoch = recorder.TryReceive()) {
-    out.epochs.push_back(std::move(*epoch));
+  shipper->Finish();
+}
+
+/// Executes the scenario's workload on a real PrimaryDb and captures the
+/// shipped epoch stream. Fully deterministic: a fresh LogicalClock assigns
+/// commit timestamps 1, 2, 3, ... in plan order, write values are a pure
+/// function of the write's global sequence number, and epoch boundaries sit
+/// exactly where the plan says (FlushEpoch/ShipHeartbeat, not size or time
+/// triggers). Re-recording a shrunk spec therefore yields a stream whose
+/// remaining transactions are byte-identical in content.
+///
+/// Sharded specs record TWICE — once unsharded (the reference stream the
+/// ground-truth model consumes) and once through a sharded shipper for the
+/// per-shard streams. Determinism makes the two passes agree on every commit
+/// timestamp, so the sharded replay is checked against exactly the history
+/// the unsharded stream describes.
+RecordedStream RecordScenario(const ScenarioSpec& spec) {
+  RecordedStream out;
+  out.catalog = std::make_unique<Catalog>();
+  for (size_t t = 0; t < spec.num_tables; ++t) {
+    std::string table_name = "t";
+    table_name += std::to_string(t);
+    AETS_CHECK(out.catalog
+                   ->RegisterTable(table_name,
+                                   Schema::Of({{"a", ColumnType::kInt64},
+                                               {"b", ColumnType::kString}}))
+                   .ok());
+  }
+  {
+    LogicalClock clock;
+    PrimaryDb db(out.catalog.get(), &clock);
+    // Epoch size far above any plan so only FlushEpoch seals; retention wide
+    // enough that nothing is ever evicted.
+    LogShipper shipper(/*epoch_size=*/1u << 20,
+                       /*retention_capacity=*/2 * spec.epochs.size() + 8);
+    EpochChannel recorder(/*capacity=*/0);  // unbounded
+    shipper.AttachChannel(&recorder);
+    db.SetCommitSink(
+        [&shipper](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+    ExecuteWorkload(spec, &db, &shipper);
+    while (auto epoch = recorder.TryReceive()) {
+      out.epochs.push_back(std::move(*epoch));
+    }
+  }
+  if (spec.shard_count > 1) {
+    out.shard_map = std::make_unique<ShardMap>(
+        ShardMap::Hash(spec.num_tables, spec.shard_count));
+    LogicalClock clock;
+    PrimaryDb db(out.catalog.get(), &clock);
+    LogShipper shipper(/*epoch_size=*/1u << 20,
+                       /*retention_capacity=*/2 * spec.epochs.size() + 8);
+    shipper.SetShardMap(out.shard_map.get());
+    std::vector<std::unique_ptr<EpochChannel>> recorders;
+    for (int s = 0; s < spec.shard_count; ++s) {
+      recorders.push_back(std::make_unique<EpochChannel>(/*capacity=*/0));
+      shipper.AttachShardChannel(s, recorders.back().get());
+    }
+    db.SetCommitSink(
+        [&shipper](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+    ExecuteWorkload(spec, &db, &shipper);
+    out.shard_epochs.resize(static_cast<size_t>(spec.shard_count));
+    for (int s = 0; s < spec.shard_count; ++s) {
+      auto& stream = out.shard_epochs[static_cast<size_t>(s)];
+      while (auto epoch = recorders[static_cast<size_t>(s)]->TryReceive()) {
+        stream.push_back(std::move(*epoch));
+      }
+      // Every lane carries the full epoch id sequence (synthetic heartbeats
+      // fill untouched shards), so the streams must be index-aligned.
+      AETS_CHECK_MSG(stream.size() == out.epochs.size(),
+                     "sharded record out of step with the reference stream");
+    }
   }
   return out;
 }
@@ -294,6 +344,228 @@ void RunConcurrent(const ScenarioSpec& spec, const RecordedStream& stream,
   }
 }
 
+/// Builds the N shard replayers (factory called in shard order) behind the
+/// ShardedBackup facade, wiring channel s to shard s.
+std::unique_ptr<ShardedBackup> BuildShardedBackup(
+    const RecordedStream& stream, const ReplayerFactory& factory,
+    const std::vector<EpochChannel*>& channels) {
+  std::vector<std::unique_ptr<Replayer>> shards;
+  shards.reserve(channels.size());
+  for (EpochChannel* channel : channels) {
+    shards.push_back(factory(stream.catalog.get(), channel));
+  }
+  return std::make_unique<ShardedBackup>(stream.shard_map.get(),
+                                         std::move(shards));
+}
+
+bool AnyShardErrored(ShardedBackup* backup) {
+  for (int s = 0; s < backup->num_shards(); ++s) {
+    if (ReplayerErrored(backup->shard(s))) return true;
+  }
+  return false;
+}
+
+/// Sharded lockstep: ship epoch i's sub-epoch to every shard, wait until
+/// every shard consumed its sub-epoch (some as data, some as synthetic
+/// heartbeats), then run the cross-shard oracle checks through the facade —
+/// the window where a coordinator promising more than the slowest shard
+/// replayed would serve a torn cross-shard snapshot.
+void RunShardedLockstep(const ScenarioSpec& spec, const RecordedStream& stream,
+                        const ReferenceModel& model,
+                        const ReplayerFactory& factory, ViolationLog* log) {
+  const size_t n = static_cast<size_t>(spec.shard_count);
+  std::vector<std::unique_ptr<EpochChannel>> channels;
+  std::vector<EpochChannel*> chans;
+  for (size_t s = 0; s < n; ++s) {
+    channels.push_back(std::make_unique<EpochChannel>(/*capacity=*/0));
+    chans.push_back(channels.back().get());
+  }
+  std::unique_ptr<ShardedBackup> backup =
+      BuildShardedBackup(stream, factory, chans);
+  ConsistencyOracle oracle(&model, backup.get(), log);
+  AETS_CHECK(backup->Start().ok());
+
+  Rng probe_rng(spec.seed ^ 0x5DEECE66Dull);
+  std::vector<uint64_t> data_sent(n, 0);
+  std::vector<uint64_t> hb_sent(n, 0);
+  bool stalled = false;
+  for (size_t i = 0; i < stream.epochs.size() && !stalled; ++i) {
+    for (size_t s = 0; s < n; ++s) {
+      const ShippedEpoch& sub = stream.shard_epochs[s][i];
+      if (sub.is_heartbeat()) {
+        ++hb_sent[s];
+      } else {
+        ++data_sent[s];
+      }
+      AETS_CHECK(chans[s]->Send(sub));
+    }
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    for (size_t s = 0; s < n && !stalled; ++s) {
+      const ReplayStats& st = backup->shard(static_cast<int>(s))->stats();
+      while (st.epochs.load(std::memory_order_acquire) < data_sent[s] ||
+             st.heartbeats.load(std::memory_order_acquire) < hb_sent[s]) {
+        if (AnyShardErrored(backup.get()) ||
+            std::chrono::steady_clock::now() > deadline) {
+          stalled = true;
+          break;
+        }
+        std::this_thread::yield();
+      }
+    }
+    if (stalled) {
+      log->Report(kInvariantReplayerError,
+                  backup->name() + ": epoch " +
+                      std::to_string(stream.epochs[i].epoch_id) +
+                      " was never consumed on some shard (stall or latched "
+                      "error)");
+      break;
+    }
+    oracle.ObserveMonotonicity();
+    oracle.CheckWatermarks();
+    for (const TxnFootprint& fp : model.Footprints()) {
+      if (fp.epoch_id == stream.epochs[i].epoch_id) {
+        oracle.CheckTxnAtomicity(fp);
+      }
+    }
+    const std::vector<Timestamp>& cts = model.CommitTimestamps();
+    if (!cts.empty()) {
+      for (int p = 0; p < 2; ++p) {
+        Timestamp qts = cts[static_cast<size_t>(probe_rng.UniformInt(
+            0, static_cast<int64_t>(cts.size()) - 1))];
+        oracle.CheckVisibleProbe(RandomTableSet(&probe_rng, spec.num_tables),
+                                 qts);
+      }
+      // Pinned cross-shard snapshot: everything at or below the handle's
+      // timestamp must read exactly on every table, whichever shard owns it.
+      SnapshotHandle snap = backup->coordinator().AcquireSnapshot();
+      if (snap.ts() != kInvalidTimestamp) {
+        Timestamp qts = std::min(snap.ts(), model.MaxVisibleTs());
+        for (TableId t = 0; t < model.num_tables(); ++t) {
+          oracle.CheckTableSnapshot(t, qts);
+        }
+      }
+    }
+  }
+  for (auto& channel : channels) channel->Close();
+  backup->Stop();
+  for (int s = 0; s < backup->num_shards(); ++s) {
+    ReportReplayerError(backup->shard(s), log);
+  }
+  if (!stalled && !AnyShardErrored(backup.get())) {
+    VerifyFinalState(model, &oracle);
+  }
+}
+
+/// Sharded concurrent: one fault-injecting link per shard (each lane gets
+/// its own seeded fault schedule), per-shard NACK sources, probers pinning
+/// cross-shard snapshots while replay and (optionally) per-shard GC race
+/// underneath. GC prunes against the coordinator's GcHorizon — the global
+/// safe frontier min the oldest pinned snapshot — never a single shard's
+/// own watermark.
+void RunShardedConcurrent(const ScenarioSpec& spec,
+                          const RecordedStream& stream,
+                          const ReferenceModel& model,
+                          const ReplayerFactory& factory, ViolationLog* log) {
+  const size_t n = static_cast<size_t>(spec.shard_count);
+  std::vector<std::unique_ptr<FaultInjectingChannel>> channels;
+  std::vector<EpochChannel*> chans;
+  for (size_t s = 0; s < n; ++s) {
+    FaultProfile faults = spec.faults;
+    faults.seed = spec.faults.seed + 0x9E3779B97F4A7C15ull * (s + 1);
+    channels.push_back(
+        std::make_unique<FaultInjectingChannel>(faults, /*capacity=*/4096));
+    chans.push_back(channels.back().get());
+  }
+  std::unique_ptr<ShardedBackup> backup =
+      BuildShardedBackup(stream, factory, chans);
+  std::vector<std::unique_ptr<RecordedSource>> sources;
+  for (size_t s = 0; s < n; ++s) {
+    sources.push_back(std::make_unique<RecordedSource>(&stream.shard_epochs[s]));
+    backup->SetShardEpochSource(static_cast<int>(s), sources.back().get());
+    if (auto* base = dynamic_cast<ReplayerBase*>(
+            backup->shard(static_cast<int>(s)))) {
+      ReplayRecoveryOptions fast;
+      fast.reorder_window_pauses = 256;
+      fast.max_retries = 16;
+      fast.max_pending = 4096;
+      base->SetRecoveryOptions(fast);
+    }
+  }
+  ConsistencyOracle oracle(&model, backup.get(), log);
+
+  std::vector<std::unique_ptr<GcDaemon>> gcs;
+  if (spec.with_gc) {
+    GlobalSnapshotCoordinator* coordinator = &backup->coordinator();
+    for (size_t s = 0; s < n; ++s) {
+      auto gc = std::make_unique<GcDaemon>(
+          backup->shard(static_cast<int>(s))->store(),
+          [coordinator] { return coordinator->GcHorizon(); },
+          spec.gc_retention, /*interval_us=*/500);
+      gc->SetPrePassHook(
+          [&oracle](Timestamp horizon) { oracle.RaiseGcFloor(horizon); });
+      gc->SetPostPassHook([&oracle](Timestamp horizon, size_t /*reclaimed*/) {
+        oracle.CheckGcSafety(horizon);
+      });
+      gcs.push_back(std::move(gc));
+    }
+  }
+
+  AETS_CHECK(backup->Start().ok());
+  for (auto& gc : gcs) gc->Start();
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> probers;
+  for (int p = 0; p < spec.probe_threads; ++p) {
+    probers.emplace_back([&, p] {
+      Rng rng(spec.seed * 1315423911ull + static_cast<uint64_t>(p) + 1);
+      const std::vector<Timestamp>& cts = model.CommitTimestamps();
+      const std::vector<TxnFootprint>& fps = model.Footprints();
+      while (!done.load(std::memory_order_acquire)) {
+        oracle.ObserveMonotonicity();
+        if (!cts.empty()) {
+          Timestamp qts = cts[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(cts.size()) - 1))];
+          oracle.CheckVisibleProbe(RandomTableSet(&rng, spec.num_tables), qts);
+        }
+        if (!fps.empty()) {
+          oracle.CheckTxnAtomicity(fps[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(fps.size()) - 1))]);
+        }
+        // Pin an exact cross-shard view and read a random table set at the
+        // pinned timestamp while replay and GC race underneath — the pin
+        // must keep every version the snapshot can see alive.
+        SnapshotHandle snap = backup->coordinator().AcquireSnapshot();
+        if (snap.ts() != kInvalidTimestamp &&
+            model.MaxVisibleTs() != kInvalidTimestamp) {
+          Timestamp qts = std::min(snap.ts(), model.MaxVisibleTs());
+          for (TableId t : RandomTableSet(&rng, spec.num_tables)) {
+            oracle.CheckTableSnapshot(t, qts);
+          }
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  for (size_t i = 0; i < stream.epochs.size(); ++i) {
+    for (size_t s = 0; s < n; ++s) {
+      chans[s]->Send(stream.shard_epochs[s][i]);  // faults may drop; NACK recovers
+    }
+  }
+  for (auto& channel : channels) channel->Close();
+  backup->Stop();
+  for (auto& gc : gcs) gc->Stop();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : probers) t.join();
+
+  for (int s = 0; s < backup->num_shards(); ++s) {
+    ReportReplayerError(backup->shard(s), log);
+  }
+  if (!AnyShardErrored(backup.get())) {
+    VerifyFinalState(model, &oracle);
+  }
+}
+
 /// Drops no-op structure: empty transactions (PrimaryDb rejects them) and
 /// epochs that ship nothing at all.
 ScenarioSpec Normalize(ScenarioSpec spec) {
@@ -373,7 +645,13 @@ ScenarioResult RunScenario(const ScenarioSpec& spec,
     AETS_CHECK_MSG(s.ok(), "reference model rejected the recorded stream");
   }
   ViolationLog log;
-  if (spec.mode == SimMode::kLockstep) {
+  if (spec.shard_count > 1) {
+    if (spec.mode == SimMode::kLockstep) {
+      RunShardedLockstep(spec, stream, model, factory, &log);
+    } else {
+      RunShardedConcurrent(spec, stream, model, factory, &log);
+    }
+  } else if (spec.mode == SimMode::kLockstep) {
     RunLockstep(spec, stream, model, factory, &log);
   } else {
     RunConcurrent(spec, stream, model, factory, &log);
@@ -469,6 +747,7 @@ std::string DescribeScenario(const ScenarioSpec& spec) {
   os << "scenario seed=" << spec.seed << " mode="
      << (spec.mode == SimMode::kLockstep ? "lockstep" : "concurrent")
      << " tables=" << spec.num_tables << " epochs=" << spec.epochs.size();
+  if (spec.shard_count > 1) os << " shards=" << spec.shard_count;
   for (size_t e = 0; e < spec.epochs.size(); ++e) {
     os << "\n  epoch " << e << ":";
     for (const TxnPlan& tp : spec.epochs[e].txns) {

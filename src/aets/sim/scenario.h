@@ -63,6 +63,15 @@ struct ScenarioSpec {
   bool with_gc = false;
   Timestamp gc_retention = 8;
   int probe_threads = 2;
+
+  /// Shards the backup (DESIGN.md §11): with shard_count > 1 the stream is
+  /// re-recorded through a sharded LogShipper (hash shard map over the
+  /// catalog), one replayer per shard is built behind a ShardedBackup, and
+  /// the oracle probes cross-shard snapshots through the facade. The
+  /// factory is invoked once per shard, in shard order 0..N-1 (a test that
+  /// must perturb one specific shard can count invocations). 1 = the
+  /// classic single-backup harness.
+  int shard_count = 1;
 };
 
 /// Builds a replayer under test on the given catalog + channel (same shape
@@ -92,7 +101,9 @@ ScenarioSpec GenerateScenario(uint64_t seed);
 /// builds the reference model, replays the stream into `factory`'s replayer
 /// under the scenario's mode, and returns every invariant violation the
 /// oracle found. Deterministic for kLockstep specs: identical specs yield
-/// identical results.
+/// identical results. With spec.shard_count > 1 the replay side runs N
+/// shards behind a ShardedBackup (the reference model still consumes the
+/// unsharded stream — the ground truth is shard-free by construction).
 ScenarioResult RunScenario(const ScenarioSpec& spec,
                            const ReplayerFactory& factory);
 

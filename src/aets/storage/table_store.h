@@ -30,6 +30,11 @@ class TableStore {
   /// XOR-combined digest across all tables at snapshot `ts`.
   uint64_t DigestAt(Timestamp ts) const;
 
+  /// The per-table combiner DigestAt folds with. Public so a sharded reader
+  /// can reproduce the whole-database digest by XOR-ing Mix(t, digest of
+  /// table t) drawn from each table's owning shard (DESIGN.md §11).
+  static uint64_t Mix(TableId id, uint64_t digest);
+
   /// Total visible rows across all tables at `ts`.
   size_t VisibleRowCount(Timestamp ts) const;
 
@@ -38,7 +43,6 @@ class TableStore {
   size_t GarbageCollect(Timestamp watermark);
 
  private:
-  static uint64_t Mix(TableId id, uint64_t digest);
 
   std::vector<std::unique_ptr<Memtable>> tables_;
 };

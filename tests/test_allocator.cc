@@ -281,5 +281,65 @@ TEST(TableGroupingDeathTest, RejectsIncompleteGrouping) {
   EXPECT_DEATH(TableGrouping::TableToGroup(groups, 2), "missing");
 }
 
+// ---------------------------------------------------------------------------
+// SplitThreadBudget: the cross-shard, top-level split (DESIGN.md §11) that
+// feeds each shard's own ThreadAllocator.
+
+TEST(SplitThreadBudgetTest, ConservesTotalAndFloorsAtOne) {
+  // Property sweep: for any load vector and any feasible budget, the split
+  // sums exactly to the budget and gives every shard at least one thread.
+  Rng rng(test::DeriveSeed(31));
+  for (int iter = 0; iter < 500; ++iter) {
+    int shards = static_cast<int>(rng.UniformInt(1, 8));
+    int total = static_cast<int>(rng.UniformInt(shards, 64));
+    std::vector<double> loads(static_cast<size_t>(shards));
+    for (double& l : loads) {
+      l = rng.UniformInt(0, 4) == 0 ? 0.0
+                                    : static_cast<double>(rng.UniformInt(1, 1000));
+    }
+    std::vector<int> split = SplitThreadBudget(loads, total);
+    ASSERT_EQ(split.size(), loads.size());
+    int sum = 0;
+    for (int v : split) {
+      EXPECT_GE(v, 1);
+      sum += v;
+    }
+    EXPECT_EQ(sum, total) << "shards=" << shards << " total=" << total;
+  }
+}
+
+TEST(SplitThreadBudgetTest, ProportionalToLoad) {
+  // 3:1 load ratio over a big budget lands close to a 3:1 thread ratio.
+  std::vector<int> split = SplitThreadBudget({300.0, 100.0}, 16);
+  EXPECT_EQ(split[0] + split[1], 16);
+  EXPECT_EQ(split[0], 12);
+  EXPECT_EQ(split[1], 4);
+  // The heavier shard never gets fewer threads than a lighter one.
+  split = SplitThreadBudget({5.0, 80.0, 15.0}, 10);
+  EXPECT_EQ(split[0] + split[1] + split[2], 10);
+  EXPECT_GE(split[1], split[2]);
+  EXPECT_GE(split[2], split[0]);
+}
+
+TEST(SplitThreadBudgetTest, EvenFallbackWithoutLoads) {
+  // All-zero loads (no prediction yet) fall back to an even split.
+  std::vector<int> split = SplitThreadBudget({0.0, 0.0, 0.0}, 9);
+  EXPECT_EQ(split, (std::vector<int>{3, 3, 3}));
+  // Non-divisible budgets stay within one thread of even.
+  split = SplitThreadBudget({0.0, 0.0, 0.0}, 11);
+  int sum = 0;
+  for (int v : split) {
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 4);
+    sum += v;
+  }
+  EXPECT_EQ(sum, 11);
+}
+
+TEST(SplitThreadBudgetTest, TightBudgetGivesOneEach) {
+  std::vector<int> split = SplitThreadBudget({1000.0, 1.0, 1.0}, 3);
+  EXPECT_EQ(split, (std::vector<int>{1, 1, 1}));
+}
+
 }  // namespace
 }  // namespace aets

@@ -852,6 +852,13 @@ TEST(ChaosTest, AllReplayersConvergeUnderChaos) {
     EXPECT_GT(snap.counters.at("shipper.retransmits"), 0u);
     EXPECT_GT(snap.counters.at("replay.epochs_duplicate_dropped"), 0u);
     EXPECT_GT(snap.counters.at("replay.epochs_retried"), 0u);
+
+    // Conserved accounting with many consumers on one lane: retransmits and
+    // link-level faults never leak into the produced/shipped/dropped books.
+    EXPECT_EQ(shipper.epochs_produced(),
+              shipper.epochs_shipped() + shipper.epochs_dropped());
+    EXPECT_EQ(shipper.shard_produced(0),
+              shipper.shard_shipped(0) + shipper.shard_dropped(0));
   }
 }
 
@@ -898,6 +905,10 @@ TEST(ChaosTest, HeartbeatsSurviveChaos) {
     Timestamp final_ts = db.last_commit_ts();
     EXPECT_EQ(replayer.store()->DigestAt(final_ts),
               db.store().DigestAt(final_ts));
+    // Heartbeat epochs are produced/shipped through the same conserved books
+    // as data epochs.
+    EXPECT_EQ(shipper.epochs_produced(),
+              shipper.epochs_shipped() + shipper.epochs_dropped());
   }
 }
 

@@ -35,6 +35,10 @@ static int g_sim_iters = 50;
 // test; 0 keeps each factory's built-in default. Set via --pipeline_depth=N
 // or AETS_PIPELINE_DEPTH. CI runs the oracle at depth 1 and depth 3.
 static int g_pipeline_depth = 0;
+// Shard count for the sharded cross-snapshot suite (DESIGN.md §11). 0 runs
+// the built-in N ∈ {2, 3, 4} matrix; --shard_count=N (or AETS_SHARD_COUNT)
+// pins every sharded test to one N. CI smoke runs pin N=3.
+static int g_shard_count = 0;
 
 namespace aets {
 namespace {
@@ -227,6 +231,59 @@ TEST(SimOracleTest, SeededScenariosAllReplayersConcurrent) {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded replay: N backup shards behind the ShardedBackup facade, checked
+// through the same oracle. Every cross-shard (qts, table-set) probe must
+// match the shard-free reference model exactly (ISSUE 7 acceptance).
+
+std::vector<int> ShardCounts() {
+  if (g_shard_count > 1) return {g_shard_count};
+  return {2, 3, 4};
+}
+
+TEST(ShardedSimOracleTest, SeededScenariosLockstep) {
+  auto specs = AllReplayerSpecs();
+  int iters = g_sim_iters / 5 + 1;
+  for (int shards : ShardCounts()) {
+    for (int i = 0; i < iters; ++i) {
+      ScenarioSpec spec = sim::GenerateScenario(test::DeriveSeed(4000 + i));
+      spec.mode = SimMode::kLockstep;
+      spec.shard_count = shards;
+      for (const SimReplayerSpec& rs : specs) {
+        ScenarioResult result = sim::RunScenario(spec, rs.make);
+        ASSERT_TRUE(result.ok())
+            << "shards=" << shards << " "
+            << FailureReport(rs.label, spec, result);
+      }
+    }
+  }
+}
+
+TEST(ShardedSimOracleTest, ConcurrentUnderAcceptanceFaultMix) {
+  // The acceptance fault mix: 5% drop + 5% dup + 1% corrupt on every shard's
+  // link (each lane draws its own seeded schedule), probers pinning
+  // cross-shard snapshots throughout.
+  auto specs = AllReplayerSpecs();
+  int iters = g_sim_iters / 10 + 1;
+  for (int shards : ShardCounts()) {
+    for (int i = 0; i < iters; ++i) {
+      ScenarioSpec spec = sim::GenerateScenario(test::DeriveSeed(5000 + i));
+      spec.mode = SimMode::kConcurrent;
+      spec.shard_count = shards;
+      spec.faults.drop = 0.05;
+      spec.faults.duplicate = 0.05;
+      spec.faults.reorder = 0.0;
+      spec.faults.corrupt = 0.01;
+      for (const SimReplayerSpec& rs : specs) {
+        ScenarioResult result = sim::RunScenario(spec, rs.make);
+        ASSERT_TRUE(result.ok())
+            << "shards=" << shards << " "
+            << FailureReport(rs.label, spec, result);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Bug injection: a tg_cmt_ts published one tick ahead of the replayed data
 // (AetsOptions::test_tg_publish_skew) must be caught and shrunk to a
 // minimal repro.
@@ -286,6 +343,43 @@ TEST(SimOracleTest, InjectedWatermarkSkewIsCaughtAndShrunk) {
   EXPECT_TRUE(clean.ok()) << FailureReport("aets-clean", shrunk, clean);
 }
 
+TEST(ShardedSimOracleTest, CrossShardSkewIsCaughtAndShrunk) {
+  // The same injected off-by-one, but with every shard's replayer skewed and
+  // the oracle probing through the ShardedBackup facade: the shrinker must
+  // reduce a cross-shard violation just like a single-backup one (the shrunk
+  // spec keeps its shard_count, so every shrink candidate re-runs sharded).
+  sim::ReplayerFactory factory = SkewedAetsFactory();
+  ScenarioSpec shrunk;
+  bool found = false;
+  for (int attempt = 0; attempt < 40 && !found; ++attempt) {
+    ScenarioSpec spec = sim::GenerateScenario(test::DeriveSeed(6000 + attempt));
+    spec.mode = SimMode::kLockstep;
+    spec.shard_count = 2;
+    ScenarioResult result = sim::RunScenario(spec, factory);
+    if (result.ok()) continue;
+    shrunk = sim::ShrinkScenario(spec, factory);
+    found = true;
+  }
+  ASSERT_TRUE(found)
+      << "no generated scenario tripped the injected bug under sharding";
+  EXPECT_EQ(shrunk.shard_count, 2);
+  std::string description = sim::DescribeScenario(shrunk);
+  ScenarioResult result = sim::RunScenario(shrunk, factory);
+  EXPECT_FALSE(result.ok()) << description;
+  EXPECT_LE(shrunk.epochs.size(), 3u) << description;
+  EXPECT_LE(sim::CountTxns(shrunk), 4u) << description;
+  // The clean factory passes the exact shrunk sharded scenario.
+  ScenarioResult clean = sim::RunScenario(
+      shrunk, [](const Catalog* c, EpochChannel* ch) {
+        AetsOptions o;
+        o.replay_threads = 3;
+        o.commit_threads = 2;
+        o.grouping = GroupingMode::kPerTable;
+        return std::make_unique<AetsReplayer>(c, ch, o);
+      });
+  EXPECT_TRUE(clean.ok()) << FailureReport("aets-clean", shrunk, clean);
+}
+
 TEST(SimOracleTest, ShrinkingIsDeterministic) {
   // The whole find+shrink pipeline replayed twice from the same base seed
   // must produce the identical minimal counterexample.
@@ -314,12 +408,17 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("AETS_PIPELINE_DEPTH")) {
     g_pipeline_depth = std::atoi(env);
   }
+  if (const char* env = std::getenv("AETS_SHARD_COUNT")) {
+    g_shard_count = std::atoi(env);
+  }
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--sim_iters=", 12) == 0) {
       g_sim_iters = std::atoi(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--pipeline_depth=", 17) == 0) {
       g_pipeline_depth = std::atoi(argv[i] + 17);
+    } else if (std::strncmp(argv[i], "--shard_count=", 14) == 0) {
+      g_shard_count = std::atoi(argv[i] + 14);
     } else {
       argv[out++] = argv[i];
     }
@@ -327,5 +426,6 @@ int main(int argc, char** argv) {
   argc = out;
   if (g_sim_iters < 1) g_sim_iters = 1;
   if (g_pipeline_depth < 0) g_pipeline_depth = 0;
+  if (g_shard_count < 0) g_shard_count = 0;
   return RUN_ALL_TESTS();
 }
