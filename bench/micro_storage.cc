@@ -173,5 +173,37 @@ void BM_SegmentStoreReopen(benchmark::State& state) {
 }
 BENCHMARK(BM_SegmentStoreReopen)->Arg(64)->Arg(512);
 
+void BM_SegmentStoreTruncate(benchmark::State& state) {
+  // Checkpoint-coordinated truncation cost: manifest rewrite (tmp + rename)
+  // plus unlinking the dropped segments. range(0) is the number of sealed
+  // segments below the floor, i.e. the unlink fan-out of one truncation.
+  std::string dir =
+      std::filesystem::temp_directory_path() / "aets_bench_seg_truncate";
+  ShippedEpoch epoch = MakeBenchEpoch(0, 16);
+  const EpochId per_segment = 4;
+  const EpochId total =
+      per_segment * (static_cast<EpochId>(state.range(0)) + 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    SegmentStoreOptions options;
+    options.dir = dir;
+    options.segment_max_bytes = per_segment * epoch.payload->size();
+    options.fsync_policy = FsyncPolicy::kNone;
+    auto store = SegmentStore::Open(options);
+    AETS_CHECK(store.ok());
+    for (EpochId id = 0; id < total; ++id) {
+      epoch.epoch_id = id;
+      AETS_CHECK((*store)->Append(epoch).ok());
+    }
+    EpochId floor = total - per_segment;
+    state.ResumeTiming();
+    AETS_CHECK((*store)->TruncateBelow(floor).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SegmentStoreTruncate)->Arg(4)->Arg(32);
+
 }  // namespace
 }  // namespace aets

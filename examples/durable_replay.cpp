@@ -1,5 +1,6 @@
 // Durable replay driver: the crash-restart gauntlet's workhorse
-// (DESIGN.md §10, scripts/crash_restart_gauntlet.sh).
+// (DESIGN.md §10, scripts/crash_restart_gauntlet.sh,
+// scripts/endurance_check.sh).
 //
 // Three modes over one seeded, fully deterministic workload (no wall-clock
 // heartbeats — epoch ids and commit timestamps depend only on --seed):
@@ -23,8 +24,19 @@
 //            the recovered store against the sim oracle's ReferenceModel
 //            (exact rows, not just a digest) and prints
 //                RECOVERED next_epoch=<n> ts=<ts> digest=<d> fetches=<f>
-//                          tail=<n> torn=<n>
+//                          tail=<n> torn=<n> floor=<f>
 //            for the gauntlet to match against the reference EPOCH table.
+//
+// With --disk_budget B > 0 the shipper's CheckpointTrigger fires whenever a
+// lane's durable log exceeds B bytes; the driver then seals the open epoch,
+// quiesces the backup, writes a live checkpoint image, truncates the durable
+// log below it (SegmentStore::TruncateBelow), and rotates old images. Budget
+// triggers land at deterministic txn indices (bytes appended are a pure
+// function of the seed), so run and digest modes checkpoint and truncate at
+// identical epochs and the reference EPOCH table — harvested incrementally
+// before each truncation — still covers the whole history. Recovery then has
+// to bridge the deleted prefix through the checkpoint image, which is the
+// case the endurance gauntlet exists to prove.
 //
 //   $ ./durable_replay run --dir /tmp/aets-seg --seed 11
 //   $ ./durable_replay recover --dir /tmp/aets-seg --seed 11
@@ -37,6 +49,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "aets/bench/harness.h"
@@ -70,9 +83,18 @@ struct Config {
   // Backup shard count (DESIGN.md §11). 1 is the classic single-replayer
   // pipeline the crash gauntlet drives; N > 1 runs N in-process shards, each
   // with its own sub-epoch lane, segment directory (<dir>/shard<k>), and
-  // NACK source, behind a ShardedBackup. Sharded runs skip live checkpoints
-  // (recovery is a cold per-shard replay of each lane's durable log).
+  // NACK source, behind a ShardedBackup. Without a disk budget, sharded runs
+  // skip live checkpoints (recovery is a cold per-shard replay of each
+  // lane's durable log); with one, each shard checkpoints into its own
+  // directory whenever its lane's log exceeds the budget.
   int shard_count = 1;
+  // Per-lane durable-log budget in bytes (SegmentStoreOptions::
+  // disk_budget_bytes). 0 disables truncation entirely — the pre-budget
+  // behavior, which the classic gauntlet cases still exercise.
+  uint64_t disk_budget = 0;
+  // Checkpoint images kept per directory by PruneCheckpoints rotation (the
+  // truncation-floor image is protected beyond this count).
+  size_t keep_ckpts = 3;
 };
 
 std::string ShardDir(const std::string& dir, int shard) {
@@ -147,6 +169,31 @@ uint64_t CounterValue(const char* name) {
   return it == snap.counters.end() ? 0 : it->second;
 }
 
+// Resident set size in KiB, for the endurance gauntlet's flat-memory check.
+long ReadRssKb() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long kb = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::atol(line + 6);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+SegmentStoreOptions StoreOptions(const Config& cfg, const std::string& dir) {
+  SegmentStoreOptions options;
+  options.dir = dir;
+  options.segment_max_bytes = cfg.segment_max_bytes;
+  options.fsync_policy = FsyncPolicy::kSegment;
+  options.disk_budget_bytes = cfg.disk_budget;
+  return options;
+}
+
 int RunMode(const Config& cfg, bool paced) {
   Catalog catalog;
   FillCatalog(&catalog, cfg.num_tables);
@@ -160,9 +207,8 @@ int RunMode(const Config& cfg, bool paced) {
 
   std::vector<std::unique_ptr<SegmentStore>> stores;
   for (int s = 0; s < n; ++s) {
-    auto store_or = SegmentStore::Open({n == 1 ? cfg.dir : ShardDir(cfg.dir, s),
-                                        cfg.segment_max_bytes,
-                                        FsyncPolicy::kSegment, nullptr});
+    auto store_or = SegmentStore::Open(
+        StoreOptions(cfg, n == 1 ? cfg.dir : ShardDir(cfg.dir, s)));
     if (!store_or.ok()) {
       std::fprintf(stderr, "segment store: %s\n",
                    store_or.status().ToString().c_str());
@@ -175,7 +221,6 @@ int RunMode(const Config& cfg, bool paced) {
       shipper.AttachShardSegmentStore(s, stores.back().get());
     }
   }
-  SegmentStore& store = *stores[0];
 
   std::vector<std::unique_ptr<EpochChannel>> channels;
   std::vector<EpochChannel*> raw;
@@ -217,11 +262,56 @@ int RunMode(const Config& cfg, bool paced) {
     }
     return Status::OK();
   };
+  auto replayer_for = [&](int s) -> AetsReplayer* {
+    return n == 1 ? single.get()
+                  : dynamic_cast<AetsReplayer*>(sharded->shard(s));
+  };
 
+  // Disk budget: the shipper's trigger marks the over-budget lane's backup;
+  // the driver consumes the mark at one deterministic point per txn (below),
+  // so paced and unpaced runs checkpoint and truncate at identical epochs.
+  if (cfg.disk_budget > 0) {
+    shipper.SetCheckpointTrigger([&](int shard, EpochId, uint64_t) {
+      replayer_for(shard)->RequestCheckpoint();
+    });
+  }
+
+  // The epoch table, harvested incrementally: truncation deletes the oldest
+  // durable epochs, so the (id, ts) rows digest mode prints are collected
+  // BEFORE each truncation and completed after Finish. The digests
+  // themselves still come from the fully caught-up backup at the very end
+  // (valid at historical timestamps: the replay store runs no GC).
+  std::vector<std::pair<EpochId, Timestamp>> epoch_table;
+  EpochId harvested = 0;
+  auto harvest = [&]() {
+    EpochId limit = stores[0]->next_epoch();
+    for (int s = 1; s < n; ++s) {
+      limit = std::min(limit, stores[s]->next_epoch());
+    }
+    for (EpochId id = harvested; id < limit; ++id) {
+      bool has_data = false;
+      Timestamp ts = kInvalidTimestamp;
+      for (int s = 0; s < n; ++s) {
+        auto epoch = stores[s]->Read(id);
+        if (!epoch || epoch->is_heartbeat()) continue;
+        has_data = true;
+        ts = std::max(ts, epoch->max_commit_ts);
+      }
+      if (has_data) epoch_table.emplace_back(id, ts);
+    }
+    harvested = std::max(harvested, limit);
+  };
+
+  uint64_t max_disk = 0;
   Rng rng{cfg.seed};
   std::vector<std::set<int64_t>> live(cfg.num_tables);
   for (int i = 1; i <= cfg.num_txns; ++i) {
     ApplyOneTxn(&primary, &rng, cfg.num_tables, &live, i);
+    if (cfg.disk_budget > 0) {
+      for (int s = 0; s < n; ++s) {
+        max_disk = std::max(max_disk, stores[s]->disk_bytes());
+      }
+    }
     if (paced && i % cfg.batch == 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(cfg.pause_us));
     }
@@ -231,11 +321,55 @@ int RunMode(const Config& cfg, bool paced) {
       // the killed run did.
       shipper.FlushEpoch();
     }
-    if (paced && i % cfg.ckpt_every == 0 && n == 1) {
+    if (cfg.disk_budget > 0) {
+      for (int s = 0; s < n; ++s) {
+        if (!replayer_for(s)->TakeCheckpointRequest()) continue;
+        // Budget checkpoint: seal the open epoch, wait for the backup to
+        // catch up, image the quiesced shard, truncate its durable log
+        // below the image, and rotate old images (PruneCheckpoints keeps
+        // the floor image regardless of count). Runs in BOTH paced and
+        // digest modes — the trigger fires at a deterministic txn index,
+        // so the reference stream must incur the same extra flush.
+        shipper.FlushEpoch();
+        while (replay_error().ok() &&
+               backup->GlobalVisibleTs() < primary.last_commit_ts()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        if (!replay_error().ok()) break;
+        harvest();  // the epochs below the new floor leave the disk now
+        AetsReplayer* ar = replayer_for(s);
+        const std::string cdir = n == 1 ? cfg.dir : ShardDir(cfg.dir, s);
+        EpochId floor = ar->next_expected_epoch();
+        Status cs = ar->WriteLiveCheckpoint(CheckpointPathFor(cdir, floor));
+        if (!cs.ok()) {
+          std::fprintf(stderr, "budget checkpoint: %s\n",
+                       cs.ToString().c_str());
+          return 2;
+        }
+        Status trunc = stores[s]->TruncateBelow(floor);
+        if (!trunc.ok()) {
+          std::fprintf(stderr, "truncate: %s\n", trunc.ToString().c_str());
+          return 2;
+        }
+        PruneCheckpoints(cdir, cfg.keep_ckpts, stores[s]->first_epoch());
+        std::printf("TRUNC shard=%d floor=%" PRIu64 " first=%" PRIu64
+                    " deleted=%" PRIu64 " reclaimed=%" PRIu64 " disk=%" PRIu64
+                    " rss_kb=%ld txns=%d\n",
+                    s, static_cast<uint64_t>(floor),
+                    static_cast<uint64_t>(stores[s]->first_epoch()),
+                    stores[s]->segments_deleted(),
+                    stores[s]->bytes_reclaimed(), stores[s]->disk_bytes(),
+                    ReadRssKb(), i);
+        std::fflush(stdout);
+      }
+    }
+    if (paced && i % cfg.ckpt_every == 0 && n == 1 && cfg.disk_budget == 0) {
       // Quiesce: the epoch is sealed, wait for the backup to catch up, then
       // snapshot the live backup. The single-threaded driver guarantees no
       // epoch ships between the watermark check and the checkpoint write.
-      // Sharded runs skip live checkpoints: recovery cold-replays each lane.
+      // (With a disk budget the trigger path above owns the checkpoint
+      // cadence instead; without one, sharded runs skip live checkpoints:
+      // recovery cold-replays each lane.)
       while (replay_error().ok() &&
              backup->GlobalVisibleTs() < primary.last_commit_ts()) {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
@@ -248,7 +382,7 @@ int RunMode(const Config& cfg, bool paced) {
         std::fprintf(stderr, "checkpoint: %s\n", s.ToString().c_str());
         return 2;
       }
-      PruneCheckpoints(cfg.dir, 3);
+      PruneCheckpoints(cfg.dir, cfg.keep_ckpts);
       std::printf("CKPT %" PRIu64 " txns=%d\n",
                   static_cast<uint64_t>(single->next_expected_epoch()), i);
       std::fflush(stdout);
@@ -268,43 +402,45 @@ int RunMode(const Config& cfg, bool paced) {
   // is the full-epoch max every lane header carries, and the digest combines
   // each table's state from its owning shard (identical to the single-store
   // digest when n == 1).
-  EpochId next = store.next_epoch();
+  harvest();
   EpochId last_data = 0;
   Timestamp last_ts = kInvalidTimestamp;
-  for (EpochId id = store.first_epoch(); id < next; ++id) {
-    bool has_data = false;
-    Timestamp ts = kInvalidTimestamp;
-    for (int s = 0; s < n; ++s) {
-      auto epoch = stores[s]->Read(id);
-      if (!epoch || epoch->is_heartbeat()) continue;
-      has_data = true;
-      ts = std::max(ts, epoch->max_commit_ts);
-    }
-    if (!has_data) continue;
-    uint64_t digest = ReplicaDigestAt(backup, &catalog, ts);
+  for (const auto& [id, ts] : epoch_table) {
     if (cfg.mode == "digest") {
       std::printf("EPOCH %" PRIu64 " %" PRIu64 " %016" PRIx64 "\n",
                   static_cast<uint64_t>(id), static_cast<uint64_t>(ts),
-                  digest);
+                  ReplicaDigestAt(backup, &catalog, ts));
     }
     last_data = id;
     last_ts = ts;
   }
+  uint64_t truncations = 0;
+  uint64_t reclaimed = 0;
+  for (int s = 0; s < n; ++s) {
+    truncations += stores[s]->truncations();
+    reclaimed += stores[s]->bytes_reclaimed();
+  }
   std::printf("FINAL %" PRIu64 " %" PRIu64 " %016" PRIx64 " spills=%" PRIu64
-              " produced=%" PRIu64 "\n",
+              " produced=%" PRIu64 " covered=%" PRIu64 " truncations=%" PRIu64
+              " reclaimed=%" PRIu64 " max_disk=%" PRIu64 " budget=%" PRIu64
+              "\n",
               static_cast<uint64_t>(last_data),
               static_cast<uint64_t>(last_ts),
               ReplicaDigestAt(backup, &catalog, last_ts),
-              shipper.epochs_spilled(), shipper.epochs_produced());
+              shipper.epochs_spilled(), shipper.epochs_produced(),
+              shipper.spills_below_floor(), truncations, reclaimed, max_disk,
+              cfg.disk_budget);
   std::fflush(stdout);
   return 0;
 }
 
-// Sharded restart: reopen each shard's segment directory, cold-replay every
-// lane through its own DurableEpochSource behind a ShardedBackup, and verify
-// each shard row-for-row against a per-lane ReferenceModel (a lane's durable
-// log is a complete history of its own tables, so the lane model and the
-// shard store must agree exactly).
+// Sharded restart: reopen each shard's segment directory, bootstrap each
+// lane from the newest checkpoint image that bridges its (possibly
+// truncated) durable log, replay every lane's tail through its own
+// DurableEpochSource behind a ShardedBackup, and verify each shard
+// row-for-row against a per-lane ReferenceModel (a lane's durable log plus
+// its image is a complete history of its own tables, so the lane model and
+// the shard store must agree exactly).
 int RecoverShardedMode(const Config& cfg) {
   Catalog catalog;
   FillCatalog(&catalog, cfg.num_tables);
@@ -313,9 +449,7 @@ int RecoverShardedMode(const Config& cfg) {
 
   std::vector<std::unique_ptr<SegmentStore>> stores;
   for (int s = 0; s < n; ++s) {
-    auto store_or =
-        SegmentStore::Open({ShardDir(cfg.dir, s), cfg.segment_max_bytes,
-                            FsyncPolicy::kSegment, nullptr});
+    auto store_or = SegmentStore::Open(StoreOptions(cfg, ShardDir(cfg.dir, s)));
     if (!store_or.ok()) {
       std::fprintf(stderr, "segment store shard %d: %s\n", s,
                    store_or.status().ToString().c_str());
@@ -327,9 +461,53 @@ int RecoverShardedMode(const Config& cfg) {
   EpochChannel closed_channel;
   closed_channel.Close();
   std::vector<std::unique_ptr<Replayer>> shards;
+  std::vector<EpochId> boot(static_cast<size_t>(n), 0);
+  std::vector<Timestamp> snapshot(static_cast<size_t>(n), kInvalidTimestamp);
   for (int s = 0; s < n; ++s) {
-    shards.push_back(std::make_unique<AetsReplayer>(
-        &catalog, &closed_channel, ReplayOptions(cfg.num_tables)));
+    std::unique_ptr<AetsReplayer> shard;
+    for (const std::string& ckpt : ListCheckpointFiles(ShardDir(cfg.dir, s))) {
+      auto candidate = std::make_unique<AetsReplayer>(
+          &catalog, &closed_channel, ReplayOptions(cfg.num_tables));
+      Status st = candidate->Bootstrap(ckpt);
+      if (!st.ok()) {
+        std::fprintf(stderr, "shard %d checkpoint %s rejected: %s\n", s,
+                     ckpt.c_str(), st.ToString().c_str());
+        continue;
+      }
+      if (candidate->next_expected_epoch() > stores[s]->next_epoch()) {
+        std::fprintf(stderr,
+                     "shard %d checkpoint %s ahead of durable log, skipping\n",
+                     s, ckpt.c_str());
+        continue;
+      }
+      if (candidate->next_expected_epoch() < stores[s]->first_epoch()) {
+        std::fprintf(
+            stderr,
+            "shard %d checkpoint %s below truncation floor %llu, skipping\n",
+            s, ckpt.c_str(),
+            static_cast<unsigned long long>(stores[s]->first_epoch()));
+        continue;
+      }
+      shard = std::move(candidate);
+      boot[s] = shard->next_expected_epoch();
+      snapshot[s] = shard->GlobalVisibleTs();
+      std::printf("BOOTSTRAP shard=%d %s epoch=%" PRIu64 "\n", s,
+                  ckpt.c_str(), static_cast<uint64_t>(boot[s]));
+      break;
+    }
+    if (!shard) {
+      if (stores[s]->first_epoch() > 0) {
+        std::fprintf(stderr,
+                     "shard %d unrecoverable: durable log starts at epoch "
+                     "%llu (truncated) and no checkpoint image bridges it\n",
+                     s,
+                     static_cast<unsigned long long>(stores[s]->first_epoch()));
+        return 2;
+      }
+      shard = std::make_unique<AetsReplayer>(&catalog, &closed_channel,
+                                             ReplayOptions(cfg.num_tables));
+    }
+    shards.push_back(std::move(shard));
   }
   ShardedBackup backup(&map, std::move(shards));
   std::vector<std::unique_ptr<DurableEpochSource>> sources;
@@ -342,6 +520,8 @@ int RecoverShardedMode(const Config& cfg) {
 
   EpochId last_data = 0;
   Timestamp last_ts = kInvalidTimestamp;
+  EpochId floor = 0;
+  uint64_t tail = 0;
   uint64_t torn = 0;
   size_t rows = 0;
   for (int s = 0; s < n; ++s) {
@@ -352,6 +532,17 @@ int RecoverShardedMode(const Config& cfg) {
       return 2;
     }
     sim::ReferenceModel model(cfg.num_tables);
+    if (boot[s] > 0) {
+      // The oracle cannot replay epochs truncation deleted: seed it from
+      // the bootstrapped image (its own second opinion of
+      // Checkpointer::Restore) and replay only the tail the image misses.
+      Status st = model.SeedFromStore(*shard->store(), snapshot[s], boot[s]);
+      if (!st.ok()) {
+        std::fprintf(stderr, "shard %d model seed: %s\n", s,
+                     st.ToString().c_str());
+        return 2;
+      }
+    }
     for (EpochId id = stores[s]->first_epoch(); id < stores[s]->next_epoch();
          ++id) {
       auto epoch = stores[s]->Read(id);
@@ -360,11 +551,13 @@ int RecoverShardedMode(const Config& cfg) {
                      static_cast<unsigned long long>(id), s);
         return 2;
       }
-      Status st = model.Apply(*epoch);
-      if (!st.ok()) {
-        std::fprintf(stderr, "shard %d model apply: %s\n", s,
-                     st.ToString().c_str());
-        return 2;
+      if (id >= boot[s]) {
+        Status st = model.Apply(*epoch);
+        if (!st.ok()) {
+          std::fprintf(stderr, "shard %d model apply: %s\n", s,
+                       st.ToString().c_str());
+          return 2;
+        }
       }
       if (!epoch->is_heartbeat()) {
         last_data = std::max(last_data, id);
@@ -392,18 +585,21 @@ int RecoverShardedMode(const Config& cfg) {
       }
       rows += shard->store()->VisibleRowCount(model.MaxVisibleTs());
     }
+    floor = s == 0 ? stores[s]->first_epoch()
+                   : std::min(floor, stores[s]->first_epoch());
+    tail += stores[s]->next_epoch() - boot[s];
     torn += stores[s]->torn_frames_truncated();
   }
   std::printf("ORACLE exact rows=%zu shards=%d\n", rows, n);
   std::printf("RECOVERED next_epoch=%" PRIu64 " last_data=%" PRIu64
               " ts=%" PRIu64 " digest=%016" PRIx64 " fetches=%" PRIu64
-              " tail=%" PRIu64 " torn=%" PRIu64 "\n",
+              " tail=%" PRIu64 " torn=%" PRIu64 " floor=%" PRIu64 "\n",
               static_cast<uint64_t>(stores[0]->next_epoch()),
               static_cast<uint64_t>(last_data),
               static_cast<uint64_t>(last_ts),
               ReplicaDigestAt(&backup, &catalog, last_ts),
-              CounterValue("segment.fetches_from_disk"),
-              static_cast<uint64_t>(stores[0]->next_epoch()), torn);
+              CounterValue("segment.fetches_from_disk"), tail, torn,
+              static_cast<uint64_t>(floor));
   std::fflush(stdout);
   return 0;
 }
@@ -413,8 +609,7 @@ int RecoverMode(const Config& cfg) {
   Catalog catalog;
   FillCatalog(&catalog, cfg.num_tables);
 
-  auto store_or = SegmentStore::Open(
-      {cfg.dir, cfg.segment_max_bytes, FsyncPolicy::kSegment, nullptr});
+  auto store_or = SegmentStore::Open(StoreOptions(cfg, cfg.dir));
   if (!store_or.ok()) {
     std::fprintf(stderr, "segment store: %s\n",
                  store_or.status().ToString().c_str());
@@ -423,12 +618,15 @@ int RecoverMode(const Config& cfg) {
   SegmentStore& store = **store_or;
 
   // Newest restorable checkpoint wins; a corrupt image falls back to the
-  // next older one, and no image at all means a cold replay from epoch 0.
+  // next older one. No image at all means a cold replay from epoch 0 — only
+  // legal while the log still starts there; once truncation has raised the
+  // floor, an image bridging [floor's coverage] is the only way back.
   DurableEpochSource source(&store);
   std::unique_ptr<AetsReplayer> backup;
   EpochChannel closed_channel;
   closed_channel.Close();
   EpochId bootstrapped_at = 0;
+  Timestamp snapshot_ts = kInvalidTimestamp;
   for (const std::string& ckpt : ListCheckpointFiles(cfg.dir)) {
     auto candidate = std::make_unique<AetsReplayer>(
         &catalog, &closed_channel, ReplayOptions(cfg.num_tables));
@@ -446,13 +644,31 @@ int RecoverMode(const Config& cfg) {
                    ckpt.c_str());
       continue;
     }
+    if (candidate->next_expected_epoch() < store.first_epoch()) {
+      // The image predates the truncation floor: the epochs between its
+      // coverage and the log's first surviving segment were deleted under a
+      // NEWER image's coverage, so this one cannot bridge to the tail.
+      std::fprintf(stderr,
+                   "checkpoint %s below truncation floor %llu, skipping\n",
+                   ckpt.c_str(),
+                   static_cast<unsigned long long>(store.first_epoch()));
+      continue;
+    }
     backup = std::move(candidate);
     bootstrapped_at = backup->next_expected_epoch();
+    snapshot_ts = backup->GlobalVisibleTs();
     std::printf("BOOTSTRAP %s epoch=%" PRIu64 "\n", ckpt.c_str(),
                 static_cast<uint64_t>(bootstrapped_at));
     break;
   }
   if (!backup) {
+    if (store.first_epoch() > 0) {
+      std::fprintf(stderr,
+                   "unrecoverable: durable log starts at epoch %llu "
+                   "(truncated) and no checkpoint image bridges it\n",
+                   static_cast<unsigned long long>(store.first_epoch()));
+      return 2;
+    }
     backup = std::make_unique<AetsReplayer>(&catalog, &closed_channel,
                                             ReplayOptions(cfg.num_tables));
   }
@@ -471,8 +687,22 @@ int RecoverMode(const Config& cfg) {
 
   // Exactness probe: rebuild the reference history from the durable log
   // (the model is a second implementation of the storage semantics) and
-  // demand the recovered store match it row for row at the watermark.
+  // demand the recovered store match it row for row at the watermark. When
+  // the image covers epochs the log no longer holds, the model is seeded
+  // from the bootstrapped store at the snapshot timestamp (still valid
+  // after the tail replayed: the MVCC store keeps history and runs no GC
+  // here) and replays only the tail — epochs still on disk below the
+  // image's coverage are scanned for the last-data bookkeeping but skipped
+  // by the model, exactly as recovery itself skipped them.
   sim::ReferenceModel model(cfg.num_tables);
+  if (bootstrapped_at > 0) {
+    Status s = model.SeedFromStore(*backup->store(), snapshot_ts,
+                                   bootstrapped_at);
+    if (!s.ok()) {
+      std::fprintf(stderr, "model seed: %s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
   Timestamp last_ts = kInvalidTimestamp;
   EpochId last_data = 0;
   for (EpochId id = store.first_epoch(); id < store.next_epoch(); ++id) {
@@ -482,10 +712,12 @@ int RecoverMode(const Config& cfg) {
                    static_cast<unsigned long long>(id));
       return 2;
     }
-    Status s = model.Apply(*epoch);
-    if (!s.ok()) {
-      std::fprintf(stderr, "model apply: %s\n", s.ToString().c_str());
-      return 2;
+    if (id >= bootstrapped_at) {
+      Status s = model.Apply(*epoch);
+      if (!s.ok()) {
+        std::fprintf(stderr, "model apply: %s\n", s.ToString().c_str());
+        return 2;
+      }
     }
     if (!epoch->is_heartbeat()) {
       last_data = id;
@@ -493,7 +725,7 @@ int RecoverMode(const Config& cfg) {
     }
   }
   Timestamp watermark = backup->GlobalVisibleTs();
-  if (last_ts != kInvalidTimestamp) {
+  if (last_ts != kInvalidTimestamp || bootstrapped_at > 0) {
     if (watermark != model.MaxVisibleTs()) {
       std::fprintf(stderr,
                    "watermark %llu short of durable history %llu\n",
@@ -512,14 +744,15 @@ int RecoverMode(const Config& cfg) {
 
   std::printf("RECOVERED next_epoch=%" PRIu64 " last_data=%" PRIu64
               " ts=%" PRIu64 " digest=%016" PRIx64 " fetches=%" PRIu64
-              " tail=%" PRIu64 " torn=%" PRIu64 "\n",
+              " tail=%" PRIu64 " torn=%" PRIu64 " floor=%" PRIu64 "\n",
               static_cast<uint64_t>(store.next_epoch()),
               static_cast<uint64_t>(last_data),
               static_cast<uint64_t>(last_ts),
               backup->store()->DigestAt(last_ts),
               CounterValue("segment.fetches_from_disk"),
               static_cast<uint64_t>(store.next_epoch() - bootstrapped_at),
-              store.torn_frames_truncated());
+              store.torn_frames_truncated(),
+              static_cast<uint64_t>(store.first_epoch()));
   std::fflush(stdout);
   return 0;
 }
@@ -532,7 +765,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s run|digest|recover --dir D [--seed N] [--txns N] "
                  "[--tables N] [--epoch_size N] [--batch N] [--pause_us N] "
-                 "[--ckpt_every N] [--retention N] [--shard_count N]\n",
+                 "[--ckpt_every N] [--retention N] [--shard_count N] "
+                 "[--disk_budget BYTES] [--keep_ckpts N]\n",
                  argv[0]);
     return 2;
   }
@@ -554,6 +788,8 @@ int main(int argc, char** argv) {
     else if (flag == "--ckpt_every") cfg.ckpt_every = std::atoi(val);
     else if (flag == "--retention") cfg.retention = std::strtoull(val, nullptr, 10);
     else if (flag == "--shard_count") cfg.shard_count = std::atoi(val);
+    else if (flag == "--disk_budget") cfg.disk_budget = std::strtoull(val, nullptr, 10);
+    else if (flag == "--keep_ckpts") cfg.keep_ckpts = std::strtoull(val, nullptr, 10);
     else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return 2;

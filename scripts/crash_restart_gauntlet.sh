@@ -76,6 +76,86 @@ done
 [ "$total_fetches" -gt 0 ] || fail "no recovery fetched a single epoch from disk"
 echo "gauntlet: all seeds recovered, $total_fetches total disk fetches" >&2
 
+# Truncation cases: run with a disk budget so checkpoint-coordinated
+# truncation deletes the oldest segments mid-run, kill only AFTER the first
+# truncation landed (polling the run's TRUNC output), and demand recovery
+# bridge the deleted prefix through the checkpoint image — digest-equal to a
+# budget-matched reference and with a floor > 0 in the RECOVERED line.
+kill_after_trunc_and_recover() {
+  local seed=$1 ref=$2 dir=$3 extra=$4 want_truncs=$5
+  rm -rf "$dir"
+  # shellcheck disable=SC2086
+  "$BIN" run --dir "$dir" --seed "$seed" --txns "$TXNS" $extra \
+      > "$WORK/trun-$seed.txt" 2>&1 &
+  local pid=$!
+  local waited=0
+  # Wait until `want_truncs` DISTINCT shards have truncated at least once —
+  # the recovered floor is the minimum across shards, so every lane must
+  # have crossed it for the floor>0 assertion to be meaningful.
+  while [ "$(sed -n 's/^TRUNC shard=\([0-9]*\).*/\1/p' "$WORK/trun-$seed.txt" 2>/dev/null | sort -u | wc -l)" -lt "$want_truncs" ]; do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+    waited=$(( waited + 1 ))
+    [ "$waited" -lt 600 ] || fail "seed $seed: no truncation within 60s"
+  done
+  local was_killed=0
+  { kill -9 "$pid" && was_killed=1; wait "$pid"; } 2>/dev/null
+  if [ "$was_killed" -eq 1 ]; then
+    echo "seed $seed: killed after $(grep -c '^TRUNC' "$WORK/trun-$seed.txt") truncation(s)" >&2
+  else
+    echo "seed $seed: run completed before the kill (still a valid case)" >&2
+  fi
+  grep -q '^TRUNC' "$WORK/trun-$seed.txt" \
+      || fail "seed $seed: the run never truncated (budget too large?)"
+
+  local out
+  # shellcheck disable=SC2086
+  out=$("$BIN" recover --dir "$dir" --seed "$seed" $extra \
+      2>"$WORK/trun-recover-$seed.err") \
+      || fail "seed $seed: budget recover exited $? ($(cat "$WORK/trun-recover-$seed.err"))"
+  echo "$out" | grep -q '^ORACLE exact' \
+      || fail "seed $seed: sim-oracle exactness probe did not run"
+  local rec last_data ts digest floor
+  rec=$(echo "$out" | grep '^RECOVERED') || fail "seed $seed: no RECOVERED line"
+  last_data=$(echo "$rec" | sed -n 's/.*last_data=\([0-9]*\).*/\1/p')
+  ts=$(echo "$rec" | sed -n 's/.*ts=\([0-9]*\).*/\1/p')
+  digest=$(echo "$rec" | sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p')
+  floor=$(echo "$rec" | sed -n 's/.*floor=\([0-9]*\).*/\1/p')
+  [ -n "$floor" ] && [ "$floor" -gt 0 ] \
+      || fail "seed $seed: recovery did not cross a truncation floor (floor=$floor)"
+  local want
+  want=$(grep "^EPOCH $last_data $ts " "$ref" | awk '{print $4}')
+  [ -n "$want" ] || fail "seed $seed: no reference digest for epoch $last_data ts $ts"
+  [ "$digest" = "$want" ] || fail \
+      "seed $seed: digest mismatch at epoch $last_data past floor $floor: got $digest want $want"
+  echo "seed $seed: recovered past truncation floor $floor, digest match" >&2
+}
+
+BUDGET=${BUDGET:-1200000}
+seed=31
+ref="$WORK/ref-budget-$seed.txt"
+"$BIN" digest --dir "$WORK/ref-budget-$seed" --seed "$seed" --txns "$TXNS" \
+    --disk_budget "$BUDGET" > "$ref" \
+    || fail "budget reference run failed"
+[ "$(grep -c '^TRUNC' "$ref")" -ge 1 ] \
+    || fail "budget reference never truncated (budget too large for $TXNS txns?)"
+kill_after_trunc_and_recover "$seed" "$ref" "$WORK/trunc-$seed" \
+    "--disk_budget $BUDGET" 1
+echo "gauntlet: truncated-log recovery passed" >&2
+
+# The sharded variant: per-shard budgets, per-shard checkpoint directories,
+# kill after every shard truncated at least once.
+seed=37
+ref="$WORK/ref-shbudget-$seed.txt"
+"$BIN" digest --dir "$WORK/ref-shbudget-$seed" --seed "$seed" --txns "$TXNS" \
+    --shard_count 2 --disk_budget 700000 > "$ref" \
+    || fail "sharded budget reference run failed"
+grep -q '^TRUNC shard=0' "$ref" && grep -q '^TRUNC shard=1' "$ref" \
+    || fail "sharded budget reference: not every shard truncated"
+kill_after_trunc_and_recover "$seed" "$ref" "$WORK/shtrunc-$seed" \
+    "--shard_count 2 --disk_budget 700000" 2
+echo "gauntlet: sharded truncated-log recovery passed" >&2
+
 if [ "$CHAOS" = "--chaos" ]; then
   seed=101
   ref="$WORK/ref-$seed.txt"

@@ -24,6 +24,10 @@ enum class StatusCode : int {
   kTimedOut = 7,
   kInternal = 8,
   kNotSupported = 9,
+  /// The requested epoch sits below the durable log's truncation floor: a
+  /// checkpoint image already covers it, so the data is not lost — the
+  /// requester must bootstrap from that image instead of replaying.
+  kBelowCheckpoint = 10,
 };
 
 /// Returns a human-readable name such as "InvalidArgument".
@@ -78,6 +82,9 @@ class Status {
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
   }
+  static Status BelowCheckpoint(std::string msg) {
+    return Status(StatusCode::kBelowCheckpoint, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -90,6 +97,7 @@ class Status {
   bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsBelowCheckpoint() const { return code() == StatusCode::kBelowCheckpoint; }
 
   /// The error message; empty for OK.
   std::string_view message() const {

@@ -280,6 +280,16 @@ void ReplayerBase::RecoverGaps(PendingMap* pending) {
         rounds_without_progress = 0;
         continue;
       }
+    } else if (gap < source_->FloorEpochId()) {
+      // Not a loss: truncation dropped this id because a checkpoint image
+      // covers it. The distinct code lets the operator bootstrap from the
+      // image instead of treating the backup as corrupt.
+      SetError(Status::BelowCheckpoint(
+          "epoch " + std::to_string(gap) +
+          " is below the durable log's truncation floor " +
+          std::to_string(source_->FloorEpochId()) +
+          "; a checkpoint image covers it — bootstrap from that image"));
+      return;
     } else {
       SetError(Status::Corruption(
           "epoch " + std::to_string(gap) +
@@ -322,6 +332,14 @@ void ReplayerBase::FinalDrain(PendingMap* pending) {
     if (auto epoch = source_->FetchEpoch(expected_epoch_)) {
       Ingest(std::move(*epoch), pending, true);
       continue;
+    }
+    if (expected_epoch_ < source_->FloorEpochId()) {
+      SetError(Status::BelowCheckpoint(
+          "epoch " + std::to_string(expected_epoch_) +
+          " is below the durable log's truncation floor " +
+          std::to_string(source_->FloorEpochId()) +
+          "; a checkpoint image covers it — bootstrap from that image"));
+      return;
     }
     SetError(Status::Corruption(
         "epoch " + std::to_string(expected_epoch_) +

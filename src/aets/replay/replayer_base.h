@@ -117,6 +117,20 @@ class ReplayerBase : public Replayer {
     return expected_epoch_.load(std::memory_order_acquire);
   }
 
+  /// Disk-budget plumbing: the shipper's CheckpointTrigger (or any other
+  /// observer) marks this backup as needing a checkpoint; the driver that
+  /// owns the checkpoint cadence consumes the mark with
+  /// TakeCheckpointRequest, quiesces, writes the image, and truncates the
+  /// durable log. A latched request is level-held (re-requesting is
+  /// idempotent) so a slow driver never misses it. Thread-safe.
+  void RequestCheckpoint() {
+    checkpoint_requested_.store(true, std::memory_order_release);
+  }
+  /// Returns true exactly once per pending request, clearing it.
+  bool TakeCheckpointRequest() {
+    return checkpoint_requested_.exchange(false, std::memory_order_acq_rel);
+  }
+
  protected:
   /// Opaque per-epoch state carried from PrepareEpoch to CommitEpoch.
   /// Destroying it must quiesce anything the prepare phase left in flight
@@ -245,6 +259,8 @@ class ReplayerBase : public Replayer {
   mutable std::mutex error_mu_;
   Status error_;
   std::atomic<bool> error_flag_{false};
+
+  std::atomic<bool> checkpoint_requested_{false};
 };
 
 }  // namespace aets

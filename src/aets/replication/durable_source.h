@@ -2,6 +2,7 @@
 #define AETS_REPLICATION_DURABLE_SOURCE_H_
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,11 @@ class DurableEpochSource : public EpochSource {
 
   EpochId NextEpochId() const override { return store_->next_epoch(); }
 
+  /// The store's truncation floor: ids below first_epoch() were dropped
+  /// under checkpoint coverage, so a replayer bootstrapped too far back
+  /// reports BelowCheckpoint instead of misdiagnosing loss.
+  EpochId FloorEpochId() const override { return store_->first_epoch(); }
+
  private:
   SegmentStore* store_;
 };
@@ -43,10 +49,24 @@ class DurableEpochSource : public EpochSource {
 std::string CheckpointPathFor(const std::string& dir, EpochId next_epoch_id);
 
 /// All checkpoint images in `dir`, newest (highest next-epoch id) first.
+/// Ordered by the numeric epoch id parsed from the name; files matching the
+/// pattern but with an unparseable id sort oldest.
 std::vector<std::string> ListCheckpointFiles(const std::string& dir);
 
-/// Deletes all but the newest `keep` checkpoint images.
-void PruneCheckpoints(const std::string& dir, size_t keep);
+/// Parses the `next_epoch_id` out of a `ckpt-<16hex>.img` path, or nullopt
+/// when the name does not follow the convention.
+std::optional<EpochId> CheckpointEpochOf(const std::string& path);
+
+/// Deletes all but the newest `keep` checkpoint images — except the image
+/// the durable log's truncation floor depends on. When `truncation_floor`
+/// is nonzero, the newest image with next_epoch_id <= truncation_floor is
+/// never deleted: segments below the floor are gone, so that image is the
+/// only way to reach the log's remaining tail if every newer image turns
+/// out corrupt at recovery time. Callers that truncate must pass the floor
+/// they truncated to; callers without a truncating store may keep the
+/// legacy two-argument form.
+void PruneCheckpoints(const std::string& dir, size_t keep,
+                      EpochId truncation_floor = 0);
 
 }  // namespace aets
 

@@ -32,6 +32,14 @@ class EpochSource {
   /// whose expected id is below this bound is missing tail epochs and must
   /// fetch them before declaring its state final.
   virtual EpochId NextEpochId() const = 0;
+
+  /// The durable truncation floor: every epoch below this id has been
+  /// dropped from the durable log because a checkpoint image with
+  /// next_epoch_id >= FloorEpochId() covers it. A FetchEpoch miss below the
+  /// floor therefore means "already checkpointed", not data loss — the
+  /// requester bootstraps from the image instead of latching Corruption.
+  /// Sources without a durable tier report 0 (nothing ever truncated).
+  virtual EpochId FloorEpochId() const { return 0; }
 };
 
 }  // namespace aets

@@ -20,6 +20,8 @@ LogShipper::LogShipper(size_t epoch_size, size_t retention_capacity)
       epochs_produced_metric_(obs::GetCounter("shipper.epochs_produced")),
       spills_metric_(obs::GetCounter("segment.spills")),
       spill_failures_metric_(obs::GetCounter("segment.spill_failures")),
+      spills_below_floor_metric_(obs::GetCounter("segment.spills_below_floor")),
+      budget_triggers_metric_(obs::GetCounter("segment.budget_triggers")),
       batch_latency_us_metric_(obs::GetHistogram("shipper.batch_latency_us")) {
   AETS_CHECK(retention_capacity_ > 0);
   lanes_.resize(1);
@@ -76,13 +78,36 @@ void LogShipper::AttachShardSegmentStore(int shard, SegmentStore* store,
   lanes_[shard].retention_spill = retention_spill;
 }
 
-void LogShipper::OnCommit(TxnLog txn) {
+void LogShipper::SetCheckpointTrigger(CheckpointTrigger trigger) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (finished_) return;
-  last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
-  if (epoch_open_us_ == 0) epoch_open_us_ = MonotonicMicros();
-  auto sealed = builder_.AddTxn(std::move(txn));
-  if (sealed) ShipLocked(std::move(*sealed));
+  checkpoint_trigger_ = std::move(trigger);
+}
+
+void LogShipper::FirePendingTriggers() {
+  std::vector<PendingTrigger> fire;
+  CheckpointTrigger trigger;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (pending_triggers_.empty()) return;
+    fire.swap(pending_triggers_);
+    trigger = checkpoint_trigger_;
+  }
+  if (!trigger) return;
+  for (const PendingTrigger& t : fire) {
+    trigger(t.shard, t.next_epoch, t.disk_bytes);
+  }
+}
+
+void LogShipper::OnCommit(TxnLog txn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (finished_) return;
+    last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
+    if (epoch_open_us_ == 0) epoch_open_us_ = MonotonicMicros();
+    auto sealed = builder_.AddTxn(std::move(txn));
+    if (sealed) ShipLocked(std::move(*sealed));
+  }
+  FirePendingTriggers();
 }
 
 void LogShipper::StartHeartbeats(std::function<Timestamp()> ts_source,
@@ -114,36 +139,45 @@ void LogShipper::HeartbeatLoop() {
     // invert the lock order. Everything committed below hb_ts has already
     // been sunk when the source returns, and the flush below ships it.
     Timestamp hb_ts = heartbeat_ts_source_();
-    std::lock_guard<std::mutex> lk(mu_);
-    if (finished_) return;
-    auto sealed = builder_.Flush();
-    if (sealed) ShipLocked(std::move(*sealed));
-    if (hb_ts != kInvalidTimestamp) {
-      EpochId id = builder_.ConsumeEpochId();
-      std::vector<ShippedEpoch> subs(lanes_.size(),
-                                     MakeHeartbeatEpoch(id, hb_ts));
-      if (DeliverLocked(id, std::move(subs)) > 0) ++heartbeats_;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (finished_) return;
+      auto sealed = builder_.Flush();
+      if (sealed) ShipLocked(std::move(*sealed));
+      if (hb_ts != kInvalidTimestamp) {
+        EpochId id = builder_.ConsumeEpochId();
+        std::vector<ShippedEpoch> subs(lanes_.size(),
+                                       MakeHeartbeatEpoch(id, hb_ts));
+        if (DeliverLocked(id, std::move(subs)) > 0) ++heartbeats_;
+      }
+      last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
     }
-    last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
+    FirePendingTriggers();
   }
 }
 
 void LogShipper::FlushEpoch() {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (finished_) return;
-  auto sealed = builder_.Flush();
-  if (sealed) ShipLocked(std::move(*sealed));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (finished_) return;
+    auto sealed = builder_.Flush();
+    if (sealed) ShipLocked(std::move(*sealed));
+  }
+  FirePendingTriggers();
 }
 
 void LogShipper::ShipHeartbeat(Timestamp ts) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (finished_ || ts == kInvalidTimestamp) return;
-  auto sealed = builder_.Flush();
-  if (sealed) ShipLocked(std::move(*sealed));
-  EpochId id = builder_.ConsumeEpochId();
-  std::vector<ShippedEpoch> subs(lanes_.size(), MakeHeartbeatEpoch(id, ts));
-  if (DeliverLocked(id, std::move(subs)) > 0) ++heartbeats_;
-  last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (finished_ || ts == kInvalidTimestamp) return;
+    auto sealed = builder_.Flush();
+    if (sealed) ShipLocked(std::move(*sealed));
+    EpochId id = builder_.ConsumeEpochId();
+    std::vector<ShippedEpoch> subs(lanes_.size(), MakeHeartbeatEpoch(id, ts));
+    if (DeliverLocked(id, std::move(subs)) > 0) ++heartbeats_;
+    last_activity_us_.store(MonotonicMicros(), std::memory_order_relaxed);
+  }
+  FirePendingTriggers();
 }
 
 void LogShipper::Finish() {
@@ -151,17 +185,21 @@ void LogShipper::Finish() {
     stop_heartbeats_.store(true, std::memory_order_relaxed);
     heartbeat_thread_.join();
   }
-  std::lock_guard<std::mutex> lk(mu_);
-  if (finished_) return;
-  finished_ = true;
-  auto sealed = builder_.Flush();
-  if (sealed) ShipLocked(std::move(*sealed));
-  for (Lane& lane : lanes_) {
-    for (auto* ch : lane.channels) ch->Close();
-    // Clean-shutdown durability: force the active segment out regardless of
-    // the per-epoch fsync policy (one fsync at the end is always affordable).
-    if (lane.segment_store != nullptr) lane.segment_store->Sync();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (finished_) return;
+    finished_ = true;
+    auto sealed = builder_.Flush();
+    if (sealed) ShipLocked(std::move(*sealed));
+    for (Lane& lane : lanes_) {
+      for (auto* ch : lane.channels) ch->Close();
+      // Clean-shutdown durability: force the active segment out regardless
+      // of the per-epoch fsync policy (one fsync at the end is always
+      // affordable).
+      if (lane.segment_store != nullptr) lane.segment_store->Sync();
+    }
   }
+  FirePendingTriggers();
 }
 
 std::vector<ShippedEpoch> LogShipper::SplitLocked(const Epoch& epoch) const {
@@ -262,6 +300,21 @@ size_t LogShipper::DeliverLocked(EpochId id, std::vector<ShippedEpoch> subs) {
         ++lane.spill_failures;
         spill_failures_metric_->Add(1);
       }
+      // Disk-budget edge detection: fire one checkpoint request per
+      // over-budget episode. The callback runs outside mu_ (see
+      // FirePendingTriggers); queueing here keeps the edge atomic with the
+      // append that crossed the line.
+      if (lane.segment_store->over_budget()) {
+        if (lane.budget_trigger_armed) {
+          lane.budget_trigger_armed = false;
+          ++lane.budget_triggers;
+          budget_triggers_metric_->Add(1);
+          pending_triggers_.push_back(PendingTrigger{
+              static_cast<int>(s), id + 1, lane.segment_store->disk_bytes()});
+        }
+      } else {
+        lane.budget_trigger_armed = true;
+      }
     }
   }
   // Retain before fan-out: a replayer may NACK the very epoch whose Send it
@@ -272,9 +325,20 @@ size_t LogShipper::DeliverLocked(EpochId id, std::vector<ShippedEpoch> subs) {
     // Eviction of a durable entry is a spill — the sub-epoch moves to
     // disk-only and stays fetchable. Evicting a non-durable entry (no store
     // attached, or its append failed) is the legacy loss of NACK coverage.
+    // A durable entry that truncation already dropped from disk is neither:
+    // it is checkpoint-covered, so the eviction promises an image rather
+    // than a disk fetch and must not inflate the spill count. None of these
+    // outcomes touches produced/shipped/dropped — conservation holds under
+    // truncation by construction.
     for (size_t s = 0; s < lanes_.size(); ++s) {
-      if (retained_.front().durable[s]) {
-        ++lanes_[s].spilled;
+      if (!retained_.front().durable[s]) continue;
+      Lane& lane = lanes_[s];
+      if (lane.segment_store != nullptr &&
+          retained_.front().id < lane.segment_store->first_epoch()) {
+        ++lane.spills_below_floor;
+        spills_below_floor_metric_->Add(1);
+      } else {
+        ++lane.spilled;
         spills_metric_->Add(1);
       }
     }
@@ -354,6 +418,16 @@ EpochId LogShipper::NextEpochId() const {
   return builder_.next_epoch_id();
 }
 
+EpochId LogShipper::FloorEpochId() const { return ShardFloorEpochId(0); }
+
+EpochId LogShipper::ShardFloorEpochId(int shard) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  AETS_CHECK(shard >= 0 && shard < static_cast<int>(lanes_.size()));
+  const Lane& lane = lanes_[static_cast<size_t>(shard)];
+  if (lane.segment_store == nullptr || !lane.retention_spill) return 0;
+  return lane.segment_store->first_epoch();
+}
+
 EpochSource* LogShipper::shard_source(int shard) {
   std::lock_guard<std::mutex> lk(mu_);
   AETS_CHECK(shard >= 0 && shard < static_cast<int>(sources_.size()));
@@ -411,6 +485,20 @@ uint64_t LogShipper::spill_failures() const {
   std::lock_guard<std::mutex> lk(mu_);
   uint64_t total = 0;
   for (const Lane& lane : lanes_) total += lane.spill_failures;
+  return total;
+}
+
+uint64_t LogShipper::spills_below_floor() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.spills_below_floor;
+  return total;
+}
+
+uint64_t LogShipper::budget_triggers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.budget_triggers;
   return total;
 }
 

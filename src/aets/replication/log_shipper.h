@@ -52,6 +52,18 @@ namespace aets {
 /// accessor sums its per-lane counter over all shards.
 class LogShipper : public EpochSource {
  public:
+  /// Invoked (outside the shipper lock) when a lane's segment store first
+  /// exceeds its disk_budget_bytes: `shard` is the over-budget lane,
+  /// `next_epoch_id` the id the next epoch will carry, `disk_bytes` the
+  /// lane's footprint at the moment it tripped. The receiver is expected to
+  /// checkpoint that shard's backup and call SegmentStore::TruncateBelow;
+  /// the trigger re-arms only once the store drops back under budget, so a
+  /// slow checkpointer sees one request per over-budget episode, not one
+  /// per epoch.
+  using CheckpointTrigger =
+      std::function<void(int shard, EpochId next_epoch_id,
+                         uint64_t disk_bytes)>;
+
   /// `retention_capacity` bounds the NACK window: a backup that falls more
   /// than this many epochs behind can no longer recover a loss and must
   /// re-bootstrap from a checkpoint.
@@ -101,6 +113,10 @@ class LogShipper : public EpochSource {
   void AttachShardSegmentStore(int shard, SegmentStore* store,
                                bool retention_spill = true);
 
+  /// Installs the disk-budget callback (see CheckpointTrigger). Lanes whose
+  /// stores carry disk_budget_bytes == 0 never fire it.
+  void SetCheckpointTrigger(CheckpointTrigger trigger);
+
   /// Commit-sink entry point: call in primary commit order.
   void OnCommit(TxnLog txn);
 
@@ -134,6 +150,14 @@ class LogShipper : public EpochSource {
   /// unsharded. Successful fetches count as retransmits.
   std::optional<ShippedEpoch> FetchEpoch(EpochId id) override;
   EpochId NextEpochId() const override;
+  /// Shard 0's truncation floor (see ShardFloorEpochId).
+  EpochId FloorEpochId() const override;
+
+  /// The durable truncation floor of one lane: its segment store's
+  /// first_epoch() when a spilling store is attached, 0 otherwise. A NACK
+  /// for an id below this that misses RAM is "already checkpointed", not
+  /// loss — the replayer reports BelowCheckpoint instead of Corruption.
+  EpochId ShardFloorEpochId(int shard) const;
 
   /// Per-shard NACK back-channel: serves shard `shard`'s sub-epoch stream
   /// out of the shared retention buffer (falling through to that lane's
@@ -172,6 +196,15 @@ class LogShipper : public EpochSource {
   /// Segment-store appends that failed (disk full); those sub-epochs are
   /// RAM-only and evicting them is the legacy terminal loss.
   uint64_t spill_failures() const;
+  /// Durable sub-epochs evicted from RAM after truncation had already
+  /// dropped them from disk: checkpoint-covered, so NOT counted as spilled
+  /// (a spill promises a disk fetch; these promise a checkpoint image). The
+  /// conserved `produced == shipped + dropped` invariant is untouched
+  /// either way.
+  uint64_t spills_below_floor() const;
+  /// CheckpointTrigger firings across all lanes (one per over-budget
+  /// episode per lane).
+  uint64_t budget_triggers() const;
 
   /// Per-shard views of the conserved accounting (`produced == shipped +
   /// dropped` holds for each shard independently).
@@ -193,7 +226,12 @@ class LogShipper : public EpochSource {
     uint64_t send_failures = 0;
     uint64_t spilled = 0;
     uint64_t spill_failures = 0;
+    uint64_t spills_below_floor = 0;
     uint64_t retransmits = 0;
+    uint64_t budget_triggers = 0;
+    /// One CheckpointTrigger per over-budget episode: disarmed on fire,
+    /// re-armed when the store drops back under budget.
+    bool budget_trigger_armed = true;
   };
 
   /// EpochSource view of one lane.
@@ -204,12 +242,19 @@ class LogShipper : public EpochSource {
       return owner_->FetchShardEpoch(shard_, id);
     }
     EpochId NextEpochId() const override { return owner_->NextEpochId(); }
+    EpochId FloorEpochId() const override {
+      return owner_->ShardFloorEpochId(shard_);
+    }
 
    private:
     LogShipper* owner_;
     int shard_;
   };
 
+  /// Invokes every trigger queued under the lock by DeliverLocked. Must be
+  /// called WITHOUT mu_ held — the receiver typically checkpoints and
+  /// truncates, which re-enters the store.
+  void FirePendingTriggers();
   void ShipLocked(Epoch epoch);
   /// Splits a sealed epoch into per-lane sub-epochs (identity when
   /// unsharded; synthetic heartbeats for untouched shards otherwise).
@@ -241,6 +286,17 @@ class LogShipper : public EpochSource {
   std::deque<Retained> retained_;
   size_t retention_capacity_;
 
+  /// Disk-budget checkpoint requests. Queued under mu_ at deliver time,
+  /// drained by FirePendingTriggers() after every public entry point
+  /// releases the lock.
+  struct PendingTrigger {
+    int shard;
+    EpochId next_epoch;
+    uint64_t disk_bytes;
+  };
+  CheckpointTrigger checkpoint_trigger_;
+  std::vector<PendingTrigger> pending_triggers_;
+
   /// Observability (resolved once; see obs::MetricsRegistry). Batch latency
   /// is first-commit-in-epoch to ship.
   obs::Counter* epochs_shipped_metric_;
@@ -253,6 +309,8 @@ class LogShipper : public EpochSource {
   obs::Counter* epochs_produced_metric_;
   obs::Counter* spills_metric_;
   obs::Counter* spill_failures_metric_;
+  obs::Counter* spills_below_floor_metric_;
+  obs::Counter* budget_triggers_metric_;
   Histogram* batch_latency_us_metric_;
   int64_t epoch_open_us_ = 0;  // first OnCommit of the open epoch; 0 = none
 

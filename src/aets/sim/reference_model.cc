@@ -71,6 +71,38 @@ Status ReferenceModel::Apply(const ShippedEpoch& shipped) {
   return Status::OK();
 }
 
+Status ReferenceModel::SeedFromStore(const TableStore& store,
+                                     Timestamp snapshot_ts,
+                                     EpochId next_epoch) {
+  if (store.num_tables() != tables_.size()) {
+    return Status::InvalidArgument("model seed: table count mismatch");
+  }
+  if (next_epoch_ != 0 || max_commit_ts_ != kInvalidTimestamp ||
+      max_heartbeat_ts_ != kInvalidTimestamp) {
+    return Status::InvalidArgument("model seed: model is not fresh");
+  }
+  if (snapshot_ts == kInvalidTimestamp) {
+    return Status::InvalidArgument("model seed: invalid snapshot timestamp");
+  }
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    auto& table = tables_[t];
+    store.GetTable(static_cast<TableId>(t))
+        ->ScanVisible(snapshot_ts, [&](int64_t key, const Row& row) {
+          ModelVersion version;
+          version.commit_ts = snapshot_ts;
+          version.exists = true;
+          version.image = row;
+          table[key].push_back(std::move(version));
+          return true;
+        });
+  }
+  // The image is the state AT snapshot_ts: treat it like a heartbeat there,
+  // not a commit — seeded rows are not transactions the probes may sample.
+  max_heartbeat_ts_ = snapshot_ts;
+  next_epoch_ = next_epoch;
+  return Status::OK();
+}
+
 Timestamp ReferenceModel::MaxVisibleTs() const {
   return std::max(max_commit_ts_, max_heartbeat_ts_);
 }

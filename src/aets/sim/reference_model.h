@@ -48,6 +48,18 @@ class ReferenceModel {
   /// the liveness timestamp.
   Status Apply(const ShippedEpoch& epoch);
 
+  /// Arms a fresh model from a checkpoint-bootstrapped backup instead of
+  /// replaying pre-checkpoint history — the recovery oracle's counterpart
+  /// of AetsReplayer::Bootstrap once truncation has dropped the early
+  /// epochs from the durable log. Every row of `store` visible at
+  /// `snapshot_ts` becomes a base version committed at `snapshot_ts`
+  /// (exactly how Checkpointer::Restore installs the image), the liveness
+  /// timestamp starts at `snapshot_ts`, and the epoch sequence is armed at
+  /// `next_epoch` so Apply accepts the log tail the image does not cover.
+  /// Must be called before the first Apply, on an empty model.
+  Status SeedFromStore(const TableStore& store, Timestamp snapshot_ts,
+                       EpochId next_epoch);
+
   /// The row visible at snapshot `ts`, or nullopt (never existed, or
   /// deleted at `ts`).
   std::optional<Row> VisibleRow(TableId table, int64_t key, Timestamp ts) const;

@@ -123,6 +123,29 @@ bool PlausibleLen(uint64_t len) {
   return len >= kBodyFixedBytes && len <= kMaxBodyBytes;
 }
 
+// Parses "seg-<16hex>.log" back to the segment's first epoch id.
+bool ParseSegmentName(const std::string& name, EpochId* first_epoch) {
+  if (name.size() != 24 || name.rfind("seg-", 0) != 0 ||
+      name.compare(20, 4, ".log") != 0) {
+    return false;
+  }
+  uint64_t id = 0;
+  for (size_t i = 4; i < 20; ++i) {
+    const char c = name[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    id = (id << 4) | static_cast<uint64_t>(digit);
+  }
+  *first_epoch = id;
+  return true;
+}
+
 }  // namespace
 
 SegmentStore::SegmentStore(SegmentStoreOptions options)
@@ -131,6 +154,9 @@ SegmentStore::SegmentStore(SegmentStoreOptions options)
       fetches_metric_(obs::GetCounter("segment.fetches_from_disk")),
       fsyncs_metric_(obs::GetCounter("segment.fsyncs")),
       torn_metric_(obs::GetCounter("segment.torn_frames_truncated")),
+      truncations_metric_(obs::GetCounter("segment.truncations")),
+      segments_deleted_metric_(obs::GetCounter("segment.segments_deleted")),
+      bytes_reclaimed_metric_(obs::GetCounter("segment.bytes_reclaimed")),
       segments_metric_(obs::GetGauge("segment.segments")),
       recovery_ms_metric_(obs::GetGauge("segment.recovery_ms")) {}
 
@@ -227,6 +253,12 @@ Result<std::unique_ptr<SegmentStore>> SegmentStore::Open(
     return store;
   }
 
+  // The manifest is the commit record: any seg file below its first entry
+  // is a leftover from a truncation that crashed between the manifest
+  // rename and the unlinks. Remove it before scanning so the deleted epochs
+  // can never resurrect.
+  store->RemoveOrphanSegmentsLocked();
+
   store->first_epoch_ = store->segments_.front().first_epoch;
   EpochId expected = store->first_epoch_;
   for (size_t i = 0; i < store->segments_.size(); ++i) {
@@ -312,14 +344,33 @@ Status SegmentStore::ScanSegmentLocked(size_t seg_idx, EpochId expected,
     torn_metric_->Add(1);
   }
   meta.bytes = offset;
+  disk_bytes_ += offset;
   return Status::OK();
 }
 
-Status SegmentStore::WriteManifestLocked(int64_t new_first) {
+void SegmentStore::RemoveOrphanSegmentsLocked() {
+  AETS_CHECK(!segments_.empty());
+  const EpochId manifest_first = segments_.front().first_epoch;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    EpochId first = 0;
+    if (!ParseSegmentName(entry.path().filename().string(), &first)) continue;
+    if (first < manifest_first) {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+    }
+  }
+}
+
+Status SegmentStore::WriteManifestLocked(size_t drop_prefix, int64_t new_first) {
+  AETS_CHECK(drop_prefix <= segments_.size());
   std::string body;
-  const uint64_t count = segments_.size() + (new_first >= 0 ? 1 : 0);
+  const uint64_t count =
+      segments_.size() - drop_prefix + (new_first >= 0 ? 1 : 0);
   PutRaw<uint64_t>(&body, count);
-  for (const auto& seg : segments_) PutRaw<uint64_t>(&body, seg.first_epoch);
+  for (size_t i = drop_prefix; i < segments_.size(); ++i) {
+    PutRaw<uint64_t>(&body, segments_[i].first_epoch);
+  }
   if (new_first >= 0) PutRaw<uint64_t>(&body, static_cast<uint64_t>(new_first));
 
   std::string buf;
@@ -386,7 +437,7 @@ Status SegmentStore::RolloverLocked(EpochId first_epoch) {
     Status s = FsyncActiveLocked();
     if (!s.ok()) return s;
   }
-  Status s = WriteManifestLocked(static_cast<int64_t>(first_epoch));
+  Status s = WriteManifestLocked(0, static_cast<int64_t>(first_epoch));
   if (!s.ok()) return s;
   ::close(append_fd_);
   append_fd_ = -1;
@@ -399,9 +450,7 @@ Status SegmentStore::RolloverLocked(EpochId first_epoch) {
 
 Status SegmentStore::Append(const ShippedEpoch& epoch) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (segments_.empty()) {
-    first_epoch_ = epoch.epoch_id;
-  } else if (epoch.epoch_id != first_epoch_ + index_.size()) {
+  if (!segments_.empty() && epoch.epoch_id != first_epoch_ + index_.size()) {
     return Status::InvalidArgument(
         "segment append out of order: got epoch " +
         std::to_string(epoch.epoch_id) + ", next is " +
@@ -413,8 +462,12 @@ Status SegmentStore::Append(const ShippedEpoch& epoch) {
     if (!s.ok()) return s;
   }
   if (segments_.empty()) {
-    Status s = WriteManifestLocked(static_cast<int64_t>(epoch.epoch_id));
+    Status s = WriteManifestLocked(0, static_cast<int64_t>(epoch.epoch_id));
     if (!s.ok()) return s;
+    // Only now does the store's id range start here: a failed first append
+    // must not leave first_epoch() pointing at an id that was never written
+    // (FloorEpochId would misread it as a truncation floor).
+    first_epoch_ = epoch.epoch_id;
     SegmentMeta meta;
     meta.first_epoch = epoch.epoch_id;
     segments_.push_back(meta);
@@ -446,6 +499,7 @@ Status SegmentStore::Append(const ShippedEpoch& epoch) {
   meta.bytes += frame.size();
   ++meta.frames;
   bytes_written_ += frame.size();
+  disk_bytes_ += frame.size();
   bytes_written_metric_->Add(frame.size());
   if (options_.fsync_policy == FsyncPolicy::kAlways) {
     return FsyncActiveLocked();
@@ -494,6 +548,61 @@ Status SegmentStore::Sync() {
   return FsyncActiveLocked();
 }
 
+Status SegmentStore::TruncateBelow(EpochId floor) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Segment i is wholly below the floor iff its successor starts at or
+  // below it. The newest segment never qualifies: it is the append head,
+  // and the manifest must keep listing at least one segment.
+  size_t drop = 0;
+  while (drop + 1 < segments_.size() &&
+         segments_[drop + 1].first_epoch <= floor) {
+    ++drop;
+  }
+  if (drop == 0) return Status::OK();
+
+  if (options_.truncate_fault_hook) {
+    Status s = options_.truncate_fault_hook(0);
+    if (!s.ok()) return s;
+  }
+  // Manifest first: once the rename lands, the dropped segments are no
+  // longer part of the store no matter where a crash interrupts the
+  // unlinks below — reopen treats the leftover files as orphans.
+  Status s = WriteManifestLocked(drop, -1);
+  if (!s.ok()) return s;
+
+  std::vector<std::pair<std::string, uint64_t>> victims;
+  for (size_t i = 0; i < drop; ++i) {
+    if (segments_[i].read_fd >= 0) ::close(segments_[i].read_fd);
+    victims.emplace_back(SegmentPath(segments_[i].first_epoch),
+                         segments_[i].bytes);
+  }
+  const EpochId new_first = segments_[drop].first_epoch;
+  segments_.erase(segments_.begin(), segments_.begin() + drop);
+  index_.erase(index_.begin(),
+               index_.begin() + static_cast<size_t>(new_first - first_epoch_));
+  for (auto& loc : index_) loc.segment -= static_cast<uint32_t>(drop);
+  first_epoch_ = new_first;
+  ++truncations_;
+  truncations_metric_->Add(1);
+  segments_metric_->Set(static_cast<int64_t>(segments_.size()));
+
+  for (size_t i = 0; i < victims.size(); ++i) {
+    if (options_.truncate_fault_hook) {
+      Status hs = options_.truncate_fault_hook(static_cast<int>(i) + 1);
+      if (!hs.ok()) return hs;
+    }
+    std::error_code ec;
+    if (fs::remove(victims[i].first, ec) && !ec) {
+      ++segments_deleted_;
+      segments_deleted_metric_->Add(1);
+      bytes_reclaimed_ += victims[i].second;
+      bytes_reclaimed_metric_->Add(victims[i].second);
+      disk_bytes_ -= victims[i].second;
+    }
+  }
+  return Status::OK();
+}
+
 EpochId SegmentStore::first_epoch() const {
   std::lock_guard<std::mutex> lk(mu_);
   return first_epoch_;
@@ -527,6 +636,32 @@ uint64_t SegmentStore::fsyncs() const {
 uint64_t SegmentStore::torn_frames_truncated() const {
   std::lock_guard<std::mutex> lk(mu_);
   return torn_truncated_;
+}
+
+uint64_t SegmentStore::disk_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return disk_bytes_;
+}
+
+bool SegmentStore::over_budget() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return options_.disk_budget_bytes > 0 &&
+         disk_bytes_ > options_.disk_budget_bytes;
+}
+
+uint64_t SegmentStore::truncations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return truncations_;
+}
+
+uint64_t SegmentStore::segments_deleted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return segments_deleted_;
+}
+
+uint64_t SegmentStore::bytes_reclaimed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_reclaimed_;
 }
 
 }  // namespace aets

@@ -35,11 +35,24 @@ struct SegmentStoreOptions {
   /// epoch occupies a segment of its own rather than failing.
   size_t segment_max_bytes = 8u << 20;
   FsyncPolicy fsync_policy = FsyncPolicy::kSegment;
+  /// Soft cap on the on-disk footprint of this store's segment files. 0
+  /// disables the budget. The store never refuses appends over budget — a
+  /// full log is still better than a lost epoch — it only reports
+  /// over_budget() so the owner (LogShipper) can request a checkpoint and
+  /// truncate the covered prefix (DESIGN.md §10).
+  uint64_t disk_budget_bytes = 0;
   /// TEST-ONLY fault hook, called with the frame size before every segment
   /// write (frames and manifest rewrites). A non-OK return fails the append
   /// exactly like a full disk; the caller must degrade, not abort. Never set
   /// outside tests.
   std::function<Status(size_t)> write_fault_hook;
+  /// TEST-ONLY fault hook for the truncation sequence. Called with step 0
+  /// before the manifest rewrite and step i (1-based) before unlinking the
+  /// i-th dropped segment file. A non-OK return aborts TruncateBelow at that
+  /// point, leaving the directory exactly as a crash there would — the chaos
+  /// sweep reopens the store from every such window. Never set outside
+  /// tests.
+  std::function<Status(int)> truncate_fault_hook;
 };
 
 /// Append-only on-disk tier for shipped epochs (ROADMAP item 2): the
@@ -74,8 +87,9 @@ struct SegmentStoreOptions {
 /// NACK-path fetches do not disturb the append head.
 ///
 /// Metrics: segment.bytes_written, segment.fetches_from_disk,
-/// segment.fsyncs, segment.torn_frames_truncated, segment.segments (gauge),
-/// segment.recovery_ms (gauge, last Open's scan time).
+/// segment.fsyncs, segment.torn_frames_truncated, segment.truncations,
+/// segment.segments_deleted, segment.bytes_reclaimed, segment.segments
+/// (gauge), segment.recovery_ms (gauge, last Open's scan time).
 class SegmentStore {
  public:
   /// Creates `options.dir` if needed, validates the manifest, scans and
@@ -101,6 +115,23 @@ class SegmentStore {
   /// Forces the active segment to stable storage regardless of policy.
   Status Sync();
 
+  /// Checkpoint-coordinated truncation (DESIGN.md §10): drops every sealed
+  /// segment wholly below `floor` — i.e. whose epochs are all covered by a
+  /// durable checkpoint image with next_epoch_id == floor. The newest
+  /// segment is never dropped, and a segment straddling the floor survives
+  /// whole, so first_epoch() after a truncation is <= floor.
+  ///
+  /// Crash-consistent by construction: the MANIFEST is rewritten first
+  /// (tmp + rename + directory fsync, the same commit protocol as segment
+  /// rollover) and only then are the dropped files unlinked. A crash after
+  /// the rename leaves orphaned seg-*.log files below the manifest's first
+  /// entry; Open() removes them, so deleted epochs never resurrect. A crash
+  /// before the rename leaves the store untouched.
+  ///
+  /// No-op (OK) when nothing is droppable. Failures leave the store
+  /// consistent and are retryable.
+  Status TruncateBelow(EpochId floor);
+
   /// Durable id range: [first_epoch(), next_epoch()). Empty when equal.
   EpochId first_epoch() const;
   EpochId next_epoch() const;
@@ -111,6 +142,17 @@ class SegmentStore {
   uint64_t fsyncs() const;
   /// Torn frames discarded by Open() across the store's lifetime on disk.
   uint64_t torn_frames_truncated() const;
+
+  /// Live on-disk footprint: the byte total of every segment file currently
+  /// listed in the manifest (grows with Append, shrinks with TruncateBelow).
+  uint64_t disk_bytes() const;
+  /// True when a budget is configured and disk_bytes() exceeds it.
+  bool over_budget() const;
+  uint64_t disk_budget_bytes() const { return options_.disk_budget_bytes; }
+  /// Truncation telemetry for this store instance.
+  uint64_t truncations() const;
+  uint64_t segments_deleted() const;
+  uint64_t bytes_reclaimed() const;
 
  private:
   struct SegmentMeta {
@@ -130,8 +172,14 @@ class SegmentStore {
   std::string SegmentPath(EpochId first_epoch) const;
   std::string ManifestPath() const;
   /// Rewrites MANIFEST (tmp + rename + directory fsync) listing every
-  /// segment in segments_ plus, when >= 0, `new_first` as the new tail.
-  Status WriteManifestLocked(int64_t new_first);
+  /// segment in segments_ from `drop_prefix` on, plus, when >= 0,
+  /// `new_first` as the new tail. Rollover passes drop_prefix 0; truncation
+  /// passes the count of leading segments it is about to delete.
+  Status WriteManifestLocked(size_t drop_prefix, int64_t new_first);
+  /// Unlinks seg-*.log files below the manifest's first listed segment —
+  /// the crash window between a truncation's manifest rename and its
+  /// unlinks. Called by Open() after the manifest parses clean.
+  void RemoveOrphanSegmentsLocked();
   /// Opens (creating if absent) the active segment for appending.
   Status OpenActiveForAppendLocked();
   /// Seals the active segment and starts a new one at `first_epoch`.
@@ -155,11 +203,18 @@ class SegmentStore {
   uint64_t bytes_written_ = 0;
   uint64_t fsyncs_ = 0;
   uint64_t torn_truncated_ = 0;
+  uint64_t disk_bytes_ = 0;
+  uint64_t truncations_ = 0;
+  uint64_t segments_deleted_ = 0;
+  uint64_t bytes_reclaimed_ = 0;
 
   obs::Counter* bytes_written_metric_;
   obs::Counter* fetches_metric_;
   obs::Counter* fsyncs_metric_;
   obs::Counter* torn_metric_;
+  obs::Counter* truncations_metric_;
+  obs::Counter* segments_deleted_metric_;
+  obs::Counter* bytes_reclaimed_metric_;
   obs::Gauge* segments_metric_;
   obs::Gauge* recovery_ms_metric_;
 };

@@ -449,6 +449,103 @@ TEST(RecoveryTest, EvictedEpochIsACleanTerminalError) {
       << replayer.error().ToString();
 }
 
+TEST(RecoveryTest, NackBelowTruncationFloorIsBelowCheckpointNotLoss) {
+  // The durable tier is attached but checkpoint-coordinated truncation has
+  // already dropped the oldest segments. A NACK for an epoch below the
+  // truncation floor must come back as BelowCheckpoint — the epoch is
+  // covered by a checkpoint image, so the replayer should be told to
+  // re-bootstrap, never misdiagnose Corruption or permanent loss.
+  constexpr int kTables = 2;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+
+  std::string dir = TempPath("below_ckpt_seg");
+  std::filesystem::remove_all(dir);
+  SegmentStoreOptions seg_options;
+  seg_options.dir = dir;
+  seg_options.segment_max_bytes = 1024;  // several sealed segments
+  auto store = SegmentStore::Open(seg_options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  LogShipper shipper(/*epoch_size=*/4, /*retention_capacity=*/2);
+  shipper.AttachSegmentStore(store->get());
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+  auto epochs = RecordWorkload(&db, &shipper, kTables, 200, test::DeriveSeed(51));
+  ASSERT_GT(epochs.size(), 8u);
+
+  // Truncate under (simulated) checkpoint coverage: epoch 0 leaves the disk.
+  ASSERT_TRUE((*store)->TruncateBelow((*store)->next_epoch()).ok());
+  ASSERT_GT((*store)->first_epoch(), 0u);
+  EXPECT_EQ(shipper.FloorEpochId(), (*store)->first_epoch());
+
+  EpochChannel channel(0);
+  for (size_t i = 1; i < epochs.size(); ++i) {  // epoch 0 NACKs a hole
+    ASSERT_TRUE(channel.Send(epochs[i]));
+  }
+  channel.Close();
+
+  SerialReplayer replayer(catalog.get(), &channel);
+  replayer.SetEpochSource(&shipper);
+  replayer.SetRecoveryOptions(FastRecovery());
+  ASSERT_TRUE(replayer.Start().ok());
+  replayer.Stop();
+
+  EXPECT_TRUE(replayer.error().IsBelowCheckpoint())
+      << replayer.error().ToString();
+  EXPECT_FALSE(replayer.error().IsCorruption());
+  EXPECT_NE(replayer.error().ToString().find("truncation floor"),
+            std::string::npos)
+      << replayer.error().ToString();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShipperTest, ConservationHoldsWhenSpillsLandBelowTheFloor) {
+  // Truncation must not bend the conservation ledger: an eviction whose
+  // epoch is already below the durable log's floor is checkpoint-covered
+  // (spills_below_floor), not a spill, and produced == shipped + dropped
+  // stays intact through the whole episode.
+  constexpr int kTables = 2;
+  std::unique_ptr<Catalog> catalog(MakeCatalog(kTables));
+  LogicalClock clock;
+  PrimaryDb db(catalog.get(), &clock);
+
+  std::string dir = TempPath("conservation_truncated_seg");
+  std::filesystem::remove_all(dir);
+  SegmentStoreOptions seg_options;
+  seg_options.dir = dir;
+  seg_options.segment_max_bytes = 1024;
+  auto store = SegmentStore::Open(seg_options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  LogShipper shipper(/*epoch_size=*/4, /*retention_capacity=*/8);
+  shipper.AttachSegmentStore(store->get());
+  EpochChannel channel(0);
+  shipper.AttachChannel(&channel);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+  // Phase 1: fill the retention window, then truncate everything sealed —
+  // every epoch still retained in RAM now sits below the floor.
+  RunRandomWorkload(&db, kTables, 150, test::DeriveSeed(57));
+  shipper.FlushEpoch();
+  ASSERT_TRUE((*store)->TruncateBelow((*store)->next_epoch()).ok());
+  ASSERT_GT((*store)->first_epoch(), 0u);
+  EXPECT_EQ(shipper.spills_below_floor(), 0u);
+
+  // Phase 2: keep committing. Evictions of the pre-floor entries are
+  // checkpoint-covered; later evictions (post-floor ids) spill normally.
+  RunRandomWorkload(&db, kTables, 150, test::DeriveSeed(58));
+  shipper.Finish();
+  EXPECT_GT(shipper.spills_below_floor(), 0u);
+  EXPECT_GT(shipper.epochs_spilled(), 0u);
+  EXPECT_EQ(shipper.epochs_produced(),
+            shipper.epochs_shipped() + shipper.epochs_dropped());
+  EXPECT_EQ(shipper.spill_failures(), 0u);
+  // The durable log still carries the uninterrupted tail from the floor.
+  EXPECT_EQ((*store)->next_epoch(), shipper.NextEpochId());
+  std::filesystem::remove_all(dir);
+}
+
 TEST(RecoveryTest, EvictedEpochIsServedFromDiskWithDurableTier) {
   // Same loss, but the durable tier is attached: eviction became a spill,
   // and the NACK for the long-evicted epoch is served by a disk fetch

@@ -318,6 +318,172 @@ TEST(SegmentStoreTest, DiskFullFailsTheAppendNotTheStore) {
   EXPECT_EQ((*reopened)->next_epoch(), 5u);
 }
 
+TEST(SegmentStoreTest, TruncateBelowDropsSealedPrefixAndSurvivesReopen) {
+  std::string dir = FreshDir("segstore_truncate");
+  SegmentStoreOptions options;
+  options.dir = dir;
+  options.segment_max_bytes = 1024;
+  auto store = SegmentStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (EpochId id = 0; id < 40; ++id) {
+    ASSERT_TRUE((*store)->Append(MakeEpoch(id, id + 1, 2, 64)).ok());
+  }
+  size_t segments_before = (*store)->num_segments();
+  ASSERT_GT(segments_before, 3u);
+  uint64_t disk_before = (*store)->disk_bytes();
+
+  ASSERT_TRUE((*store)->TruncateBelow(20).ok());
+  EpochId first = (*store)->first_epoch();
+  EXPECT_GT(first, 0u);
+  EXPECT_LE(first, 20u);
+  EXPECT_EQ((*store)->next_epoch(), 40u);
+  EXPECT_EQ((*store)->truncations(), 1u);
+  EXPECT_GT((*store)->segments_deleted(), 0u);
+  EXPECT_GT((*store)->bytes_reclaimed(), 0u);
+  EXPECT_LT((*store)->disk_bytes(), disk_before);
+  for (EpochId id = 0; id < first; ++id) {
+    EXPECT_FALSE((*store)->Read(id).has_value()) << id;
+  }
+  for (EpochId id = first; id < 40; ++id) {
+    auto got = (*store)->Read(id);
+    ASSERT_TRUE(got.has_value()) << id;
+    EXPECT_TRUE(got->PayloadIntact());
+  }
+
+  // Reopen sees the truncated store, not the dropped prefix, and appends
+  // continue the sequence.
+  auto reopened = SegmentStore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->first_epoch(), first);
+  EXPECT_EQ((*reopened)->next_epoch(), 40u);
+  EXPECT_FALSE((*reopened)->Read(first - 1).has_value());
+  ASSERT_TRUE((*reopened)->Append(MakeEpoch(40, 41)).ok());
+  for (EpochId id = first; id < 41; ++id) {
+    EXPECT_TRUE((*reopened)->Read(id).has_value()) << id;
+  }
+}
+
+TEST(SegmentStoreTest, TruncateBelowKeepsTheNewestSegment) {
+  std::string dir = FreshDir("segstore_truncate_all");
+  SegmentStoreOptions options;
+  options.dir = dir;
+  options.segment_max_bytes = 1024;
+  auto store = SegmentStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (EpochId id = 0; id < 30; ++id) {
+    ASSERT_TRUE((*store)->Append(MakeEpoch(id, id + 1, 2, 64)).ok());
+  }
+  // Floor past the end: everything sealed goes, the append head stays.
+  ASSERT_TRUE((*store)->TruncateBelow((*store)->next_epoch()).ok());
+  EXPECT_EQ((*store)->num_segments(), 1u);
+  EXPECT_EQ((*store)->next_epoch(), 30u);
+  EpochId first = (*store)->first_epoch();
+  for (EpochId id = first; id < 30; ++id) {
+    EXPECT_TRUE((*store)->Read(id).has_value()) << id;
+  }
+  ASSERT_TRUE((*store)->Append(MakeEpoch(30, 31)).ok());
+  auto reopened = SegmentStore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->first_epoch(), first);
+  EXPECT_EQ((*reopened)->next_epoch(), 31u);
+}
+
+TEST(SegmentStoreTest, TruncateBelowInsideFirstSegmentIsANoOp) {
+  std::string dir = FreshDir("segstore_truncate_noop");
+  auto store = SegmentStore::Open(DirOptions(dir));
+  ASSERT_TRUE(store.ok());
+  for (EpochId id = 0; id < 6; ++id) {
+    ASSERT_TRUE((*store)->Append(MakeEpoch(id, id + 1)).ok());
+  }
+  // Everything lives in one segment: nothing is wholly below the floor.
+  ASSERT_TRUE((*store)->TruncateBelow(4).ok());
+  EXPECT_EQ((*store)->first_epoch(), 0u);
+  EXPECT_EQ((*store)->truncations(), 0u);
+  EXPECT_EQ((*store)->segments_deleted(), 0u);
+  for (EpochId id = 0; id < 6; ++id) {
+    EXPECT_TRUE((*store)->Read(id).has_value()) << id;
+  }
+}
+
+// Kill-at-any-point over the truncation sequence: the fault hook aborts at
+// step 0 (before the manifest rewrite) and at every unlink boundary after
+// it. Whatever the crash window, reopen must land on a consistent store —
+// never Corruption, never a resurrected pre-floor epoch — and a re-issued
+// TruncateBelow must finish the job.
+TEST(SegmentStoreChaosTest, KillAnywhereInTruncationReopensConsistently) {
+  for (int iter = 0; iter < g_chaos_iters; ++iter) {
+    uint64_t seed = test::DeriveSeed(1700u + static_cast<uint64_t>(iter));
+    const int total = 24 + static_cast<int>(seed % 16);
+    const EpochId floor = static_cast<EpochId>(total / 2);
+    bool exhausted = false;
+    for (int step = 0; !exhausted; ++step) {
+      std::string dir = FreshDir("segstore_truncchaos");
+      SegmentStoreOptions options;
+      options.dir = dir;
+      options.segment_max_bytes = 1024 + (seed % 2048);
+      options.truncate_fault_hook = [step](int at) {
+        return at == step ? Status::Internal("injected crash") : Status::OK();
+      };
+      auto store = SegmentStore::Open(options);
+      ASSERT_TRUE(store.ok());
+      for (EpochId id = 0; id < static_cast<EpochId>(total); ++id) {
+        int txns = 1 + static_cast<int>((seed >> (id % 32)) % 3);
+        ASSERT_TRUE((*store)->Append(MakeEpoch(id, id + 1, txns, 48)).ok());
+      }
+      EpochId first_before = (*store)->first_epoch();
+      Status ts = (*store)->TruncateBelow(floor);
+      // Once the step index runs past the last unlink the hook never fires
+      // and the truncation completes — that bounds the sweep.
+      exhausted = ts.ok();
+      (*store).reset();  // the "crash": drop the process state, keep the dir
+
+      options.truncate_fault_hook = nullptr;
+      auto reopened = SegmentStore::Open(options);
+      ASSERT_TRUE(reopened.ok()) << "iter " << iter << " step " << step << ": "
+                                 << reopened.status().ToString();
+      EpochId first = (*reopened)->first_epoch();
+      // Either crash window: the floor segment's start when the manifest
+      // rewrite landed, the old base when the crash beat it.
+      if (step == 0 && !exhausted) {
+        EXPECT_EQ(first, first_before) << "iter " << iter;
+      } else {
+        EXPECT_GT(first, first_before) << "iter " << iter << " step " << step;
+        EXPECT_LE(first, floor) << "iter " << iter << " step " << step;
+      }
+      EXPECT_EQ((*reopened)->next_epoch(), static_cast<EpochId>(total));
+      for (EpochId id = first; id < static_cast<EpochId>(total); ++id) {
+        auto got = (*reopened)->Read(id);
+        ASSERT_TRUE(got.has_value())
+            << "iter " << iter << " step " << step << " epoch " << id;
+        EXPECT_TRUE(got->PayloadIntact());
+      }
+      for (EpochId id = 0; id < first; ++id) {
+        EXPECT_FALSE((*reopened)->Read(id).has_value())
+            << "iter " << iter << " step " << step << " resurrected " << id;
+      }
+      // Reopen swept the orphans the interrupted unlink pass left behind:
+      // no segment file on disk may start below the manifest's first entry
+      // (the file names encode their first epoch as 16 hex digits).
+      for (const auto& entry : fs::directory_iterator(dir)) {
+        std::string name = entry.path().filename().string();
+        if (name.rfind("seg-", 0) != 0) continue;
+        EpochId file_first =
+            static_cast<EpochId>(std::strtoull(name.substr(4, 16).c_str(),
+                                               nullptr, 16));
+        EXPECT_GE(file_first, first)
+            << "iter " << iter << " step " << step << " orphan " << name;
+      }
+      // Re-issued truncation completes and leaves the same floor invariant.
+      ASSERT_TRUE((*reopened)->TruncateBelow(floor).ok());
+      EXPECT_LE((*reopened)->first_epoch(), floor);
+      ASSERT_TRUE((*reopened)
+                      ->Append(MakeEpoch(static_cast<EpochId>(total),
+                                         static_cast<Timestamp>(total) + 1))
+                      .ok());
+    }
+  }
+}
+
 // Kill-at-any-byte: truncate the newest segment at a random offset (what a
 // crash mid-write leaves behind) and demand reopen always lands on a clean
 // prefix that can keep appending.
