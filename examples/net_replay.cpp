@@ -1,0 +1,349 @@
+// Two-process log shipping over real TCP: the net-integration gauntlet's
+// driver (DESIGN.md §12, scripts/net_integration.sh).
+//
+// Four modes over one seeded, fully deterministic workload (heartbeats land
+// at fixed txn indices, so commit timestamps depend only on --seed):
+//
+//   primary    Runs the workload through PrimaryDb -> LogShipper and serves
+//              it on a TCP EpochStreamServer. Prints
+//                  LISTENING <port>
+//              once bound (the script reads this to learn the ephemeral
+//              port), paces itself so a kill -9 of the backup lands
+//              mid-stream, and after Finish prints
+//                  FINAL <last_commit_ts> <digest>
+//              then lingers --linger_ms serving NACK fetches so a restarted
+//              backup can drain the retention buffer before the script
+//              tears it down.
+//
+//   backup     Connects a subscriber + control pair to --connect, replays
+//              through a SerialReplayer whose NACK source is the TCP
+//              control connection, and serves snapshot queries on a
+//              QueryServer (prints QUERY_LISTENING <port>). When the stream
+//              ends cleanly it prints FINAL <watermark> <digest>; the
+//              digest must equal the primary's (the watermark may sit at
+//              the trailing heartbeat, past last_commit_ts — no commits
+//              separate them, so the digests still agree). A backup that is
+//              kill -9'd and restarted starts empty and recovers the whole
+//              prefix by NACK against the primary's retention buffer.
+//
+//   client     Issues --scans snapshot scans against a backup's query port
+//              and prints one QUERY line each — the script's check that the
+//              analytic path answers while replay runs.
+//
+//   reference  The same workload with no network at all; prints the same
+//              FINAL line. All three FINAL digests must be identical.
+//
+//   $ ./net_replay primary --listen_port 0 --seed 11
+//   $ ./net_replay backup --connect 127.0.0.1:9xxx --query_port 0
+//   $ ./net_replay client --connect 127.0.0.1:9yyy --scans 8
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aets/baselines/serial_replayer.h"
+#include "aets/net/epoch_stream.h"
+#include "aets/net/query_server.h"
+#include "aets/net/tcp_source.h"
+#include "aets/primary/primary_db.h"
+#include "aets/replay/snapshot_coordinator.h"
+#include "aets/replication/log_shipper.h"
+
+using namespace aets;
+
+namespace {
+
+struct Config {
+  std::string mode;
+  std::string connect;     // host:port (backup: stream port; client: query)
+  int listen_port = 0;     // primary stream port (0 = ephemeral)
+  int query_port = 0;      // backup query port (0 = ephemeral)
+  uint64_t seed = 1;
+  int num_tables = 4;
+  int num_txns = 12000;
+  int epoch_size = 32;
+  int batch = 50;        // txns per pacing step (primary)
+  int pause_us = 2000;   // sleep per pacing step (primary)
+  int hb_every = 500;    // heartbeat every N txns — fixed indices, so
+                         // commit timestamps stay seed-deterministic
+  size_t retention = 1u << 16;  // epochs; must cover a from-zero restart
+  int linger_ms = 30000;        // primary: serve NACKs after FINAL this long
+  int wait_ms = 120000;         // backup: bound on waiting for stream end
+  int scans = 8;                // client mode
+};
+
+// Deterministic splitmix64 — the workload must replay identically in every
+// process with the same seed.
+struct Rng {
+  uint64_t state;
+  uint64_t Next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  uint64_t Below(uint64_t n) { return Next() % n; }
+};
+
+void FillCatalog(Catalog* catalog, int num_tables) {
+  for (int t = 0; t < num_tables; ++t) {
+    AETS_CHECK(catalog
+                   ->RegisterTable("t" + std::to_string(t),
+                                   Schema::Of({{"count", ColumnType::kInt64},
+                                               {"payload", ColumnType::kString}}))
+                   .ok());
+  }
+}
+
+void ApplyOneTxn(PrimaryDb* db, Rng* rng, int num_tables,
+                 std::vector<std::set<int64_t>>* live, int64_t i) {
+  PrimaryTxn txn = db->Begin();
+  int ops = 1 + static_cast<int>(rng->Below(3));
+  for (int o = 0; o < ops; ++o) {
+    TableId t = static_cast<TableId>(rng->Below(num_tables));
+    int64_t key = static_cast<int64_t>(rng->Below(150));
+    uint64_t roll = rng->Below(100);
+    auto& alive = (*live)[t];
+    if (alive.count(key) == 0) {
+      txn.Insert(t, key,
+                 {{0, Value(i)}, {1, Value("ins-" + std::to_string(i))}});
+      alive.insert(key);
+    } else if (roll < 75) {
+      txn.Update(t, key,
+                 {{0, Value(i)}, {1, Value("upd-" + std::to_string(i))}});
+    } else {
+      txn.Delete(t, key);
+      alive.erase(key);
+    }
+  }
+  if (!db->Commit(std::move(txn)).ok()) {
+    std::fprintf(stderr, "commit %lld failed\n", static_cast<long long>(i));
+    std::exit(2);
+  }
+}
+
+// The shared workload loop: primary (paced, networked) and reference
+// (unpaced, no network) must emit the exact same epoch stream.
+void RunWorkload(const Config& cfg, PrimaryDb* primary, LogShipper* shipper,
+                 bool paced) {
+  Rng rng{cfg.seed};
+  std::vector<std::set<int64_t>> live(cfg.num_tables);
+  for (int i = 1; i <= cfg.num_txns; ++i) {
+    ApplyOneTxn(primary, &rng, cfg.num_tables, &live, i);
+    if (i % cfg.hb_every == 0) {
+      shipper->ShipHeartbeat(primary->AcquireHeartbeatTs());
+    }
+    if (paced && i % cfg.batch == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(cfg.pause_us));
+    }
+  }
+  // The trailing heartbeat carries the watermark past the last commit, so
+  // the backup's final snapshot covers the whole history.
+  shipper->ShipHeartbeat(primary->AcquireHeartbeatTs());
+  shipper->Finish();
+}
+
+bool SplitHostPort(const std::string& s, std::string* host, uint16_t* port) {
+  size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= s.size()) return false;
+  *host = s.substr(0, colon);
+  *port = static_cast<uint16_t>(std::atoi(s.c_str() + colon + 1));
+  return *port != 0;
+}
+
+int PrimaryMode(const Config& cfg, bool networked) {
+  Catalog catalog;
+  FillCatalog(&catalog, cfg.num_tables);
+  LogicalClock clock;
+  PrimaryDb primary(&catalog, &clock);
+  LogShipper shipper(cfg.epoch_size, cfg.retention);
+  primary.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+  net::EpochStreamServer server(&shipper);
+  if (networked) {
+    Status s = server.Start(static_cast<uint16_t>(cfg.listen_port));
+    if (!s.ok()) {
+      std::fprintf(stderr, "listen: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    std::printf("LISTENING %u\n", server.port());
+    std::fflush(stdout);
+  }
+
+  RunWorkload(cfg, &primary, &shipper, networked);
+  Timestamp final_ts = primary.last_commit_ts();
+  std::printf("FINAL %" PRIu64 " %016" PRIx64 "\n",
+              static_cast<uint64_t>(final_ts),
+              primary.store().DigestAt(final_ts));
+  std::fflush(stdout);
+
+  if (networked) {
+    // The stream is finished but a (possibly restarted) backup may still be
+    // draining the gap by NACK against the retention buffer — keep the
+    // control plane alive until the script tears us down.
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg.linger_ms));
+    server.Stop();
+  }
+  return 0;
+}
+
+int BackupMode(const Config& cfg) {
+  std::string host;
+  uint16_t port = 0;
+  if (!SplitHostPort(cfg.connect, &host, &port)) {
+    std::fprintf(stderr, "--connect host:port required\n");
+    return 2;
+  }
+  Catalog catalog;
+  FillCatalog(&catalog, cfg.num_tables);
+
+  EpochChannel sink(4096);
+  net::EpochStreamClientOptions client_options;
+  client_options.max_reconnects = 200;
+  client_options.reconnect_backoff_ms = 20;
+  net::EpochStreamClient client(host, port, /*shard=*/0, &sink,
+                                client_options);
+  net::TcpEpochSourceOptions source_options;
+  source_options.io_timeout_ms = 5000;
+  net::TcpEpochSource source(host, port, /*shard=*/0, source_options);
+  Status s = client.Start();
+  if (s.ok()) s = source.Connect();
+  if (!s.ok()) {
+    std::fprintf(stderr, "connect: %s\n", s.ToString().c_str());
+    return 2;
+  }
+
+  SerialReplayer replayer(&catalog, &sink);
+  replayer.SetEpochSource(&source);
+  ReplayRecoveryOptions recovery;
+  recovery.reorder_window_pauses = 256;
+  recovery.max_retries = 64;
+  recovery.max_pending = 65536;
+  replayer.SetRecoveryOptions(recovery);
+  if (!replayer.Start().ok()) return 2;
+
+  GlobalSnapshotCoordinator coordinator;
+  coordinator.AttachShard([&] { return replayer.GlobalVisibleTs(); });
+  net::QueryServer queries(&replayer, &coordinator);
+  s = queries.Start(static_cast<uint16_t>(cfg.query_port));
+  if (!s.ok()) {
+    std::fprintf(stderr, "query listen: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  std::printf("QUERY_LISTENING %u\n", queries.port());
+  std::fflush(stdout);
+
+  // The subscriber sees kStreamEnd only when the primary's shipper
+  // finished; everything before that (resets, timeouts, a primary that is
+  // still starting) is absorbed by reconnect + NACK.
+  int64_t deadline = MonotonicMicros() + int64_t{cfg.wait_ms} * 1000;
+  while (!client.clean_end() && MonotonicMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  bool clean = client.clean_end();
+  replayer.Stop();
+  client.Stop();
+  queries.Stop();
+  if (!clean) {
+    std::fprintf(stderr, "stream did not end within %d ms\n", cfg.wait_ms);
+    return 2;
+  }
+  if (!replayer.error().ok()) {
+    std::fprintf(stderr, "replay error: %s\n",
+                 replayer.error().ToString().c_str());
+    return 2;
+  }
+  Timestamp watermark = replayer.GlobalVisibleTs();
+  std::printf("FINAL %" PRIu64 " %016" PRIx64 " epochs=%" PRIu64
+              " reconnects=%" PRIu64 "\n",
+              static_cast<uint64_t>(watermark),
+              replayer.store()->DigestAt(watermark), client.epochs_received(),
+              client.reconnects());
+  std::fflush(stdout);
+  return 0;
+}
+
+int ClientMode(const Config& cfg) {
+  std::string host;
+  uint16_t port = 0;
+  if (!SplitHostPort(cfg.connect, &host, &port)) {
+    std::fprintf(stderr, "--connect host:port required\n");
+    return 2;
+  }
+  for (int i = 0; i < cfg.scans; ++i) {
+    // One connection per scan: exercises admission each time, and a kBusy
+    // shed (connection gone) is retried on a fresh connection.
+    Result<net::QueryClient> client = net::QueryClient::Connect(host, port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+      return 2;
+    }
+    TableId table = static_cast<TableId>(i % cfg.num_tables);
+    Result<net::QueryClient::ScanResult> scan = client->Scan(table);
+    if (!scan.ok()) {
+      std::fprintf(stderr, "scan: %s\n", scan.status().ToString().c_str());
+      return 2;
+    }
+    if (scan->busy) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      --i;
+      continue;
+    }
+    std::printf("QUERY table=%u ts=%" PRIu64 " rows=%" PRIu64
+                " digest=%016" PRIx64 "\n",
+                table, static_cast<uint64_t>(scan->pinned_ts), scan->row_count,
+                scan->digest);
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s primary|backup|client|reference [--connect H:P] "
+                 "[--listen_port P] [--query_port P] [--seed N] [--txns N] "
+                 "[--tables N] [--epoch_size N] [--batch N] [--pause_us N] "
+                 "[--hb_every N] [--retention N] [--linger_ms N] "
+                 "[--wait_ms N] [--scans N]\n",
+                 argv[0]);
+    return 2;
+  }
+  cfg.mode = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    const char* val = argv[i + 1];
+    if (flag == "--connect") cfg.connect = val;
+    else if (flag == "--listen_port") cfg.listen_port = std::atoi(val);
+    else if (flag == "--query_port") cfg.query_port = std::atoi(val);
+    else if (flag == "--seed") cfg.seed = std::strtoull(val, nullptr, 10);
+    else if (flag == "--txns") cfg.num_txns = std::atoi(val);
+    else if (flag == "--tables") cfg.num_tables = std::atoi(val);
+    else if (flag == "--epoch_size") cfg.epoch_size = std::atoi(val);
+    else if (flag == "--batch") cfg.batch = std::atoi(val);
+    else if (flag == "--pause_us") cfg.pause_us = std::atoi(val);
+    else if (flag == "--hb_every") cfg.hb_every = std::atoi(val);
+    else if (flag == "--retention") cfg.retention = std::strtoull(val, nullptr, 10);
+    else if (flag == "--linger_ms") cfg.linger_ms = std::atoi(val);
+    else if (flag == "--wait_ms") cfg.wait_ms = std::atoi(val);
+    else if (flag == "--scans") cfg.scans = std::atoi(val);
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (cfg.mode == "primary") return PrimaryMode(cfg, /*networked=*/true);
+  if (cfg.mode == "reference") return PrimaryMode(cfg, /*networked=*/false);
+  if (cfg.mode == "backup") return BackupMode(cfg);
+  if (cfg.mode == "client") return ClientMode(cfg);
+  std::fprintf(stderr, "unknown mode %s\n", cfg.mode.c_str());
+  return 2;
+}

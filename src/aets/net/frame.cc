@@ -1,0 +1,343 @@
+#include "aets/net/frame.h"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "aets/log/codec.h"
+#include "aets/obs/metrics.h"
+
+namespace aets {
+namespace net {
+
+namespace {
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU16(uint16_t v, std::string* out) {
+  for (int i = 0; i < 2; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+/// Bounds-checked little-endian reader over a frame body. Any read past the
+/// end sets failed() — bodies are CRC-verified before decode, so a short
+/// body is a protocol bug or a malicious peer, and the decoders turn
+/// failed() into Corruption.
+class BodyReader {
+ public:
+  explicit BodyReader(std::string_view body) : body_(body) {}
+
+  uint8_t U8() { return static_cast<uint8_t>(Byte()); }
+  uint16_t U16() { return static_cast<uint16_t>(Fixed(2)); }
+  uint32_t U32() { return static_cast<uint32_t>(Fixed(4)); }
+  uint64_t U64() { return Fixed(8); }
+
+  std::string_view Bytes(size_t n) {
+    if (body_.size() - pos_ < n) {
+      failed_ = true;
+      return {};
+    }
+    std::string_view out = body_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  bool failed() const { return failed_; }
+  bool exhausted() const { return pos_ == body_.size(); }
+
+ private:
+  char Byte() {
+    if (pos_ >= body_.size()) {
+      failed_ = true;
+      return 0;
+    }
+    return body_[pos_++];
+  }
+  uint64_t Fixed(int n) {
+    uint64_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(Byte())) << (8 * i);
+    }
+    return v;
+  }
+
+  std::string_view body_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+Status BodyCorruption(const char* what) {
+  return Status::Corruption(std::string("malformed ") + what + " frame body");
+}
+
+constexpr uint8_t kValueNull = 0;
+constexpr uint8_t kValueInt64 = 1;
+constexpr uint8_t kValueDouble = 2;
+constexpr uint8_t kValueString = 3;
+
+void PutValue(const Value& value, std::string* out) {
+  if (value.is_null()) {
+    PutU8(kValueNull, out);
+  } else if (value.is_int64()) {
+    PutU8(kValueInt64, out);
+    PutU64(static_cast<uint64_t>(value.as_int64()), out);
+  } else if (value.is_double()) {
+    PutU8(kValueDouble, out);
+    uint64_t bits = 0;
+    double d = value.as_double();
+    std::memcpy(&bits, &d, sizeof(bits));
+    PutU64(bits, out);
+  } else {
+    PutU8(kValueString, out);
+    PutU32(static_cast<uint32_t>(value.as_string().size()), out);
+    out->append(value.as_string());
+  }
+}
+
+bool ReadValue(BodyReader* in, Value* out) {
+  switch (in->U8()) {
+    case kValueNull:
+      *out = Value::Null();
+      break;
+    case kValueInt64:
+      *out = Value(static_cast<int64_t>(in->U64()));
+      break;
+    case kValueDouble: {
+      uint64_t bits = in->U64();
+      double d = 0;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value(d);
+      break;
+    }
+    case kValueString: {
+      uint32_t len = in->U32();
+      std::string_view bytes = in->Bytes(len);
+      *out = Value(std::string(bytes));
+      break;
+    }
+    default:
+      return false;
+  }
+  return !in->failed();
+}
+
+}  // namespace
+
+void EncodeFrame(FrameType type, std::string_view body, std::string* out) {
+  size_t header_at = out->size();
+  PutU16(kFrameMagic, out);
+  PutU8(kFrameVersion, out);
+  PutU8(static_cast<uint8_t>(type), out);
+  PutU32(static_cast<uint32_t>(body.size()), out);
+  out->append(body);
+  uint32_t crc = Crc32c(out->data() + header_at, out->size() - header_at);
+  PutU32(crc, out);
+}
+
+void FrameDecoder::Feed(const void* data, size_t n) {
+  // Compact the consumed prefix before it grows unbounded on a long stream.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ > (64u << 10))) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (!error_.ok()) return error_;
+  const size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return std::optional<Frame>();
+  const uint8_t* h = reinterpret_cast<const uint8_t*>(buf_.data() + pos_);
+  uint16_t magic = static_cast<uint16_t>(h[0] | (h[1] << 8));
+  uint8_t version = h[2];
+  uint8_t type = h[3];
+  uint32_t body_len = static_cast<uint32_t>(h[4]) |
+                      (static_cast<uint32_t>(h[5]) << 8) |
+                      (static_cast<uint32_t>(h[6]) << 16) |
+                      (static_cast<uint32_t>(h[7]) << 24);
+  static obs::Counter* frame_errors = obs::GetCounter("net.frame_errors");
+  if (magic != kFrameMagic) {
+    frame_errors->Add(1);
+    error_ = Status::Corruption("bad frame magic");
+    return error_;
+  }
+  if (version != kFrameVersion) {
+    frame_errors->Add(1);
+    error_ = Status::Corruption("unsupported frame version " +
+                                std::to_string(version));
+    return error_;
+  }
+  if (body_len > kMaxFrameBody) {
+    frame_errors->Add(1);
+    error_ = Status::Corruption("oversized frame body: " +
+                                std::to_string(body_len) + " bytes");
+    return error_;
+  }
+  const size_t total = kFrameHeaderBytes + body_len + kFrameTrailerBytes;
+  if (avail < total) return std::optional<Frame>();
+  const uint8_t* t = h + kFrameHeaderBytes + body_len;
+  uint32_t wire_crc = static_cast<uint32_t>(t[0]) |
+                      (static_cast<uint32_t>(t[1]) << 8) |
+                      (static_cast<uint32_t>(t[2]) << 16) |
+                      (static_cast<uint32_t>(t[3]) << 24);
+  uint32_t crc = Crc32c(h, kFrameHeaderBytes + body_len);
+  if (crc != wire_crc) {
+    frame_errors->Add(1);
+    error_ = Status::Corruption("frame checksum mismatch");
+    return error_;
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.body.assign(buf_, pos_ + kFrameHeaderBytes, body_len);
+  pos_ += total;
+  return std::optional<Frame>(std::move(frame));
+}
+
+void FrameDecoder::Reset() {
+  buf_.clear();
+  pos_ = 0;
+  error_ = Status::OK();
+}
+
+void EncodeEpochBody(const ShippedEpoch& epoch, std::string* out) {
+  PutU64(epoch.epoch_id, out);
+  PutU64(epoch.heartbeat_ts, out);
+  PutU64(epoch.max_commit_ts, out);
+  PutU64(epoch.num_txns, out);
+  PutU64(epoch.num_records, out);
+  PutU64(epoch.first_txn, out);
+  PutU64(epoch.last_txn, out);
+  PutU32(epoch.payload_crc, out);
+  const size_t payload_len = epoch.payload ? epoch.payload->size() : 0;
+  PutU32(static_cast<uint32_t>(payload_len), out);
+  if (payload_len > 0) out->append(*epoch.payload);
+}
+
+Result<ShippedEpoch> DecodeEpochBody(std::string_view body) {
+  BodyReader in(body);
+  ShippedEpoch epoch;
+  epoch.epoch_id = in.U64();
+  epoch.heartbeat_ts = in.U64();
+  epoch.max_commit_ts = in.U64();
+  epoch.num_txns = in.U64();
+  epoch.num_records = in.U64();
+  epoch.first_txn = in.U64();
+  epoch.last_txn = in.U64();
+  epoch.payload_crc = in.U32();
+  uint32_t payload_len = in.U32();
+  std::string_view payload = in.Bytes(payload_len);
+  if (in.failed() || !in.exhausted()) return BodyCorruption("epoch");
+  epoch.payload = std::make_shared<const std::string>(payload);
+  return epoch;
+}
+
+void EncodeHelloBody(const HelloBody& hello, std::string* out) {
+  PutU32(static_cast<uint32_t>(hello.role), out);
+  PutU32(hello.shard, out);
+}
+
+Result<HelloBody> DecodeHelloBody(std::string_view body) {
+  BodyReader in(body);
+  uint32_t role = in.U32();
+  HelloBody hello;
+  hello.shard = in.U32();
+  if (in.failed() || !in.exhausted() ||
+      role > static_cast<uint32_t>(HelloRole::kControl)) {
+    return BodyCorruption("hello");
+  }
+  hello.role = static_cast<HelloRole>(role);
+  return hello;
+}
+
+void EncodeFetchBody(const FetchBody& fetch, std::string* out) {
+  PutU64(fetch.epoch_id, out);
+}
+
+Result<FetchBody> DecodeFetchBody(std::string_view body) {
+  BodyReader in(body);
+  FetchBody fetch;
+  fetch.epoch_id = in.U64();
+  if (in.failed() || !in.exhausted()) return BodyCorruption("fetch");
+  return fetch;
+}
+
+void EncodeEpochIdsBody(const EpochIdsBody& ids, std::string* out) {
+  PutU64(ids.next_epoch, out);
+  PutU64(ids.floor_epoch, out);
+}
+
+Result<EpochIdsBody> DecodeEpochIdsBody(std::string_view body) {
+  BodyReader in(body);
+  EpochIdsBody ids;
+  ids.next_epoch = in.U64();
+  ids.floor_epoch = in.U64();
+  if (in.failed() || !in.exhausted()) return BodyCorruption("epoch-ids");
+  return ids;
+}
+
+void EncodeQueryBody(const QueryBody& query, std::string* out) {
+  PutU64(query.snapshot_ts, out);
+  PutU32(query.table_id, out);
+  PutU8(query.want_rows ? 1 : 0, out);
+}
+
+Result<QueryBody> DecodeQueryBody(std::string_view body) {
+  BodyReader in(body);
+  QueryBody query;
+  query.snapshot_ts = in.U64();
+  query.table_id = in.U32();
+  uint8_t want = in.U8();
+  if (in.failed() || !in.exhausted() || want > 1) {
+    return BodyCorruption("query");
+  }
+  query.want_rows = want == 1;
+  return query;
+}
+
+void EncodeQueryReplyBody(const QueryReplyBody& reply, std::string* out) {
+  PutU64(reply.pinned_ts, out);
+  PutU64(reply.digest, out);
+  PutU64(reply.row_count, out);
+  PutU64(reply.rows.size(), out);
+  for (const auto& [key, row] : reply.rows) {
+    PutU64(static_cast<uint64_t>(key), out);
+    PutU32(static_cast<uint32_t>(row.size()), out);
+    for (const auto& [col, value] : row) {
+      PutU32(col, out);
+      PutValue(value, out);
+    }
+  }
+}
+
+Result<QueryReplyBody> DecodeQueryReplyBody(std::string_view body) {
+  BodyReader in(body);
+  QueryReplyBody reply;
+  reply.pinned_ts = in.U64();
+  reply.digest = in.U64();
+  reply.row_count = in.U64();
+  uint64_t num_rows = in.U64();
+  for (uint64_t i = 0; i < num_rows && !in.failed(); ++i) {
+    int64_t key = static_cast<int64_t>(in.U64());
+    uint32_t num_cols = in.U32();
+    Row row;
+    row.reserve(num_cols);
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      ColumnId col = static_cast<ColumnId>(in.U32());
+      Value value;
+      if (!ReadValue(&in, &value)) return BodyCorruption("query-reply");
+      row.Set(col, std::move(value));
+    }
+    reply.rows.emplace(key, std::move(row));
+  }
+  if (in.failed() || !in.exhausted()) return BodyCorruption("query-reply");
+  return reply;
+}
+
+}  // namespace net
+}  // namespace aets

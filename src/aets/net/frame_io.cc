@@ -1,0 +1,64 @@
+#include "aets/net/frame_io.h"
+
+#include <string>
+#include <utility>
+
+namespace aets {
+namespace net {
+
+Status ReadFrame(TcpSocket* socket, FrameDecoder* decoder, int io_timeout_ms,
+                 int idle_timeout_ms, const std::atomic<bool>& stop,
+                 Frame* out) {
+  int stalled_ms = 0;
+  int idle_ms = 0;
+  for (;;) {
+    Result<std::optional<Frame>> next = decoder->Next();
+    if (!next.ok()) return next.status();
+    if (next->has_value()) {
+      *out = std::move(**next);
+      return Status::OK();
+    }
+    if (stop.load(std::memory_order_relaxed)) {
+      return Status::TimedOut("stop requested");
+    }
+    char buf[64 << 10];
+    Result<size_t> got = socket->ReadSome(buf, sizeof(buf), kIdleSliceMs);
+    if (!got.ok()) {
+      if (got.status().IsTimedOut()) {
+        if (decoder->mid_frame()) {
+          stalled_ms += kIdleSliceMs;
+          if (stalled_ms >= io_timeout_ms) {
+            return Status::TimedOut("mid-frame read stalled");
+          }
+        } else if (idle_timeout_ms >= 0) {
+          idle_ms += kIdleSliceMs;
+          if (idle_ms >= idle_timeout_ms) {
+            return Status::TimedOut("idle past deadline");
+          }
+        }
+        continue;
+      }
+      return got.status();
+    }
+    if (*got == 0) {
+      if (decoder->mid_frame()) {
+        return Status::Corruption("peer closed mid-frame");
+      }
+      return Status::Aborted("peer closed");
+    }
+    stalled_ms = 0;
+    idle_ms = 0;
+    decoder->Feed(buf, *got);
+  }
+}
+
+Status WriteFrame(TcpSocket* socket, FrameType type, std::string_view body,
+                  int io_timeout_ms) {
+  std::string wire;
+  wire.reserve(kFrameHeaderBytes + body.size() + kFrameTrailerBytes);
+  EncodeFrame(type, body, &wire);
+  return socket->WriteAll(wire.data(), wire.size(), io_timeout_ms);
+}
+
+}  // namespace net
+}  // namespace aets

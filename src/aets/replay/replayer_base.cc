@@ -274,6 +274,7 @@ void ReplayerBase::RecoverGaps(PendingMap* pending) {
       continue;
     }
     // NACK: re-fetch the gap head from the shipper's retention buffer.
+    bool fetch_missed = false;
     if (auto epoch = source_->FetchEpoch(gap)) {
       Ingest(std::move(*epoch), pending, true);
       if (expected_epoch_ > gap) {
@@ -291,16 +292,25 @@ void ReplayerBase::RecoverGaps(PendingMap* pending) {
           "; a checkpoint image covers it — bootstrap from that image"));
       return;
     } else {
-      SetError(Status::Corruption(
-          "epoch " + std::to_string(gap) +
-          " lost in transit and evicted from the shipper's retention "
-          "buffer; re-bootstrap from a checkpoint"));
-      return;
+      // A miss is not proof of loss: over a socket source the same nullopt
+      // also covers a timed-out NACK RPC, and latching on the first one
+      // would poison the replayer on a transient stall. Burn a retry round
+      // (the reorder-window poll above is the backoff) and only conclude
+      // eviction once the budget is spent.
+      fetch_missed = true;
     }
     if (++rounds_without_progress >= recovery_.max_retries) {
-      SetError(Status::Corruption(
-          "epoch gap at " + std::to_string(gap) + " persisted after " +
-          std::to_string(recovery_.max_retries) + " recovery rounds"));
+      if (fetch_missed) {
+        SetError(Status::Corruption(
+            "epoch " + std::to_string(gap) +
+            " lost in transit and evicted from the shipper's retention "
+            "buffer (" + std::to_string(recovery_.max_retries) +
+            " NACK attempts); re-bootstrap from a checkpoint"));
+      } else {
+        SetError(Status::Corruption(
+            "epoch gap at " + std::to_string(gap) + " persisted after " +
+            std::to_string(recovery_.max_retries) + " recovery rounds"));
+      }
       return;
     }
   }
@@ -319,18 +329,26 @@ void ReplayerBase::FinalDrain(PendingMap* pending) {
   }
   // The channel is closed and drained, so the shipper has finished: every id
   // in [0, end) was handed to the link, and anything we have not applied was
-  // swallowed by it. Pull the remainder straight from retention.
+  // swallowed by it. Pull the remainder straight from retention. As in
+  // RecoverGaps, a fetch miss is retried with backoff before it is treated
+  // as eviction — over a socket source nullopt also covers a transient
+  // timeout on the NACK RPC.
   EpochId end = source_->NextEpochId();
+  int fetch_misses = 0;
+  SpinBackoff miss_backoff;
   while (!HasError() && expected_epoch_ < end) {
     auto it = pending->find(expected_epoch_);
     if (it != pending->end()) {
       ShippedEpoch epoch = std::move(it->second);
       pending->erase(it);
       Ingest(std::move(epoch), pending, false);
+      fetch_misses = 0;
       continue;
     }
     if (auto epoch = source_->FetchEpoch(expected_epoch_)) {
       Ingest(std::move(*epoch), pending, true);
+      fetch_misses = 0;
+      miss_backoff = SpinBackoff();
       continue;
     }
     if (expected_epoch_ < source_->FloorEpochId()) {
@@ -341,10 +359,17 @@ void ReplayerBase::FinalDrain(PendingMap* pending) {
           "; a checkpoint image covers it — bootstrap from that image"));
       return;
     }
-    SetError(Status::Corruption(
-        "epoch " + std::to_string(expected_epoch_) +
-        " lost in transit and evicted from the shipper's retention buffer; "
-        "re-bootstrap from a checkpoint"));
+    if (++fetch_misses >= recovery_.max_retries) {
+      SetError(Status::Corruption(
+          "epoch " + std::to_string(expected_epoch_) +
+          " lost in transit and evicted from the shipper's retention buffer "
+          "(" + std::to_string(recovery_.max_retries) +
+          " NACK attempts); re-bootstrap from a checkpoint"));
+      return;
+    }
+    for (int i = 0; i < recovery_.reorder_window_pauses; ++i) {
+      miss_backoff.Pause();
+    }
   }
 }
 

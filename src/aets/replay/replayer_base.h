@@ -28,7 +28,10 @@ struct ReplayRecoveryOptions {
   /// a loss rather than a reordering still in flight.
   int reorder_window_pauses = 2000;
   /// Recovery rounds (reorder wait + NACK) per gap without progress before
-  /// the sticky error latch trips.
+  /// the sticky error latch trips. Also bounds consecutive NACK fetch
+  /// misses: a nullopt from the source can be a transient I/O timeout on a
+  /// socket-backed NACK RPC, not proof of eviction, so a gap only latches
+  /// after this many missed attempts with backoff in between.
   int max_retries = 8;
   /// Bound on buffered out-of-order epochs; exceeding it means the stream is
   /// unrecoverable (or the peer is misbehaving) and latches an error.

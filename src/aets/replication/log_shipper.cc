@@ -63,6 +63,20 @@ void LogShipper::AttachShardChannel(int shard, EpochChannel* channel) {
   lanes_[shard].channels.push_back(channel);
 }
 
+void LogShipper::DetachChannel(EpochChannel* channel) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (Lane& lane : lanes_) {
+    lane.channels.erase(
+        std::remove(lane.channels.begin(), lane.channels.end(), channel),
+        lane.channels.end());
+  }
+}
+
+bool LogShipper::finished() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return finished_;
+}
+
 void LogShipper::AttachSegmentStore(SegmentStore* store, bool retention_spill) {
   AttachShardSegmentStore(0, store, retention_spill);
 }

@@ -89,6 +89,17 @@ class LogShipper : public EpochSource {
   /// receives every sub-epoch routed to that shard.
   void AttachShardChannel(int shard, EpochChannel* channel);
 
+  /// Removes `channel` from every lane it is attached to (no-op when absent).
+  /// After this returns no further Send touches the channel, so a transport
+  /// endpoint (e.g. the network tier's per-subscriber staging channel) may
+  /// safely destroy channels whose subscriber is gone instead of leaking
+  /// them for the shipper's lifetime.
+  void DetachChannel(EpochChannel* channel);
+
+  /// True once Finish() sealed the stream — transports use this to tell a
+  /// final end-of-stream apart from their own shutdown.
+  bool finished() const;
+
   /// Attaches the durable tier (DESIGN.md §10) to shard 0. Every delivered
   /// epoch — heartbeats included — is appended to `store` at deliver time,
   /// so the sequential segment log always holds the full epoch sequence.

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -341,6 +342,130 @@ TEST(FailureInjectionTest, SerialReplayerDetectsCorruption) {
   channel.Close();
   replayer.Stop();
   EXPECT_TRUE(replayer.error().IsCorruption());
+}
+
+// Models a socket-backed EpochSource whose first NACK for each id hits a
+// read timeout: the fetch returns nullopt even though the shipper still
+// retains the epoch. In-process, a retention miss is definitive loss; over
+// TCP the very same nullopt can be a transient I/O timeout, so the replayer
+// must retry before latching.
+class TimeoutOnceSource : public EpochSource {
+ public:
+  explicit TimeoutOnceSource(EpochSource* inner) : inner_(inner) {}
+
+  std::optional<ShippedEpoch> FetchEpoch(EpochId id) override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (timed_out_.insert(id).second) {
+        ++misses_;
+        return std::nullopt;  // simulated read timeout on the NACK RPC
+      }
+    }
+    return inner_->FetchEpoch(id);
+  }
+  EpochId NextEpochId() const override { return inner_->NextEpochId(); }
+  EpochId FloorEpochId() const override { return inner_->FloorEpochId(); }
+
+  int misses() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return misses_;
+  }
+
+ private:
+  EpochSource* inner_;
+  mutable std::mutex mu_;
+  std::set<EpochId> timed_out_;
+  int misses_ = 0;
+};
+
+// Ships a workload with one heartbeat in the middle, then replays it with
+// `drop_index` removed from the stream so the replayer must NACK it back.
+// Returns the primary's final digest for comparison.
+struct NackScenario {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<Pipeline> pipeline;
+  std::vector<ShippedEpoch> epochs;
+  size_t heartbeat_index = 0;
+
+  explicit NackScenario(uint64_t seed) {
+    catalog.reset(MakeCatalog(2));
+    pipeline = std::make_unique<Pipeline>(catalog.get(), /*epoch_size=*/8);
+    EpochChannel* tap = pipeline->AddChannel();
+    RunRandomWorkload(&pipeline->db, 2, 60, seed);
+    pipeline->shipper.ShipHeartbeat(pipeline->db.AcquireHeartbeatTs());
+    RunRandomWorkload(&pipeline->db, 2, 60, seed + 1);
+    pipeline->shipper.Finish();
+    while (auto epoch = tap->TryReceive()) epochs.push_back(std::move(*epoch));
+    for (size_t i = 0; i < epochs.size(); ++i) {
+      if (epochs[i].is_heartbeat()) {
+        heartbeat_index = i;
+        break;
+      }
+    }
+  }
+
+};
+
+TEST(RecoveryTest, TransientNackTimeoutOnHeartbeatDoesNotPoisonReplayer) {
+  // A heartbeat epoch dropped by the link plus ONE timed-out NACK fetch: the
+  // epoch is still in retention, so the replayer must retry (with backoff)
+  // and recover instead of latching a terminal Corruption.
+  NackScenario scenario(test::DeriveSeed(77));
+  ASSERT_GT(scenario.epochs.size(), scenario.heartbeat_index + 1);
+  ASSERT_TRUE(scenario.epochs[scenario.heartbeat_index].is_heartbeat());
+
+  EpochChannel channel(1024);
+  for (size_t i = 0; i < scenario.epochs.size(); ++i) {
+    if (i != scenario.heartbeat_index) {
+      ASSERT_TRUE(channel.Send(scenario.epochs[i]));
+    }
+  }
+  channel.Close();
+
+  SerialReplayer replayer(scenario.catalog.get(), &channel);
+  TimeoutOnceSource source(&scenario.pipeline->shipper);
+  replayer.SetEpochSource(&source);
+  ReplayRecoveryOptions options;
+  options.reorder_window_pauses = 32;
+  options.max_retries = 4;
+  replayer.SetRecoveryOptions(options);
+  ASSERT_TRUE(replayer.Start().ok());
+  replayer.Stop();
+
+  EXPECT_TRUE(replayer.error().ok()) << replayer.error().ToString();
+  EXPECT_GE(source.misses(), 1);
+  Timestamp final_ts = scenario.pipeline->db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->DigestAt(final_ts),
+            scenario.pipeline->db.store().DigestAt(final_ts));
+}
+
+TEST(RecoveryTest, TransientNackTimeoutInFinalDrainDoesNotPoisonReplayer) {
+  // The link swallows the LAST epoch, so recovery happens in the post-close
+  // final drain; the one timed-out fetch must be retried there too.
+  NackScenario scenario(test::DeriveSeed(79));
+  ASSERT_GT(scenario.epochs.size(), 2u);
+
+  EpochChannel channel(1024);
+  for (size_t i = 0; i + 1 < scenario.epochs.size(); ++i) {
+    ASSERT_TRUE(channel.Send(scenario.epochs[i]));
+  }
+  channel.Close();
+
+  SerialReplayer replayer(scenario.catalog.get(), &channel);
+  TimeoutOnceSource source(&scenario.pipeline->shipper);
+  replayer.SetEpochSource(&source);
+  ReplayRecoveryOptions options;
+  options.reorder_window_pauses = 32;
+  options.max_retries = 4;
+  replayer.SetRecoveryOptions(options);
+  ASSERT_TRUE(replayer.Start().ok());
+  replayer.Stop();
+
+  EXPECT_TRUE(replayer.error().ok()) << replayer.error().ToString();
+  EXPECT_GE(source.misses(), 1);
+  Timestamp final_ts = scenario.pipeline->db.last_commit_ts();
+  EXPECT_EQ(replayer.store()->DigestAt(final_ts),
+            scenario.pipeline->db.store().DigestAt(final_ts));
 }
 
 TEST(ReplayerLifecycleTest, StartValidatesOptions) {
