@@ -9,7 +9,11 @@
 #include <cstdio>
 
 #include "aets/bench/harness.h"
+#include "aets/common/clock.h"
+#include "aets/replay/aets_replayer.h"
+#include "aets/replication/channel.h"
 #include "aets/workload/chbenchmark.h"
+#include "aets/workload/query_exec.h"
 
 namespace aets {
 namespace {
@@ -79,6 +83,49 @@ void Run() {
     std::printf("%s=%.1fus ", r.name.c_str(), r.mean_delay_us);
   }
   std::printf("\n");
+
+  // Variant (DESIGN.md §13): once the stream is visible, how fast is the
+  // analytic side? Q1/Q6 over the replayed order_line at the final
+  // snapshot, row-store version-chain walk vs the columnar projection.
+  std::printf("\nFig 10 variant: OLAP scan path at the final snapshot "
+              "(order_line)\n");
+  EpochChannel channel(log.epochs.size() + 1);
+  for (const auto& shipped : log.epochs) channel.Send(shipped);
+  channel.Close();
+  AetsOptions aets;
+  aets.replay_threads = threads;
+  aets.grouping = GroupingMode::kPerTable;
+  AetsReplayer backup(&workload.catalog(), &channel, aets);
+  AETS_CHECK(backup.Start().ok());
+  backup.Stop();
+  AETS_CHECK(backup.error().ok());
+
+  ChQueryExecutor row_exec(&workload, backup.store());
+  ChQueryExecutor col_exec(&workload, backup.store(), backup.column_store());
+  AETS_CHECK(row_exec.RunQ1(log.final_ts, INT64_MAX) ==
+             col_exec.RunQ1(log.final_ts, INT64_MAX));
+  AETS_CHECK(row_exec.RunQ6(log.final_ts, 1, 10) ==
+             col_exec.RunQ6(log.final_ts, 1, 10));
+  auto time_us = [&](auto&& fn) {
+    constexpr int kReps = 20;
+    int64_t best = INT64_MAX;
+    for (int rep = 0; rep < kReps; ++rep) {
+      int64_t start = MonotonicMicros();
+      fn();
+      best = std::min(best, MonotonicMicros() - start);
+    }
+    return static_cast<double>(best);
+  };
+  double q1_row = time_us([&] { row_exec.RunQ1(log.final_ts, INT64_MAX); });
+  double q1_col = time_us([&] { col_exec.RunQ1(log.final_ts, INT64_MAX); });
+  double q6_row = time_us([&] { row_exec.RunQ6(log.final_ts, 1, 10); });
+  double q6_col = time_us([&] { col_exec.RunQ6(log.final_ts, 1, 10); });
+  TablePrinter scan({"query", "row-path us", "column us", "speedup"});
+  scan.AddRow({"Q1", TablePrinter::Fmt(q1_row, 1), TablePrinter::Fmt(q1_col, 1),
+               TablePrinter::Fmt(q1_row / q1_col, 1)});
+  scan.AddRow({"Q6", TablePrinter::Fmt(q6_row, 1), TablePrinter::Fmt(q6_col, 1),
+               TablePrinter::Fmt(q6_row / q6_col, 1)});
+  scan.Print();
 }
 
 }  // namespace

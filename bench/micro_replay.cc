@@ -19,6 +19,8 @@
 #include "aets/replay/replayer_base.h"
 #include "aets/replication/channel.h"
 #include "aets/workload/bustracker.h"
+#include "aets/workload/chbenchmark.h"
+#include "aets/workload/query_exec.h"
 #include "aets/workload/tpcc.h"
 
 namespace aets {
@@ -389,6 +391,84 @@ BENCHMARK(BM_ShardedMultiEpochReplay)
     ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Columnar OLAP scan vs the row-store version-chain walk (DESIGN.md §13):
+// the same CH-benCHmark Q6 aggregate over order_line, once through
+// Memtable::ScanVisible and once through the ColumnStore's typed vectors.
+// The fixture replays a recorded CH stream into one backup with the column
+// store enabled, so both paths read the identical MVCC state at final_ts.
+
+struct ColumnScanFixture {
+  ColumnScanFixture() : ch(ChConfig()) {
+    log = RecordWorkload(&ch, /*num_txns=*/4000, /*epoch_size=*/256,
+                         /*seed=*/19);
+    EpochChannel channel(log.epochs.size() + 1);
+    for (const auto& shipped : log.epochs) channel.Send(shipped);
+    channel.Close();
+    AetsOptions options;
+    options.replay_threads = 2;
+    options.grouping = GroupingMode::kPerTable;
+    backup = std::make_unique<AetsReplayer>(&ch.catalog(), &channel, options);
+    AETS_CHECK(backup->Start().ok());
+    backup->Stop();
+    AETS_CHECK(backup->error().ok());
+    const Memtable* ol =
+        backup->store()->GetTable(ch.tpcc().orderline());
+    order_line_rows = ol->VisibleRowCount(log.final_ts);
+    // Both paths must agree before either is worth timing.
+    ChQueryExecutor rows(&ch, backup->store());
+    ChQueryExecutor cols(&ch, backup->store(), backup->column_store());
+    AETS_CHECK(rows.RunQ6(log.final_ts, 1, 10) ==
+               cols.RunQ6(log.final_ts, 1, 10));
+    AETS_CHECK(rows.error().ok() && cols.error().ok());
+  }
+
+  static TpccConfig ChConfig() {
+    TpccConfig config;
+    config.warehouses = 2;
+    config.items = 200;
+    config.customers_per_district = 20;
+    config.init_orders_per_district = 20;
+    return config;
+  }
+
+  ChBenchmarkWorkload ch;
+  RecordedLog log;
+  std::unique_ptr<AetsReplayer> backup;
+  size_t order_line_rows = 0;
+};
+
+ColumnScanFixture& ColumnFixture() {
+  static ColumnScanFixture* fixture = new ColumnScanFixture();
+  return *fixture;
+}
+
+void BM_RowScan(benchmark::State& state) {
+  const ColumnScanFixture& fx = ColumnFixture();
+  ChQueryExecutor exec(&fx.ch, fx.backup->store());
+  for (auto _ : state) {
+    auto q6 = exec.RunQ6(fx.log.final_ts, 1, 10);
+    benchmark::DoNotOptimize(q6.revenue);
+  }
+  AETS_CHECK(exec.error().ok());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.order_line_rows));
+}
+BENCHMARK(BM_RowScan)->Unit(benchmark::kMicrosecond);
+
+void BM_ColumnScan(benchmark::State& state) {
+  const ColumnScanFixture& fx = ColumnFixture();
+  ChQueryExecutor exec(&fx.ch, fx.backup->store(), fx.backup->column_store());
+  for (auto _ : state) {
+    auto q6 = exec.RunQ6(fx.log.final_ts, 1, 10);
+    benchmark::DoNotOptimize(q6.revenue);
+  }
+  AETS_CHECK(exec.error().ok());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.order_line_rows));
+}
+BENCHMARK(BM_ColumnScan)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace aets

@@ -6,6 +6,7 @@
 #include "aets/common/clock.h"
 #include "aets/net/frame_io.h"
 #include "aets/obs/metrics.h"
+#include "aets/storage/column_store.h"
 #include "aets/storage/memtable.h"
 #include "aets/storage/table_store.h"
 
@@ -129,7 +130,7 @@ void QueryServer::ServeOne(TcpSocket socket) {
 Status QueryServer::ExecuteQuery(const QueryBody& query,
                                  QueryReplyBody* reply) {
   // Pin first, then read: the handle keeps every version the snapshot can
-  // see out of the GC horizon for the whole scan.
+  // see out of the GC horizon while we read version chains.
   SnapshotHandle handle;
   Timestamp safe = kInvalidTimestamp;
   if (coordinator_ != nullptr) {
@@ -151,6 +152,29 @@ Status QueryServer::ExecuteQuery(const QueryBody& query,
   // error, but here the id came off the wire.
   if (store == nullptr || query.table_id >= store->num_tables()) {
     return Status::NotFound("no such table: " + std::to_string(query.table_id));
+  }
+  const storage::ColumnStore* columns =
+      backup_->ColumnStoreForTable(query.table_id);
+  if (columns != nullptr) {
+    storage::ColumnSnapshot snap = columns->SnapshotAt(query.table_id, pinned);
+    if (snap.valid()) {
+      // Bounded pin: only the residual top-up reads version chains. Once it
+      // is copied out, the snapshot is immutable chunk data plus owned rows,
+      // so the GC pin can be dropped before the (client-paced) walk below.
+      snap.LoadResidual();
+      handle.Release();
+      reply->digest = snap.Digest();
+      if (query.want_rows) {
+        snap.ScanRows([&](int64_t key, const Row& row) {
+          reply->rows.emplace(key, row);
+          return true;
+        });
+        reply->row_count = reply->rows.size();
+      } else {
+        reply->row_count = snap.RowCount();
+      }
+      return Status::OK();
+    }
   }
   const Memtable* table = store->GetTable(query.table_id);
   reply->digest = table->DigestAt(pinned);

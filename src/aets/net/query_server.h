@@ -35,10 +35,18 @@ struct QueryServerOptions {
 /// Session protocol: any number of kQuery frames per connection, one
 /// kQueryOk each. Every query pins its own timestamp: with a
 /// GlobalSnapshotCoordinator attached, a SnapshotHandle holds the pinned
-/// timestamp out of the GC horizon for exactly the query's execution (the
-/// cross-shard exactness guarantee of §11); without one, the backup's
-/// GlobalVisibleTs() is used. A requested timestamp above the safe frontier
-/// is clamped — the reply's pinned_ts reports what was actually served.
+/// timestamp out of the GC horizon (the cross-shard exactness guarantee of
+/// §11); without one, the backup's GlobalVisibleTs() is used. A requested
+/// timestamp above the safe frontier is clamped — the reply's pinned_ts
+/// reports what was actually served.
+///
+/// Pin bounding: when the backup maintains a columnar projection for the
+/// table (DESIGN.md §13), the pin is held only while the residual rows are
+/// copied out of the version chains; the bulk of the scan then walks
+/// immutable chunk data with the pin already released, so a slow reader
+/// cannot wedge the GC horizon. The row-store fallback still holds the pin
+/// for the whole walk (it reads version chains throughout), releasing it
+/// before the reply is written to the socket.
 ///
 /// Replay isolation: sessions only read MVCC snapshots and never touch the
 /// replay threads; a slow client parks its own session thread in a bounded

@@ -35,6 +35,12 @@ AetsReplayer::AetsReplayer(const Catalog* catalog, EpochChannel* channel,
   current_rates_.resize(catalog_->num_tables(), 0.0);
   RebuildGroups(current_rates_);
   SetPipelineDepth(options_.pipeline_depth);
+  if (options_.column_store_enabled) {
+    storage::ColumnStoreOptions cs;
+    cs.chunk_rows = options_.column_chunk_rows;
+    cs.publish_min_dirty = options_.column_publish_min_dirty;
+    EnableColumnStore(cs);
+  }
 }
 
 AetsReplayer::~AetsReplayer() { Stop(); }
@@ -93,6 +99,12 @@ Status AetsReplayer::Bootstrap(const std::string& checkpoint_path) {
   }
   global_ts_.store(info->snapshot_ts, std::memory_order_relaxed);
   expected_epoch_ = info->next_epoch_id;
+  // Seed generation 0 of the columnar projections from the restored rows —
+  // without this, keys that never change again would stay invisible to the
+  // column path forever (chunks only track dirty keys).
+  if (column_store() != nullptr) {
+    column_store()->SeedFromRows(info->snapshot_ts);
+  }
   return Status::OK();
 }
 
@@ -443,7 +455,7 @@ void AetsReplayer::TranslateGroup(const std::string& payload,
       cell.txn_id = rec->txn_id;
       cell.is_delete = rec->type == LogRecordType::kDelete;
       cell.delta = PackedDelta::FromWire(rec->num_values, rec->value_bytes);
-      frag->cells.push_back(PendingCell{node, std::move(cell)});
+      frag->cells.push_back(PendingCell{node, std::move(cell), rec->table_id});
     }
     // Always flip `translated` (even when poisoned) so a committer already
     // spinning on this fragment wakes promptly; `poisoned` keeps the
@@ -476,6 +488,15 @@ void AetsReplayer::CommitGroup(GroupEpochState* gs, const TableGroup& group) {
       ScopedTimerNs timer(&stats_.commit_ns);
       for (auto& pc : frag->cells) {
         pc.node->AppendVersion(std::move(pc.cell));
+      }
+    }
+    // Feed the column store BEFORE the watermark store below: a reader that
+    // observes tg_cmt_ts >= frag->commit_ts must also observe these keys in
+    // the pending dirty set (mutex release → release-store → acquire-load →
+    // mutex acquire), or its residual top-up would miss them.
+    if (storage::ColumnStore* cs = column_store()) {
+      for (const auto& pc : frag->cells) {
+        cs->NoteDirty(pc.table, pc.node->row_key(), frag->commit_ts);
       }
     }
     for (TableId t : group.tables) {

@@ -80,6 +80,25 @@ struct AetsOptions {
   /// Re-run the grouping policy whenever the provided rates change (the
   /// adaptive workload-shift path; static groupings ignore this).
   bool regroup_on_rate_change = true;
+
+  // ---- Columnar projections (DESIGN.md §13) -----------------------------
+
+  /// Maintain watermark-versioned columnar chunks incrementally at epoch
+  /// commit, so analytic scans (ChQueryExecutor, QueryServer) run
+  /// vectorized over column vectors instead of walking version chains.
+  /// False restores the pure row-store backup (all scans take the row
+  /// path).
+  bool column_store_enabled = true;
+  /// Target rows per columnar chunk (storage::ColumnStoreOptions).
+  size_t column_chunk_rows = 4096;
+  /// Columnar publish amortization (storage::ColumnStoreOptions
+  /// ::publish_min_dirty): the background merge worker only rolls a
+  /// table's dirty backlog into new chunks once it reaches
+  /// max(this, live_rows/8); until then queries resolve the backlog
+  /// through the residual top-up. Heartbeats and shutdown force-flush, so
+  /// an idle or drained backup is always fully chunked. 0 rebuilds at
+  /// every posted watermark.
+  size_t column_publish_min_dirty = 4096;
   /// Display name (baselines built on this engine override it).
   std::string name = "AETS";
 
@@ -144,10 +163,12 @@ class AetsReplayer : public ReplayerBase {
 
  private:
   /// A translated-but-uncommitted cell: the TPLR phase-1 output. Holds the
-  /// pinned Memtable node and the version to append at commit.
+  /// pinned Memtable node and the version to append at commit, plus the
+  /// owning table so the commit path can feed the column store's dirty set.
   struct PendingCell {
     MemNode* node;
     VersionCell cell;
+    TableId table;
   };
 
   /// One transaction's log records routed to one group ("minor pieces" of a

@@ -87,6 +87,10 @@ struct ReplayStats {
 /// TableStore, and publishes visibility timestamps that Algorithm 3 reads.
 class EpochSource;
 
+namespace storage {
+class ColumnStore;
+}  // namespace storage
+
 class Replayer {
  public:
   virtual ~Replayer() = default;
@@ -119,6 +123,15 @@ class Replayer {
   /// owning shard's store. Snapshot readers (OLAP scans, the sim oracle) must
   /// use this instead of store() so their reads stay correct under sharding.
   virtual TableStore* StoreForTable(TableId /*table*/) { return store(); }
+
+  /// The columnar projection covering `table`, or nullptr when this
+  /// replayer maintains none (disabled, or a baseline without the commit
+  /// hook) — callers fall back to the row path. The ShardedBackup facade
+  /// routes to the owning shard's store.
+  virtual const storage::ColumnStore* ColumnStoreForTable(
+      TableId /*table*/) const {
+    return nullptr;
+  }
 
   virtual const ReplayStats& stats() const = 0;
   virtual std::string name() const = 0;

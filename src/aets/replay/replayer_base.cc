@@ -55,6 +55,13 @@ void ReplayerBase::SetPipelineDepth(int depth) {
   pipeline_depth_ = depth;
 }
 
+void ReplayerBase::EnableColumnStore(storage::ColumnStoreOptions options) {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (started_.load(std::memory_order_relaxed)) return;
+  column_store_ =
+      std::make_unique<storage::ColumnStore>(catalog_, &store_, options);
+}
+
 void ReplayerBase::SetCommitHookForTest(
     std::function<void(const ShippedEpoch&)> hook) {
   std::lock_guard<std::mutex> lk(lifecycle_mu_);
@@ -78,6 +85,12 @@ Status ReplayerBase::Start() {
   in_commit_ = 0;
   pipeline_depth_metric_->Set(pipeline_depth_);
   started_.store(true, std::memory_order_release);
+  if (column_store_ != nullptr) {
+    col_requested_ = kInvalidTimestamp;
+    col_force_ = false;
+    col_stop_ = false;
+    column_thread_ = std::thread([this] { ColumnMergeLoop(); });
+  }
   if (pipeline_depth_ > 1) {
     commit_thread_ = std::thread([this] { CommitLoop(); });
   }
@@ -92,6 +105,21 @@ void ReplayerBase::Stop() {
   // this order leaves the commit queue fully consumed.
   if (main_thread_.joinable()) main_thread_.join();
   if (commit_thread_.joinable()) commit_thread_.join();
+  if (column_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(col_mu_);
+      col_stop_ = true;
+    }
+    col_cv_.notify_one();
+    column_thread_.join();
+  }
+  // The stream is drained: flush whatever columnar backlog the merge worker
+  // and the publish threshold were still batching, so a caught-up backup
+  // serves every table from chunks (the joins above ordered
+  // last_applied_ts_ before this read).
+  if (column_store_ != nullptr && !HasError()) {
+    column_store_->Publish(last_applied_ts_, /*force=*/true);
+  }
   StopWorkers();
   started_.store(false, std::memory_order_release);
 }
@@ -153,9 +181,32 @@ void ReplayerBase::CommitItem(PipelineItem item) {
       ProcessHeartbeat(item.epoch);
       stats_.heartbeats.fetch_add(1, std::memory_order_relaxed);
       heartbeats_applied_metric_->Add(1);
+      // A heartbeat means the stream is idle — have the merge worker drain
+      // any columnar backlog the publish-amortization threshold held back.
+      if (column_store_ != nullptr && !HasError()) {
+        RequestColumnPublish(item.epoch.heartbeat_ts, /*force=*/true);
+        if (item.epoch.heartbeat_ts != kInvalidTimestamp &&
+            (last_applied_ts_ == kInvalidTimestamp ||
+             item.epoch.heartbeat_ts > last_applied_ts_)) {
+          last_applied_ts_ = item.epoch.heartbeat_ts;
+        }
+      }
     } else {
       CommitEpoch(item.epoch, std::move(item.prepared));
       if (!HasError()) {
+        // Hand the epoch's dirty keys to the column-merge worker. The
+        // request is posted after every watermark of the epoch published,
+        // so the asynchronous rebuild reads fully-installed version chains
+        // at max_commit_ts; a failed epoch posts nothing and its dirty keys
+        // stay pending (queries resolve them through the residual path).
+        if (column_store_ != nullptr) {
+          RequestColumnPublish(item.epoch.max_commit_ts, /*force=*/false);
+          if (item.epoch.max_commit_ts != kInvalidTimestamp &&
+              (last_applied_ts_ == kInvalidTimestamp ||
+               item.epoch.max_commit_ts > last_applied_ts_)) {
+            last_applied_ts_ = item.epoch.max_commit_ts;
+          }
+        }
         stats_.epochs.fetch_add(1, std::memory_order_relaxed);
         stats_.records.fetch_add(item.epoch.num_records,
                                  std::memory_order_relaxed);
@@ -391,6 +442,42 @@ void ReplayerBase::MainLoop() {
       pipe_closed_ = true;
     }
     pipe_ready_cv_.notify_all();
+  }
+}
+
+void ReplayerBase::RequestColumnPublish(Timestamp ts, bool force) {
+  if (ts == kInvalidTimestamp) return;
+  {
+    std::lock_guard<std::mutex> lk(col_mu_);
+    if (col_requested_ == kInvalidTimestamp || ts > col_requested_) {
+      col_requested_ = ts;
+    }
+    col_force_ |= force;
+  }
+  col_cv_.notify_one();
+}
+
+void ReplayerBase::ColumnMergeLoop() {
+  for (;;) {
+    Timestamp ts;
+    bool force;
+    {
+      std::unique_lock<std::mutex> lk(col_mu_);
+      col_cv_.wait(lk, [&] {
+        return col_stop_ || col_requested_ != kInvalidTimestamp;
+      });
+      if (col_requested_ == kInvalidTimestamp) return;  // stopped and drained
+      ts = col_requested_;
+      force = col_force_;
+      col_requested_ = kInvalidTimestamp;
+      col_force_ = false;
+    }
+    // Reading at `ts` is stable against concurrent commits (MVCC reads at a
+    // fixed timestamp) and the poster's mutex hand-off ordered every version
+    // <= ts before this call. When several requests queued up while a
+    // rebuild ran, the coalesced `ts` is the latest — one rebuild covers
+    // them all.
+    column_store_->Publish(ts, force);
   }
 }
 

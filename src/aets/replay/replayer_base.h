@@ -17,6 +17,7 @@
 #include "aets/replay/replayer.h"
 #include "aets/replication/channel.h"
 #include "aets/replication/epoch_source.h"
+#include "aets/storage/column_store.h"
 #include "aets/storage/table_store.h"
 
 namespace aets {
@@ -107,6 +108,23 @@ class ReplayerBase : public Replayer {
   TableStore* store() override { return &store_; }
   const ReplayStats& stats() const override { return stats_; }
   std::string name() const override { return name_; }
+
+  /// Attaches a columnar projection store (DESIGN.md §13) over this
+  /// replayer's TableStore. After each committed data epoch the base posts
+  /// the epoch's watermark to a background merge thread, which coalesces
+  /// requests and publishes generations off the replay critical path; the
+  /// subclass's commit path must feed it via column_store()->NoteDirty
+  /// before each watermark store, else published chunks go stale silently.
+  /// Before Start() only.
+  void EnableColumnStore(storage::ColumnStoreOptions options);
+
+  /// The attached column store, or nullptr. Non-const flavor for the
+  /// subclass commit path (NoteDirty/SeedFromRows).
+  storage::ColumnStore* column_store() { return column_store_.get(); }
+  const storage::ColumnStore* ColumnStoreForTable(
+      TableId /*table*/) const override {
+    return column_store_.get();
+  }
 
   /// Sticky error (unrecoverable loss, corrupted record, pending-buffer
   /// overflow). OK while healthy or fully recovered.
@@ -227,6 +245,15 @@ class ReplayerBase : public Replayer {
 
   std::string name_;
 
+  /// Columnar projections maintained at epoch-commit granularity; nullptr
+  /// unless EnableColumnStore was called. Published only by the single
+  /// commit context, read by any query thread.
+  std::unique_ptr<storage::ColumnStore> column_store_;
+  /// Newest timestamp the commit context fully applied (epoch max or
+  /// heartbeat) — the watermark of the shutdown column-store flush. Written
+  /// only by the commit context; Stop() reads it after joining.
+  Timestamp last_applied_ts_ = kInvalidTimestamp;
+
   EpochSource* source_ = nullptr;
   ReplayRecoveryOptions recovery_;
   int pipeline_depth_ = 1;
@@ -258,6 +285,22 @@ class ReplayerBase : public Replayer {
   std::thread commit_thread_;
   std::mutex lifecycle_mu_;
   std::atomic<bool> started_{false};
+
+  /// Background column-merge worker (column_store_ set only): the commit
+  /// context posts the newest applied watermark via RequestColumnPublish and
+  /// moves on; this thread coalesces the requests — when replay outruns it,
+  /// intermediate watermarks collapse into one rebuild at the latest — and
+  /// runs ColumnStore::Publish off the replay critical path. Queries stay
+  /// exact in the gap through the residual top-up. Stop() drains the worker,
+  /// then force-flushes, so a stopped backup is always fully chunked.
+  void ColumnMergeLoop();
+  void RequestColumnPublish(Timestamp ts, bool force);
+  std::thread column_thread_;
+  std::mutex col_mu_;
+  std::condition_variable col_cv_;
+  Timestamp col_requested_ = kInvalidTimestamp;
+  bool col_force_ = false;
+  bool col_stop_ = false;
 
   mutable std::mutex error_mu_;
   Status error_;

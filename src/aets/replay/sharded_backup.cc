@@ -64,6 +64,12 @@ TableStore* ShardedBackup::StoreForTable(TableId table) {
       table);
 }
 
+const storage::ColumnStore* ShardedBackup::ColumnStoreForTable(
+    TableId table) const {
+  return shards_[static_cast<size_t>(map_->shard_of(table))]
+      ->ColumnStoreForTable(table);
+}
+
 const ReplayStats& ShardedBackup::stats() const {
   // Re-aggregated on every call: cheap (a few atomic loads per shard) and
   // always current. agg_ is only ever written here; concurrent readers see

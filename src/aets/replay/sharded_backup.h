@@ -56,6 +56,9 @@ class ShardedBackup : public Replayer {
   /// sharding. Snapshot readers must use StoreForTable().
   TableStore* store() override;
   TableStore* StoreForTable(TableId table) override;
+  /// Routed to the owning shard's columnar projection (nullptr when that
+  /// shard maintains none).
+  const storage::ColumnStore* ColumnStoreForTable(TableId table) const override;
 
   /// Aggregated over all shards: counters sum; wall_start is the earliest
   /// shard start, wall_end the latest shard end (so TxnsPerSec reflects the

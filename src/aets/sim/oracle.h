@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@ inline constexpr char kInvariantSnapshotExact[] = "snapshot-exactness";
 inline constexpr char kInvariantMonotonicity[] = "watermark-monotonicity";
 inline constexpr char kInvariantTornTxn[] = "torn-transaction";
 inline constexpr char kInvariantGcSafety[] = "gc-reclaimed-visible-version";
+inline constexpr char kInvariantColumnParity[] = "column-row-divergence";
 inline constexpr char kInvariantConvergence[] = "final-convergence";
 inline constexpr char kInvariantReplayerError[] = "replayer-error";
 
@@ -108,7 +110,17 @@ class ConsistencyOracle {
  private:
   /// Compares replayer vs model rows of `table` at `qts`; reports with
   /// `invariant` on mismatch. Skips (returns true) when GC raced past qts.
+  /// When the row scan is exact and the replayer maintains a columnar
+  /// projection of `table`, also runs the column-parity probe below.
   bool CompareTable(TableId table, Timestamp qts, const char* invariant);
+
+  /// Column-parity probe (DESIGN.md §13): the columnar snapshot at `qts`
+  /// (chunks minus tombstones plus the residual top-up) must yield exactly
+  /// `rows` — the row-store ScanVisible result — and the same XOR digest as
+  /// Memtable::DigestAt(qts). Skips when no generation covers qts or GC
+  /// raced past it.
+  bool CompareColumns(TableId table, Timestamp qts,
+                      const std::map<int64_t, Row>& rows);
 
   const ReferenceModel* model_;
   Replayer* replayer_;

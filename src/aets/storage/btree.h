@@ -86,23 +86,17 @@ class BPlusTree {
   }
 
   /// Visits entries with keys in [lo, hi], in ascending key order. The
-  /// callback returns false to stop early.
+  /// callback returns false to stop early. The visitor is a template so the
+  /// per-row call inlines (no std::function indirect call on the scan hot
+  /// path); the non-template overload below keeps type-erased callers
+  /// working unchanged.
+  template <typename Visitor>
+  void Scan(Key lo, Key hi, Visitor&& visit) const {
+    ScanImpl(lo, hi, visit);
+  }
   void Scan(Key lo, Key hi,
             const std::function<bool(Key, V*)>& visit) const {
-    std::shared_lock<std::shared_mutex> lk(latch_);
-    const Node* node = root_;
-    while (!node->is_leaf) node = Child(node, lo);
-    const Leaf* leaf = static_cast<const Leaf*>(node);
-    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo);
-    size_t idx = static_cast<size_t>(it - leaf->keys.begin());
-    while (leaf != nullptr) {
-      for (; idx < leaf->keys.size(); ++idx) {
-        if (leaf->keys[idx] > hi) return;
-        if (!visit(leaf->keys[idx], leaf->values[idx].get())) return;
-      }
-      leaf = leaf->next;
-      idx = 0;
-    }
+    ScanImpl(lo, hi, visit);
   }
 
   size_t size() const {
@@ -171,6 +165,24 @@ class BPlusTree {
     const Internal* in = static_cast<const Internal*>(node);
     auto it = std::upper_bound(in->keys.begin(), in->keys.end(), key);
     return in->children[static_cast<size_t>(it - in->keys.begin())];
+  }
+
+  template <typename Visitor>
+  void ScanImpl(Key lo, Key hi, Visitor&& visit) const {
+    std::shared_lock<std::shared_mutex> lk(latch_);
+    const Node* node = root_;
+    while (!node->is_leaf) node = Child(node, lo);
+    const Leaf* leaf = static_cast<const Leaf*>(node);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo);
+    size_t idx = static_cast<size_t>(it - leaf->keys.begin());
+    while (leaf != nullptr) {
+      for (; idx < leaf->keys.size(); ++idx) {
+        if (leaf->keys[idx] > hi) return;
+        if (!visit(leaf->keys[idx], leaf->values[idx].get())) return;
+      }
+      leaf = leaf->next;
+      idx = 0;
+    }
   }
 
   V* FindLocked(Key key) const {

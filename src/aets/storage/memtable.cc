@@ -1,48 +1,9 @@
 #include "aets/storage/memtable.h"
 
-#include <cstring>
-#include <limits>
-
 #include "aets/common/macros.h"
+#include "aets/storage/row_hash.h"
 
 namespace aets {
-
-namespace {
-
-// 64-bit mix (splitmix64 finalizer) for digesting row contents.
-uint64_t Mix64(uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
-
-uint64_t HashValue(const Value& v) {
-  if (v.is_null()) return Mix64(0x9E3779B97F4A7C15ull);
-  if (v.is_int64()) return Mix64(static_cast<uint64_t>(v.as_int64()) ^ 0x1111);
-  if (v.is_double()) {
-    double d = v.as_double();
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(d));
-    std::memcpy(&bits, &d, sizeof(bits));
-    return Mix64(bits ^ 0x2222);
-  }
-  uint64_t h = 0xCBF29CE484222325ull;
-  for (char c : v.as_string()) {
-    h ^= static_cast<uint8_t>(c);
-    h *= 0x100000001B3ull;
-  }
-  return Mix64(h ^ 0x3333);
-}
-
-uint64_t HashRow(int64_t key, const Row& row) {
-  uint64_t h = Mix64(static_cast<uint64_t>(key));
-  for (const auto& [col, value] : row) {
-    h = Mix64(h ^ (static_cast<uint64_t>(col) << 32) ^ HashValue(value));
-  }
-  return h;
-}
-
-}  // namespace
 
 MemNode* Memtable::GetOrCreateNode(int64_t row_key) {
   bool created = false;
@@ -84,13 +45,9 @@ std::optional<Row> Memtable::ReadRow(int64_t row_key, Timestamp ts) const {
 
 void Memtable::ScanVisible(
     Timestamp ts, const std::function<bool(int64_t, const Row&)>& visit) const {
-  index_.Scan(std::numeric_limits<int64_t>::min(),
-              std::numeric_limits<int64_t>::max(),
-              [&](int64_t key, MemNode* node) {
-                auto row = node->ReadVisible(ts);
-                if (!row) return true;
-                return visit(key, *row);
-              });
+  // Type-erased shim over the template fast path (existing callers that
+  // hold a std::function).
+  ScanVisible<const std::function<bool(int64_t, const Row&)>&>(ts, visit);
 }
 
 size_t Memtable::VisibleRowCount(Timestamp ts) const {
@@ -115,7 +72,8 @@ size_t Memtable::GarbageCollect(Timestamp watermark) {
 
 uint64_t Memtable::DigestAt(Timestamp ts) const {
   // XOR of per-row hashes: order-independent, so concurrent replayers with
-  // different scan interleavings still compare equal.
+  // different scan interleavings still compare equal. HashRow lives in
+  // row_hash.h so the column store's cached per-row hashes match exactly.
   uint64_t digest = 0;
   ScanVisible(ts, [&](int64_t key, const Row& row) {
     digest ^= HashRow(key, row);

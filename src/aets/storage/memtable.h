@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 
 #include "aets/catalog/schema.h"
@@ -45,7 +46,19 @@ class Memtable {
   std::optional<Row> ReadRow(int64_t row_key, Timestamp ts) const;
 
   /// Visits rows visible at `ts` in ascending key order. Callback returns
-  /// false to stop.
+  /// false to stop. Template so the per-row visit inlines (the row-scan hot
+  /// path previously paid a std::function indirect call per row); the
+  /// non-template overload keeps type-erased callers working.
+  template <typename Visitor>
+  void ScanVisible(Timestamp ts, Visitor&& visit) const {
+    index_.Scan(std::numeric_limits<int64_t>::min(),
+                std::numeric_limits<int64_t>::max(),
+                [&](int64_t key, MemNode* node) {
+                  auto row = node->ReadVisible(ts);
+                  if (!row) return true;
+                  return visit(key, static_cast<const Row&>(*row));
+                });
+  }
   void ScanVisible(Timestamp ts,
                    const std::function<bool(int64_t, const Row&)>& visit) const;
 

@@ -1,0 +1,51 @@
+#ifndef AETS_STORAGE_ROW_HASH_H_
+#define AETS_STORAGE_ROW_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "aets/storage/flat_row.h"
+#include "aets/storage/value.h"
+
+namespace aets {
+
+/// Row hashing shared by Memtable::DigestAt and the column store's cached
+/// per-row hashes — both sides must agree bit-for-bit so a columnar digest
+/// equals the row-store digest at the same snapshot.
+
+/// 64-bit mix (splitmix64 finalizer) for digesting row contents.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t HashValue(const Value& v) {
+  if (v.is_null()) return Mix64(0x9E3779B97F4A7C15ull);
+  if (v.is_int64()) return Mix64(static_cast<uint64_t>(v.as_int64()) ^ 0x1111);
+  if (v.is_double()) {
+    double d = v.as_double();
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    return Mix64(bits ^ 0x2222);
+  }
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : v.as_string()) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return Mix64(h ^ 0x3333);
+}
+
+inline uint64_t HashRow(int64_t key, const FlatRow& row) {
+  uint64_t h = Mix64(static_cast<uint64_t>(key));
+  for (const auto& [col, value] : row) {
+    h = Mix64(h ^ (static_cast<uint64_t>(col) << 32) ^ HashValue(value));
+  }
+  return h;
+}
+
+}  // namespace aets
+
+#endif  // AETS_STORAGE_ROW_HASH_H_

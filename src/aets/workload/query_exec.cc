@@ -1,6 +1,9 @@
 #include "aets/workload/query_exec.h"
 
 #include <cmath>
+#include <string>
+
+#include "aets/obs/metrics.h"
 
 namespace aets {
 
@@ -12,28 +15,142 @@ constexpr ColumnId kOlQuantity = 4;
 constexpr ColumnId kOlAmount = 5;
 constexpr ColumnId kOlDeliveryD = 6;
 
-int64_t IntCol(const Row& row, ColumnId col, int64_t fallback = 0) {
-  const Value* v = row.Find(col);
-  return v != nullptr && v->is_int64() ? v->as_int64() : fallback;
+bool DenseTyped(const storage::ChunkData& d, ColumnId col, ColumnType type) {
+  return col < d.cols.size() && d.cols[col].type == type && d.cols[col].dense;
 }
 
-double DoubleCol(const Row& row, ColumnId col, double fallback = 0) {
-  const Value* v = row.Find(col);
-  return v != nullptr && v->is_double() ? v->as_double() : fallback;
+void CountRowsScanned(size_t visited) {
+  static obs::Counter* scanned = obs::GetCounter("column.rows_scanned");
+  scanned->Add(static_cast<int64_t>(visited));
 }
 
 }  // namespace
 
+void ChQueryExecutor::NoteMismatch(ColumnId col, const char* want) const {
+  static obs::Counter* metric =
+      obs::GetCounter("query.column_type_mismatches");
+  metric->Add(1);
+  mismatches_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(err_mu_);
+  if (err_.ok()) {
+    err_ = Status::Corruption("column " + std::to_string(col) +
+                              " missing, NULL, or not " + want +
+                              " in a scanned row");
+  }
+}
+
+int64_t ChQueryExecutor::CheckedInt(const Row& row, ColumnId col) const {
+  const Value* v = row.Find(col);
+  if (v != nullptr && v->is_int64()) return v->as_int64();
+  NoteMismatch(col, "int64");
+  return 0;
+}
+
+double ChQueryExecutor::CheckedDouble(const Row& row, ColumnId col) const {
+  const Value* v = row.Find(col);
+  if (v != nullptr && v->is_double()) return v->as_double();
+  NoteMismatch(col, "double");
+  return 0;
+}
+
+int64_t ChQueryExecutor::ColInt(const storage::ChunkData& d, ColumnId col,
+                                size_t i) const {
+  if (col < d.cols.size()) {
+    const storage::ChunkColumn& c = d.cols[col];
+    if (c.type == ColumnType::kInt64 && c.has.Get(i) && !c.null.Get(i)) {
+      return c.i64[i];
+    }
+  }
+  NoteMismatch(col, "int64");
+  return 0;
+}
+
+double ChQueryExecutor::ColDouble(const storage::ChunkData& d, ColumnId col,
+                                  size_t i) const {
+  if (col < d.cols.size()) {
+    const storage::ChunkColumn& c = d.cols[col];
+    if (c.type == ColumnType::kDouble && c.has.Get(i) && !c.null.Get(i)) {
+      return c.f64[i];
+    }
+  }
+  NoteMismatch(col, "double");
+  return 0;
+}
+
+void ChQueryExecutor::AccumulateQ1(const Row& row, int64_t delivery_cutoff,
+                                   Q1Result* result) const {
+  if (CheckedInt(row, kOlDeliveryD) > delivery_cutoff) return;
+  Q1Row& agg = (*result)[CheckedInt(row, kOlNumber)];
+  agg.count += 1;
+  agg.sum_quantity += CheckedInt(row, kOlQuantity);
+  agg.sum_amount += CheckedDouble(row, kOlAmount);
+}
+
+void ChQueryExecutor::AccumulateQ6(const Row& row, int64_t qty_lo,
+                                   int64_t qty_hi, Q6Result* result) const {
+  int64_t quantity = CheckedInt(row, kOlQuantity);
+  if (quantity < qty_lo || quantity > qty_hi) return;
+  result->lines += 1;
+  result->revenue += CheckedDouble(row, kOlAmount);
+}
+
 ChQueryExecutor::Q1Result ChQueryExecutor::RunQ1(
     Timestamp snapshot, int64_t delivery_cutoff) const {
   Q1Result result;
-  const Memtable* order_line = store_->GetTable(workload_->tpcc().orderline());
+  TableId table = workload_->tpcc().orderline();
+  if (columns_ != nullptr) {
+    storage::ColumnSnapshot snap = columns_->SnapshotAt(table, snapshot);
+    if (snap.valid()) {
+      snap.LoadResidual();
+      size_t visited = 0;
+      for (const storage::ColumnChunk& chunk : snap.chunks()) {
+        const storage::ChunkData& d = *chunk.data;
+        size_t n = d.num_rows();
+        if (n == 0) continue;
+        visited += n;
+        storage::BitVec base_skip = snap.ScanSkipBits(chunk);
+        storage::BitVec skip = base_skip;
+        skip.OrWith(d.irregular);
+        bool fast = DenseTyped(d, kOlNumber, ColumnType::kInt64) &&
+                    DenseTyped(d, kOlQuantity, ColumnType::kInt64) &&
+                    DenseTyped(d, kOlAmount, ColumnType::kDouble) &&
+                    DenseTyped(d, kOlDeliveryD, ColumnType::kInt64);
+        if (fast) {
+          const int64_t* num = d.cols[kOlNumber].i64.data();
+          const int64_t* qty = d.cols[kOlQuantity].i64.data();
+          const double* amt = d.cols[kOlAmount].f64.data();
+          const int64_t* dd = d.cols[kOlDeliveryD].i64.data();
+          for (size_t i = 0; i < n; ++i) {
+            if (skip.Get(i) || dd[i] > delivery_cutoff) continue;
+            Q1Row& agg = result[num[i]];
+            agg.count += 1;
+            agg.sum_quantity += qty[i];
+            agg.sum_amount += amt[i];
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            if (skip.Get(i)) continue;
+            if (ColInt(d, kOlDeliveryD, i) > delivery_cutoff) continue;
+            Q1Row& agg = result[ColInt(d, kOlNumber, i)];
+            agg.count += 1;
+            agg.sum_quantity += ColInt(d, kOlQuantity, i);
+            agg.sum_amount += ColDouble(d, kOlAmount, i);
+          }
+        }
+        for (const auto& [idx, row] : d.irregular_rows) {
+          if (!base_skip.Get(idx)) AccumulateQ1(row, delivery_cutoff, &result);
+        }
+      }
+      for (const auto& [key, row] : snap.residual_rows()) {
+        AccumulateQ1(row, delivery_cutoff, &result);
+      }
+      CountRowsScanned(visited);
+      return result;
+    }
+  }
+  const Memtable* order_line = store_->GetTable(table);
   order_line->ScanVisible(snapshot, [&](int64_t, const Row& row) {
-    if (IntCol(row, kOlDeliveryD) > delivery_cutoff) return true;
-    Q1Row& agg = result[IntCol(row, kOlNumber)];
-    agg.count += 1;
-    agg.sum_quantity += IntCol(row, kOlQuantity);
-    agg.sum_amount += DoubleCol(row, kOlAmount);
+    AccumulateQ1(row, delivery_cutoff, &result);
     return true;
   });
   return result;
@@ -43,12 +160,58 @@ ChQueryExecutor::Q6Result ChQueryExecutor::RunQ6(Timestamp snapshot,
                                                  int64_t qty_lo,
                                                  int64_t qty_hi) const {
   Q6Result result;
-  const Memtable* order_line = store_->GetTable(workload_->tpcc().orderline());
+  TableId table = workload_->tpcc().orderline();
+  if (columns_ != nullptr) {
+    storage::ColumnSnapshot snap = columns_->SnapshotAt(table, snapshot);
+    if (snap.valid()) {
+      snap.LoadResidual();
+      size_t visited = 0;
+      for (const storage::ColumnChunk& chunk : snap.chunks()) {
+        const storage::ChunkData& d = *chunk.data;
+        size_t n = d.num_rows();
+        if (n == 0) continue;
+        visited += n;
+        storage::BitVec base_skip = snap.ScanSkipBits(chunk);
+        storage::BitVec skip = base_skip;
+        skip.OrWith(d.irregular);
+        bool fast = DenseTyped(d, kOlQuantity, ColumnType::kInt64) &&
+                    DenseTyped(d, kOlAmount, ColumnType::kDouble);
+        if (fast) {
+          // The vectorized hot loop of the column path: two sequential
+          // typed vectors, a bit test, and a branchless-friendly range
+          // check — no version-chain latch, no FlatRow materialization.
+          const int64_t* qty = d.cols[kOlQuantity].i64.data();
+          const double* amt = d.cols[kOlAmount].f64.data();
+          for (size_t i = 0; i < n; ++i) {
+            if (skip.Get(i)) continue;
+            int64_t q = qty[i];
+            if (q < qty_lo || q > qty_hi) continue;
+            result.lines += 1;
+            result.revenue += amt[i];
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            if (skip.Get(i)) continue;
+            int64_t q = ColInt(d, kOlQuantity, i);
+            if (q < qty_lo || q > qty_hi) continue;
+            result.lines += 1;
+            result.revenue += ColDouble(d, kOlAmount, i);
+          }
+        }
+        for (const auto& [idx, row] : d.irregular_rows) {
+          if (!base_skip.Get(idx)) AccumulateQ6(row, qty_lo, qty_hi, &result);
+        }
+      }
+      for (const auto& [key, row] : snap.residual_rows()) {
+        AccumulateQ6(row, qty_lo, qty_hi, &result);
+      }
+      CountRowsScanned(visited);
+      return result;
+    }
+  }
+  const Memtable* order_line = store_->GetTable(table);
   order_line->ScanVisible(snapshot, [&](int64_t, const Row& row) {
-    int64_t quantity = IntCol(row, kOlQuantity);
-    if (quantity < qty_lo || quantity > qty_hi) return true;
-    result.lines += 1;
-    result.revenue += DoubleCol(row, kOlAmount);
+    AccumulateQ6(row, qty_lo, qty_hi, &result);
     return true;
   });
   return result;

@@ -1,10 +1,14 @@
 #ifndef AETS_WORKLOAD_QUERY_EXEC_H_
 #define AETS_WORKLOAD_QUERY_EXEC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 
 #include "aets/common/clock.h"
+#include "aets/common/status.h"
+#include "aets/storage/column_store.h"
 #include "aets/storage/table_store.h"
 #include "aets/workload/chbenchmark.h"
 
@@ -16,6 +20,18 @@ namespace aets {
 /// and cross-check the result against the primary at the same snapshot —
 /// end-to-end proof that prioritized replay serves *consistent* answers,
 /// not just timestamps.
+///
+/// With a ColumnStore attached, Q1/Q6 route through the vectorized column
+/// path whenever a chunk generation covers the snapshot (residual rows and
+/// schema-irregular rows take the row-at-a-time helpers, so both paths
+/// produce identical aggregates); otherwise they fall back to the row-store
+/// scan unchanged.
+///
+/// Type safety: a scanned row whose column is missing, NULL, or not of the
+/// aggregate's type contributes the fallback 0 — but is COUNTED in the
+/// `query.column_type_mismatches` metric and latches error() with the first
+/// offender, instead of silently skewing the aggregate (the pre-fix
+/// behavior this replaces).
 class ChQueryExecutor {
  public:
   /// CH Q1 (pricing summary over order_line): per ol_number, the count of
@@ -36,15 +52,47 @@ class ChQueryExecutor {
     double revenue = 0;
   };
 
-  ChQueryExecutor(const ChBenchmarkWorkload* workload, const TableStore* store)
-      : workload_(workload), store_(store) {}
+  ChQueryExecutor(const ChBenchmarkWorkload* workload, const TableStore* store,
+                  const storage::ColumnStore* columns = nullptr)
+      : workload_(workload), store_(store), columns_(columns) {}
 
   Q1Result RunQ1(Timestamp snapshot, int64_t delivery_cutoff) const;
   Q6Result RunQ6(Timestamp snapshot, int64_t qty_lo, int64_t qty_hi) const;
 
+  /// The first column type/presence mismatch any query on this executor
+  /// hit, or OK. Latched (sticky): aggregates keep computing with the
+  /// fallback value, but the caller can no longer mistake them for exact.
+  Status error() const {
+    std::lock_guard<std::mutex> lk(err_mu_);
+    return err_;
+  }
+  /// Total mismatched column accesses across all queries on this executor.
+  uint64_t column_type_mismatches() const {
+    return mismatches_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Row-path checked accessors: fallback 0 on mismatch, plus the metric
+  /// and error latch.
+  int64_t CheckedInt(const Row& row, ColumnId col) const;
+  double CheckedDouble(const Row& row, ColumnId col) const;
+  /// Column-path equivalents over a chunk row.
+  int64_t ColInt(const storage::ChunkData& d, ColumnId col, size_t i) const;
+  double ColDouble(const storage::ChunkData& d, ColumnId col, size_t i) const;
+  void NoteMismatch(ColumnId col, const char* want) const;
+
+  void AccumulateQ1(const Row& row, int64_t delivery_cutoff,
+                    Q1Result* result) const;
+  void AccumulateQ6(const Row& row, int64_t qty_lo, int64_t qty_hi,
+                    Q6Result* result) const;
+
   const ChBenchmarkWorkload* workload_;
   const TableStore* store_;
+  const storage::ColumnStore* columns_;
+
+  mutable std::mutex err_mu_;
+  mutable Status err_;
+  mutable std::atomic<uint64_t> mismatches_{0};
 };
 
 bool operator==(const ChQueryExecutor::Q1Row& a, const ChQueryExecutor::Q1Row& b);

@@ -72,6 +72,108 @@ TEST_F(QueryExecTest, Q1AndQ6MatchPrimaryAfterReplay) {
   EXPECT_GE(on_primary.RunQ1(final_ts, INT64_MAX).size(), 5u);
 }
 
+TEST_F(QueryExecTest, ColumnPathMatchesRowPathThroughReplay) {
+  LogicalClock clock;
+  PrimaryDb db(&ch_->catalog(), &clock);
+  LogShipper shipper(/*epoch_size=*/32);
+  EpochChannel channel(1024);
+  shipper.AttachChannel(&channel);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+  Rng rng(4);
+  ch_->Load(&db, &rng);
+  Timestamp mid_ts;
+  {
+    OltpDriver oltp(ch_.get(), &db, 4);
+    oltp.Run(200);
+    mid_ts = db.last_commit_ts();
+    oltp.Run(200);
+  }
+  shipper.Finish();
+
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+  options.column_chunk_rows = 64;  // many chunks even at test scale
+  AetsReplayer backup(&ch_->catalog(), &channel, options);
+  ASSERT_TRUE(backup.Start().ok());
+  backup.Stop();
+  ASSERT_TRUE(backup.error().ok());
+  ASSERT_NE(backup.column_store(), nullptr);
+
+  // Same store, two scan paths: vectorized chunks + residual top-up vs the
+  // row-store version-chain walk. Aggregates must be identical at a
+  // mid-stream snapshot (residual-heavy) and at the final one.
+  ChQueryExecutor rows(ch_.get(), backup.store());
+  ChQueryExecutor cols(ch_.get(), backup.store(), backup.column_store());
+  for (Timestamp snapshot : {mid_ts, db.last_commit_ts()}) {
+    auto q1_rows = rows.RunQ1(snapshot, INT64_MAX);
+    auto q1_cols = cols.RunQ1(snapshot, INT64_MAX);
+    ASSERT_EQ(q1_rows.size(), q1_cols.size()) << "snapshot " << snapshot;
+    for (const auto& [ol_number, row] : q1_rows) {
+      ASSERT_TRUE(q1_cols.count(ol_number));
+      EXPECT_TRUE(q1_cols.at(ol_number) == row)
+          << "ol " << ol_number << " snapshot " << snapshot;
+    }
+    EXPECT_TRUE(cols.RunQ6(snapshot, 1, 5) == rows.RunQ6(snapshot, 1, 5));
+    EXPECT_TRUE(cols.RunQ1(snapshot, 0) == rows.RunQ1(snapshot, 0));
+  }
+  // Well-typed TPC-C data: neither path may have flagged anything.
+  EXPECT_EQ(rows.column_type_mismatches(), 0u);
+  EXPECT_EQ(cols.column_type_mismatches(), 0u);
+  EXPECT_TRUE(rows.error().ok());
+  EXPECT_TRUE(cols.error().ok());
+}
+
+// Regression for the silent-coercion bug: a scanned row whose column is
+// missing or of the wrong type used to contribute 0 to the aggregate with
+// no trace. Now every such access is counted and the first one latches
+// error(). (Pre-fix this test fails: no mismatch was ever recorded.)
+TEST_F(QueryExecTest, MismatchedColumnsAreCountedNotSilentlyCoerced) {
+  TableStore store(ch_->catalog());
+  TableId ol = ch_->tpcc().orderline();
+  constexpr Timestamp kTs = 10;
+  auto put = [&](int64_t key, std::vector<ColumnValue> values) {
+    store.GetTable(ol)->ApplyCommitted(
+        LogRecord::Dml(LogRecordType::kInsert, static_cast<Lsn>(key), 1, kTs,
+                       ol, key, std::move(values)),
+        kTs);
+  };
+  // Well-formed line: number=1, quantity=5, amount=2.5, delivery_d=1.
+  put(1, {{1, Value(int64_t{1})},
+          {4, Value(int64_t{5})},
+          {5, Value(2.5)},
+          {6, Value(int64_t{1})}});
+  // ol_amount is a string: in-range quantity forces the amount read.
+  put(2, {{1, Value(int64_t{1})},
+          {4, Value(int64_t{5})},
+          {5, Value("not-a-double")},
+          {6, Value(int64_t{1})}});
+  // ol_quantity missing entirely.
+  put(3, {{1, Value(int64_t{1})}, {5, Value(1.0)}, {6, Value(int64_t{1})}});
+
+  ChQueryExecutor exec(ch_.get(), &store);
+  auto q6 = exec.RunQ6(kTs, 1, 10);
+  // The malformed amount still aggregates as 0 (row counted), the missing
+  // quantity reads as 0 (row filtered out) — but both are now loud.
+  EXPECT_EQ(q6.lines, 2u);
+  EXPECT_DOUBLE_EQ(q6.revenue, 2.5);
+  EXPECT_EQ(exec.column_type_mismatches(), 2u);
+  EXPECT_TRUE(exec.error().IsCorruption()) << exec.error().ToString();
+
+  // The vectorized path must flag the exact same accesses: the string
+  // amount lands in the chunk's irregular overflow, the missing quantity
+  // in the has-bitmap check.
+  storage::ColumnStore columns(&ch_->catalog(), &store);
+  for (int64_t key : {1, 2, 3}) columns.NoteDirty(ol, key, kTs);
+  columns.SeedFromRows(kTs);
+  ChQueryExecutor vec(ch_.get(), &store, &columns);
+  auto q6_vec = vec.RunQ6(kTs, 1, 10);
+  EXPECT_TRUE(q6_vec == q6);
+  EXPECT_EQ(vec.column_type_mismatches(), 2u);
+  EXPECT_TRUE(vec.error().IsCorruption());
+}
+
 TEST_F(QueryExecTest, Q1DeliveryCutoffFilters) {
   LogicalClock clock;
   PrimaryDb db(&ch_->catalog(), &clock);

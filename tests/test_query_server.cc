@@ -19,8 +19,10 @@
 
 #include "aets/baselines/serial_replayer.h"
 #include "aets/common/rng.h"
+#include "aets/net/frame_io.h"
 #include "aets/net/query_server.h"
 #include "aets/net/socket.h"
+#include "aets/replay/aets_replayer.h"
 #include "aets/primary/primary_db.h"
 #include "aets/replay/snapshot_coordinator.h"
 #include "aets/replication/log_shipper.h"
@@ -337,6 +339,94 @@ TEST(QueryServerTest, SlowReadersCannotStallReplayOrShipping) {
   EXPECT_FALSE(scan->busy);
   sim::ReferenceModel model = rig.BuildModel();
   EXPECT_EQ(scan->rows, model.RowsAt(0, scan->pinned_ts));
+
+  server.Stop();
+}
+
+// The bounded-pin guarantee (DESIGN.md §13): with a columnar projection,
+// the server drops the GC pin as soon as the residual rows are copied out
+// of the version chains — so a client that sends a query and then goes
+// quiet for an arbitrary time cannot wedge the GC horizon, and a truncation
+// racing the parked reader never corrupts the already-materialized reply.
+TEST(QueryServerTest, SlowReaderDoesNotHoldTheGcPinUnderTruncation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .RegisterTable("t0", Schema::Of({{"a", ColumnType::kInt64},
+                                                   {"b", ColumnType::kString}}))
+                  .ok());
+  LogicalClock clock;
+  PrimaryDb db(&catalog, &clock);
+  LogShipper shipper(/*epoch_size=*/8, /*retention_capacity=*/4096);
+  EpochChannel channel(4096);
+  EpochChannel tee(0);
+  shipper.AttachChannel(&channel);
+  shipper.AttachChannel(&tee);
+  db.SetCommitSink([&](TxnLog txn) { shipper.OnCommit(std::move(txn)); });
+
+  AetsOptions options;
+  options.replay_threads = 2;
+  options.grouping = GroupingMode::kPerTable;
+  options.column_chunk_rows = 16;
+  AetsReplayer backup(&catalog, &channel, options);
+  GlobalSnapshotCoordinator coordinator;
+  coordinator.AttachShard([&] { return backup.GlobalVisibleTs(); });
+
+  RunRandomWorkload(&db, 1, 200, test::DeriveSeed(60));
+  shipper.ShipHeartbeat(db.AcquireHeartbeatTs());
+  shipper.Finish();
+  ASSERT_TRUE(backup.Start().ok());
+  backup.Stop();
+  ASSERT_TRUE(backup.error().ok()) << backup.error().ToString();
+  ASSERT_NE(backup.ColumnStoreForTable(0), nullptr);
+  Timestamp safe = coordinator.GlobalSafeTimestamp();
+  ASSERT_NE(safe, kInvalidTimestamp);
+
+  QueryServer server(&backup, &coordinator);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // A raw client: send the query, then stop reading — the reply sits in
+  // the socket while we inspect the coordinator from outside.
+  Result<TcpSocket> slow = TcpSocket::Connect("127.0.0.1", server.port(), 5000);
+  ASSERT_TRUE(slow.ok());
+  QueryBody query;
+  query.snapshot_ts = 0;
+  query.table_id = 0;
+  query.want_rows = true;
+  std::string body;
+  EncodeQueryBody(query, &body);
+  ASSERT_TRUE(WriteFrame(&*slow, FrameType::kQuery, body, 5000).ok());
+
+  // The pin must be gone once the query executed, NOT once the client got
+  // around to reading its reply.
+  for (int spin = 0; spin < 5000 && server.queries_served() < 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(server.queries_served(), 1u);
+  EXPECT_EQ(coordinator.MinPinnedTs(), kInvalidTimestamp);
+  EXPECT_EQ(coordinator.GcHorizon(), coordinator.GlobalSafeTimestamp());
+
+  // GC pressure while the reader is still parked: truncate every version
+  // chain at the full safe frontier. With the pin held this would be
+  // blocked at the reply's snapshot; bounded pinning lets it run.
+  backup.store()->GetTable(0)->GarbageCollect(coordinator.GcHorizon());
+
+  // The parked reader finally drains its reply: still byte-exact at the
+  // pinned snapshot, because it was materialized from immutable chunk data
+  // before the pin was released.
+  sim::ReferenceModel model(1);
+  while (auto epoch = tee.TryReceive()) ASSERT_TRUE(model.Apply(*epoch).ok());
+  FrameDecoder decoder;
+  std::atomic<bool> never_stop{false};
+  Frame reply;
+  ASSERT_TRUE(
+      ReadFrame(&*slow, &decoder, 5000, 5000, never_stop, &reply).ok());
+  ASSERT_EQ(reply.type, FrameType::kQueryOk);
+  Result<QueryReplyBody> decoded = DecodeQueryReplyBody(reply.body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->pinned_ts, safe);
+  EXPECT_EQ(decoded->rows, model.RowsAt(0, safe));
+  EXPECT_EQ(decoded->digest,
+            backup.store()->GetTable(0)->DigestAt(safe));
 
   server.Stop();
 }

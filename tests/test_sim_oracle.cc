@@ -139,6 +139,19 @@ std::vector<SimReplayerSpec> AllReplayerSpecs() {
                      o.pipeline_depth = DepthOr(3);
                      return std::make_unique<AetsReplayer>(c, ch, o);
                    }});
+  // Tiny column chunks: every generation splits into many chunks, so the
+  // chaos scenarios drive the rebuild router (dirty keys across chunk
+  // boundaries, all-delete fast path, compaction) and the oracle's
+  // column-parity probe over multi-chunk snapshots.
+  specs.push_back({"aets-tiny-chunks", [](const Catalog* c, EpochChannel* ch) {
+                     AetsOptions o;
+                     o.replay_threads = 3;
+                     o.commit_threads = 2;
+                     o.grouping = GroupingMode::kPerTable;
+                     o.pipeline_depth = DepthOr(2);
+                     o.column_chunk_rows = 8;
+                     return std::make_unique<AetsReplayer>(c, ch, o);
+                   }});
   specs.push_back({"aets-by-rate", [](const Catalog* c, EpochChannel* ch) {
                      AetsOptions o;
                      o.replay_threads = 3;
